@@ -1,0 +1,213 @@
+(* Benchmark harness.
+
+   Part 1 (Bechamel): one Test.make per experiment of EXPERIMENTS.md —
+   each microbenchmark times one representative election/run of that
+   experiment's cell — plus microbenchmarks of the simulator's hot
+   primitives.
+
+   Part 2: regenerates every table and figure (E1..E14, F1, A1..A3) at Quick
+   scale; set BENCH_FULL=1 for the EXPERIMENTS.md parameters.
+
+   Run with:  dune exec bench/main.exe *)
+
+open Bechamel
+open Toolkit
+module E = Jamming_experiments
+module Prng = Jamming_prng.Prng
+module Sample = Jamming_prng.Sample
+module Budget = Jamming_adversary.Budget
+module Adversary = Jamming_adversary.Adversary
+module Core = Jamming_core
+
+let run_cell ?(n = 1024) ?(eps = 0.5) ?(window = 64) ?(max_slots = 2_000_000) protocol
+    adversary seed =
+  let setup = { E.Runner.n; eps; window; max_slots } in
+  ignore (E.Runner.run_once setup protocol adversary ~seed)
+
+let seed_counter = ref 0
+
+let staged f =
+  Staged.stage (fun () ->
+      incr seed_counter;
+      f !seed_counter)
+
+(* --- one microbenchmark per experiment --- *)
+
+let experiment_tests =
+  [
+    Test.make ~name:"E1 lesk-scaling-n (one n=4096 election, greedy)"
+      (staged (run_cell ~n:4096 (E.Specs.lesk ~eps:0.5) E.Specs.greedy));
+    Test.make ~name:"E2 lesk-scaling-T (one T=4096 election)"
+      (staged (run_cell ~n:256 ~window:4096 (E.Specs.lesk ~eps:0.5) E.Specs.greedy));
+    Test.make ~name:"E3 lesk-eps (one eps=0.25 election)"
+      (staged (run_cell ~eps:0.25 (E.Specs.lesk ~eps:0.25) E.Specs.greedy));
+    Test.make ~name:"E4 lower-bound (known-n vs front-loaded)"
+      (staged (run_cell ~n:256 ~window:2048 E.Specs.known_n E.Specs.front_loaded));
+    Test.make ~name:"E5 estimation-accuracy (one n=16384 estimation)"
+      (staged (fun seed ->
+           let rng = Prng.create ~seed in
+           let budget = Budget.create ~window:64 ~eps:0.5 in
+           ignore
+             (Core.Size_approx.run ~n:16384 ~rng
+                ~adversary:(Adversary.greedy ())
+                ~budget ~max_slots:200_000 ())));
+    Test.make ~name:"E6 lesu-scaling (one n=8192 LESU election)"
+      (staged (run_cell ~n:8192 (E.Specs.lesu ()) E.Specs.greedy));
+    Test.make ~name:"E7 notification-overhead (one weak-CD LEWK election, n=32)"
+      (staged (fun seed ->
+           let setup = { E.Runner.n = 32; eps = 0.5; window = 32; max_slots = 500_000 } in
+           ignore
+             (E.Runner.run_exact_once ~cd:Jamming_channel.Channel.Weak_cd setup
+                ~factory:(Core.Lewk.station ~eps:0.5 ())
+                E.Specs.greedy ~seed)));
+    Test.make ~name:"E8 vs-arss (one ARSS election, n=1024)"
+      (staged (run_cell ~n:1024 E.Specs.arss E.Specs.greedy));
+    Test.make ~name:"E9 adversary-ablation (LESK vs single-suppressor)"
+      (staged (run_cell (E.Specs.lesk ~eps:0.5) (E.Specs.single_suppressor ~eps_protocol:0.5)));
+    Test.make ~name:"E10 success-probability (one LESK n=64 election)"
+      (staged (run_cell ~n:64 (E.Specs.lesk ~eps:0.5) E.Specs.greedy));
+    Test.make ~name:"E11 slot-taxonomy (instrumented LESK election)"
+      (staged (fun seed ->
+           let tracker = Core.Taxonomy.create ~eps:0.5 ~n:256 in
+           let rng = Prng.create ~seed in
+           let budget = Budget.create ~window:64 ~eps:0.5 in
+           ignore
+             (Jamming_sim.Uniform_engine.run
+                ~on_slot:(Core.Taxonomy.on_slot tracker)
+                ~n:256 ~rng
+                ~protocol:(Core.Lesk.uniform ~eps:0.5 ())
+                ~adversary:(Adversary.greedy ())
+                ~budget ~max_slots:500_000 ())));
+    Test.make ~name:"E12 energy (one LESK election with energy accounting)"
+      (staged (run_cell ~n:16384 (E.Specs.lesk ~eps:0.5) E.Specs.greedy));
+    Test.make ~name:"E13 no-cd-frontier (one no-CD sawtooth selection, n=64)"
+      (staged (fun seed ->
+           let setup = { E.Runner.n = 64; eps = 0.5; window = 32; max_slots = 100_000 } in
+           ignore
+             (E.Runner.run_exact_once ~cd:Jamming_channel.Channel.No_cd setup
+                ~factory:(Jamming_baselines.Nakano_olariu.station_sawtooth ())
+                E.Specs.greedy ~seed)));
+    Test.make ~name:"E14 fair-use (10 chained elections, n=8)"
+      (staged (fun seed ->
+           let rng = Prng.create ~seed in
+           let budget = Budget.create ~window:32 ~eps:0.5 in
+           ignore
+             (Core.Fair_use.run ~rounds:10 ~n:8 ~eps:0.5 ~rng
+                ~adversary:(Adversary.greedy ())
+                ~budget ~max_slots:1_000_000 ())));
+    Test.make ~name:"E15 size-approx-refined (one n=10^4 refinement)"
+      (staged (fun seed ->
+           let rng = Prng.create ~seed in
+           let budget = Budget.create ~window:64 ~eps:0.5 in
+           ignore
+             (Core.Size_approx.refine ~n:10_000 ~rng
+                ~adversary:(Adversary.greedy ())
+                ~budget ~max_slots:500_000 ())));
+    Test.make ~name:"E16 energy-cap (one capped LESK election, n=64)"
+      (staged (fun seed ->
+           let rng = Prng.create ~seed in
+           let budget = Budget.create ~window:32 ~eps:0.5 in
+           ignore
+             (Core.Energy_cap.run_lesk ~cap:32 ~n:64 ~eps:0.5 ~rng
+                ~adversary:(Adversary.greedy ())
+                ~budget ~max_slots:20_000 ())));
+    Test.make ~name:"F1 u-walk (one traced LESK election, n=4096)"
+      (staged (fun seed ->
+           let replica = Core.Lesk.Logic.create ~eps:0.4 () in
+           let setup = { E.Runner.n = 4096; eps = 0.4; window = 64; max_slots = 100_000 } in
+           ignore
+             (E.Runner.run_once
+                ~on_slot:(fun r ->
+                  Core.Lesk.Logic.on_state replica r.Jamming_sim.Metrics.state)
+                setup (E.Specs.lesk ~eps:0.4) E.Specs.greedy ~seed)));
+    Test.make ~name:"F2 time-distribution (one LESK n=1024 election)"
+      (staged (run_cell ~n:1024 (E.Specs.lesk ~eps:0.5) E.Specs.greedy));
+    Test.make ~name:"A1 engine-equivalence (one exact-engine LESK, n=64)"
+      (staged (fun seed ->
+           let setup = { E.Runner.n = 64; eps = 0.5; window = 32; max_slots = 200_000 } in
+           ignore
+             (E.Runner.run_exact_once ~cd:Jamming_channel.Channel.Strong_cd setup
+                ~factory:(Core.Lesk.station ~eps:0.5)
+                E.Specs.greedy ~seed)));
+    Test.make ~name:"A2 lesk-step-ablation (a = 32/eps variant)"
+      (staged (run_cell (E.Specs.lesk_with_a ~eps:0.5 ~a:64.0) E.Specs.greedy));
+    Test.make ~name:"A3 lesu-calibration (c = 1 variant)"
+      (staged
+         (run_cell
+            (E.Specs.lesu ~config:{ Core.Lesu.default_config with Core.Lesu.c = 1.0 } ())
+            E.Specs.greedy));
+    Test.make ~name:"A4 estimation-threshold (one L=8 estimation)"
+      (staged (fun seed ->
+           let rng = Prng.create ~seed in
+           let budget = Budget.create ~window:64 ~eps:0.5 in
+           ignore
+             (Core.Size_approx.run ~threshold:8 ~n:1024 ~rng
+                ~adversary:(Adversary.greedy ())
+                ~budget ~max_slots:200_000 ())));
+  ]
+
+(* --- simulator hot-path microbenchmarks --- *)
+
+let primitive_tests =
+  let rng = Prng.create ~seed:1 in
+  [
+    Test.make ~name:"prng bits64" (Staged.stage (fun () -> ignore (Prng.bits64 rng)));
+    Test.make ~name:"trichotomy sample (n=2^20)"
+      (Staged.stage (fun () -> ignore (Sample.trichotomy rng ~n:(1 lsl 20) ~p:1e-6)));
+    Test.make ~name:"budget advance+can_jam (T=1024)"
+      (let b = Budget.create ~window:1024 ~eps:0.5 in
+       Staged.stage (fun () ->
+           let jam = Budget.can_jam b in
+           Budget.advance b ~jam));
+    Test.make ~name:"lesk logic step"
+      (let l = Core.Lesk.Logic.create ~eps:0.5 () in
+       Staged.stage (fun () -> Core.Lesk.Logic.on_state l Jamming_channel.Channel.Collision));
+    Test.make ~name:"intervals classify (slot=10^9)"
+      (Staged.stage (fun () -> ignore (Core.Intervals.classify 1_000_000_000)));
+  ]
+
+let benchmark tests =
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |] in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 0.25) ~kde:(Some 100) ~stabilize:false ()
+  in
+  let raw = Benchmark.all cfg instances (Test.make_grouped ~name:"bench" ~fmt:"%s %s" tests) in
+  let results = List.map (fun instance -> Analyze.all ols instance raw) instances in
+  Analyze.merge ols instances results
+
+let ns v =
+  if v >= 1e9 then Printf.sprintf "%8.3f s " (v /. 1e9)
+  else if v >= 1e6 then Printf.sprintf "%8.3f ms" (v /. 1e6)
+  else if v >= 1e3 then Printf.sprintf "%8.3f us" (v /. 1e3)
+  else Printf.sprintf "%8.1f ns" v
+
+let print_results results =
+  let clock = Hashtbl.find results (Measure.label Instance.monotonic_clock) in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let est =
+          match Analyze.OLS.estimates ols with Some (t :: _) -> t | _ -> Float.nan
+        in
+        (name, est) :: acc)
+      clock []
+  in
+  List.iter
+    (fun (name, est) -> Printf.printf "  %s/run   %s\n" (ns est) name)
+    (List.sort compare rows)
+
+let () =
+  let scale =
+    match Sys.getenv_opt "BENCH_FULL" with
+    | Some ("1" | "true" | "yes") -> E.Registry.Full
+    | Some _ | None -> E.Registry.Quick
+  in
+  print_endline "=== Bechamel microbenchmarks (time per representative run) ===";
+  print_endline "--- simulator primitives ---";
+  print_results (benchmark primitive_tests);
+  print_endline "--- one representative run per experiment ---";
+  print_results (benchmark experiment_tests);
+  Printf.printf "\n=== Experiment tables and figures (%s scale) ===\n"
+    (match scale with E.Registry.Quick -> "quick" | E.Registry.Full -> "full");
+  E.Experiments.run_all_fmt ~scale Format.std_formatter

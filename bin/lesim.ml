@@ -1,0 +1,145 @@
+(* lesim — run a single jamming-resistant leader election from the
+   command line.
+
+     dune exec bin/lesim.exe -- --protocol lesk --n 4096 --eps 0.5 \
+       --adversary greedy --window 64 --verbose
+*)
+
+module E = Jamming_experiments
+module Metrics = Jamming_sim.Metrics
+
+let protocols ~eps =
+  [
+    ("lesk", E.Specs.lesk ~eps);
+    ("lesu", E.Specs.lesu ());
+    ("estimation", E.Specs.estimation);
+    ("arss", E.Specs.arss);
+    ("willard", E.Specs.willard);
+    ("sawtooth", E.Specs.sawtooth);
+    ("geometric", E.Specs.geometric_sweep);
+    ("backoff", E.Specs.backoff);
+    ("known-n", E.Specs.known_n);
+  ]
+
+(* "pattern:JJ.." selects the oblivious schedule adversary. *)
+let pattern_adversary spec =
+  {
+    E.Specs.a_name = "pattern:" ^ spec;
+    a_make = (fun ~seed:_ ~n:_ ~eps:_ ~window:_ -> Jamming_adversary.Adversary.pattern spec);
+  }
+
+let adversaries ~eps =
+  [
+    ("none", E.Specs.no_jamming);
+    ("greedy", E.Specs.greedy);
+    ("random", E.Specs.random_jam ~p:0.5);
+    ("front-loaded", E.Specs.front_loaded);
+    ("periodic", E.Specs.periodic);
+    ("silence-breaker", E.Specs.silence_breaker);
+    ("streak-saver", E.Specs.streak_saver);
+    ("single-suppressor", E.Specs.single_suppressor ~eps_protocol:eps);
+    ("estimate-twister", E.Specs.estimate_twister ~eps_protocol:eps);
+    ("estimation-staller", E.Specs.estimation_staller);
+  ]
+
+let run protocol_name adversary_name n eps window max_slots seed reps weak_cd verbose trace =
+  let fail fmt = Format.kasprintf (fun s -> `Error (false, s)) fmt in
+  let adversary_lookup name =
+    match String.index_opt name ':' with
+    | Some i when String.sub name 0 i = "pattern" ->
+        Some (pattern_adversary (String.sub name (i + 1) (String.length name - i - 1)))
+    | _ -> List.assoc_opt name (adversaries ~eps)
+  in
+  match List.assoc_opt protocol_name (protocols ~eps), adversary_lookup adversary_name with
+  | None, _ -> fail "unknown protocol %S (try: %s)" protocol_name
+                 (String.concat ", " (List.map fst (protocols ~eps)))
+  | _, None -> fail "unknown adversary %S (try: %s)" adversary_name
+                 (String.concat ", " (List.map fst (adversaries ~eps)))
+  | Some protocol, Some adversary ->
+      let setup = { E.Runner.n; eps; window; max_slots } in
+      Format.printf "protocol %s vs adversary %s, %a, %d rep(s)@." protocol.E.Specs.p_name
+        adversary.E.Specs.a_name E.Runner.pp_setup setup reps;
+      if weak_cd && protocol_name <> "lesk" && protocol_name <> "lesu" then
+        fail "--weak-cd supports lesk (as LEWK) and lesu (as LEWU) only"
+      else begin
+        let sample =
+          if weak_cd then
+            let factory =
+              if protocol_name = "lesk" then Jamming_core.Lewk.station ~eps ()
+              else Jamming_core.Lewu.station ()
+            in
+            E.Runner.replicate_exact ~base_seed:seed ~cd:Jamming_channel.Channel.Weak_cd
+              ~reps setup
+              ~name:(protocol.E.Specs.p_name ^ "+Notification")
+              ~factory adversary
+          else E.Runner.replicate ~base_seed:seed ~reps setup protocol adversary
+        in
+        if verbose then
+          Array.iteri
+            (fun i r -> Format.printf "run %2d: %a@." i Metrics.pp_result r)
+            sample.E.Runner.results;
+        let slots = Array.map (fun r -> float_of_int r.Metrics.slots) sample.E.Runner.results in
+        let s = Jamming_stats.Descriptive.summarize slots in
+        Format.printf "@[<v>slots: %a@ success rate: %s@ jammed fraction (median): %.2f@]@."
+          Jamming_stats.Descriptive.pp_summary s
+          (E.Table.fmt_pct (E.Runner.success_rate sample))
+          (E.Runner.median_jammed_fraction sample);
+        if trace > 0 then begin
+          (* One extra, separately seeded run with a slot trace attached. *)
+          let t = Jamming_sim.Trace.create ~capacity:trace in
+          let on_slot = Jamming_sim.Trace.record t in
+          let r =
+            if weak_cd then
+              let factory =
+                if protocol_name = "lesk" then Jamming_core.Lewk.station ~eps ()
+                else Jamming_core.Lewu.station ()
+              in
+              E.Runner.run_exact_once ~on_slot ~cd:Jamming_channel.Channel.Weak_cd setup
+                ~factory adversary ~seed
+            else E.Runner.run_once ~on_slot setup protocol adversary ~seed
+          in
+          Format.printf "@.--- last %d slots of a traced run (%d slots total) ---@.%a"
+            (Int.min trace r.Metrics.slots)
+            r.Metrics.slots Jamming_sim.Trace.pp t
+        end;
+        `Ok ()
+      end
+
+open Cmdliner
+
+let cmd =
+  let protocol =
+    Arg.(value & opt string "lesk" & info [ "protocol"; "p" ] ~doc:"Protocol to run.")
+  in
+  let adversary =
+    Arg.(value & opt string "greedy" & info [ "adversary"; "a" ] ~doc:"Jamming strategy.")
+  in
+  let n = Arg.(value & opt int 1024 & info [ "n"; "stations" ] ~doc:"Number of stations.") in
+  let eps =
+    Arg.(value & opt float 0.5 & info [ "eps" ] ~doc:"Adversary tolerance (0 < eps <= 1).")
+  in
+  let window = Arg.(value & opt int 64 & info [ "window"; "T" ] ~doc:"Adversary window T.") in
+  let max_slots = Arg.(value & opt int 1_000_000 & info [ "max-slots" ] ~doc:"Slot cap.") in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Base random seed.") in
+  let reps = Arg.(value & opt int 1 & info [ "reps" ] ~doc:"Number of replications.") in
+  let weak_cd =
+    Arg.(value & flag & info [ "weak-cd" ] ~doc:"Run in weak-CD via Notification (exact engine).")
+  in
+  let verbose = Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Print every run.") in
+  let trace =
+    Arg.(
+      value & opt int 0
+      & info [ "trace" ] ~doc:"Also run one traced election and print its last $(docv) slots."
+          ~docv:"SLOTS")
+  in
+  let term =
+    Term.(
+      ret
+        (const run $ protocol $ adversary $ n $ eps $ window $ max_slots $ seed $ reps
+        $ weak_cd $ verbose $ trace))
+  in
+  Cmd.v
+    (Cmd.info "lesim" ~doc:"Simulate jamming-resistant leader election (Klonowski-Pajak 2015)")
+    term
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,135 @@
+(* soak — randomized invariant testing, for as many iterations as asked.
+
+   Each iteration draws a random configuration (protocol, adversary,
+   CD model, n, eps, T), runs a full election, and checks the
+   system-wide invariants:
+     - the executed jam pattern is (T, 1-eps)-bounded (independent
+       O(t^2)-free accounting via the slot trace);
+     - on completion, exactly one leader and full termination;
+     - slot-class counters are consistent.
+
+   Exit code 0 iff every iteration held.
+
+     dune exec bin/soak.exe -- --iterations 200 --seed 7
+*)
+
+module E = Jamming_experiments
+module Prng = Jamming_prng.Prng
+module Metrics = Jamming_sim.Metrics
+module Channel = Jamming_channel.Channel
+
+type violation = { iteration : int; description : string }
+
+let random_choice rng l = List.nth l (Prng.int rng ~bound:(List.length l))
+
+let check_jam_density ~eps ~window records =
+  (* Sliding exact check over the recorded pattern (reference-style). *)
+  let jams = Array.of_list (List.map (fun r -> r.Metrics.jammed) records) in
+  let t = Array.length jams in
+  let ok = ref true in
+  let prefix = Array.make (t + 1) 0 in
+  for i = 0 to t - 1 do
+    prefix.(i + 1) <- prefix.(i) + if jams.(i) then 1 else 0
+  done;
+  for i = 0 to t - 1 do
+    let j = Int.min (t - 1) (i + window - 1) in
+    (* every window of length >= window starting at i: check a few sizes *)
+    List.iter
+      (fun w ->
+        let e = i + w - 1 in
+        if e < t && w >= window then
+          if
+            float_of_int (prefix.(e + 1) - prefix.(i))
+            > ((1.0 -. eps) *. float_of_int w) +. 1e-9
+          then ok := false)
+      [ window; 2 * window; j - i + 1 ]
+  done;
+  !ok
+
+let run_iteration ~seed ~iteration =
+  let rng = Prng.create ~seed in
+  let n = 3 + Prng.int rng ~bound:62 in
+  let eps = 0.2 +. (0.8 *. Prng.float rng) in
+  let window = 1 + Prng.int rng ~bound:64 in
+  let cap = 2_000_000 in
+  let setup = { E.Runner.n; eps; window; max_slots = cap } in
+  let adversaries =
+    [
+      E.Specs.no_jamming; E.Specs.greedy; E.Specs.random_jam ~p:0.7; E.Specs.front_loaded;
+      E.Specs.periodic; E.Specs.silence_breaker; E.Specs.streak_saver;
+      E.Specs.notification_saboteur;
+    ]
+  in
+  let adversary = random_choice rng adversaries in
+  let records = ref [] in
+  let on_slot r = records := r :: !records in
+  let mode = Prng.int rng ~bound:3 in
+  let name, result =
+    match mode with
+    | 0 ->
+        ( "LESK/uniform",
+          E.Runner.run_once ~on_slot setup (E.Specs.lesk ~eps) adversary ~seed )
+    | 1 ->
+        ( "LESU/uniform",
+          E.Runner.run_once ~on_slot setup (E.Specs.lesu ()) adversary ~seed )
+    | _ ->
+        ( "LEWK/weak-CD",
+          E.Runner.run_exact_once ~on_slot ~cd:Channel.Weak_cd setup
+            ~factory:(Jamming_core.Lewk.station ~eps ())
+            adversary ~seed )
+  in
+  let records = List.rev !records in
+  let violations = ref [] in
+  let fail fmt =
+    Format.kasprintf
+      (fun description -> violations := { iteration; description } :: !violations)
+      fmt
+  in
+  if not result.Metrics.completed then
+    fail "%s n=%d eps=%.2f T=%d (%s): did not complete within %d slots" name n eps window
+      adversary.E.Specs.a_name cap;
+  if result.Metrics.completed && not (Metrics.election_ok result) then
+    fail "%s: completed but not exactly one leader" name;
+  if not (check_jam_density ~eps ~window records) then
+    fail "%s: executed jam pattern violates (T, 1-eps)!" name;
+  let jams = List.length (List.filter (fun r -> r.Metrics.jammed) records) in
+  if jams <> result.Metrics.jammed_slots then fail "%s: jam accounting mismatch" name;
+  (!violations, name, result.Metrics.slots)
+
+let run iterations seed =
+  let t0 = Unix.gettimeofday () in
+  let all_violations = ref [] in
+  let total_slots = ref 0 in
+  for iteration = 1 to iterations do
+    let vs, _name, slots =
+      run_iteration ~seed:(Prng.seed_of_string (Printf.sprintf "soak/%d/%d" seed iteration)) ~iteration
+    in
+    total_slots := !total_slots + slots;
+    all_violations := vs @ !all_violations;
+    if iteration mod 50 = 0 then
+      Format.printf "… %d/%d iterations, %d slots simulated, %d violations@." iteration
+        iterations !total_slots
+        (List.length !all_violations)
+  done;
+  let dt = Unix.gettimeofday () -. t0 in
+  Format.printf "%d iterations, %d total slots, %.1fs.@." iterations !total_slots dt;
+  match !all_violations with
+  | [] ->
+      Format.printf "all invariants held.@.";
+      `Ok ()
+  | vs ->
+      List.iter (fun v -> Format.printf "VIOLATION @@ %d: %s@." v.iteration v.description) vs;
+      `Error (false, Printf.sprintf "%d invariant violations" (List.length vs))
+
+open Cmdliner
+
+let cmd =
+  let iterations =
+    Arg.(value & opt int 100 & info [ "iterations"; "n" ] ~doc:"Random elections to run.")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Base seed.") in
+  Cmd.v
+    (Cmd.info "soak" ~doc:"Randomized invariant soak-testing of the whole pipeline")
+    Term.(ret (const run $ iterations $ seed))
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,80 @@
+(* sweep — regenerate any experiment (table/figure) of EXPERIMENTS.md.
+
+     dune exec bin/sweep.exe -- --list
+     dune exec bin/sweep.exe -- E1 E9
+     dune exec bin/sweep.exe -- --full all
+*)
+
+module E = Jamming_experiments
+
+let list_experiments () =
+  Format.printf "%-4s %-24s %s@." "id" "name" "claim";
+  List.iter
+    (fun e ->
+      Format.printf "%-4s %-24s %s@." e.E.Registry.id e.E.Registry.name e.E.Registry.claim)
+    E.Experiments.all
+
+let run list full csv_dir jobs ids =
+  if list then begin
+    list_experiments ();
+    `Ok ()
+  end
+  else begin
+    E.Runner.default_jobs :=
+      (match jobs with
+      | Some 0 -> E.Runner.recommended_jobs ()
+      | Some j -> j
+      | None -> 1);
+    let scale = if full then E.Registry.Full else E.Registry.Quick in
+    let ids = if ids = [] then [ "all" ] else ids in
+    let targets =
+      if List.exists (fun s -> String.lowercase_ascii s = "all") ids then
+        Some E.Experiments.all
+      else
+        let found = List.map E.Experiments.find ids in
+        if List.exists Option.is_none found then None
+        else Some (List.filter_map Fun.id found)
+    in
+    match targets with
+    | None -> `Error (false, "unknown experiment id; use --list to see them")
+    | Some targets ->
+        let out =
+          match csv_dir with
+          | Some dir -> E.Output.with_csv_dir ~dir Format.std_formatter
+          | None -> E.Output.to_formatter Format.std_formatter
+        in
+        List.iter (E.Experiments.run_one ~scale out) targets;
+        (match E.Output.csv_files_written out with
+        | [] -> ()
+        | files ->
+            Format.printf "@.CSV written:@.";
+            List.iter (Format.printf "  %s@.") (List.rev files));
+        `Ok ()
+  end
+
+open Cmdliner
+
+let cmd =
+  let list = Arg.(value & flag & info [ "list"; "l" ] ~doc:"List available experiments.") in
+  let full =
+    Arg.(value & flag & info [ "full" ] ~doc:"EXPERIMENTS.md parameters (slow) instead of quick.")
+  in
+  let ids = Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT" ~doc:"Ids or names; 'all'.") in
+  let csv_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "csv" ] ~docv:"DIR" ~doc:"Also write every table as CSV into $(docv).")
+  in
+  let jobs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:"Run replications on $(docv) domains (0 = auto).")
+  in
+  Cmd.v
+    (Cmd.info "sweep" ~doc:"Regenerate the paper-reproduction tables and figures")
+    Term.(ret (const run $ list $ full $ csv_dir $ jobs $ ids))
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,84 @@
+(* The building blocks promised in the paper's conclusions (Section 4):
+   size approximation and k-selection, both running on the same
+   jamming-robust machinery.
+
+   Run with:  dune exec examples/size_estimation.exe *)
+
+module Prng = Jamming_prng.Prng
+module Budget = Jamming_adversary.Budget
+module Adversary = Jamming_adversary.Adversary
+module Size_approx = Jamming_core.Size_approx
+module K_selection = Jamming_core.K_selection
+
+let () =
+  let eps = 0.5 and window = 32 in
+
+  Format.printf "--- size approximation under greedy jamming ---@.";
+  List.iter
+    (fun n ->
+      let rng = Prng.create ~seed:(7 * n) in
+      let budget = Budget.create ~window ~eps in
+      let outcome =
+        Size_approx.run ~n ~rng
+          ~adversary:(Adversary.greedy ())
+          ~budget ~max_slots:200_000 ()
+      in
+      Format.printf "n = %7d: %a@." n Size_approx.pp_outcome outcome;
+      match outcome with
+      | Size_approx.Estimate { round; _ } ->
+          Format.printf "            Lemma 2.8 band: %s@."
+            (if Size_approx.within_lemma_2_8_band ~round ~n ~window then "inside"
+             else "OUTSIDE")
+      | Size_approx.Leader_elected _ | Size_approx.Exhausted _ -> ())
+    [ 100; 10_000; 1_000_000 ];
+
+  Format.printf "@.--- refinement: constant-factor size estimates, still jammed ---@.";
+  List.iter
+    (fun n ->
+      let rng = Prng.create ~seed:(3 * n) in
+      let budget = Budget.create ~window ~eps in
+      let r =
+        Size_approx.refine ~n ~rng ~adversary:(Adversary.greedy ()) ~budget
+          ~max_slots:500_000 ()
+      in
+      Format.printf "n = %7d: %a@." n Size_approx.pp_refined r)
+    [ 100; 10_000; 1_000_000 ];
+  Format.printf
+    "The refinement probes q = 2^-j and inverts Null frequencies; taking ratios to the \
+     observed plateau cancels the jamming rate, so the estimate is a small constant \
+     factor off even with half the slots jammed (vs the sqrt-to-4th-power bracket of \
+     the coarse estimator).@.";
+
+  Format.printf "@.--- k-selection: pick 5 coordinators out of 200 ---@.";
+  let rng = Prng.create ~seed:123 in
+  let budget = Budget.create ~window ~eps in
+  let outcome =
+    K_selection.run ~k:5 ~n:200 ~eps ~rng
+      ~adversary:(Adversary.greedy ())
+      ~budget ~max_slots:500_000 ()
+  in
+  List.iteri
+    (fun i (r : K_selection.round_result) ->
+      Format.printf "round %d: winner after %d slots (index %d of the remaining pool)@."
+        (i + 1) r.K_selection.slots r.K_selection.winner_index)
+    outcome.K_selection.rounds;
+  Format.printf "total: %d slots, completed = %b@." outcome.K_selection.total_slots
+    outcome.K_selection.completed;
+  Format.printf
+    "@.The whole chain shares one (T, 1-eps) jam budget: the adversary does not reset \
+     between rounds.@.";
+
+  Format.printf "@.--- the same, in weak-CD (winners must LEARN they won) ---@.";
+  let rng = Prng.create ~seed:7 in
+  let budget = Budget.create ~window ~eps in
+  let o =
+    K_selection.run_weak_cd ~k:3 ~n:12 ~eps ~rng
+      ~adversary:(Adversary.greedy ())
+      ~budget ~max_slots:5_000_000 ()
+  in
+  Format.printf "winners (original ids, in order): %s — %d slots, completed = %b@."
+    (String.concat ", " (List.map string_of_int o.K_selection.winners))
+    o.K_selection.slots o.K_selection.completed;
+  Format.printf
+    "Each weak-CD round is a full Notification handshake, so every selected coordinator \
+     terminates knowing its rank.@."

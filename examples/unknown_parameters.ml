@@ -1,0 +1,69 @@
+(* The paper's headline feature: the stations know NOTHING — not the
+   network size n, not the adversary's window T, not the jamming
+   tolerance eps.  LESU (Algorithm 2) first estimates max{log n, T} with
+   the jamming-robust Estimation function, then sweeps guessed
+   tolerances eps_j = 2^{-j/3} through time-boxed LESK runs.
+
+   This example traces the whole ladder.
+
+   Run with:  dune exec examples/unknown_parameters.exe *)
+
+module Prng = Jamming_prng.Prng
+module Budget = Jamming_adversary.Budget
+module Adversary = Jamming_adversary.Adversary
+module Lesu = Jamming_core.Lesu
+module Uniform = Jamming_station.Uniform
+module Metrics = Jamming_sim.Metrics
+
+let () =
+  let n = 5000 and eps = 0.5 and window = 128 in
+  Format.printf
+    "n = %d stations (unknown to them), adversary: (T = %d, 1 - %.1f)-bounded (also \
+     unknown).@.@."
+    n window eps;
+  let logic = Lesu.Logic.create () in
+  let last_stage = ref (Lesu.Logic.stage logic) in
+  let describe slot stage =
+    match stage with
+    | Lesu.Estimating round -> Format.printf "slot %6d: estimation, round %d@." slot round
+    | Lesu.Electing { i; j; eps_hat } ->
+        Format.printf "slot %6d: LESK phase (i=%d, j=%d), guessed eps = %.3f@." slot i j
+          eps_hat
+    | Lesu.Done -> Format.printf "slot %6d: leader elected.@." slot
+  in
+  let protocol =
+    {
+      Uniform.name = "LESU-traced";
+      tx_prob = (fun () -> Lesu.Logic.tx_prob logic);
+      on_state =
+        (fun state ->
+          Lesu.Logic.on_state logic state;
+          if Lesu.Logic.elected logic then Uniform.Elected else Uniform.Continue);
+    }
+  in
+  let rng = Prng.create ~seed:99 in
+  let budget = Budget.create ~window ~eps in
+  let result =
+    Jamming_sim.Uniform_engine.run
+      ~on_slot:(fun r ->
+        let stage = Lesu.Logic.stage logic in
+        if stage <> !last_stage then begin
+          describe r.Metrics.slot stage;
+          last_stage := stage
+        end)
+      ~n ~rng ~protocol
+      ~adversary:(Adversary.greedy ())
+      ~budget ~max_slots:2_000_000 ()
+  in
+  Format.printf "@.%a@." Metrics.pp_result result;
+  (match Lesu.Logic.t0 logic with
+  | Some t0 ->
+      Format.printf
+        "Estimation produced t0 = %.0f (a stand-in for c*max{log n = %.1f, T = %d}).@." t0
+        (Float.log2 (float_of_int n))
+        window
+  | None -> ());
+  Format.printf
+    "True eps was %.2f; the schedule only needed a guess within a factor 2 (eps_j = \
+     2^(-j/3) sweeps that grid).@."
+    eps

@@ -1,0 +1,77 @@
+(* Weak collision detection: a station cannot transmit and listen at the
+   same time, so the winner of the selection does not know it won.  The
+   Notification transformation (Section 3) fixes this with the C1/C2/C3
+   interval handshake:
+
+     - algorithm A (here LESK) runs inside C1 until some station l lands
+       the first Single — everyone but l hears it;
+     - the rest re-run A in C2; the next Single tells l (the only station
+       still watching) that it is the leader;
+     - l broadcasts in every C3 slot; non-leaders block C1 until they
+       hear l's C3 Single, then leave; the first quiet C1 slot tells l
+       that everyone knows.
+
+   This example prints the handshake as it happens, under jamming.
+
+   Run with:  dune exec examples/weak_cd_notification.exe *)
+
+module Prng = Jamming_prng.Prng
+module Budget = Jamming_adversary.Budget
+module Adversary = Jamming_adversary.Adversary
+module Channel = Jamming_channel.Channel
+module Notification = Jamming_core.Notification
+module Metrics = Jamming_sim.Metrics
+
+let () =
+  let n = 10 and eps = 0.5 and window = 16 in
+  Format.printf "n = %d stations, weak-CD, greedy (T = %d, 1-%.1f)-bounded jammer.@.@." n
+    window eps;
+  let on_phase ~id ~slot phase =
+    Format.printf "slot %6d  station %2d -> %a@." slot id Notification.pp_phase phase
+  in
+  let factory = Jamming_core.Lewk.station ~on_phase ~eps () in
+  let rng = Prng.create ~seed:4 in
+  let stations = Jamming_sim.Engine.make_stations ~n ~rng factory in
+  let budget = Budget.create ~window ~eps in
+  let trace = Jamming_sim.Trace.create ~capacity:96 in
+  let result =
+    Jamming_sim.Engine.run
+      ~on_slot:(Jamming_sim.Trace.record trace)
+      ~cd:Channel.Weak_cd
+      ~adversary:(Adversary.greedy ())
+      ~budget ~max_slots:1_000_000 ~stations ()
+  in
+  Format.printf "@.%a@." Metrics.pp_result result;
+  Array.iteri
+    (fun id st ->
+      Format.printf "station %2d: %s@." id (Jamming_station.Station.status_to_string st))
+    result.Metrics.statuses;
+  (* Timeline of the final stretch: which interval family each slot
+     belongs to, and what happened on the channel. *)
+  let records = Jamming_sim.Trace.to_list trace in
+  (match records with
+  | [] -> ()
+  | first :: _ ->
+      Format.printf
+        "@.timeline of the last %d slots (families: 1/2/3 = C1/C2/C3, . = idle;@.events:  \
+         J = jammed, ! = Single, 0 = Null, x = collision):@."
+        (List.length records);
+      let family (r : Jamming_sim.Metrics.slot_record) =
+        match Jamming_core.Intervals.classify r.Jamming_sim.Metrics.slot with
+        | Jamming_core.Intervals.Idle -> '.'
+        | Jamming_core.Intervals.C1 _ -> '1'
+        | Jamming_core.Intervals.C2 _ -> '2'
+        | Jamming_core.Intervals.C3 _ -> '3'
+      in
+      let event (r : Jamming_sim.Metrics.slot_record) =
+        if r.Jamming_sim.Metrics.jammed then 'J'
+        else
+          match r.Jamming_sim.Metrics.state with
+          | Channel.Single -> '!'
+          | Channel.Null -> '0'
+          | Channel.Collision -> 'x'
+      in
+      let row f = String.init (List.length records) (fun i -> f (List.nth records i)) in
+      Format.printf "slot %6d  %s@." first.Jamming_sim.Metrics.slot (row family);
+      Format.printf "            %s@." (row event));
+  Format.printf "@.every station terminated knowing its role — Lemma 3.1 in action.@."

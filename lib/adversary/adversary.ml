@@ -1,0 +1,99 @@
+module Channel = Jamming_channel.Channel
+
+type t = {
+  name : string;
+  wants_jam : slot:int -> can_jam:bool -> bool;
+  notify : slot:int -> jammed:bool -> state:Channel.state -> unit;
+}
+
+type factory = unit -> t
+
+let no_notify ~slot:_ ~jammed:_ ~state:_ = ()
+
+let none () =
+  { name = "none"; wants_jam = (fun ~slot:_ ~can_jam:_ -> false); notify = no_notify }
+
+let greedy () =
+  { name = "greedy"; wants_jam = (fun ~slot:_ ~can_jam -> can_jam); notify = no_notify }
+
+let random ~seed ~p =
+  if not (p >= 0.0 && p <= 1.0) then invalid_arg "Adversary.random: p must lie in [0, 1]";
+  fun () ->
+    let rng = Jamming_prng.Prng.create ~seed in
+    {
+      name = Printf.sprintf "random(p=%.2f)" p;
+      wants_jam = (fun ~slot:_ ~can_jam:_ -> Jamming_prng.Prng.bool rng ~p);
+      notify = no_notify;
+    }
+
+let front_loaded ~window =
+  if window < 1 then invalid_arg "Adversary.front_loaded: window must be >= 1";
+  fun () ->
+    {
+      name = Printf.sprintf "front-loaded(T=%d)" window;
+      wants_jam =
+        (fun ~slot ~can_jam ->
+          (* Ask while early in the aligned block; the budget trims the
+             request to what (T, 1-eps)-boundedness really allows. *)
+          can_jam && slot mod window < window - 1);
+      notify = no_notify;
+    }
+
+let periodic ~period ~burst =
+  if period < 1 || burst < 1 || burst > period then
+    invalid_arg "Adversary.periodic: need 1 <= burst <= period";
+  fun () ->
+    {
+      name = Printf.sprintf "periodic(%d/%d)" burst period;
+      wants_jam = (fun ~slot ~can_jam:_ -> slot mod period < burst);
+      notify = no_notify;
+    }
+
+let silence_breaker () =
+  let last_was_null = ref false in
+  {
+    name = "silence-breaker";
+    wants_jam = (fun ~slot:_ ~can_jam:_ -> !last_was_null);
+    notify =
+      (fun ~slot:_ ~jammed:_ ~state ->
+        last_was_null := Channel.equal_state state Channel.Null);
+  }
+
+let streak_saver ~quota =
+  if quota < 1 then invalid_arg "Adversary.streak_saver: quota must be >= 1";
+  fun () ->
+    let clear_streak = ref 0 in
+    {
+      name = Printf.sprintf "streak-saver(%d)" quota;
+      wants_jam = (fun ~slot:_ ~can_jam:_ -> !clear_streak >= quota);
+      notify =
+        (fun ~slot:_ ~jammed ~state:_ ->
+          if jammed then clear_streak := 0 else incr clear_streak);
+    }
+
+let pattern spec =
+  let cells =
+    String.to_seq spec
+    |> Seq.filter_map (fun c ->
+           match c with
+           | 'J' | 'j' | '1' -> Some true
+           | '.' | '0' -> Some false
+           | ' ' | '\t' | '\n' -> None
+           | _ -> invalid_arg (Printf.sprintf "Adversary.pattern: bad character %C" c))
+    |> Array.of_seq
+  in
+  if Array.length cells = 0 then invalid_arg "Adversary.pattern: empty schedule";
+  fun () ->
+    {
+      name = Printf.sprintf "pattern(%s)" spec;
+      wants_jam = (fun ~slot ~can_jam:_ -> cells.(slot mod Array.length cells));
+      notify = no_notify;
+    }
+
+let stateful ~name ~init ~wants ~notify () =
+  let state = init () in
+  {
+    name;
+    wants_jam = (fun ~slot ~can_jam -> wants state ~slot ~can_jam);
+    notify = (fun ~slot ~jammed ~state:st -> notify state ~slot ~jammed ~state:st);
+  }

@@ -1,0 +1,72 @@
+(** Adversary strategies.
+
+    A strategy decides, {e before} seeing the honest stations' actions in
+    the current slot (the paper's adaptivity rule, §1.1), whether it wants
+    to jam.  It then observes the slot outcome exactly like a listener:
+    the post-jam channel state.  The strategy may over-ask: the engine
+    only jams when {!Budget.can_jam} also agrees, so every executed
+    adversary is (T, 1−ε)-bounded by construction.
+
+    Strategies are closures over private mutable state, so a value of
+    type {!t} must be used for a single run only; use {!factory} values
+    in replicated experiments. *)
+
+type t = {
+  name : string;
+  wants_jam : slot:int -> can_jam:bool -> bool;
+      (** Does the adversary want to jam this slot?  [can_jam] is the
+          budget verdict, offered so strategies can plan (e.g. save
+          budget rather than waste a denied request). *)
+  notify : slot:int -> jammed:bool -> state:Jamming_channel.Channel.state -> unit;
+      (** Outcome of the slot: whether it was actually jammed, and the
+          channel state as a listener perceives it. *)
+}
+
+type factory = unit -> t
+(** Fresh strategy instance per run. *)
+
+val none : factory
+(** Never jams. *)
+
+val greedy : factory
+(** Jams every slot the budget allows.  The natural "maximum pressure"
+    adversary. *)
+
+val random : seed:int -> p:float -> factory
+(** Asks to jam each slot independently with probability [p]. *)
+
+val front_loaded : window:int -> factory
+(** Tries to jam the earliest slots of every aligned [window]-length
+    block (the Lemma 2.7 lower-bound adversary), subject to the budget:
+    it asks to jam whenever its position in the current block is below
+    the block's capacity. *)
+
+val periodic : period:int -> burst:int -> factory
+(** Jams the first [burst] slots of every [period]-slot phase, subject to
+    budget.  Requires [1 ≤ burst ≤ period]. *)
+
+val silence_breaker : factory
+(** Adaptive: jams whenever the previous slot was [Null] — tries to stop
+    the protocol from harvesting the Nulls it values most.  (The budget
+    still guarantees an ε fraction of every window survives.) *)
+
+val streak_saver : quota:int -> factory
+(** Adaptive: spends budget only after [quota] consecutive non-jammed
+    slots have elapsed, stretching the budget over the whole run. *)
+
+val pattern : string -> factory
+(** [pattern "JJ..J."] jams where the (cyclically repeated) schedule has
+    a ['J'] (or ['j'; ['1'] also accepted) and stays idle on ['.'] (or
+    ['0'; whitespace is skipped).  An oblivious, fully reproducible
+    strategy, handy for tests and worked examples.  Raises
+    [Invalid_argument] on an empty or malformed schedule. *)
+
+val stateful :
+  name:string ->
+  init:(unit -> 's) ->
+  wants:('s -> slot:int -> can_jam:bool -> bool) ->
+  notify:('s -> slot:int -> jammed:bool -> state:Jamming_channel.Channel.state -> unit) ->
+  factory
+(** General constructor for protocol-aware adversaries (used by
+    [Jamming_core.Adaptive_jammers] to build the LESK-tracking
+    single-suppressor). *)

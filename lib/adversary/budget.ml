@@ -1,0 +1,87 @@
+(* See budget.mli for the derivation of conditions (A) and (B).
+
+   Invariants, with [m] = slots recorded so far (prefix length) and
+   [jams] = J(m):
+   - [prefix_jams.(k mod window) = J(k)] for [k] in [max(0, m−window+1) .. m];
+   - [eligible_min = min { h(k) : 0 ≤ k ≤ m − window }] (+∞ if none),
+     where [h(k) = J(k) − (1−ε)·k] is recomputed from the stored integer
+     [J(k)] so no floating error accumulates;
+   - [recent_jams] = number of jams among the last [min (window−1, m)]
+     slots, with flags kept in [recent_ring]. *)
+
+type t = {
+  window : int;
+  eps : float;
+  mutable m : int;
+  mutable jams : int;
+  prefix_jams : int array; (* circular, size window *)
+  mutable eligible_min : float;
+  recent_ring : bool array; (* circular, size max (window-1) 1 *)
+  mutable recent_jams : int;
+}
+
+exception Illegal_jam of int
+
+let tolerance = 1e-9
+
+let create ~window ~eps =
+  if window < 1 then invalid_arg "Budget.create: window must be >= 1";
+  if not (eps > 0.0 && eps <= 1.0) then
+    invalid_arg "Budget.create: eps must lie in (0, 1]";
+  {
+    window;
+    eps;
+    m = 0;
+    jams = 0;
+    prefix_jams = Array.make window 0;
+    eligible_min = infinity;
+    recent_ring = Array.make (Int.max (window - 1) 1) false;
+    recent_jams = 0;
+  }
+
+let window t = t.window
+let eps t = t.eps
+let elapsed t = t.m
+let jammed_total t = t.jams
+let max_jams_in_window t = int_of_float ((1.0 -. t.eps) *. float_of_int t.window)
+
+let h t ~jams ~k = float_of_int jams -. ((1.0 -. t.eps) *. float_of_int k)
+
+(* min { h(k) : 0 <= k <= m+1-T }, i.e. the bound relevant to windows of
+   length >= T ending at the new slot.  [eligible_min] covers k <= m-T;
+   the single extra prefix k = m+1-T is still in the ring. *)
+let min_h_for_next t =
+  let k = t.m + 1 - t.window in
+  if k < 0 then infinity
+  else
+    let extra = h t ~jams:t.prefix_jams.(k mod t.window) ~k in
+    Float.min t.eligible_min extra
+
+let can_jam t =
+  let bound_t = (1.0 -. t.eps) *. float_of_int t.window in
+  (* (B): the T-window that will close over the last T−1 slots + this jam. *)
+  float_of_int (t.recent_jams + 1) <= bound_t +. tolerance
+  (* (A): all already-closable windows of length >= T ending here. *)
+  && h t ~jams:(t.jams + 1) ~k:(t.m + 1) <= min_h_for_next t +. tolerance
+
+let advance t ~jam =
+  if jam && not (can_jam t) then raise (Illegal_jam t.m);
+  let next = t.m + 1 in
+  (* Retire prefix k = next − window from the ring into [eligible_min]. *)
+  let retiring = next - t.window in
+  if retiring >= 0 then begin
+    let hr = h t ~jams:t.prefix_jams.(retiring mod t.window) ~k:retiring in
+    t.eligible_min <- Float.min t.eligible_min hr
+  end;
+  if jam then t.jams <- t.jams + 1;
+  t.prefix_jams.(next mod t.window) <- t.jams;
+  if t.window > 1 then begin
+    let pos = t.m mod (t.window - 1) in
+    (* The flag at [pos] belongs to slot m − (window−1); it leaves the
+       recent window exactly when slot m enters it. *)
+    if t.m >= t.window - 1 && t.recent_ring.(pos) then
+      t.recent_jams <- t.recent_jams - 1;
+    t.recent_ring.(pos) <- jam;
+    if jam then t.recent_jams <- t.recent_jams + 1
+  end;
+  t.m <- next

@@ -1,0 +1,57 @@
+(** Exact enforcement of the (T, 1−ε)-bounded jamming constraint (§1.1).
+
+    A (T, 1−ε)-bounded adversary may jam at most [(1−ε)·w] slots of {e any}
+    window of [w ≥ T] contiguous slots — including windows that close only
+    in the future.  Jamming slot [t] is therefore legal iff for every
+    window start [k ≤ t]:
+
+    {v jams(k..t)  ≤  (1−ε) · max (t−k+1, T) v}
+
+    (for windows shorter than [T] the binding bound is the [T]-window that
+    will eventually close over them, which is tightest when no further jam
+    is added).
+
+    Writing [h(m) = J(m) − (1−ε)·m] for the prefix jam count [J(m)], the
+    condition splits into
+
+    - (A) [h(t+1) ≤ min { h(k) : 0 ≤ k ≤ t+1−T }], and
+    - (B) [jams in the last T−1 slots, plus the new one, ≤ (1−ε)·T],
+
+    both maintainable in O(1) amortised time and O(T) space.  Checking at
+    jam times only is sound: a violated window is always detected when its
+    last jam is placed.
+
+    This module is the single point through which every adversary strategy
+    is filtered, so strategies may over-ask; the simulation engine only
+    jams when [can_jam] agrees. *)
+
+type t
+
+exception Illegal_jam of int
+(** Raised by {!advance} when asked to record an illegal jam; carries the
+    slot index. *)
+
+val create : window:int -> eps:float -> t
+(** [create ~window ~eps] is a fresh budget for a (window, 1−eps)-bounded
+    adversary.  Requires [window ≥ 1] and [0 < eps ≤ 1].  With [eps = 1]
+    no slot may ever be jammed. *)
+
+val window : t -> int
+val eps : t -> float
+
+val elapsed : t -> int
+(** Number of slots recorded so far. *)
+
+val jammed_total : t -> int
+(** Total jams recorded so far. *)
+
+val can_jam : t -> bool
+(** Whether jamming the {e next} slot keeps every present and future
+    window within bound. *)
+
+val advance : t -> jam:bool -> unit
+(** Record the outcome of the next slot.  Raises {!Illegal_jam} if
+    [jam = true] but {!can_jam} is [false]. *)
+
+val max_jams_in_window : t -> int
+(** [⌊(1−ε)·T⌋], the jam capacity of a length-[T] window. *)

@@ -1,0 +1,80 @@
+module Channel = Jamming_channel.Channel
+module Uniform = Jamming_station.Uniform
+
+type config = {
+  gamma : float;
+  p_hat : float;
+  initial_p : float;
+  initial_threshold : int;
+}
+
+let config ~n ~window =
+  let log2 x = Float.log2 (Float.max 2.0 x) in
+  let denom = 8.0 *. (log2 (float_of_int window) +. log2 (log2 (float_of_int n)) +. 1.0) in
+  { gamma = 1.0 /. denom; p_hat = 1.0 /. 24.0; initial_p = 1.0 /. 24.0; initial_threshold = 1 }
+
+let validate cfg =
+  if not (cfg.gamma > 0.0) then invalid_arg "Arss_mac: gamma must be positive";
+  if not (cfg.p_hat > 0.0 && cfg.p_hat <= 1.0) then invalid_arg "Arss_mac: p_hat out of range";
+  if not (cfg.initial_p > 0.0 && cfg.initial_p <= cfg.p_hat) then
+    invalid_arg "Arss_mac: initial_p out of range";
+  if cfg.initial_threshold < 1 then invalid_arg "Arss_mac: initial_threshold must be >= 1"
+
+type state = {
+  cfg : config;
+  mutable p : float;
+  mutable threshold : int;
+  mutable counter : int;
+  mutable useful_in_window : bool;  (* Null or Single since last counter reset *)
+  mutable elected : bool;
+}
+
+let create cfg =
+  validate cfg;
+  {
+    cfg;
+    p = cfg.initial_p;
+    threshold = cfg.initial_threshold;
+    counter = 0;
+    useful_in_window = false;
+    elected = false;
+  }
+
+let on_state st state =
+  let up = 1.0 +. st.cfg.gamma in
+  (match state with
+  | Channel.Null ->
+      st.p <- Float.min (st.p *. up) st.cfg.p_hat;
+      st.useful_in_window <- true
+  | Channel.Single ->
+      st.p <- st.p /. up;
+      st.threshold <- Int.max (st.threshold - 1) 1;
+      st.useful_in_window <- true;
+      st.elected <- true
+  | Channel.Collision -> ());
+  st.counter <- st.counter + 1;
+  if st.counter > st.threshold then begin
+    st.counter <- 1;
+    if not st.useful_in_window then begin
+      st.p <- st.p /. up;
+      st.threshold <- st.threshold + 2
+    end;
+    st.useful_in_window <- false
+  end
+
+let uniform cfg () =
+  let st = create cfg in
+  {
+    Uniform.name = Printf.sprintf "ARSS-MAC(gamma=%.4f)" cfg.gamma;
+    tx_prob = (fun () -> st.p);
+    on_state =
+      (fun state ->
+        on_state st state;
+        if st.elected then Uniform.Elected else Uniform.Continue);
+  }
+
+let station cfg = Uniform.distributed (uniform cfg)
+
+let expected_time_bound ~n =
+  let l = Float.log2 (float_of_int (Int.max 2 n)) in
+  l *. l *. l *. l

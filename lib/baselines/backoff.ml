@@ -1,0 +1,34 @@
+module Channel = Jamming_channel.Channel
+module Uniform = Jamming_station.Uniform
+
+let uniform ?(max_backoff = 60) () () =
+  if max_backoff < 1 then invalid_arg "Backoff.uniform: max_backoff must be >= 1";
+  let b = ref 0 in
+  {
+    Uniform.name = "binary-backoff";
+    tx_prob = (fun () -> Float.exp2 (-.float_of_int !b));
+    on_state =
+      (fun state ->
+        match state with
+        | Channel.Single -> Uniform.Elected
+        | Channel.Collision ->
+            b := Int.min (!b + 1) max_backoff;
+            Uniform.Continue
+        | Channel.Null ->
+            b := Int.max (!b - 1) 0;
+            Uniform.Continue);
+  }
+
+let station ?max_backoff () = Uniform.distributed (uniform ?max_backoff ())
+
+let known_n ~n () =
+  if n < 1 then invalid_arg "Backoff.known_n: n must be >= 1";
+  let p = 1.0 /. float_of_int n in
+  {
+    Uniform.name = Printf.sprintf "known-n(%d)" n;
+    tx_prob = (fun () -> p);
+    on_state =
+      (fun state ->
+        if Channel.equal_state state Channel.Single then Uniform.Elected
+        else Uniform.Continue);
+  }

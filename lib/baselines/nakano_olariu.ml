@@ -1,0 +1,44 @@
+module Channel = Jamming_channel.Channel
+module Uniform = Jamming_station.Uniform
+
+let elected_of_state state = Channel.equal_state state Channel.Single
+
+let sawtooth () () =
+  let round = ref 1 in
+  let j = ref 1 in
+  {
+    Uniform.name = "NO-sawtooth";
+    tx_prob = (fun () -> Float.exp2 (-.float_of_int !j));
+    on_state =
+      (fun state ->
+        if elected_of_state state then Uniform.Elected
+        else begin
+          if !j >= !round then begin
+            incr round;
+            j := 1
+          end
+          else incr j;
+          Uniform.Continue
+        end);
+  }
+
+let geometric_sweep () () =
+  let j_max = ref 2 in
+  let j = ref 1 in
+  {
+    Uniform.name = "NO-geometric";
+    tx_prob = (fun () -> Float.exp2 (-.float_of_int !j));
+    on_state =
+      (fun state ->
+        if elected_of_state state then Uniform.Elected
+        else begin
+          if !j >= !j_max then begin
+            j_max := Int.min (2 * !j_max) 62;
+            j := 1
+          end
+          else incr j;
+          Uniform.Continue
+        end);
+  }
+
+let station_sawtooth () = Uniform.distributed (sawtooth ())

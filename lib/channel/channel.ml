@@ -1,0 +1,51 @@
+type state = Null | Single | Collision
+
+let equal_state a b =
+  match a, b with
+  | Null, Null | Single, Single | Collision, Collision -> true
+  | (Null | Single | Collision), _ -> false
+
+let state_to_string = function
+  | Null -> "Null"
+  | Single -> "Single"
+  | Collision -> "Collision"
+
+let pp_state ppf st = Format.pp_print_string ppf (state_to_string st)
+
+type cd_model = Strong_cd | Weak_cd | No_cd
+
+let equal_cd_model a b =
+  match a, b with
+  | Strong_cd, Strong_cd | Weak_cd, Weak_cd | No_cd, No_cd -> true
+  | (Strong_cd | Weak_cd | No_cd), _ -> false
+
+let cd_model_to_string = function
+  | Strong_cd -> "strong-CD"
+  | Weak_cd -> "weak-CD"
+  | No_cd -> "no-CD"
+
+let pp_cd_model ppf cd = Format.pp_print_string ppf (cd_model_to_string cd)
+
+let resolve ~transmitters ~jammed =
+  if transmitters < 0 then invalid_arg "Channel.resolve: negative transmitter count";
+  if jammed then Collision
+  else
+    match transmitters with
+    | 0 -> Null
+    | 1 -> Single
+    | _ -> Collision
+
+let perceive cd st ~transmitted =
+  match cd with
+  | Strong_cd -> st
+  | Weak_cd -> if transmitted then Collision else st
+  | No_cd -> (
+      if transmitted then Collision
+      else
+        match st with
+        | Single -> Single
+        | Null | Collision -> Collision)
+
+let listener_knows_null = function
+  | Strong_cd | Weak_cd -> true
+  | No_cd -> false

@@ -1,0 +1,50 @@
+(** The single-hop multiple-access channel of the paper (§1.1).
+
+    Time is slotted.  In each slot every station either transmits or
+    listens.  The {e true} state of the channel is a function of the
+    number of honest transmitters and of whether the adversary jams the
+    slot; what a given station {e perceives} additionally depends on the
+    collision-detection model and on whether that station transmitted. *)
+
+type state =
+  | Null  (** idle channel: no transmitter and no jamming *)
+  | Single  (** exactly one transmitter, slot not jammed *)
+  | Collision
+      (** at least two transmitters, or a jammed slot (indistinguishable) *)
+
+val equal_state : state -> state -> bool
+val pp_state : Format.formatter -> state -> unit
+val state_to_string : state -> string
+
+type cd_model =
+  | Strong_cd
+      (** stations transmit and listen simultaneously; everyone receives
+          the true slot state (§1.1) *)
+  | Weak_cd
+      (** transmitters learn nothing beyond "Single or Collision"; the
+          paper's Function 3 makes them assume [Collision] *)
+  | No_cd
+      (** listeners cannot distinguish [Null] from [Collision]; the channel
+          has only two observable states, [Single] and no-[Single] *)
+
+val equal_cd_model : cd_model -> cd_model -> bool
+val pp_cd_model : Format.formatter -> cd_model -> unit
+val cd_model_to_string : cd_model -> string
+
+val resolve : transmitters:int -> jammed:bool -> state
+(** True state of a slot: jamming is indistinguishable from extra
+    transmitters, so any jammed slot resolves to [Collision] unless a
+    lone jam over silence still reads as [Collision] (the adversary emits
+    energy).  [transmitters] must be non-negative. *)
+
+val perceive : cd_model -> state -> transmitted:bool -> state
+(** [perceive cd st ~transmitted] is the state reported to a station.
+    - [Strong_cd]: the true state, for everyone.
+    - [Weak_cd]: listeners get the true state; transmitters get
+      [Collision] (they only know the state is [Single] or [Collision]).
+    - [No_cd]: transmitters get [Collision]; listeners get [Single] for
+      [Single] and [Collision] for both [Null] and [Collision]
+      (no-[Single] is encoded as [Collision]). *)
+
+val listener_knows_null : cd_model -> bool
+(** Whether a listening station can observe [Null] in this model. *)

@@ -1,0 +1,32 @@
+(** Protocol-aware adversaries (the paper's adversary "knows the entire
+    history of the channel and the protocol executed by honest stations",
+    and may know [n], §1.1).  These strategies maintain a perfect replica
+    of LESK's deterministic [u]-walk from the public channel history and
+    target its weak spots; they are the strongest opponents in the E9
+    ablation. *)
+
+val single_suppressor : eps_protocol:float -> n:int -> Jamming_adversary.Adversary.factory
+(** Jams exactly when LESK's success probability in the coming slot is
+    high — i.e. when the replicated estimate [u] is within the "regular"
+    band around [log₂ n] (Lemma 2.4's window).  Outside the band it saves
+    budget. *)
+
+val estimate_twister : eps_protocol:float -> n:int -> Jamming_adversary.Adversary.factory
+(** Tries to drive [u] upward for ever: jams whenever the budget allows
+    while [u] is below [log₂ n + log₂ a] (every jam adds [ε/8] to [u]).
+    This is the divergence attack that the asymmetric step sizes of LESK
+    are designed to survive (§2.1). *)
+
+val estimation_staller : Jamming_adversary.Adversary.factory
+(** Targets {!Estimation}: jams as many slots as possible in the early
+    rounds so Nulls are suppressed and the returned round index inflates
+    toward [log T] (the Lemma 2.8 upper band). *)
+
+val notification_saboteur : Jamming_adversary.Adversary.factory
+(** Targets the weak-CD {!Notification} handshake rather than the inner
+    algorithm: spends the whole budget on C3 slots (suppressing the
+    leader's announcement [Single]s) and on C1 slots (suppressing the
+    [Null] that lets the leader terminate).  Lemma 3.1's liveness
+    argument — for [2^i ≥ T] the adversary cannot jam an entire
+    interval — is exactly what defeats it; the E7/E13 runs and the
+    Notification tests pit LEWK against it. *)

@@ -1,0 +1,40 @@
+module Station = Jamming_station.Station
+
+let station ~cap factory ~id ~rng =
+  if cap < 0 then invalid_arg "Energy_cap.station: cap must be >= 0";
+  let inner = factory ~id ~rng in
+  let spent = ref 0 in
+  {
+    inner with
+    Station.decide =
+      (fun ~slot ->
+        match inner.Station.decide ~slot with
+        | Station.Transmit when !spent >= cap -> Station.Listen
+        | Station.Transmit ->
+            incr spent;
+            Station.Transmit
+        | Station.Listen -> Station.Listen);
+  }
+
+type outcome = { result : Jamming_sim.Metrics.result; exhausted : int }
+
+let run_lesk ~cap ~n ~eps ~rng ~adversary ~budget ~max_slots () =
+  let spent = Array.make n 0 in
+  let counting ~id ~rng =
+    let inner = station ~cap (Lesk.station ~eps) ~id ~rng in
+    {
+      inner with
+      Station.decide =
+        (fun ~slot ->
+          let a = inner.Station.decide ~slot in
+          if Station.equal_action a Station.Transmit then spent.(id) <- spent.(id) + 1;
+          a);
+    }
+  in
+  let stations = Jamming_sim.Engine.make_stations ~n ~rng counting in
+  let result =
+    Jamming_sim.Engine.run ~cd:Jamming_channel.Channel.Strong_cd ~adversary ~budget
+      ~max_slots ~stations ()
+  in
+  let exhausted = Array.fold_left (fun acc s -> if s >= cap then acc + 1 else acc) 0 spent in
+  { result; exhausted }

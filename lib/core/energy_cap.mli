@@ -1,0 +1,35 @@
+(** Energy-capped stations — probing the §1.3 energy discussion.
+
+    The paper measures time and leaves energy analysis open ("we expect
+    the energetic efficiency of our protocol should be similar to the
+    leader election from [3]", §1.3; [13] is the authors' own
+    energy-efficient election work).  This wrapper hard-caps each
+    station's transmission count: once a station has transmitted [cap]
+    times it keeps listening (and keeps its protocol state) but never
+    transmits again.  Running LESK under shrinking caps maps how much
+    per-station energy the protocol actually {e needs} — the E16 bench
+    shows a sharp threshold near the expected per-station energy of E12.
+
+    Capping breaks uniformity (stations differentiate by energy spent),
+    so this runs on the exact engine. *)
+
+val station :
+  cap:int -> Jamming_station.Station.factory -> Jamming_station.Station.factory
+(** Wrap a station factory; requires [cap ≥ 0]. *)
+
+type outcome = {
+  result : Jamming_sim.Metrics.result;
+  exhausted : int;  (** stations that hit the cap *)
+}
+
+val run_lesk :
+  cap:int ->
+  n:int ->
+  eps:float ->
+  rng:Jamming_prng.Prng.t ->
+  adversary:Jamming_adversary.Adversary.t ->
+  budget:Jamming_adversary.Budget.t ->
+  max_slots:int ->
+  unit ->
+  outcome
+(** LESK with every station capped, strong-CD exact engine. *)

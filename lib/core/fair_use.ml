@@ -1,0 +1,78 @@
+module Channel = Jamming_channel.Channel
+module Engine = Jamming_sim.Engine
+module Metrics = Jamming_sim.Metrics
+module Prng = Jamming_prng.Prng
+module Station = Jamming_station.Station
+
+type outcome = {
+  wins : int array;
+  transmissions : int array;
+  total_slots : int;
+  completed_rounds : int;
+  jain_wins : float;
+  jain_energy : float;
+}
+
+let jain_index xs =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Fair_use.jain_index: empty array";
+  let sum = ref 0.0 and sumsq = ref 0.0 in
+  Array.iter
+    (fun x ->
+      if x < 0.0 then invalid_arg "Fair_use.jain_index: negative value";
+      sum := !sum +. x;
+      sumsq := !sumsq +. (x *. x))
+    xs;
+  if !sumsq = 0.0 then invalid_arg "Fair_use.jain_index: all-zero array";
+  !sum *. !sum /. (float_of_int n *. !sumsq)
+
+(* A station wrapper that counts this station's transmissions. *)
+let counting_factory ~counts factory ~id ~rng =
+  let inner = factory ~id ~rng in
+  {
+    inner with
+    Station.decide =
+      (fun ~slot ->
+        let a = inner.Station.decide ~slot in
+        if Station.equal_action a Station.Transmit then counts.(id) <- counts.(id) + 1;
+        a);
+  }
+
+let run ?eps_protocol ~rounds ~n ~eps ~rng ~adversary ~budget ~max_slots () =
+  if rounds < 1 then invalid_arg "Fair_use.run: rounds must be >= 1";
+  if n < 2 then invalid_arg "Fair_use.run: need n >= 2";
+  let eps_protocol = match eps_protocol with Some e -> e | None -> eps in
+  let wins = Array.make n 0 in
+  let transmissions = Array.make n 0 in
+  let rec go ~round ~used =
+    if round > rounds || used >= max_slots then (round - 1, used)
+    else begin
+      let stations =
+        Engine.make_stations ~n ~rng
+          (counting_factory ~counts:transmissions (Lesk.station ~eps:eps_protocol))
+      in
+      let result =
+        Engine.run ~start_slot:used ~cd:Channel.Strong_cd ~adversary ~budget
+          ~max_slots:(max_slots - used) ~stations ()
+      in
+      let used = used + result.Metrics.slots in
+      match result.Metrics.leader with
+      | Some id when result.Metrics.elected ->
+          wins.(id) <- wins.(id) + 1;
+          go ~round:(round + 1) ~used
+      | Some _ | None -> (round - 1, used)
+    end
+  in
+  let completed_rounds, total_slots = go ~round:1 ~used:0 in
+  let safe_index xs =
+    if Array.for_all (fun x -> x = 0) xs then 0.0
+    else jain_index (Array.map float_of_int xs)
+  in
+  {
+    wins;
+    transmissions;
+    total_slots;
+    completed_rounds;
+    jain_wins = safe_index wins;
+    jain_energy = safe_index transmissions;
+  }

@@ -1,0 +1,42 @@
+(** Fair use of the wireless channel — the third building block the
+    paper's conclusions (§4) propose: elect a coordinator, let it serve,
+    re-elect, repeatedly, all under one continuing (T, 1−ε)-bounded
+    adversary.
+
+    Because every paper protocol is uniform and memoryless across
+    elections, each round's winner is a uniformly random station, so
+    leadership converges to a fair split.  This module measures it: it
+    chains full elections on the exact engine (station identities
+    matter here), tracks per-station wins and transmissions, and scores
+    both with Jain's fairness index
+    [J(x) = (Σxᵢ)² / (n·Σxᵢ²)] — 1 is perfectly fair, [1/n] is a
+    monopoly. *)
+
+type outcome = {
+  wins : int array;  (** elections won, per station *)
+  transmissions : int array;  (** energy spent, per station *)
+  total_slots : int;
+  completed_rounds : int;
+  jain_wins : float;
+  jain_energy : float;
+}
+
+val jain_index : float array -> float
+(** Requires a non-empty array of non-negative values, not all zero. *)
+
+val run :
+  ?eps_protocol:float ->
+  rounds:int ->
+  n:int ->
+  eps:float ->
+  rng:Jamming_prng.Prng.t ->
+  adversary:Jamming_adversary.Adversary.t ->
+  budget:Jamming_adversary.Budget.t ->
+  max_slots:int ->
+  unit ->
+  outcome
+(** [rounds] consecutive LESK([eps_protocol], default [eps]) elections
+    over the full population of [n ≥ 2] stations (strong-CD, exact
+    engine).  The jam budget spans the whole sequence; [max_slots]
+    bounds it.  Rounds after the cap are simply not played
+    ([completed_rounds] reports how many were). *)

@@ -1,0 +1,33 @@
+type slot_class =
+  | Idle
+  | C1 of { generation : int; offset : int }
+  | C2 of { generation : int; offset : int }
+  | C3 of { generation : int; offset : int }
+
+let generation_start i =
+  if i < 1 then invalid_arg "Intervals.generation_start: generation must be >= 1";
+  (3 lsl i) - 3
+
+let generation_size i =
+  if i < 1 then invalid_arg "Intervals.generation_size: generation must be >= 1";
+  1 lsl i
+
+let classify slot =
+  if slot < 0 then invalid_arg "Intervals.classify: negative slot"
+  else if slot < 3 then Idle
+  else begin
+    (* Find the generation i with 3·2^i − 3 <= slot < 3·2^(i+1) − 3. *)
+    let rec find i = if slot < generation_start (i + 1) then i else find (i + 1) in
+    let generation = find 1 in
+    let offset = slot - generation_start generation in
+    let size = generation_size generation in
+    if offset < size then C1 { generation; offset }
+    else if offset < 2 * size then C2 { generation; offset = offset - size }
+    else C3 { generation; offset = offset - (2 * size) }
+  end
+
+let pp ppf = function
+  | Idle -> Format.pp_print_string ppf "idle"
+  | C1 { generation; offset } -> Format.fprintf ppf "C1[%d]+%d" generation offset
+  | C2 { generation; offset } -> Format.fprintf ppf "C2[%d]+%d" generation offset
+  | C3 { generation; offset } -> Format.fprintf ppf "C3[%d]+%d" generation offset

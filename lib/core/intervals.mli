@@ -1,0 +1,29 @@
+(** The three-way slot partition of §3.
+
+    For [i ≥ 1]:
+    {v
+      C¹ᵢ = [3·2^i − 3, 4·2^i − 4]
+      C²ᵢ = [4·2^i − 3, 5·2^i − 4]
+      C³ᵢ = [5·2^i − 3, 6·2^i − 4]
+    v}
+    each of size [2^i]; consecutive generations tile [3, ∞) exactly.
+    Slots 0–2 belong to no interval (stations stay idle).  For
+    [i ≥ log₂ T] the adversary cannot jam an entire interval — this is
+    what makes the Notification handshake live. *)
+
+type slot_class =
+  | Idle  (** global slots 0, 1, 2 *)
+  | C1 of { generation : int; offset : int }
+  | C2 of { generation : int; offset : int }
+  | C3 of { generation : int; offset : int }
+
+val classify : int -> slot_class
+(** Classify a global slot number (≥ 0).  O(log slot). *)
+
+val generation_start : int -> int
+(** [generation_start i = 3·2^i − 3], first slot of generation [i ≥ 1]. *)
+
+val generation_size : int -> int
+(** [2^i], the size of each of the three intervals of generation [i]. *)
+
+val pp : Format.formatter -> slot_class -> unit

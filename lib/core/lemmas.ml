@@ -1,0 +1,75 @@
+module Sample = Jamming_prng.Sample
+module Prng = Jamming_prng.Prng
+
+let check_nx n x =
+  if n < 1 then invalid_arg "Lemmas: n must be >= 1";
+  if not (x > 0.0) then invalid_arg "Lemmas: x must be positive";
+  let p = 1.0 /. (x *. float_of_int n) in
+  if p > 1.0 then invalid_arg "Lemmas: p = 1/(x n) exceeds 1";
+  p
+
+let lemma_2_1_null ~n ~x =
+  let p = check_nx n x in
+  (Sample.p_zero ~n ~p, exp (-1.0 /. x))
+
+let lemma_2_1_collision ~n ~x =
+  let p = check_nx n x in
+  (Sample.p_many ~n ~p, 1.0 /. (x *. x))
+
+let lemma_2_1_single_exp ~n ~x =
+  let p = check_nx n x in
+  (1.0 /. x *. exp (-1.0 /. x), Sample.p_one ~n ~p)
+
+let lemma_2_1_single_exp_finite ~n ~x =
+  let p = check_nx n x in
+  if n < 2 || p >= 1.0 then invalid_arg "Lemmas.lemma_2_1_single_exp_finite: need n >= 2, p < 1";
+  let exponent = -.p *. float_of_int (n - 1) /. (1.0 -. p) in
+  (1.0 /. x *. exp exponent, Sample.p_one ~n ~p)
+
+let lemma_2_1_single_poly ~n ~x =
+  let p = check_nx n x in
+  ((1.0 /. x) -. (1.0 /. (x *. x)), Sample.p_one ~n ~p)
+
+let a_of_eps eps =
+  if not (eps > 0.0 && eps <= 1.0) then invalid_arg "Lemmas: eps must lie in (0, 1]";
+  8.0 /. eps
+
+let lemma_2_2_irregular_silence ~n ~eps =
+  let a = a_of_eps eps in
+  let p = 2.0 *. log a /. float_of_int n in
+  if p > 1.0 then invalid_arg "Lemmas.lemma_2_2_irregular_silence: n too small";
+  (Sample.p_zero ~n ~p, 1.0 /. (a *. a))
+
+let lemma_2_2_irregular_collision ~n ~eps =
+  let a = a_of_eps eps in
+  let p = 1.0 /. (float_of_int n *. sqrt a) in
+  (Sample.p_many ~n ~p, 1.0 /. a)
+
+let regular_band ~eps =
+  let a = a_of_eps eps in
+  (-.Float.log2 (2.0 *. log a), 0.5 *. Float.log2 a)
+
+let lemma_2_4_regular_single ~n ~eps ~u_off =
+  let a = a_of_eps eps in
+  let lo, hi = regular_band ~eps in
+  if not (u_off >= lo && u_off <= hi) then
+    invalid_arg "Lemmas.lemma_2_4_regular_single: u_off outside the regular band";
+  let u0 = Float.log2 (float_of_int n) in
+  let p = Float.exp2 (-.(u0 +. u_off)) in
+  if p > 1.0 then invalid_arg "Lemmas.lemma_2_4_regular_single: n too small";
+  (log a /. (a *. a), Sample.p_one ~n ~p)
+
+let fact_1_chernoff_holds ~rng ~n ~p ~delta ~trials =
+  if not (delta >= 0.0 && delta < 1.5) then invalid_arg "Lemmas.fact_1: delta out of range";
+  if trials < 1 then invalid_arg "Lemmas.fact_1: trials must be >= 1";
+  let np = float_of_int n *. p in
+  let threshold = (delta +. 1.0) *. np in
+  let exceed = ref 0 in
+  for _ = 1 to trials do
+    if float_of_int (Sample.binomial rng ~n ~p) > threshold then incr exceed
+  done;
+  let est = float_of_int !exceed /. float_of_int trials in
+  let bound = exp (-.(delta *. delta) *. np /. 3.0) in
+  (* Allow 5 sigma of Monte-Carlo noise on the estimate. *)
+  let sigma = sqrt (Float.max bound 1e-12 *. (1.0 -. Float.min bound 1.0) /. float_of_int trials) in
+  est <= bound +. (5.0 *. sigma) +. 1e-6

@@ -1,0 +1,69 @@
+(** Executable forms of the paper's analytical lemmas (§2.2).
+
+    Each function returns [(lhs, rhs)] of the inequality it names, so the
+    property-test suite can sweep parameters and confirm [lhs ≤ rhs] —
+    the paper's calculus, checked numerically against the exact channel
+    probabilities of {!Jamming_prng.Sample}.
+
+    Throughout, [p = 1/(x·n)] is the common per-station transmission
+    probability, as in Lemma 2.1. *)
+
+(** {1 Lemma 2.1 — channel-state probability bounds} *)
+
+val lemma_2_1_null : n:int -> x:float -> float * float
+(** [P\[Null\] ≤ e^{−1/x}]; requires [n ≥ 1], [x > 0], [1/(x·n) ≤ 1]. *)
+
+val lemma_2_1_collision : n:int -> x:float -> float * float
+(** [P\[Collision\] ≤ 1/x²] (for [x ≥ 1], where the paper applies it). *)
+
+val lemma_2_1_single_exp : n:int -> x:float -> float * float
+(** [P\[Single\] ≥ (1/x)·e^{−1/x}], returned as [(rhs, lhs)] so the pair
+    still reads "fst ≤ snd".
+
+    {b Reproduction note.}  As literally stated the inequality is valid
+    for [x ≥ 1] but {e fails} for [x < 1] by an [O(1/n)] margin (e.g.
+    [n = 10, x = 0.5]: claimed [0.2707 ≤ P\[Single\] = 0.2684]); it only
+    approaches equality as [n → ∞].  The paper applies it at
+    [x = 1/(2·ln a) < 1] inside Lemma 2.4, whose conclusion survives
+    because it discards a factor 2 ([2·ln a/a² → ln a/a²] in our
+    checked form).  Use {!lemma_2_1_single_exp_finite} for a bound valid
+    at every [n] and [x]. *)
+
+val lemma_2_1_single_exp_finite : n:int -> x:float -> float * float
+(** The finite-[n] repair: [P\[Single\] ≥ (1/x)·e^{−p(n−1)/(1−p)}] with
+    [p = 1/(x·n)] — valid for all [n ≥ 2], [x > 0] with [p < 1].
+    Returned as [(rhs, lhs)]. *)
+
+val lemma_2_1_single_poly : n:int -> x:float -> float * float
+(** [P\[Single\] ≥ 1/x − 1/x²], returned as [(rhs, lhs)]. *)
+
+(** {1 Lemma 2.2 — irregular-slot probabilities} *)
+
+val lemma_2_2_irregular_silence : n:int -> eps:float -> float * float
+(** With [u ≤ u₀ − log₂(2·ln a)] the transmission probability is at least
+    [2·ln a/n], so [P\[Null\] ≤ 1/a²].  Returns the worst case (smallest
+    admissible [p]): [(P\[Null\] at p = 2·ln a/n, 1/a²)]. *)
+
+val lemma_2_2_irregular_collision : n:int -> eps:float -> float * float
+(** With [u ≥ u₀ + ½·log₂ a], [p ≤ 1/(n·√a)], so
+    [P\[Collision\] ≤ 1/a].  Returns [(P\[Collision\] at p = 1/(n·√a), 1/a)]. *)
+
+(** {1 Lemma 2.4 — regular slots are productive} *)
+
+val lemma_2_4_regular_single : n:int -> eps:float -> u_off:float -> float * float
+(** For [u = u₀ + u_off] inside the regular band
+    [−log₂(2·ln a) ≤ u_off ≤ ½·log₂ a], [P\[Single\] ≥ ln a/a²].
+    Returns [(ln a/a², P\[Single\])].  Requires [n] large enough that the
+    implied [p ≤ 1]. *)
+
+val regular_band : eps:float -> float * float
+(** [(−log₂(2·ln a), ½·log₂ a)], the band of [u − u₀] in which a slot is
+    regular, [a = 8/ε]. *)
+
+(** {1 Fact 1 — the Chernoff form used by Lemma 2.5} *)
+
+val fact_1_chernoff_holds :
+  rng:Jamming_prng.Prng.t -> n:int -> p:float -> delta:float -> trials:int -> bool
+(** Monte-Carlo check of [P\[X > (1+δ)np\] ≤ exp(−δ²np/3)] for
+    [X ~ Bin(n, p)], [0 ≤ δ < 3/2]: estimates the left side over [trials]
+    samples and compares with a 5-sigma statistical cushion. *)

@@ -1,0 +1,47 @@
+module Channel = Jamming_channel.Channel
+module Uniform = Jamming_station.Uniform
+
+let config_valid ~eps = eps > 0.0 && eps <= 1.0
+
+module Logic = struct
+  type t = { eps : float; a : float; mutable u : float; mutable elected : bool }
+
+  let create ?(initial_u = 0.0) ?a ~eps () =
+    if not (config_valid ~eps) then invalid_arg "Lesk.Logic.create: eps must lie in (0, 1]";
+    if initial_u < 0.0 then invalid_arg "Lesk.Logic.create: initial_u must be >= 0";
+    let a = match a with Some v -> v | None -> 8.0 /. eps in
+    if not (a >= 1.0) then invalid_arg "Lesk.Logic.create: a must be >= 1";
+    { eps; a; u = initial_u; elected = false }
+
+  let eps t = t.eps
+  let a t = t.a
+  let u t = t.u
+  let tx_prob t = Float.exp2 (-.t.u)
+  let elected t = t.elected
+
+  let on_state t state =
+    match state with
+    | Channel.Null -> t.u <- Float.max (t.u -. 1.0) 0.0
+    | Channel.Collision -> t.u <- t.u +. (1.0 /. t.a)
+    | Channel.Single -> t.elected <- true
+end
+
+let uniform ?a ~eps () =
+  let logic = Logic.create ?a ~eps () in
+  {
+    Uniform.name = Printf.sprintf "LESK(eps=%.3g)" eps;
+    tx_prob = (fun () -> Logic.tx_prob logic);
+    on_state =
+      (fun state ->
+        Logic.on_state logic state;
+        if Logic.elected logic then Uniform.Elected else Uniform.Continue);
+  }
+
+let station ~eps = Uniform.distributed (uniform ~eps)
+
+let expected_time_bound ~eps ~n ~window =
+  let log2n = Float.max 1.0 (Float.log2 (float_of_int (Int.max 2 n))) in
+  (* The theorem is stated for eps < 1; clamp the log(1/eps) factor away
+     from 0 so the shape stays usable as a normaliser at eps = 1. *)
+  let log_inv_eps = Float.max 0.1 (Float.log2 (1.0 /. eps)) in
+  Float.max (float_of_int window) (log2n /. (eps *. eps *. eps *. log_inv_eps))

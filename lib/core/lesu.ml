@@ -1,0 +1,129 @@
+module Channel = Jamming_channel.Channel
+module Uniform = Jamming_station.Uniform
+
+type config = { c : float; threshold : int }
+
+let default_config = { c = 4.0; threshold = 2 }
+
+type stage = Estimating of int | Electing of { i : int; j : int; eps_hat : float } | Done
+
+let eps_guess j = Float.exp2 (-.float_of_int j /. 3.0)
+
+let duration_cap = 1 lsl 50
+
+let phase_duration ~t0 ~i ~j =
+  let d = 3.0 *. Float.exp2 (float_of_int i) *. t0 /. float_of_int j in
+  if d >= float_of_int duration_cap then duration_cap
+  else Int.max 1 (int_of_float (Float.ceil d))
+
+module Logic = struct
+  type phase = {
+    mutable lesk : Lesk.Logic.t;
+    mutable remaining : int;
+    mutable i : int;
+    mutable j : int;
+  }
+
+  type state_machine =
+    | Est of Estimation.Logic.t
+    | Elect of phase
+    | Finished
+
+  type t = {
+    config : config;
+    mutable sm : state_machine;
+    mutable t0 : float option;
+    mutable elected : bool;
+  }
+
+  let create ?(config = default_config) () =
+    if not (config.c > 0.0) then invalid_arg "Lesu.Logic.create: c must be positive";
+    { config; sm = Est (Estimation.Logic.create ~threshold:config.threshold); t0 = None; elected = false }
+
+  let stage t =
+    match t.sm with
+    | Est e -> Estimating (Estimation.Logic.round e)
+    | Elect p -> Electing { i = p.i; j = p.j; eps_hat = eps_guess p.j }
+    | Finished -> Done
+
+  let t0 t = t.t0
+
+  let tx_prob t =
+    match t.sm with
+    | Est e -> Estimation.Logic.tx_prob e
+    | Elect p -> Lesk.Logic.tx_prob p.lesk
+    | Finished -> 0.0
+
+  let elected t = t.elected
+
+  let start_electing t ~round =
+    let t0 = t.config.c *. Float.exp2 (float_of_int (1 + round)) in
+    t.t0 <- Some t0;
+    t.sm <-
+      Elect
+        {
+          lesk = Lesk.Logic.create ~eps:(eps_guess 1) ();
+          remaining = phase_duration ~t0 ~i:1 ~j:1;
+          i = 1;
+          j = 1;
+        }
+
+  let next_phase t p =
+    let t0 = match t.t0 with Some v -> v | None -> assert false in
+    let i, j = if p.j >= p.i then (p.i + 1, 1) else (p.i, p.j + 1) in
+    p.i <- i;
+    p.j <- j;
+    p.lesk <- Lesk.Logic.create ~eps:(eps_guess j) ();
+    p.remaining <- phase_duration ~t0 ~i ~j
+
+  let on_state t state =
+    if not t.elected then
+      match t.sm with
+      | Finished -> ()
+      | Est e -> (
+          Estimation.Logic.on_state e state;
+          if Estimation.Logic.singled e then begin
+            t.elected <- true;
+            t.sm <- Finished
+          end
+          else
+            match Estimation.Logic.finished e with
+            | Some round -> start_electing t ~round
+            | None -> ())
+      | Elect p ->
+          Lesk.Logic.on_state p.lesk state;
+          if Lesk.Logic.elected p.lesk then begin
+            t.elected <- true;
+            t.sm <- Finished
+          end
+          else begin
+            p.remaining <- p.remaining - 1;
+            if p.remaining <= 0 then next_phase t p
+          end
+end
+
+let uniform ?config () () =
+  let logic = Logic.create ?config () in
+  {
+    Uniform.name = "LESU";
+    tx_prob = (fun () -> Logic.tx_prob logic);
+    on_state =
+      (fun state ->
+        Logic.on_state logic state;
+        if Logic.elected logic then Uniform.Elected else Uniform.Continue);
+  }
+
+let station ?config () = Uniform.distributed (uniform ?config ())
+
+let expected_time_bound ~eps ~n ~window =
+  let log2 x = Float.log2 (Float.max 2.0 x) in
+  let nf = float_of_int (Int.max 2 n) and tf = float_of_int (Int.max 1 window) in
+  let log_n = log2 nf in
+  let log_inv_eps = Float.max 0.5 (Float.log2 (1.0 /. eps)) in
+  let eps3 = eps *. eps *. eps in
+  if tf <= log_n /. (eps3 *. log_inv_eps) then
+    Float.max 1.0 (Float.log2 (Float.max 2.0 log_inv_eps)) /. eps3 *. log_n
+  else
+    let a = log2 (tf /. (eps *. log_n)) in
+    let b = log_inv_eps *. Float.max 1.0 (Float.log2 (Float.max 2.0 log_inv_eps)) in
+    Float.max (Float.max a 1.0) b *. tf

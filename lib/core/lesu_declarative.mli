@@ -1,0 +1,17 @@
+(** LESU rebuilt from {!Schedule} combinators.
+
+    Same algorithm as {!Lesu} — Estimation(L), then time-boxed
+    [LESK(ε_j)] runs for [⌈3·2^i·t₀/j⌉] slots in the order
+    [(1,1), (2,1), (2,2), (3,1), …] — but expressed as a lazy phase
+    stream instead of a hand-rolled state machine.  The test suite runs
+    both against identical seeds and demands {e bit-identical} election
+    times: a strong differential check on both implementations (and on
+    the combinator library). *)
+
+val uniform :
+  ?on_phase:(string -> unit) ->
+  ?config:Lesu.config ->
+  unit ->
+  Jamming_station.Uniform.factory
+
+val station : ?config:Lesu.config -> unit -> Jamming_station.Station.factory

@@ -1,0 +1,2 @@
+let station ?on_phase ~eps () =
+  Notification.station ?on_phase (Notification.sub_of_uniform (Lesk.uniform ~eps))

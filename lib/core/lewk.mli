@@ -1,0 +1,10 @@
+(** LEWK — Leader Election in Weak-CD with Known ε (Theorem 3.2):
+    {!Notification} applied to {!Lesk}.  Elects a leader in
+    [O(max{T, log n·log(1/ε)/ε³})] slots w.h.p. for any known [ε],
+    unknown [T] and unknown [n ≥ 3]. *)
+
+val station :
+  ?on_phase:(id:int -> slot:int -> Notification.phase -> unit) ->
+  eps:float ->
+  unit ->
+  Jamming_station.Station.factory

@@ -1,0 +1,2 @@
+let station ?on_phase ?config () =
+  Notification.station ?on_phase (Notification.sub_of_uniform (Lesu.uniform ?config ()))

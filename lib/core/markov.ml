@@ -1,0 +1,38 @@
+module Sample = Jamming_prng.Sample
+
+type result = { expected_slots : float; states : int; truncation_mass : float }
+
+let expected_election_time ~n ~a ?(margin = 8.0) () =
+  if n < 1 then invalid_arg "Markov: n must be >= 1";
+  if a < 1 then invalid_arg "Markov: a must be >= 1";
+  if not (margin > 0.0) then invalid_arg "Markov: margin must be positive";
+  let u0 = Float.log2 (float_of_int n) in
+  let u_top = u0 +. (0.5 *. Float.log2 (float_of_int a)) +. margin in
+  let k_max = int_of_float (Float.ceil (float_of_int a *. u_top)) in
+  let states = k_max + 1 in
+  let p_null = Array.make states 0.0 and p_coll = Array.make states 0.0 in
+  for k = 0 to k_max do
+    let p = Float.exp2 (-.float_of_int k /. float_of_int a) in
+    p_null.(k) <- Sample.p_zero ~n ~p;
+    p_coll.(k) <- Sample.p_many ~n ~p
+  done;
+  (* (I - Q) h = 1, with Null: k -> max(k-a, 0), Collision: k -> min(k+1, k_max). *)
+  let build_matrix () =
+    Array.init states (fun k ->
+        let row = Array.make states 0.0 in
+        row.(k) <- 1.0;
+        let down = Int.max (k - a) 0 in
+        let up = Int.min (k + 1) k_max in
+        row.(down) <- row.(down) -. p_null.(k);
+        row.(up) <- row.(up) -. p_coll.(k);
+        row)
+  in
+  let h = Jamming_stats.Linalg.solve (build_matrix ()) (Array.make states 1.0) in
+  (* Probability of touching the boundary k_max before absorption: same
+     chain, boundary row pinned to 1, zero running reward. *)
+  let reach_matrix = build_matrix () in
+  reach_matrix.(k_max) <- Array.init states (fun j -> if j = k_max then 1.0 else 0.0);
+  let rhs = Array.make states 0.0 in
+  rhs.(k_max) <- 1.0;
+  let g = Jamming_stats.Linalg.solve reach_matrix rhs in
+  { expected_slots = h.(0); states; truncation_mass = g.(0) }

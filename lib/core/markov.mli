@@ -1,0 +1,35 @@
+(** Analytic expected election time of LESK on a {e benign} channel,
+    via the exact Markov chain of the estimate walk — an independent,
+    simulation-free cross-check of the whole pipeline (closed-form
+    channel probabilities, the walk's dynamics, the engines).
+
+    On a clear channel LESK's state is fully described by [u], which
+    lives on the lattice [{k/a : k ∈ ℕ}] when [a = 8/ε] is an integer
+    (a Null moves [k ↦ max(k − a, 0)], a Collision [k ↦ k + 1], a
+    Single absorbs).  The expected hitting time [h(k)] of the Single
+    state solves the linear system
+
+    {v h(k) = 1 + P_null(k)·h(k−a) + P_coll(k)·h(k+1) v}
+
+    which {!expected_election_time} builds and solves exactly (state
+    space truncated far above the band, where the upward drift is
+    negligible).
+
+    With an adversary the budget adds unbounded state, so this module
+    deliberately covers only the ε-fraction-free case; experiment A5
+    compares it against the simulated means. *)
+
+type result = {
+  expected_slots : float;  (** E[T] from u = 0 *)
+  states : int;  (** size of the truncated lattice *)
+  truncation_mass : float;
+      (** stationary-direction leak: probability bound on ever touching
+          the truncation boundary before electing, from the solved
+          chain (small means the truncation is safe) *)
+}
+
+val expected_election_time : n:int -> a:int -> ?margin:float -> unit -> result
+(** [n ≥ 1] stations, integer step denominator [a ≥ 1] (the paper's
+    [a = 8/ε]; use [a = 16] for ε = 0.5).  [margin] (default 8.0) is how
+    many [u]-units above [log₂ n + ½log₂ a] the lattice extends before
+    reflecting. *)

@@ -1,0 +1,45 @@
+(** Slot taxonomy of the LESK analysis (§2.2).
+
+    With [u₀ = log₂ n] and [a = 8/ε], every pre-election slot falls into
+    exactly one class:
+    - [IS] irregular silence: [u ≤ u₀ − log₂(2 ln a)] and state [Null];
+    - [IC] irregular collision: [u ≥ u₀ + ½·log₂ a], state [Collision],
+      not jammed;
+    - [CS] correcting silence: [u ≥ u₀ + ½·log₂ a + 1] and state [Null];
+    - [CC] correcting collision: [u ≤ u₀ − log₂(2 ln a)], state
+      [Collision], not jammed;
+    - [E] jammed by the adversary;
+    - [R] regular: everything else.
+
+    Lemma 2.3 proves [CS ≤ (IC + E)/a] and [CC ≤ a·IS + a·u₀], and
+    Lemma 2.2 bounds the per-slot probabilities of IS and IC by [1/a²]
+    and [1/a].  Experiment E11 checks all of these on measured runs.
+
+    The tracker replays LESK's deterministic [u]-walk from the slot
+    stream, so it can be attached to either engine via [on_slot]. *)
+
+type counts = {
+  is_ : int;  (** irregular silences *)
+  ic : int;  (** irregular collisions *)
+  cs : int;  (** correcting silences *)
+  cc : int;  (** correcting collisions *)
+  e : int;  (** jammed slots *)
+  r : int;  (** regular slots *)
+}
+
+val total : counts -> int
+val pp_counts : Format.formatter -> counts -> unit
+
+type t
+
+val create : eps:float -> n:int -> t
+val on_slot : t -> Jamming_sim.Metrics.slot_record -> unit
+val counts : t -> counts
+
+val lemma_2_3_holds : counts -> u0:float -> a:float -> bool
+(** The two deterministic inequalities of Lemma 2.3 (points 4 and 5). *)
+
+val regular_lower_bound : counts -> u0:float -> a:float -> float
+(** The right-hand side of inequality (⋆) in the proof of Theorem 2.6:
+    [t − IS·(1+a) − (9/8)·IC − u₀·a − (1 + 1/a)·E]; the measured [R]
+    must be at least this. *)

@@ -1,0 +1,67 @@
+type series = { label : string; points : (float * float) list }
+
+let symbols = [| '*'; '+'; 'o'; 'x'; '#'; '@'; '%'; '&' |]
+
+let render ?(width = 64) ?(height = 20) ?(log_x = false) ?(log_y = false) ~x_label ~y_label
+    series_list =
+  let all_points = List.concat_map (fun s -> s.points) series_list in
+  if all_points = [] then invalid_arg "Ascii_plot.render: no points";
+  let tx v =
+    if log_x then begin
+      if v <= 0.0 then invalid_arg "Ascii_plot.render: log_x needs positive x";
+      log v
+    end
+    else v
+  in
+  let ty v =
+    if log_y then begin
+      if v <= 0.0 then invalid_arg "Ascii_plot.render: log_y needs positive y";
+      log v
+    end
+    else v
+  in
+  let xs = List.map (fun (x, _) -> tx x) all_points in
+  let ys = List.map (fun (_, y) -> ty y) all_points in
+  let fmin = List.fold_left Float.min infinity and fmax = List.fold_left Float.max neg_infinity in
+  let x_lo = fmin xs and x_hi = fmax xs and y_lo = fmin ys and y_hi = fmax ys in
+  let x_hi = if x_hi = x_lo then x_lo +. 1.0 else x_hi in
+  let y_hi = if y_hi = y_lo then y_lo +. 1.0 else y_hi in
+  let grid = Array.make_matrix height width ' ' in
+  let place sym (x, y) =
+    let cx =
+      int_of_float (Float.round ((tx x -. x_lo) /. (x_hi -. x_lo) *. float_of_int (width - 1)))
+    in
+    let cy =
+      int_of_float (Float.round ((ty y -. y_lo) /. (y_hi -. y_lo) *. float_of_int (height - 1)))
+    in
+    (* Row 0 is the top of the rendering. *)
+    grid.(height - 1 - cy).(cx) <- sym
+  in
+  List.iteri
+    (fun i s -> List.iter (place symbols.(i mod Array.length symbols)) s.points)
+    series_list;
+  let buf = Buffer.create ((width + 16) * (height + 6)) in
+  let inv t v = if t then exp v else v in
+  Buffer.add_string buf (Printf.sprintf "%s vs %s%s\n" y_label x_label
+                           (match log_x, log_y with
+                           | true, true -> " (log-log)"
+                           | true, false -> " (log-x)"
+                           | false, true -> " (log-y)"
+                           | false, false -> ""));
+  Array.iteri
+    (fun row line ->
+      let frac = 1.0 -. (float_of_int row /. float_of_int (height - 1)) in
+      let yv = inv log_y (y_lo +. (frac *. (y_hi -. y_lo))) in
+      Buffer.add_string buf (Printf.sprintf "%12.1f |%s|\n" yv (String.init width (Array.get line))))
+    grid;
+  Buffer.add_string buf
+    (Printf.sprintf "%12s +%s+\n" "" (String.make width '-'));
+  Buffer.add_string buf
+    (Printf.sprintf "%12s  %-*g%*g\n" "" (width / 2) (inv log_x x_lo) (width - (width / 2))
+       (inv log_x x_hi));
+  List.iteri
+    (fun i s ->
+      Buffer.add_string buf
+        (Printf.sprintf "    %c = %s\n" symbols.(i mod Array.length symbols) s.label))
+    series_list;
+  Buffer.contents buf

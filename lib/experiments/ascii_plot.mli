@@ -1,0 +1,20 @@
+(** Minimal ASCII scatter plots — the "figures of the paper" deliverable
+    renders each measured curve next to its theoretical shape. *)
+
+type series = {
+  label : string;
+  points : (float * float) list;
+}
+
+val render :
+  ?width:int ->
+  ?height:int ->
+  ?log_x:bool ->
+  ?log_y:bool ->
+  x_label:string ->
+  y_label:string ->
+  series list ->
+  string
+(** Plots every series on one grid (symbols [*, +, o, x, #, @] in series
+    order), with axis ranges from the data and a legend.  Requires at
+    least one point overall; log axes require positive coordinates. *)

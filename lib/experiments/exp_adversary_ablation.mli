@@ -1,0 +1,5 @@
+(** E9 — robustness against an {e arbitrary adaptive} adversary: LESK's
+    election time under the full strategy zoo, from no jamming to
+    protocol-aware attacks, stays within the Theorem 2.6 envelope. *)
+
+val experiment : Registry.t

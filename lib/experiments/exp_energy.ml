@@ -1,0 +1,46 @@
+let run scale out =
+  let ppf = Output.ppf out in
+  let ns, reps =
+    match scale with
+    | Registry.Quick -> ([ 64; 1024; 16384 ], 15)
+    | Registry.Full -> ([ 64; 1024; 16384; 262144 ], 40)
+  in
+  let eps = 0.5 and window = 64 in
+  let protocols = [ Specs.lesk ~eps; Specs.lesu (); Specs.arss; Specs.sawtooth ] in
+  let table =
+    Table.create
+      ~title:
+        "E12: expected transmissions per station until election (greedy adversary, T = 64)"
+      ~columns:
+        (("n", Table.Right)
+        :: List.concat_map
+             (fun p -> [ (p.Specs.p_name ^ " tx/stn", Table.Right) ])
+             protocols)
+  in
+  List.iter
+    (fun n ->
+      let row =
+        List.map
+          (fun protocol ->
+            let setup = { Runner.n; eps; window; max_slots = 500_000 } in
+            let sample = Runner.replicate ~reps setup protocol Specs.greedy in
+            Table.fmt_float ~decimals:2 (Runner.mean_energy_per_station sample))
+          protocols
+      in
+      Table.add_row table (Table.fmt_int n :: row))
+    ns;
+  Output.table out table;
+  Format.fprintf ppf
+    "Energy = expected number of transmissions per station (the fast engine accounts \
+     Sum n*p / n).  The paper (end of 1.3) expects LESK's energy to be comparable to \
+     the [3] baseline; both stay O(polylog) per station.@."
+
+let experiment =
+  {
+    Registry.id = "E12";
+    name = "energy";
+    claim =
+      "Section 1.3: the protocol's per-station energy (transmission count) is expected to \
+       be of the same order as the leader election of [3].";
+    run;
+  }

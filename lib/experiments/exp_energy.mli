@@ -1,0 +1,5 @@
+(** E12 — §1.3's energy remark: expected transmissions per station of
+    LESK vs the [3] baseline and the classics (the paper conjectures
+    LESK's energy profile is comparable to [3]). *)
+
+val experiment : Registry.t

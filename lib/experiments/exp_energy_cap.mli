@@ -1,0 +1,7 @@
+(** E16 — how much per-station energy does LESK actually need?  A
+    hard transmission cap per station maps the §1.3 energy discussion:
+    success collapses just below the expected per-station energy,
+    because the cost is front-loaded in the u-ramp (every station
+    transmits at p = 2⁰…2^{−u₀} during the climb). *)
+
+val experiment : Registry.t

@@ -1,0 +1,5 @@
+(** A1 — design-choice validation: the O(1)-per-slot uniform engine and
+    the O(n)-per-slot exact engine produce statistically matching
+    election-time distributions for LESK. *)
+
+val experiment : Registry.t

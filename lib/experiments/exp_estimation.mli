@@ -1,0 +1,5 @@
+(** E5 — Lemma 2.8: Estimation(2) returns a round index inside
+    [[log log n − 1, max{log log n, log T} + 1]] w.h.p. (or elects a
+    leader on the way), for every adversary. *)
+
+val experiment : Registry.t

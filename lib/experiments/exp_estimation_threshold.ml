@@ -1,0 +1,85 @@
+module Core = Jamming_core
+module Prng = Jamming_prng.Prng
+module Budget = Jamming_adversary.Budget
+module D = Jamming_stats.Descriptive
+
+let run scale out =
+  let ppf = Output.ppf out in
+  let reps = match scale with Registry.Quick -> 60 | Registry.Full -> 300 in
+  let eps = 0.5 and window = 64 in
+  let table =
+    Table.create
+      ~title:"A4: Estimation threshold L ablation (n = 1024 and 65536, eps = 0.5, T = 64)"
+      ~columns:
+        [
+          ("L", Table.Right);
+          ("n", Table.Right);
+          ("adversary", Table.Left);
+          ("in band", Table.Right);
+          ("mean round", Table.Right);
+          ("med slots", Table.Right);
+        ]
+  in
+  List.iter
+    (fun threshold ->
+      List.iter
+        (fun n ->
+          List.iter
+            (fun adversary ->
+              let in_band = ref 0 and rounds = ref [] and slots = ref [] in
+              for rep = 1 to reps do
+                let seed =
+                  Prng.seed_of_string
+                    (Printf.sprintf "A4/%d/%d/%s/%d" threshold n adversary.Specs.a_name rep)
+                in
+                let rng = Prng.create ~seed in
+                let budget = Budget.create ~window ~eps in
+                let adv = adversary.Specs.a_make ~seed ~n ~eps ~window () in
+                match
+                  Core.Size_approx.run ~threshold ~n ~rng ~adversary:adv ~budget
+                    ~max_slots:200_000 ()
+                with
+                | Core.Size_approx.Estimate { round; slots = s; _ } ->
+                    rounds := float_of_int round :: !rounds;
+                    slots := float_of_int s :: !slots;
+                    if Core.Size_approx.within_lemma_2_8_band ~round ~n ~window then
+                      incr in_band
+                | Core.Size_approx.Leader_elected { slots = s } ->
+                    incr in_band;
+                    slots := float_of_int s :: !slots
+                | Core.Size_approx.Exhausted _ -> ()
+              done;
+              Table.add_row table
+                [
+                  Table.fmt_int threshold;
+                  Table.fmt_int n;
+                  adversary.Specs.a_name;
+                  Table.fmt_pct (float_of_int !in_band /. float_of_int reps);
+                  (if !rounds = [] then "-"
+                   else Table.fmt_float ~decimals:2 (D.mean (Array.of_list !rounds)));
+                  (if !slots = [] then "-"
+                   else Table.fmt_float (D.median (Array.of_list !slots)));
+                ])
+            [ Specs.no_jamming; Specs.random_jam ~p:0.5 ])
+        [ 1024; 65536 ];
+      Table.add_separator table)
+    [ 1; 2; 4; 8 ];
+  Output.table out table;
+  Format.fprintf ppf
+    "Finding: the estimator is remarkably insensitive to L.  Spurious early returns \
+     (below the Lemma 2.8 band) would need a Null while n*p is still large — \
+     exponentially unlikely even at L = 1 — because each round SQUARES the inverse \
+     probability; the doubling structure, not the threshold, carries the robustness.  \
+     Larger L can only delay the return within the same round budget (the jammer cannot \
+     fake Nulls).  The paper's L = 2 is simply the smallest value whose union-bound \
+     proof goes through.@."
+
+let experiment =
+  {
+    Registry.id = "A4";
+    name = "estimation-threshold";
+    claim =
+      "Lemma 2.8 fixes L = 2; the ablation shows the estimator's accuracy is carried by \
+       the doubling round structure, with L nearly irrelevant in practice.";
+    run;
+  }

@@ -1,0 +1,4 @@
+(** A4 — ablation of Estimation's Null threshold [L] (the paper fixes
+    [L = 2] in Lemma 2.8): accuracy and cost trade-off. *)
+
+val experiment : Registry.t

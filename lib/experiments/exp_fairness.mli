@@ -1,0 +1,6 @@
+(** E14 — "fair use of the wireless channel" (§4): repeated elections
+    under a persistent jammer spread leadership uniformly (Jain index
+    → 1), because the protocols are uniform and memoryless across
+    rounds. *)
+
+val experiment : Registry.t

@@ -1,0 +1,4 @@
+(** E3 — Theorem 2.6, the ε term: election time scales like
+    [log n / (ε³ log(1/ε))] as the jamming tolerance shrinks. *)
+
+val experiment : Registry.t

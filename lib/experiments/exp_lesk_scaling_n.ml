@@ -1,0 +1,80 @@
+module D = Jamming_stats.Descriptive
+module R = Jamming_stats.Regression
+
+let run scale out =
+  let ppf = Output.ppf out in
+  let ns, reps =
+    match scale with
+    | Registry.Quick -> ([ 16; 64; 256; 1024; 4096 ], 20)
+    | Registry.Full -> ([ 16; 64; 256; 1024; 4096; 16384; 65536 ], 50)
+  in
+  let window = 64 in
+  let table =
+    Table.create ~title:"E1: LESK election time vs n (greedy adversary, T = 64)"
+      ~columns:
+        [
+          ("eps", Table.Right);
+          ("n", Table.Right);
+          ("median", Table.Right);
+          ("mean", Table.Right);
+          ("p95", Table.Right);
+          ("med/log2 n", Table.Right);
+          ("success", Table.Right);
+        ]
+  in
+  let figure_series = ref [] in
+  List.iter
+    (fun eps ->
+      let points = ref [] in
+      List.iter
+        (fun n ->
+          let bound = Jamming_core.Lesk.expected_time_bound ~eps ~n ~window in
+          let setup =
+            {
+              Runner.n;
+              eps;
+              window;
+              max_slots = Int.max 20_000 (int_of_float (100.0 *. bound));
+            }
+          in
+          let sample = Runner.replicate ~reps setup (Specs.lesk ~eps) Specs.greedy in
+          let xs = Runner.slots sample in
+          let s = D.summarize xs in
+          points := (float_of_int n, s.D.median) :: !points;
+          Table.add_row table
+            [
+              Table.fmt_float ~decimals:1 eps;
+              Table.fmt_int n;
+              Table.fmt_float s.D.median;
+              Table.fmt_float s.D.mean;
+              Table.fmt_float s.D.p95;
+              Table.fmt_ratio (s.D.median /. Float.log2 (float_of_int n));
+              Table.fmt_pct (Runner.success_rate sample);
+            ])
+        ns;
+      let points = List.rev !points in
+      figure_series :=
+        { Ascii_plot.label = Printf.sprintf "eps=%.1f (median)" eps; points } :: !figure_series;
+      (* Shape check: median should be ~ linear in log2 n. *)
+      let xs = Array.of_list (List.map (fun (n, _) -> Float.log2 n) points) in
+      let ys = Array.of_list (List.map snd points) in
+      let fit = R.linear ~xs ~ys in
+      Table.add_separator table;
+      Format.fprintf ppf "eps=%.1f: median ~ %.2f * log2 n %+.2f   (r2 = %.3f)@." eps
+        fit.R.slope fit.R.intercept fit.R.r2)
+    [ 0.3; 0.6; 0.9 ];
+  Format.pp_print_newline ppf ();
+  Output.table out table;
+  Format.fprintf ppf "%s@."
+    (Ascii_plot.render ~log_x:true ~x_label:"n" ~y_label:"median slots"
+       (List.rev !figure_series))
+
+let experiment =
+  {
+    Registry.id = "E1";
+    name = "lesk-scaling-n";
+    claim =
+      "Theorem 2.6: with constant eps and T = O(log n), LESK elects a leader in O(log n) \
+       slots w.h.p.; medians grow linearly in log2 n.";
+    run;
+  }

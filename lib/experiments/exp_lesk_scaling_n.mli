@@ -1,0 +1,4 @@
+(** E1 — Theorem 2.6: for constant ε and [T = O(log n)], LESK elects a
+    leader in [O(log n)] slots w.h.p. *)
+
+val experiment : Registry.t

@@ -1,0 +1,68 @@
+module D = Jamming_stats.Descriptive
+module R = Jamming_stats.Regression
+
+let run scale out =
+  let ppf = Output.ppf out in
+  let windows, reps =
+    match scale with
+    | Registry.Quick -> ([ 64; 256; 1024; 4096 ], 20)
+    | Registry.Full -> ([ 64; 256; 1024; 4096; 16384; 65536 ], 40)
+  in
+  let n = 256 and eps = 0.5 in
+  let table =
+    Table.create ~title:"E2: LESK election time vs adversary window T (n = 256, eps = 0.5)"
+      ~columns:
+        [
+          ("adversary", Table.Left);
+          ("T", Table.Right);
+          ("median", Table.Right);
+          ("p95", Table.Right);
+          ("median/T", Table.Right);
+          ("success", Table.Right);
+        ]
+  in
+  let fits = ref [] in
+  List.iter
+    (fun adversary ->
+      let points = ref [] in
+      List.iter
+        (fun window ->
+          let setup = { Runner.n; eps; window; max_slots = Int.max 100_000 (100 * window) } in
+          let sample = Runner.replicate ~reps setup (Specs.lesk ~eps) adversary in
+          let xs = Runner.slots sample in
+          let s = D.summarize xs in
+          points := (float_of_int window, s.D.median) :: !points;
+          Table.add_row table
+            [
+              adversary.Specs.a_name;
+              Table.fmt_int window;
+              Table.fmt_float s.D.median;
+              Table.fmt_float s.D.p95;
+              Table.fmt_ratio (s.D.median /. float_of_int window);
+              Table.fmt_pct (Runner.success_rate sample);
+            ])
+        windows;
+      Table.add_separator table;
+      let points = List.rev !points in
+      let xs = Array.of_list (List.map fst points) in
+      let ys = Array.of_list (List.map snd points) in
+      let fit = R.log_log_slope ~xs ~ys in
+      fits := (adversary.Specs.a_name, fit) :: !fits)
+    [ Specs.greedy; Specs.front_loaded ];
+  Output.table out table;
+  List.iter
+    (fun (name, fit) ->
+      Format.fprintf ppf
+        "%s: log-log slope of median vs T = %.2f (Theta(T) predicts ~1 for large T; r2 = %.3f)@."
+        name fit.R.slope fit.R.r2)
+    (List.rev !fits)
+
+let experiment =
+  {
+    Registry.id = "E2";
+    name = "lesk-scaling-T";
+    claim =
+      "Theorem 2.6: when T dominates log n/(eps^3 log(1/eps)), LESK's election time is \
+       Theta(T) — the jammer can always burn a (1-eps)-prefix of each window.";
+    run;
+  }

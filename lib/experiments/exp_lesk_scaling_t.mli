@@ -1,0 +1,4 @@
+(** E2 — Theorem 2.6, the [T] term: for large [T] the election time of
+    LESK grows as [Θ(T)]. *)
+
+val experiment : Registry.t

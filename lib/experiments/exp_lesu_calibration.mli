@@ -1,0 +1,4 @@
+(** A3 — calibration of LESU's existential constant [c] (Theorem 2.6
+    guarantees one exists; the paper never pins it down). *)
+
+val experiment : Registry.t

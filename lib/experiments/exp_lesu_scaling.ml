@@ -1,0 +1,74 @@
+module D = Jamming_stats.Descriptive
+module R = Jamming_stats.Regression
+
+let run scale out =
+  let ppf = Output.ppf out in
+  let ns, reps =
+    match scale with
+    | Registry.Quick -> ([ 128; 1024; 8192 ], 15)
+    | Registry.Full -> ([ 128; 512; 2048; 8192; 32768; 131072 ], 40)
+  in
+  let window = 64 in
+  let table =
+    Table.create ~title:"E6: LESU (unknown eps) vs LESK (known eps), greedy adversary, T = 64"
+      ~columns:
+        [
+          ("eps", Table.Right);
+          ("n", Table.Right);
+          ("LESU med", Table.Right);
+          ("LESK med", Table.Right);
+          ("overhead", Table.Right);
+          ("LESU/bound", Table.Right);
+          ("success", Table.Right);
+        ]
+  in
+  List.iter
+    (fun eps ->
+      let points = ref [] in
+      List.iter
+        (fun n ->
+          let bound = Jamming_core.Lesu.expected_time_bound ~eps ~n ~window in
+          let cap = Int.max 200_000 (int_of_float (100.0 *. bound)) in
+          let setup = { Runner.n; eps; window; max_slots = cap } in
+          let lesu = Runner.replicate ~reps setup (Specs.lesu ()) Specs.greedy in
+          let lesk = Runner.replicate ~reps setup (Specs.lesk ~eps) Specs.greedy in
+          let mu = Runner.median_slots lesu and mk = Runner.median_slots lesk in
+          points := (Float.log2 (float_of_int n), mu) :: !points;
+          Table.add_row table
+            [
+              Table.fmt_float ~decimals:1 eps;
+              Table.fmt_int n;
+              Table.fmt_slots ~capped:(not (Runner.all_completed lesu)) mu;
+              Table.fmt_float mk;
+              Table.fmt_ratio (mu /. mk);
+              Table.fmt_ratio (mu /. bound);
+              Table.fmt_pct (Runner.success_rate lesu);
+            ])
+        ns;
+      Table.add_separator table;
+      let points = List.rev !points in
+      let xs = Array.of_list (List.map fst points) in
+      let ys = Array.of_list (List.map snd points) in
+      let fit = R.linear ~xs ~ys in
+      Format.fprintf ppf "eps=%.1f: LESU median ~ %.1f * log2 n %+.1f (r2 = %.3f)@." eps
+        fit.R.slope fit.R.intercept fit.R.r2)
+    [ 0.5; 0.8 ];
+  Format.pp_print_newline ppf ();
+  Output.table out table;
+  Format.fprintf ppf
+    "LESU never sees eps or T; 'overhead' is its price over the eps-aware LESK — Theorem \
+     2.9 predicts it stays bounded in n (it may grow slowly with 1/eps).  Overheads \
+     below 1 are real: when jamming is light, Estimation's doubling probe often lands a \
+     Single by itself (the 'obtains Single' branch of Lemma 2.8), beating LESK's \
+     eps/8-step climb of u.@."
+
+let experiment =
+  {
+    Registry.id = "E6";
+    name = "lesu-scaling";
+    claim =
+      "Theorem 2.9: with all of n, eps, T unknown, LESU still elects in O((log \
+       log(1/eps)/eps^3) log n) when T is small: linear in log n with bounded overhead \
+       over LESK.";
+    run;
+  }

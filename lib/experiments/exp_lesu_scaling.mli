@@ -1,0 +1,5 @@
+(** E6 — Theorem 2.9: LESU (no knowledge of ε, T or n) elects a leader
+    in [O((log log(1/ε)/ε³)·log n)] when [T] is small, paying only a
+    bounded factor over the ε-aware LESK. *)
+
+val experiment : Registry.t

@@ -1,0 +1,5 @@
+(** E4 — Lemma 2.7: every w.h.p. leader-election algorithm needs
+    [Ω(max{T, (1/ε)·log n})] slots, demonstrated on the omniscient
+    known-n protocol (the best possible per-slot success rate). *)
+
+val experiment : Registry.t

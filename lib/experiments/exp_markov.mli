@@ -1,0 +1,5 @@
+(** A5 — analytic vs simulated: the exact Markov-chain expectation of
+    LESK's election time (benign channel) against both engines'
+    simulated means — a simulation-free anchor for the whole pipeline. *)
+
+val experiment : Registry.t

@@ -1,0 +1,13 @@
+(** E13 — the paper's closing open problem (§4): "it is not clear what
+    countermeasures against a jammer can be constructed for the
+    communication model without collision detection."
+
+    This experiment maps the no-CD terrain empirically: feedback-free
+    protocols still achieve selection resolution (the jammer can only
+    erase their Singles, costing a 1/ε factor), feedback-driven ones
+    (LESK) are blinded because a Null is indistinguishable from the
+    jammer's Collisions, and the Notification handshake loses its
+    termination signal (the leader waits for a C1-Null it can never
+    hear). *)
+
+val experiment : Registry.t

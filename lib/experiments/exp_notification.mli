@@ -1,0 +1,6 @@
+(** E7 — Lemma 3.1 / Theorem 3.2: the Notification wrapper turns LESK
+    into a weak-CD leader election with constant-factor slot overhead
+    (the proof gives ≤ 8×) and perfect correctness (exactly one leader,
+    every station terminates knowing its status). *)
+
+val experiment : Registry.t

@@ -1,0 +1,87 @@
+module Core = Jamming_core
+module Prng = Jamming_prng.Prng
+module Budget = Jamming_adversary.Budget
+module D = Jamming_stats.Descriptive
+
+let run scale out =
+  let ppf = Output.ppf out in
+  let reps = match scale with Registry.Quick -> 25 | Registry.Full -> 100 in
+  let eps = 0.5 and window = 64 in
+  let table =
+    Table.create
+      ~title:"E15: refined size approximation under jamming (ratio inversion; eps = 0.5, T = 64)"
+      ~columns:
+        [
+          ("n", Table.Right);
+          ("adversary", Table.Left);
+          ("median n-hat/n", Table.Right);
+          ("p10", Table.Right);
+          ("p90", Table.Right);
+          ("failed", Table.Right);
+          ("med slots", Table.Right);
+          ("coarse bracket", Table.Left);
+        ]
+  in
+  List.iter
+    (fun n ->
+      List.iter
+        (fun adversary ->
+          let ratios = ref [] and failed = ref 0 and slots = ref [] in
+          for rep = 1 to reps do
+            let seed =
+              Prng.seed_of_string
+                (Printf.sprintf "E15/%d/%s/%d" n adversary.Specs.a_name rep)
+            in
+            let rng = Prng.create ~seed in
+            let budget = Budget.create ~window ~eps in
+            let adv = adversary.Specs.a_make ~seed ~n ~eps ~window () in
+            match Core.Size_approx.refine ~n ~rng ~adversary:adv ~budget ~max_slots:500_000 () with
+            | Core.Size_approx.Refined { n_hat; slots = s; _ } ->
+                ratios := (n_hat /. float_of_int n) :: !ratios;
+                slots := float_of_int s :: !slots
+            | Core.Size_approx.Refine_failed { slots = s } ->
+                incr failed;
+                slots := float_of_int s :: !slots
+          done;
+          let rs = Array.of_list !ratios in
+          let coarse =
+            (* The Lemma 2.8 bracket for comparison: 2^(2^i) with i within
+               one of log log n spans sqrt(n) .. n^4. *)
+            Printf.sprintf "[n^0.5, n^4] = [%.0f, %.1e]"
+              (sqrt (float_of_int n))
+              (float_of_int n ** 4.0)
+          in
+          Table.add_row table
+            [
+              Table.fmt_int n;
+              adversary.Specs.a_name;
+              (if Array.length rs = 0 then "-" else Table.fmt_ratio (D.median rs));
+              (if Array.length rs = 0 then "-" else Table.fmt_ratio (D.quantile rs ~q:0.1));
+              (if Array.length rs = 0 then "-" else Table.fmt_ratio (D.quantile rs ~q:0.9));
+              Table.fmt_pct (float_of_int !failed /. float_of_int reps);
+              Table.fmt_float (D.median (Array.of_list !slots));
+              coarse;
+            ])
+        [ Specs.no_jamming; Specs.greedy; Specs.random_jam ~p:0.5 ];
+      Table.add_separator table)
+    [ 100; 10_000; 1_000_000 ];
+  Output.table out table;
+  Format.fprintf ppf
+    "n-hat/n concentrates within a small constant band regardless of the jamming \
+     strategy, because the inversion uses only Null-frequency RATIOS — the adversary \
+     scales all frequencies by the same clear-slot rate (it cannot fake a Null, §2).  \
+     Compare the coarse Lemma 2.8 estimator's bracket in the last column.  This \
+     refinement is the reproduction's extension of the paper's §4 suggestion; a \
+     round-targeting adversary could bias it (it spends budget uniformly here), which \
+     is where a proof would have to work.@."
+
+let experiment =
+  {
+    Registry.id = "E15";
+    name = "size-approx-refined";
+    claim =
+      "Section 4 extension: combining the jamming-proof Null signal with ratio \
+       inversion estimates the network size to a small constant factor under the same \
+       adversary, far beyond the coarse 2^(2^i) bracket.";
+    run;
+  }

@@ -1,0 +1,6 @@
+(** E15 — the §4 size-approximation building block, sharpened: the
+    ratio-inversion refinement estimates [n] to a small constant factor
+    under jamming (vs the [√n … n⁴] bracket of the raw Lemma 2.8
+    estimator). *)
+
+val experiment : Registry.t

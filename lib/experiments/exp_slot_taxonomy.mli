@@ -1,0 +1,5 @@
+(** E11 — the slot taxonomy of §2.2: measured counts of irregular /
+    correcting / jammed / regular slots against the Lemma 2.2, 2.3 and
+    2.5 bounds. *)
+
+val experiment : Registry.t

@@ -1,0 +1,5 @@
+(** A2 — why the asymmetric [+ε/8 / −1] steps (§2.1): collision-step
+    ablation, including the symmetric variant the adversary drives to
+    divergence. *)
+
+val experiment : Registry.t

@@ -1,0 +1,5 @@
+(** E10 — the "with high probability" claims: success rates of LESK,
+    LESU (fast engine) and LEWK (exact engine, weak-CD) over many seeds
+    within their theoretical time envelopes. *)
+
+val experiment : Registry.t

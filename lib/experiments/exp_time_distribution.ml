@@ -1,0 +1,49 @@
+module D = Jamming_stats.Descriptive
+module H = Jamming_stats.Histogram
+
+let run scale out =
+  let ppf = Output.ppf out in
+  let reps = match scale with Registry.Quick -> 2_000 | Registry.Full -> 20_000 in
+  let n = 1024 and eps = 0.5 and window = 64 in
+  let setup = { Runner.n; eps; window; max_slots = 100_000 } in
+  let sample = Runner.replicate ~reps setup (Specs.lesk ~eps) Specs.greedy in
+  let xs = Runner.slots sample in
+  let s = D.summarize xs in
+  Format.fprintf ppf
+    "LESK(%.1f), n = %d, greedy jammer, %d runs: mean %.1f, median %.1f, p95 %.1f, max \
+     %.1f (theory shape %.0f).@.@."
+    eps n reps s.D.mean s.D.median s.D.p95 s.D.max
+    (Jamming_core.Lesk.expected_time_bound ~eps ~n ~window);
+  let hist = H.of_samples ~bins:18 xs in
+  Format.fprintf ppf "%s@." (H.render ~width:56 hist);
+  (* Tail geometry: P[T > median + k*delta] should decay ~exponentially.
+     Report survival at a few offsets. *)
+  let survival t =
+    let c = Array.fold_left (fun acc x -> if x > t then acc + 1 else acc) 0 xs in
+    float_of_int c /. float_of_int (Array.length xs)
+  in
+  let table =
+    Table.create ~title:"F2: right-tail survival (geometric decay per Lemma 2.4)"
+      ~columns:[ ("threshold", Table.Right); ("P[T > threshold]", Table.Right) ]
+  in
+  List.iter
+    (fun k ->
+      let t = s.D.median +. (k *. 25.0) in
+      Table.add_row table [ Table.fmt_float t; Printf.sprintf "%.4f" (survival t) ])
+    [ 0.0; 1.0; 2.0; 3.0; 4.0 ];
+  Output.table out table;
+  Format.fprintf ppf
+    "Each 25-slot step multiplies the tail by a roughly constant factor: once u sits in \
+     the regular band, every slot is an independent Bernoulli(>= ln(a)/a^2) chance to \
+     elect, so the excess over the ramp-up time is geometric — which is exactly why the \
+     w.h.p. bound only costs a constant factor over the expectation.@."
+
+let experiment =
+  {
+    Registry.id = "F2";
+    name = "time-distribution";
+    claim =
+      "Theorem 2.6's w.h.p. form: the election-time distribution is a deterministic-ish \
+       ramp plus a geometric tail, so quantiles sit a constant factor above the mean.";
+    run;
+  }

@@ -1,0 +1,6 @@
+(** F2 — the distributional view behind the w.h.p. claims: LESK's
+    election-time histogram has a sharp mode near the theory shape and a
+    geometric right tail (each regular slot succeeds independently with
+    probability ≥ ln(a)/a², Lemma 2.4). *)
+
+val experiment : Registry.t

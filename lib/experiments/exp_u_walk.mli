@@ -1,0 +1,5 @@
+(** F1 — the figure behind §2.2's analysis: LESK's estimate [u] performs
+    a biased random walk that locks onto [log₂ n] regardless of the
+    jamming, spending most slots in the regular band of Lemma 2.4. *)
+
+val experiment : Registry.t

@@ -1,0 +1,5 @@
+(** E8 — §1.2/§1.3 comparison: LESK's [O(log n)] vs the [O(log⁴ n)] of
+    the Awerbuch et al. [3] MAC framework, plus the non-robust classics,
+    all under the same jammer. *)
+
+val experiment : Registry.t

@@ -1,0 +1,42 @@
+let all =
+  [
+    Exp_lesk_scaling_n.experiment;
+    Exp_lesk_scaling_t.experiment;
+    Exp_lesk_eps.experiment;
+    Exp_lower_bound.experiment;
+    Exp_estimation.experiment;
+    Exp_lesu_scaling.experiment;
+    Exp_notification.experiment;
+    Exp_vs_arss.experiment;
+    Exp_adversary_ablation.experiment;
+    Exp_success_probability.experiment;
+    Exp_slot_taxonomy.experiment;
+    Exp_energy.experiment;
+    Exp_no_cd.experiment;
+    Exp_u_walk.experiment;
+    Exp_time_distribution.experiment;
+    Exp_fairness.experiment;
+    Exp_size_refine.experiment;
+    Exp_energy_cap.experiment;
+    Exp_engine_equivalence.experiment;
+    Exp_step_ablation.experiment;
+    Exp_lesu_calibration.experiment;
+    Exp_estimation_threshold.experiment;
+    Exp_markov.experiment;
+  ]
+
+let find key =
+  let key = String.lowercase_ascii key in
+  List.find_opt
+    (fun e ->
+      String.lowercase_ascii e.Registry.id = key || String.lowercase_ascii e.Registry.name = key)
+    all
+
+let run_one ~scale out e =
+  Registry.pp_header (Output.ppf out) e;
+  Output.begin_experiment out ~id:e.Registry.id;
+  e.Registry.run scale out
+
+let run_all ~scale out = List.iter (run_one ~scale out) all
+
+let run_all_fmt ~scale ppf = run_all ~scale (Output.to_formatter ppf)

@@ -1,0 +1,15 @@
+(** Entry point of the experiment registry (E1–E12 and the design
+    ablations A1–A3; see DESIGN.md §5 and EXPERIMENTS.md). *)
+
+val all : Registry.t list
+(** In presentation order: E1..E14, A1..A3. *)
+
+val find : string -> Registry.t option
+(** Look up by id ("E7") or bench-target name ("notification-overhead"),
+    case-insensitively. *)
+
+val run_all : scale:Registry.scale -> Output.t -> unit
+val run_one : scale:Registry.scale -> Output.t -> Registry.t -> unit
+
+val run_all_fmt : scale:Registry.scale -> Format.formatter -> unit
+(** Text-only convenience wrapper. *)

@@ -1,0 +1,63 @@
+type t = {
+  formatter : Format.formatter;
+  csv_dir : string option;
+  mutable experiment : string;
+  mutable table_index : int;
+  mutable written : string list;
+}
+
+let to_formatter formatter =
+  { formatter; csv_dir = None; experiment = "experiment"; table_index = 0; written = [] }
+
+let with_csv_dir ~dir formatter =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755
+  else if not (Sys.is_directory dir) then
+    invalid_arg (Printf.sprintf "Output.with_csv_dir: %s is not a directory" dir);
+  { formatter; csv_dir = Some dir; experiment = "experiment"; table_index = 0; written = [] }
+
+let ppf t = t.formatter
+
+let begin_experiment t ~id =
+  t.experiment <- String.lowercase_ascii id;
+  t.table_index <- 0
+
+let slug title =
+  let b = Buffer.create (String.length title) in
+  let last_dash = ref true in
+  String.iter
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | '0' .. '9' ->
+          Buffer.add_char b c;
+          last_dash := false
+      | 'A' .. 'Z' ->
+          Buffer.add_char b (Char.lowercase_ascii c);
+          last_dash := false
+      | _ ->
+          if not !last_dash then begin
+            Buffer.add_char b '-';
+            last_dash := true
+          end)
+    title;
+  let s = Buffer.contents b in
+  let s = if String.length s > 48 then String.sub s 0 48 else s in
+  if String.length s > 0 && s.[String.length s - 1] = '-' then
+    String.sub s 0 (String.length s - 1)
+  else s
+
+let table t tbl =
+  Format.fprintf t.formatter "%s@." (Table.render tbl);
+  match t.csv_dir with
+  | None -> ()
+  | Some dir ->
+      t.table_index <- t.table_index + 1;
+      let path =
+        Filename.concat dir
+          (Printf.sprintf "%s-%d-%s.csv" t.experiment t.table_index (slug (Table.title tbl)))
+      in
+      let oc = open_out path in
+      output_string oc (Table.to_csv tbl);
+      close_out oc;
+      t.written <- path :: t.written
+
+let csv_files_written t = t.written

@@ -1,0 +1,25 @@
+(** Output context for experiments: renders tables and narrative text to
+    a formatter and, optionally, mirrors every table to a CSV file —
+    so `sweep --csv DIR` leaves plot-ready data behind. *)
+
+type t
+
+val to_formatter : Format.formatter -> t
+(** Text-only output. *)
+
+val with_csv_dir : dir:string -> Format.formatter -> t
+(** Also write each table to [dir/<experiment>-<k>-<slug>.csv].  The
+    directory is created if missing. *)
+
+val ppf : t -> Format.formatter
+(** The formatter, for narrative text and figures. *)
+
+val begin_experiment : t -> id:string -> unit
+(** Scope subsequent tables under this experiment id (used in CSV file
+    names); resets the per-experiment table counter. *)
+
+val table : t -> Table.t -> unit
+(** Render the table to the formatter and mirror it to CSV if enabled. *)
+
+val csv_files_written : t -> string list
+(** Paths written so far, most recent first. *)

@@ -1,0 +1,11 @@
+type scale = Quick | Full
+
+type t = {
+  id : string;
+  name : string;
+  claim : string;
+  run : scale -> Output.t -> unit;
+}
+
+let pp_header ppf t =
+  Format.fprintf ppf "@.=== %s: %s ===@.%s@.@." t.id t.name t.claim

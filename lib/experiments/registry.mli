@@ -1,0 +1,16 @@
+(** The experiment registry: one entry per table/figure of
+    EXPERIMENTS.md (E1–E12 plus the ablations A1–A3). *)
+
+type scale =
+  | Quick  (** seconds-scale parameters, used by `dune exec bench/main.exe` *)
+  | Full  (** the EXPERIMENTS.md parameters (minutes-scale) *)
+
+type t = {
+  id : string;  (** e.g. "E1" *)
+  name : string;  (** bench target name, e.g. "lesk-scaling-n" *)
+  claim : string;  (** the paper statement being checked *)
+  run : scale -> Output.t -> unit;
+}
+
+val pp_header : Format.formatter -> t -> unit
+(** Standard banner printed before an experiment's tables. *)

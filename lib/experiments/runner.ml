@@ -1,0 +1,140 @@
+module Prng = Jamming_prng.Prng
+module Budget = Jamming_adversary.Budget
+module Metrics = Jamming_sim.Metrics
+
+type setup = { n : int; eps : float; window : int; max_slots : int }
+
+let pp_setup ppf s =
+  Format.fprintf ppf "n=%d eps=%.2f T=%d cap=%d" s.n s.eps s.window s.max_slots
+
+let validate setup =
+  if setup.n < 1 then invalid_arg "Runner: n must be >= 1";
+  if not (setup.eps > 0.0 && setup.eps <= 1.0) then invalid_arg "Runner: eps must lie in (0, 1]";
+  if setup.window < 1 then invalid_arg "Runner: window must be >= 1";
+  if setup.max_slots < 1 then invalid_arg "Runner: max_slots must be >= 1"
+
+let run_once ?on_slot setup (protocol : Specs.protocol) (adversary : Specs.adversary) ~seed =
+  validate setup;
+  let rng = Prng.create ~seed in
+  let proto = protocol.Specs.p_make ~n:setup.n ~window:setup.window () in
+  let adv =
+    adversary.Specs.a_make ~seed:(seed lxor 0x5bd1e995) ~n:setup.n ~eps:setup.eps
+      ~window:setup.window ()
+  in
+  let budget = Budget.create ~window:setup.window ~eps:setup.eps in
+  Jamming_sim.Uniform_engine.run ?on_slot ~n:setup.n ~rng ~protocol:proto ~adversary:adv
+    ~budget ~max_slots:setup.max_slots ()
+
+let run_exact_once ?on_slot ~cd setup ~factory (adversary : Specs.adversary) ~seed =
+  validate setup;
+  let rng = Prng.create ~seed in
+  let stations = Jamming_sim.Engine.make_stations ~n:setup.n ~rng factory in
+  let adv =
+    adversary.Specs.a_make ~seed:(seed lxor 0x5bd1e995) ~n:setup.n ~eps:setup.eps
+      ~window:setup.window ()
+  in
+  let budget = Budget.create ~window:setup.window ~eps:setup.eps in
+  Jamming_sim.Engine.run ?on_slot ~cd ~adversary:adv ~budget ~max_slots:setup.max_slots
+    ~stations ()
+
+type sample = {
+  setup : setup;
+  protocol_name : string;
+  adversary_name : string;
+  results : Metrics.result array;
+}
+
+let cell_seed ~base_seed ~tag ~rep =
+  Prng.seed_of_string (Printf.sprintf "%d/%s/%d" base_seed tag rep)
+
+let recommended_jobs () = Int.max 1 (Int.min (Domain.recommended_domain_count ()) 8)
+
+let default_jobs = ref 1
+
+(* Fill [results] by applying [f] to every index, fanning the indices
+   out over [jobs] domains.  Replications are embarrassingly parallel:
+   each builds its own generator and mutable state and writes a distinct
+   slot, so the parallel run is bit-identical to the sequential one. *)
+let parallel_init ~jobs ~reps f =
+  if reps < 1 then invalid_arg "Runner.replicate: reps must be >= 1";
+  if jobs < 1 then invalid_arg "Runner.replicate: jobs must be >= 1";
+  if jobs = 1 || reps = 1 then Array.init reps f
+  else begin
+    let first = f 0 in
+    let results = Array.make reps first in
+    let jobs = Int.min jobs reps in
+    let worker j () =
+      let rep = ref (1 + j) in
+      while !rep < reps do
+        results.(!rep) <- f !rep;
+        rep := !rep + jobs
+      done
+    in
+    let domains = List.init jobs (fun j -> Domain.spawn (worker j)) in
+    List.iter Domain.join domains;
+    results
+  end
+
+let replicate ?jobs ?(base_seed = 42) ~reps setup protocol adversary =
+  let jobs = match jobs with Some j -> j | None -> !default_jobs in
+  let tag =
+    Printf.sprintf "%s|%s|%d|%f|%d" protocol.Specs.p_name adversary.Specs.a_name setup.n
+      setup.eps setup.window
+  in
+  let results =
+    parallel_init ~jobs ~reps (fun rep ->
+        run_once setup protocol adversary ~seed:(cell_seed ~base_seed ~tag ~rep))
+  in
+  {
+    setup;
+    protocol_name = protocol.Specs.p_name;
+    adversary_name = adversary.Specs.a_name;
+    results;
+  }
+
+let replicate_exact ?jobs ?(base_seed = 42) ~cd ~reps setup ~name ~factory adversary =
+  let jobs = match jobs with Some j -> j | None -> !default_jobs in
+  let tag =
+    Printf.sprintf "exact|%s|%s|%d|%f|%d" name adversary.Specs.a_name setup.n setup.eps
+      setup.window
+  in
+  let results =
+    parallel_init ~jobs ~reps (fun rep ->
+        run_exact_once ~cd setup ~factory adversary ~seed:(cell_seed ~base_seed ~tag ~rep))
+  in
+  { setup; protocol_name = name; adversary_name = adversary.Specs.a_name; results }
+
+let slots sample =
+  sample.results
+  |> Array.to_list
+  |> List.filter_map (fun r ->
+         if r.Metrics.completed then Some (float_of_int r.Metrics.slots) else None)
+  |> Array.of_list
+
+let all_completed sample = Array.for_all (fun r -> r.Metrics.completed) sample.results
+
+let success_rate sample =
+  let ok = Array.fold_left (fun acc r -> if Metrics.election_ok r then acc + 1 else acc) 0 sample.results in
+  float_of_int ok /. float_of_int (Array.length sample.results)
+
+let median_slots sample =
+  let xs = Array.map (fun r -> float_of_int r.Metrics.slots) sample.results in
+  Jamming_stats.Descriptive.median xs
+
+let mean_energy_per_station sample =
+  let xs =
+    Array.map
+      (fun r -> r.Metrics.transmissions /. float_of_int sample.setup.n)
+      sample.results
+  in
+  Jamming_stats.Descriptive.mean xs
+
+let median_jammed_fraction sample =
+  let xs =
+    Array.map
+      (fun r ->
+        if r.Metrics.slots = 0 then 0.0
+        else float_of_int r.Metrics.jammed_slots /. float_of_int r.Metrics.slots)
+      sample.results
+  in
+  Jamming_stats.Descriptive.median xs

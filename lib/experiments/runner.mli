@@ -1,0 +1,87 @@
+(** Replicated Monte-Carlo execution of (protocol × adversary × setup)
+    cells — the workhorse behind every experiment and benchmark.
+
+    Seeds are derived deterministically from the cell description and
+    the replication index, so every table in EXPERIMENTS.md is exactly
+    reproducible. *)
+
+type setup = {
+  n : int;  (** network size *)
+  eps : float;  (** adversary's ε (protocols may not know it) *)
+  window : int;  (** adversary's T *)
+  max_slots : int;  (** per-run cap *)
+}
+
+val pp_setup : Format.formatter -> setup -> unit
+
+val run_once :
+  ?on_slot:(Jamming_sim.Metrics.slot_record -> unit) ->
+  setup -> Specs.protocol -> Specs.adversary -> seed:int -> Jamming_sim.Metrics.result
+(** One election on the fast (uniform) engine. *)
+
+val run_exact_once :
+  ?on_slot:(Jamming_sim.Metrics.slot_record -> unit) ->
+  cd:Jamming_channel.Channel.cd_model ->
+  setup ->
+  factory:Jamming_station.Station.factory ->
+  Specs.adversary ->
+  seed:int ->
+  Jamming_sim.Metrics.result
+(** One election on the exact engine (weak-CD protocols, cross-engine
+    validation). *)
+
+type sample = {
+  setup : setup;
+  protocol_name : string;
+  adversary_name : string;
+  results : Jamming_sim.Metrics.result array;
+}
+
+val replicate :
+  ?jobs:int ->
+  ?base_seed:int ->
+  reps:int ->
+  setup ->
+  Specs.protocol ->
+  Specs.adversary ->
+  sample
+(** [jobs] (default 1) runs the replications on that many OCaml 5
+    domains.  Each replication is fully independent (own seed, own
+    protocol/adversary/budget state, disjoint result slot), so the
+    outcome is bit-identical to the sequential run — only faster.  Use
+    [recommended_jobs ()] for a sensible default on big sweeps. *)
+
+val replicate_exact :
+  ?jobs:int ->
+  ?base_seed:int ->
+  cd:Jamming_channel.Channel.cd_model ->
+  reps:int ->
+  setup ->
+  name:string ->
+  factory:Jamming_station.Station.factory ->
+  Specs.adversary ->
+  sample
+
+val recommended_jobs : unit -> int
+(** [min (domain count) 8], at least 1. *)
+
+val default_jobs : int ref
+(** The [jobs] value used when the argument is omitted (initially 1).
+    The sweep CLI sets it from [--jobs]; experiment code can then stay
+    oblivious to parallelism. *)
+
+(** {1 Sample digests} *)
+
+val slots : sample -> float array
+(** Slot counts of the {e completed} runs only. *)
+
+val all_completed : sample -> bool
+val success_rate : sample -> float
+(** Fraction of runs with a correct election within the cap. *)
+
+val median_slots : sample -> float
+(** Median over all runs, counting capped runs at the cap (a lower
+    bound when not all completed — pair with {!all_completed}). *)
+
+val mean_energy_per_station : sample -> float
+val median_jammed_fraction : sample -> float

@@ -1,0 +1,126 @@
+module Core = Jamming_core
+module Baselines = Jamming_baselines
+module Adversary = Jamming_adversary.Adversary
+
+type protocol = {
+  p_name : string;
+  p_make : n:int -> window:int -> Jamming_station.Uniform.factory;
+}
+
+type adversary = {
+  a_name : string;
+  a_make : seed:int -> n:int -> eps:float -> window:int -> Adversary.factory;
+}
+
+let lesk ~eps =
+  {
+    p_name = Printf.sprintf "LESK(%.2g)" eps;
+    p_make = (fun ~n:_ ~window:_ () -> Core.Lesk.uniform ~eps ());
+  }
+
+let lesk_with_a ~eps ~a =
+  {
+    p_name = Printf.sprintf "LESK(%.2g,a=%.3g)" eps a;
+    p_make = (fun ~n:_ ~window:_ -> Core.Lesk.uniform ~a ~eps);
+  }
+
+let lesu ?config () =
+  { p_name = "LESU"; p_make = (fun ~n:_ ~window:_ -> Core.Lesu.uniform ?config ()) }
+
+let estimation =
+  { p_name = "Estimation"; p_make = (fun ~n:_ ~window:_ -> Core.Estimation.uniform ()) }
+
+let arss =
+  {
+    p_name = "ARSS-MAC";
+    p_make =
+      (fun ~n ~window -> Baselines.Arss_mac.uniform (Baselines.Arss_mac.config ~n ~window));
+  }
+
+let willard = { p_name = "Willard"; p_make = (fun ~n:_ ~window:_ -> Baselines.Willard.uniform ()) }
+
+let sawtooth =
+  { p_name = "NO-sawtooth"; p_make = (fun ~n:_ ~window:_ -> Baselines.Nakano_olariu.sawtooth ()) }
+
+let geometric_sweep =
+  {
+    p_name = "NO-geometric";
+    p_make = (fun ~n:_ ~window:_ -> Baselines.Nakano_olariu.geometric_sweep ());
+  }
+
+let backoff = { p_name = "backoff"; p_make = (fun ~n:_ ~window:_ -> Baselines.Backoff.uniform ()) }
+let known_n = { p_name = "known-n"; p_make = (fun ~n ~window:_ -> Baselines.Backoff.known_n ~n) }
+
+let no_jamming =
+  { a_name = "none"; a_make = (fun ~seed:_ ~n:_ ~eps:_ ~window:_ -> Adversary.none) }
+
+let greedy = { a_name = "greedy"; a_make = (fun ~seed:_ ~n:_ ~eps:_ ~window:_ -> Adversary.greedy) }
+
+let random_jam ~p =
+  {
+    a_name = Printf.sprintf "random(%.2g)" p;
+    a_make = (fun ~seed ~n:_ ~eps:_ ~window:_ -> Adversary.random ~seed ~p);
+  }
+
+let front_loaded =
+  {
+    a_name = "front-loaded";
+    a_make = (fun ~seed:_ ~n:_ ~eps:_ ~window -> Adversary.front_loaded ~window);
+  }
+
+let periodic =
+  {
+    a_name = "periodic";
+    a_make =
+      (fun ~seed:_ ~n:_ ~eps ~window ->
+        let burst = Int.max 1 (int_of_float ((1.0 -. eps) *. float_of_int window)) in
+        Adversary.periodic ~period:window ~burst);
+  }
+
+let silence_breaker =
+  { a_name = "silence-breaker"; a_make = (fun ~seed:_ ~n:_ ~eps:_ ~window:_ -> Adversary.silence_breaker) }
+
+let streak_saver =
+  {
+    a_name = "streak-saver";
+    a_make = (fun ~seed:_ ~n:_ ~eps:_ ~window:_ -> Adversary.streak_saver ~quota:4);
+  }
+
+let single_suppressor ~eps_protocol =
+  {
+    a_name = "single-suppressor";
+    a_make =
+      (fun ~seed:_ ~n ~eps:_ ~window:_ -> Core.Adaptive_jammers.single_suppressor ~eps_protocol ~n);
+  }
+
+let estimate_twister ~eps_protocol =
+  {
+    a_name = "estimate-twister";
+    a_make =
+      (fun ~seed:_ ~n ~eps:_ ~window:_ -> Core.Adaptive_jammers.estimate_twister ~eps_protocol ~n);
+  }
+
+let estimation_staller =
+  {
+    a_name = "estimation-staller";
+    a_make = (fun ~seed:_ ~n:_ ~eps:_ ~window:_ -> Core.Adaptive_jammers.estimation_staller);
+  }
+
+let notification_saboteur =
+  {
+    a_name = "notification-saboteur";
+    a_make = (fun ~seed:_ ~n:_ ~eps:_ ~window:_ -> Core.Adaptive_jammers.notification_saboteur);
+  }
+
+let standard_adversaries ~eps_protocol =
+  [
+    no_jamming;
+    random_jam ~p:0.5;
+    periodic;
+    front_loaded;
+    greedy;
+    silence_breaker;
+    streak_saver;
+    single_suppressor ~eps_protocol;
+    estimate_twister ~eps_protocol;
+  ]

@@ -1,0 +1,91 @@
+type align = Left | Right
+
+type row = Cells of string list | Separator
+
+type t = {
+  title : string;
+  columns : (string * align) list;
+  mutable rows : row list;  (* reversed *)
+}
+
+let create ~title ~columns =
+  if columns = [] then invalid_arg "Table.create: need at least one column";
+  { title; columns; rows = [] }
+
+let title t = t.title
+
+let add_row t cells =
+  if List.length cells <> List.length t.columns then
+    invalid_arg
+      (Printf.sprintf "Table.add_row: %d cells for %d columns" (List.length cells)
+         (List.length t.columns));
+  t.rows <- Cells cells :: t.rows
+
+let add_separator t = t.rows <- Separator :: t.rows
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    match align with
+    | Left -> s ^ String.make (width - n) ' '
+    | Right -> String.make (width - n) ' ' ^ s
+
+let render t =
+  let rows = List.rev t.rows in
+  let headers = List.map fst t.columns in
+  let widths =
+    List.mapi
+      (fun i h ->
+        List.fold_left
+          (fun acc row ->
+            match row with
+            | Separator -> acc
+            | Cells cells -> Int.max acc (String.length (List.nth cells i)))
+          (String.length h) rows)
+      headers
+  in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf t.title;
+  Buffer.add_char buf '\n';
+  let dashes = List.map (fun w -> String.make w '-') widths in
+  let line cells =
+    let padded =
+      List.map2
+        (fun (cell, (_, align)) width -> pad align width cell)
+        (List.combine cells t.columns)
+        widths
+    in
+    Buffer.add_string buf ("| " ^ String.concat " | " padded ^ " |\n")
+  in
+  line headers;
+  line dashes;
+  List.iter (function Cells cells -> line cells | Separator -> line dashes) rows;
+  Buffer.contents buf
+
+let csv_escape s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let to_csv t =
+  let buf = Buffer.create 1024 in
+  let line cells = Buffer.add_string buf (String.concat "," (List.map csv_escape cells) ^ "\n") in
+  line (List.map fst t.columns);
+  List.iter (function Cells cells -> line cells | Separator -> ()) (List.rev t.rows);
+  Buffer.contents buf
+
+let print ppf t = Format.fprintf ppf "%s@." (render t)
+
+let fmt_int = string_of_int
+
+let fmt_float ?(decimals = 1) v =
+  if Float.is_integer v && Float.abs v < 1e15 && decimals <= 1 then
+    Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.*f" decimals v
+
+let fmt_ratio v = Printf.sprintf "%.2f" v
+let fmt_pct v = Printf.sprintf "%.1f%%" (100.0 *. v)
+
+let fmt_slots ~capped v =
+  if capped then Printf.sprintf ">%.0f" v else Printf.sprintf "%.0f" v

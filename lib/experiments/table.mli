@@ -1,0 +1,27 @@
+(** Plain-text result tables (the "tables of the paper" deliverable),
+    with CSV export for downstream plotting. *)
+
+type align = Left | Right
+
+type t
+
+val create : title:string -> columns:(string * align) list -> t
+val title : t -> string
+val add_row : t -> string list -> unit
+(** Row length must match the column count. *)
+
+val add_separator : t -> unit
+val render : t -> string
+val to_csv : t -> string
+val print : Format.formatter -> t -> unit
+
+(** Cell formatting helpers. *)
+
+val fmt_int : int -> string
+val fmt_float : ?decimals:int -> float -> string
+val fmt_ratio : float -> string
+val fmt_pct : float -> string
+(** [fmt_pct 0.97] is ["97.0%"]. *)
+
+val fmt_slots : capped:bool -> float -> string
+(** Median slot counts; [">N"] when the run hit its cap. *)

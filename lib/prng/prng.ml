@@ -1,0 +1,78 @@
+(* xoshiro256** with SplitMix64 seeding (Blackman & Vigna).  All state is
+   Int64 to get identical streams on 32- and 64-bit platforms. *)
+
+type t = { mutable s0 : int64; mutable s1 : int64; mutable s2 : int64; mutable s3 : int64 }
+
+let ( +% ) = Int64.add
+let ( *% ) = Int64.mul
+let ( ^% ) = Int64.logxor
+let ( >>% ) = Int64.shift_right_logical
+let ( <<% ) = Int64.shift_left
+
+let splitmix64_next state =
+  state := !state +% 0x9E3779B97F4A7C15L;
+  let z = !state in
+  let z = (z ^% (z >>% 30)) *% 0xBF58476D1CE4E5B9L in
+  let z = (z ^% (z >>% 27)) *% 0x94D049BB133111EBL in
+  z ^% (z >>% 31)
+
+let create ~seed =
+  let state = ref (Int64.of_int seed) in
+  let s0 = splitmix64_next state in
+  let s1 = splitmix64_next state in
+  let s2 = splitmix64_next state in
+  let s3 = splitmix64_next state in
+  { s0; s1; s2; s3 }
+
+let copy g = { s0 = g.s0; s1 = g.s1; s2 = g.s2; s3 = g.s3 }
+
+let rotl x k = Int64.logor (x <<% k) (x >>% (64 - k))
+
+let bits64 g =
+  let result = rotl (g.s1 *% 5L) 7 *% 9L in
+  let t = g.s1 <<% 17 in
+  g.s2 <- g.s2 ^% g.s0;
+  g.s3 <- g.s3 ^% g.s1;
+  g.s1 <- g.s1 ^% g.s2;
+  g.s0 <- g.s0 ^% g.s3;
+  g.s2 <- g.s2 ^% t;
+  g.s3 <- rotl g.s3 45;
+  result
+
+let split g =
+  (* Reseed a child through SplitMix64 so that short cycles between parent
+     and child streams are broken even for adjacent outputs. *)
+  let state = ref (bits64 g) in
+  let s0 = splitmix64_next state in
+  let s1 = splitmix64_next state in
+  let s2 = splitmix64_next state in
+  let s3 = splitmix64_next state in
+  { s0; s1; s2; s3 }
+
+let float g = Int64.to_float (bits64 g >>% 11) *. 0x1p-53
+
+let int g ~bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  (* Unbiased rejection sampling: mask to the smallest covering power of
+     two and retry on overshoot (expected < 2 draws). *)
+  let mask =
+    let rec widen m = if m >= bound - 1 then m else widen ((m lsl 1) lor 1) in
+    widen 1
+  in
+  let rec draw () =
+    let v = Int64.to_int (bits64 g >>% 1) land mask in
+    if v >= bound then draw () else v
+  in
+  draw ()
+
+let bool g ~p = if p >= 1.0 then true else if p <= 0.0 then false else float g < p
+
+let seed_of_string s =
+  (* FNV-1a folded to 63 bits; stable across runs unlike Hashtbl.hash. *)
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h := !h ^% Int64.of_int (Char.code c);
+      h := !h *% 0x100000001b3L)
+    s;
+  Int64.to_int (!h >>% 1) land max_int

@@ -1,0 +1,39 @@
+(** Deterministic pseudo-random number generation.
+
+    The whole simulator is deterministic given a seed: every experiment,
+    test and benchmark threads an explicit generator through the code.
+    The generator is xoshiro256** seeded via SplitMix64, following the
+    reference implementations of Blackman and Vigna.  Independent streams
+    for sub-components (stations, adversaries, replications) are obtained
+    with {!split}, which derives a new generator from the current one in a
+    way that keeps the parent and child streams statistically independent. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : seed:int -> t
+(** [create ~seed] builds a generator from a 63-bit seed.  Equal seeds give
+    equal streams on every platform. *)
+
+val copy : t -> t
+(** [copy g] is an independent duplicate of the current state of [g]:
+    both produce the same subsequent stream. *)
+
+val split : t -> t
+(** [split g] advances [g] and returns a fresh generator whose stream is
+    independent of the remainder of [g]'s stream. *)
+
+val bits64 : t -> int64
+(** Next raw 64 bits. *)
+
+val float : t -> float
+(** [float g] is uniform on [\[0, 1)], with 53 bits of precision. *)
+
+val int : t -> bound:int -> int
+(** [int g ~bound] is uniform on [\[0, bound)].  [bound] must be positive. *)
+
+val bool : t -> p:float -> bool
+(** [bool g ~p] is [true] with probability [p] (clamped to [\[0, 1\]]). *)
+
+val seed_of_string : string -> int
+(** Stable 63-bit hash of a string, for naming replication streams. *)

@@ -1,0 +1,108 @@
+type trichotomy = Zero | One | Many
+
+let check_np n p =
+  if n < 0 then invalid_arg "Sample: n must be non-negative";
+  if not (p >= 0.0 && p <= 1.0) then invalid_arg "Sample: p must lie in [0, 1]"
+
+(* log (1-p)^k, safe for p close to 0 or 1. *)
+let log_q_pow ~k ~p =
+  if p >= 1.0 then (if k = 0 then 0.0 else neg_infinity)
+  else float_of_int k *. Float.log1p (-.p)
+
+let p_zero ~n ~p =
+  check_np n p;
+  exp (log_q_pow ~k:n ~p)
+
+let p_one ~n ~p =
+  check_np n p;
+  if n = 0 || p = 0.0 then 0.0
+  else if p >= 1.0 then (if n = 1 then 1.0 else 0.0)
+  else float_of_int n *. p *. exp (log_q_pow ~k:(n - 1) ~p)
+
+let p_many ~n ~p =
+  let v = 1.0 -. p_zero ~n ~p -. p_one ~n ~p in
+  Float.min 1.0 (Float.max 0.0 v)
+
+let trichotomy g ~n ~p =
+  check_np n p;
+  if n = 0 || p = 0.0 then Zero
+  else begin
+    let u = Prng.float g in
+    let z = p_zero ~n ~p in
+    if u < z then Zero else if u < z +. p_one ~n ~p then One else Many
+  end
+
+let bernoulli g ~p = Prng.bool g ~p
+
+let geometric g ~p =
+  if not (p > 0.0 && p <= 1.0) then invalid_arg "Sample.geometric: need 0 < p <= 1";
+  if p = 1.0 then 0
+  else begin
+    let u = Prng.float g in
+    (* Inversion: floor (log u / log (1-p)); u = 0 cannot occur. *)
+    let v = log (1.0 -. u) /. Float.log1p (-.p) in
+    int_of_float (Float.floor v)
+  end
+
+let gaussian g ~mean ~stddev =
+  let rec polar () =
+    let x = (2.0 *. Prng.float g) -. 1.0 in
+    let y = (2.0 *. Prng.float g) -. 1.0 in
+    let s = (x *. x) +. (y *. y) in
+    if s >= 1.0 || s = 0.0 then polar ()
+    else x *. sqrt (-2.0 *. log s /. s)
+  in
+  mean +. (stddev *. polar ())
+
+let exponential g ~rate =
+  if not (rate > 0.0) then invalid_arg "Sample.exponential: rate must be positive";
+  -.log (1.0 -. Prng.float g) /. rate
+
+let binomial_by_sum g ~n ~p =
+  let count = ref 0 in
+  for _ = 1 to n do
+    if Prng.bool g ~p then incr count
+  done;
+  !count
+
+(* Inversion by sequential search, fine while n.p is small. *)
+let binomial_by_inversion g ~n ~p =
+  let q = exp (log_q_pow ~k:n ~p) in
+  let ratio = p /. (1.0 -. p) in
+  let u = ref (Prng.float g) in
+  let k = ref 0 in
+  let prob = ref q in
+  while !u >= !prob && !k < n do
+    u := !u -. !prob;
+    prob := !prob *. ratio *. (float_of_int (n - !k) /. float_of_int (!k + 1));
+    incr k
+  done;
+  !k
+
+let binomial g ~n ~p =
+  check_np n p;
+  if n = 0 || p = 0.0 then 0
+  else if p = 1.0 then n
+  else if p > 0.5 then n - binomial_by_sum g ~n ~p:(1.0 -. p)
+  else if n <= 256 then binomial_by_sum g ~n ~p
+  else if float_of_int n *. p <= 30.0 then binomial_by_inversion g ~n ~p
+  else begin
+    let nf = float_of_int n in
+    let mean = nf *. p in
+    let stddev = sqrt (nf *. p *. (1.0 -. p)) in
+    let v = gaussian g ~mean ~stddev +. 0.5 in
+    let v = int_of_float (Float.floor v) in
+    Int.max 0 (Int.min n v)
+  end
+
+let shuffle g a =
+  for i = Array.length a - 1 downto 1 do
+    let j = Prng.int g ~bound:(i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let choose g a =
+  if Array.length a = 0 then invalid_arg "Sample.choose: empty array";
+  a.(Prng.int g ~bound:(Array.length a))

@@ -1,0 +1,53 @@
+(** Random variates needed by the simulator.
+
+    The most important primitive here is {!trichotomy}: when every one of
+    [n] stations transmits independently with the same probability [p]
+    (a {e uniform} protocol in the sense of Nakano–Olariu), the channel
+    state of the slot depends only on whether the number of transmitters
+    is 0, 1 or at least 2.  The three probabilities have closed forms, so
+    the slot can be resolved in O(1) instead of O(n) — this is what lets
+    scaling experiments reach millions of stations. *)
+
+type trichotomy =
+  | Zero  (** no transmitter: channel would be Null *)
+  | One  (** exactly one transmitter: channel would be Single *)
+  | Many  (** at least two transmitters: channel would be Collision *)
+
+val p_zero : n:int -> p:float -> float
+(** [(1 - p)^n], computed in log-space for numerical stability. *)
+
+val p_one : n:int -> p:float -> float
+(** [n·p·(1 - p)^(n-1)]. *)
+
+val p_many : n:int -> p:float -> float
+(** [1 - p_zero - p_one], clamped to [\[0, 1\]]. *)
+
+val trichotomy : Prng.t -> n:int -> p:float -> trichotomy
+(** Exact O(1) sample of the transmitter-count class for [n] independent
+    Bernoulli([p]) stations.  [n] must be non-negative and [p] in
+    [\[0, 1\]]. *)
+
+val bernoulli : Prng.t -> p:float -> bool
+(** [true] with probability [p]. *)
+
+val geometric : Prng.t -> p:float -> int
+(** Number of failures before the first success of a Bernoulli([p])
+    sequence, [p > 0].  Sampled by inversion. *)
+
+val binomial : Prng.t -> n:int -> p:float -> int
+(** Binomial([n], [p]) variate.  Exact (Bernoulli sum or inversion) for
+    small [n] or small [n·p]; for large [n·p] a normal approximation with
+    continuity correction is used (documented trade-off: only energy
+    accounting uses that regime). *)
+
+val gaussian : Prng.t -> mean:float -> stddev:float -> float
+(** Normal variate via the polar (Marsaglia) method. *)
+
+val exponential : Prng.t -> rate:float -> float
+(** Exponential variate with the given rate, [rate > 0]. *)
+
+val shuffle : Prng.t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val choose : Prng.t -> 'a array -> 'a
+(** Uniformly random element of a non-empty array. *)

@@ -1,0 +1,81 @@
+module Channel = Jamming_channel.Channel
+module Adversary = Jamming_adversary.Adversary
+module Budget = Jamming_adversary.Budget
+module Station = Jamming_station.Station
+
+let make_stations ~n ~rng factory =
+  Array.init n (fun id -> factory ~id ~rng:(Jamming_prng.Prng.split rng))
+
+let run ?on_slot ?(start_slot = 0) ~cd ~adversary ~budget ~max_slots ~stations () =
+  let n = Array.length stations in
+  let actions = Array.make n Station.Listen in
+  let tx_counts = Array.make n 0 in
+  let jammed_slots = ref 0 in
+  let nulls = ref 0 and singles = ref 0 and collisions = ref 0 in
+  let all_finished () = Array.for_all (fun s -> s.Station.finished ()) stations in
+  let slot = ref 0 in
+  let finished = ref (all_finished ()) in
+  while (not !finished) && !slot < max_slots do
+    let t = start_slot + !slot in
+    (* 1. Adversary commits before seeing this slot's actions. *)
+    let can_jam = Budget.can_jam budget in
+    let jam = can_jam && adversary.Adversary.wants_jam ~slot:t ~can_jam in
+    Budget.advance budget ~jam;
+    (* 2. Live stations act. *)
+    let transmitters = ref 0 in
+    for i = 0 to n - 1 do
+      if stations.(i).Station.finished () then actions.(i) <- Station.Listen
+      else begin
+        let a = stations.(i).Station.decide ~slot:t in
+        actions.(i) <- a;
+        if Station.equal_action a Station.Transmit then begin
+          incr transmitters;
+          tx_counts.(i) <- tx_counts.(i) + 1
+        end
+      end
+    done;
+    (* 3. Resolve and deliver feedback. *)
+    let state = Channel.resolve ~transmitters:!transmitters ~jammed:jam in
+    if jam then incr jammed_slots;
+    (match state with
+    | Channel.Null -> incr nulls
+    | Channel.Single -> incr singles
+    | Channel.Collision -> incr collisions);
+    for i = 0 to n - 1 do
+      if not (stations.(i).Station.finished ()) then begin
+        let transmitted = Station.equal_action actions.(i) Station.Transmit in
+        let perceived = Channel.perceive cd state ~transmitted in
+        stations.(i).Station.observe ~slot:t ~perceived ~transmitted
+      end
+    done;
+    adversary.Adversary.notify ~slot:t ~jammed:jam ~state;
+    (match on_slot with
+    | None -> ()
+    | Some f -> f { Metrics.slot = t; transmitters = !transmitters; jammed = jam; state });
+    incr slot;
+    finished := all_finished ()
+  done;
+  let statuses = Array.map (fun s -> s.Station.status ()) stations in
+  let leader = ref None in
+  Array.iteri
+    (fun i st -> if Station.equal_status st Station.Leader then leader := Some i)
+    statuses;
+  let leaders =
+    Array.fold_left
+      (fun acc st -> if Station.equal_status st Station.Leader then acc + 1 else acc)
+      0 statuses
+  in
+  let transmissions = Array.fold_left (fun acc c -> acc + c) 0 tx_counts in
+  {
+    Metrics.slots = !slot;
+    completed = !finished;
+    elected = !finished && leaders = 1;
+    leader = (if leaders = 1 then !leader else None);
+    statuses;
+    jammed_slots = !jammed_slots;
+    nulls = !nulls;
+    singles = !singles;
+    collisions = !collisions;
+    transmissions = float_of_int transmissions;
+    max_station_transmissions = Array.fold_left Int.max 0 tx_counts;
+  }

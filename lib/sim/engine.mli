@@ -1,0 +1,32 @@
+(** Exact per-station simulation of the slotted channel.
+
+    Handles every collision-detection model, heterogeneous stations
+    (e.g. the phase-split stations of Notification), and any adversary.
+    Cost is O(n) per slot; use {!Uniform_engine} for uniform protocols at
+    large [n]. *)
+
+val run :
+  ?on_slot:(Metrics.slot_record -> unit) ->
+  ?start_slot:int ->
+  cd:Jamming_channel.Channel.cd_model ->
+  adversary:Jamming_adversary.Adversary.t ->
+  budget:Jamming_adversary.Budget.t ->
+  max_slots:int ->
+  stations:Jamming_station.Station.t array ->
+  unit ->
+  Metrics.result
+(** Runs until every station reports [finished] or [max_slots] elapse
+    ([max_slots] counts slots of this run; slot numbers reported to
+    stations and adversary start at [start_slot], default 0, so that
+    chained elections can share one adversary and budget).
+    Each slot, in order: the adversary commits its jam decision (before
+    seeing any action, per §1.1), live stations choose actions, the slot
+    resolves, every live station receives its perceived state, the
+    adversary observes the true state.  Stations that have finished
+    neither transmit nor listen. *)
+
+val make_stations :
+  n:int -> rng:Jamming_prng.Prng.t -> Jamming_station.Station.factory ->
+  Jamming_station.Station.t array
+(** [make_stations ~n ~rng factory] builds stations [0 .. n−1], each with
+    an independent random stream split off [rng]. *)

@@ -1,0 +1,47 @@
+module Station = Jamming_station.Station
+
+type slot_record = {
+  slot : int;
+  transmitters : int;
+  jammed : bool;
+  state : Jamming_channel.Channel.state;
+}
+
+type result = {
+  slots : int;
+  completed : bool;
+  elected : bool;
+  leader : int option;
+  statuses : Station.status array;
+  jammed_slots : int;
+  nulls : int;
+  singles : int;
+  collisions : int;
+  transmissions : float;
+  max_station_transmissions : int;
+}
+
+let election_ok r =
+  r.completed
+  &&
+  match r.statuses with
+  | [||] -> r.elected
+  | statuses ->
+      let leaders = ref 0 and others = ref 0 in
+      Array.iter
+        (fun st ->
+          match st with
+          | Station.Leader -> incr leaders
+          | Station.Non_leader -> incr others
+          | Station.Undecided -> ())
+        statuses;
+      !leaders = 1 && !leaders + !others = Array.length statuses
+
+let pp_result ppf r =
+  Format.fprintf ppf
+    "@[<v>slots: %d%s@ leader: %s@ jammed: %d  null: %d  single: %d  collision: %d@ \
+     transmissions: %.1f@]"
+    r.slots
+    (if r.completed then "" else " (hit max_slots)")
+    (match r.leader with Some id -> string_of_int id | None -> "none")
+    r.jammed_slots r.nulls r.singles r.collisions r.transmissions

@@ -1,0 +1,34 @@
+(** Per-run observations shared by both simulation engines. *)
+
+type slot_record = {
+  slot : int;
+  transmitters : int;
+      (** Honest transmitter count.  For the uniform engine this is the
+          class representative (0, 1, or 2 for "at least two"): only the
+          class is sampled, not the exact count. *)
+  jammed : bool;
+  state : Jamming_channel.Channel.state;  (** true (post-jam) state *)
+}
+
+type result = {
+  slots : int;  (** slots consumed (= election time when [completed]) *)
+  completed : bool;  (** all stations terminated before [max_slots] *)
+  elected : bool;  (** [completed] and exactly one station ended leader *)
+  leader : int option;
+  statuses : Jamming_station.Station.status array;
+      (** per-station statuses; empty for the uniform engine *)
+  jammed_slots : int;
+  nulls : int;
+  singles : int;
+  collisions : int;  (** counts of true states over the run *)
+  transmissions : float;
+      (** total transmissions: exact count (exact engine) or expectation
+          [Σ n·p] (uniform engine) *)
+  max_station_transmissions : int;
+      (** exact engine only; 0 for the uniform engine *)
+}
+
+val election_ok : result -> bool
+(** Exactly one leader, everyone else non-leader, all terminated. *)
+
+val pp_result : Format.formatter -> result -> unit

@@ -1,0 +1,47 @@
+type t = {
+  capacity : int;
+  buffer : Metrics.slot_record option array;
+  mutable next : int;  (* total records ever written *)
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Trace.create: capacity must be >= 1";
+  { capacity; buffer = Array.make capacity None; next = 0 }
+
+let record t r =
+  t.buffer.(t.next mod t.capacity) <- Some r;
+  t.next <- t.next + 1
+
+let recorded t = t.next
+let capacity t = t.capacity
+
+let to_list t =
+  let stored = Int.min t.next t.capacity in
+  let first = t.next - stored in
+  List.init stored (fun i ->
+      match t.buffer.((first + i) mod t.capacity) with
+      | Some r -> r
+      | None -> assert false)
+
+let pp_record ppf (r : Metrics.slot_record) =
+  Format.fprintf ppf "slot %6d  tx=%d%s  %a" r.Metrics.slot r.Metrics.transmitters
+    (if r.Metrics.jammed then " JAM" else "")
+    Jamming_channel.Channel.pp_state r.Metrics.state
+
+let pp ppf t =
+  let stored = to_list t in
+  let dropped = recorded t - List.length stored in
+  if dropped > 0 then Format.fprintf ppf "... (%d earlier slots dropped)@." dropped;
+  List.iter (fun r -> Format.fprintf ppf "%a@." pp_record r) stored
+
+(* Summaries over whatever is retained. *)
+let count_state t state =
+  List.fold_left
+    (fun acc (r : Metrics.slot_record) ->
+      if Jamming_channel.Channel.equal_state r.Metrics.state state then acc + 1 else acc)
+    0 (to_list t)
+
+let count_jammed t =
+  List.fold_left
+    (fun acc (r : Metrics.slot_record) -> if r.Metrics.jammed then acc + 1 else acc)
+    0 (to_list t)

@@ -1,0 +1,25 @@
+(** Bounded slot-by-slot recording of a simulation (a ring buffer of the
+    most recent {!Metrics.slot_record}s).  Plug {!record} into an
+    engine's [on_slot] to keep the tail of a long run for post-mortems
+    and example output. *)
+
+type t
+
+val create : capacity:int -> t
+val record : t -> Metrics.slot_record -> unit
+
+val recorded : t -> int
+(** Total records ever written (may exceed capacity). *)
+
+val capacity : t -> int
+
+val to_list : t -> Metrics.slot_record list
+(** Retained records, oldest first. *)
+
+val pp_record : Format.formatter -> Metrics.slot_record -> unit
+val pp : Format.formatter -> t -> unit
+
+val count_state : t -> Jamming_channel.Channel.state -> int
+(** Occurrences of a state among the retained records. *)
+
+val count_jammed : t -> int

@@ -1,0 +1,55 @@
+module Channel = Jamming_channel.Channel
+module Adversary = Jamming_adversary.Adversary
+module Budget = Jamming_adversary.Budget
+module Uniform = Jamming_station.Uniform
+module Sample = Jamming_prng.Sample
+module Prng = Jamming_prng.Prng
+
+let run ?on_slot ?(start_slot = 0) ~n ~rng ~protocol ~adversary ~budget ~max_slots () =
+  if n < 1 then invalid_arg "Uniform_engine.run: need n >= 1";
+  let jammed_slots = ref 0 in
+  let nulls = ref 0 and singles = ref 0 and collisions = ref 0 in
+  let transmissions = ref 0.0 in
+  let slot = ref 0 in
+  let elected = ref false in
+  while (not !elected) && !slot < max_slots do
+    let t = start_slot + !slot in
+    let can_jam = Budget.can_jam budget in
+    let jam = can_jam && adversary.Adversary.wants_jam ~slot:t ~can_jam in
+    Budget.advance budget ~jam;
+    let p = protocol.Uniform.tx_prob () in
+    if not (p >= 0.0 && p <= 1.0) then
+      invalid_arg "Uniform_engine.run: protocol emitted a probability outside [0, 1]";
+    transmissions := !transmissions +. (float_of_int n *. p);
+    let class_ = Sample.trichotomy rng ~n ~p in
+    let transmitters =
+      match class_ with Sample.Zero -> 0 | Sample.One -> 1 | Sample.Many -> 2
+    in
+    let state = Channel.resolve ~transmitters ~jammed:jam in
+    if jam then incr jammed_slots;
+    (match state with
+    | Channel.Null -> incr nulls
+    | Channel.Single -> incr singles
+    | Channel.Collision -> incr collisions);
+    (match protocol.Uniform.on_state state with
+    | Uniform.Continue -> ()
+    | Uniform.Elected -> elected := true);
+    adversary.Adversary.notify ~slot:t ~jammed:jam ~state;
+    (match on_slot with
+    | None -> ()
+    | Some f -> f { Metrics.slot = t; transmitters; jammed = jam; state });
+    incr slot
+  done;
+  {
+    Metrics.slots = !slot;
+    completed = !elected;
+    elected = !elected;
+    leader = (if !elected then Some (Prng.int rng ~bound:n) else None);
+    statuses = [||];
+    jammed_slots = !jammed_slots;
+    nulls = !nulls;
+    singles = !singles;
+    collisions = !collisions;
+    transmissions = !transmissions;
+    max_station_transmissions = 0;
+  }

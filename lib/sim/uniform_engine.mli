@@ -1,0 +1,25 @@
+(** O(1)-per-slot simulation of uniform protocols in strong-CD.
+
+    All [n] stations transmit with one common probability, so the channel
+    state is sampled directly from the exact transmitter-count trichotomy
+    ({!Jamming_prng.Sample.trichotomy}).  This is what makes the paper's
+    scaling experiments (n up to 2²⁰) feasible; the exact engine
+    cross-validates it at small [n] (see test suite E-ablation). *)
+
+val run :
+  ?on_slot:(Metrics.slot_record -> unit) ->
+  ?start_slot:int ->
+  n:int ->
+  rng:Jamming_prng.Prng.t ->
+  protocol:Jamming_station.Uniform.t ->
+  adversary:Jamming_adversary.Adversary.t ->
+  budget:Jamming_adversary.Budget.t ->
+  max_slots:int ->
+  unit ->
+  Metrics.result
+(** Runs until the protocol reports [Elected] or [max_slots] elapse.
+    Stations flip their coins whether or not the slot is jammed (as in
+    the exact engine), but a jammed slot always resolves to [Collision].
+    The leader, when elected, is a uniformly random station id.
+    [result.transmissions] is the expectation [Σ_slots n·p], and
+    [result.statuses] is empty. *)

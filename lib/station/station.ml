@@ -1,0 +1,34 @@
+type action = Transmit | Listen
+
+let equal_action a b =
+  match a, b with
+  | Transmit, Transmit | Listen, Listen -> true
+  | (Transmit | Listen), _ -> false
+
+let pp_action ppf = function
+  | Transmit -> Format.pp_print_string ppf "Transmit"
+  | Listen -> Format.pp_print_string ppf "Listen"
+
+type status = Undecided | Leader | Non_leader
+
+let equal_status a b =
+  match a, b with
+  | Undecided, Undecided | Leader, Leader | Non_leader, Non_leader -> true
+  | (Undecided | Leader | Non_leader), _ -> false
+
+let status_to_string = function
+  | Undecided -> "undecided"
+  | Leader -> "leader"
+  | Non_leader -> "non-leader"
+
+let pp_status ppf st = Format.pp_print_string ppf (status_to_string st)
+
+type t = {
+  id : int;
+  decide : slot:int -> action;
+  observe : slot:int -> perceived:Jamming_channel.Channel.state -> transmitted:bool -> unit;
+  status : unit -> status;
+  finished : unit -> bool;
+}
+
+type factory = id:int -> rng:Jamming_prng.Prng.t -> t

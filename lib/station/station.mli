@@ -1,0 +1,38 @@
+(** Station-side protocol interface for the exact engine.
+
+    A station is a closure bundle over private mutable state.  Each slot
+    the engine asks for the station's {!action}, resolves the channel,
+    and feeds back the {e perceived} state (which already accounts for
+    the collision-detection model and for whether this station
+    transmitted, see {!Jamming_channel.Channel.perceive}). *)
+
+type action = Transmit | Listen
+
+val equal_action : action -> action -> bool
+val pp_action : Format.formatter -> action -> unit
+
+type status =
+  | Undecided
+  | Leader
+  | Non_leader
+
+val equal_status : status -> status -> bool
+val pp_status : Format.formatter -> status -> unit
+val status_to_string : status -> string
+
+type t = {
+  id : int;
+  decide : slot:int -> action;
+      (** Action for slot [slot].  Must not be called after [finished ()]
+          is [true]; terminated stations leave the channel. *)
+  observe : slot:int -> perceived:Jamming_channel.Channel.state -> transmitted:bool -> unit;
+      (** Feedback for slot [slot], as perceived by this station. *)
+  status : unit -> status;
+  finished : unit -> bool;
+      (** Whether the station has terminated its protocol (it may know
+          its status before terminating, e.g. Notification blockers keep
+          transmitting after learning they are non-leaders). *)
+}
+
+type factory = id:int -> rng:Jamming_prng.Prng.t -> t
+(** Builds station [id]'s instance with a private random stream. *)

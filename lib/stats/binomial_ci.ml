@@ -1,0 +1,20 @@
+let wilson ~successes ~trials ~z =
+  if trials < 1 then invalid_arg "Binomial_ci.wilson: trials must be >= 1";
+  if successes < 0 || successes > trials then
+    invalid_arg "Binomial_ci.wilson: successes out of range";
+  if not (z > 0.0) then invalid_arg "Binomial_ci.wilson: z must be positive";
+  let n = float_of_int trials in
+  let p = float_of_int successes /. n in
+  let z2 = z *. z in
+  let denom = 1.0 +. (z2 /. n) in
+  let center = (p +. (z2 /. (2.0 *. n))) /. denom in
+  let half =
+    z /. denom *. sqrt ((p *. (1.0 -. p) /. n) +. (z2 /. (4.0 *. n *. n)))
+  in
+  (Float.max 0.0 (center -. half), Float.min 1.0 (center +. half))
+
+let wilson95 ~successes ~trials = wilson ~successes ~trials ~z:1.96
+
+let rule_of_three ~trials =
+  if trials < 1 then invalid_arg "Binomial_ci.rule_of_three: trials must be >= 1";
+  3.0 /. float_of_int trials

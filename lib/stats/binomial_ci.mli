@@ -1,0 +1,13 @@
+(** Confidence intervals for success probabilities — used by the w.h.p.
+    experiments (E10), where the point estimate is often exactly 1 and a
+    normal interval would be degenerate. *)
+
+val wilson : successes:int -> trials:int -> z:float -> float * float
+(** Wilson score interval.  Requires [0 ≤ successes ≤ trials],
+    [trials ≥ 1], [z > 0] (z = 1.96 for 95%). *)
+
+val wilson95 : successes:int -> trials:int -> float * float
+
+val rule_of_three : trials:int -> float
+(** Upper 95% bound on the failure probability when zero failures were
+    observed: [3/trials]. *)

@@ -1,0 +1,19 @@
+module Prng = Jamming_prng.Prng
+
+let ci ~rng ?(replicates = 1000) ?(level = 0.95) ~stat xs =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Bootstrap.ci: empty sample";
+  if replicates < 1 then invalid_arg "Bootstrap.ci: need replicates >= 1";
+  if not (level > 0.0 && level < 1.0) then invalid_arg "Bootstrap.ci: level must lie in (0, 1)";
+  let stats = Array.make replicates 0.0 in
+  let resample = Array.make n 0.0 in
+  for r = 0 to replicates - 1 do
+    for i = 0 to n - 1 do
+      resample.(i) <- xs.(Prng.int rng ~bound:n)
+    done;
+    stats.(r) <- stat resample
+  done;
+  let alpha = (1.0 -. level) /. 2.0 in
+  (Descriptive.quantile stats ~q:alpha, Descriptive.quantile stats ~q:(1.0 -. alpha))
+
+let median_ci ~rng ?replicates ?level xs = ci ~rng ?replicates ?level ~stat:Descriptive.median xs

@@ -1,0 +1,16 @@
+(** Non-parametric bootstrap confidence intervals, used where the
+    election-time distribution is too skewed for normal approximations
+    (it has a geometric-like tail). *)
+
+val ci :
+  rng:Jamming_prng.Prng.t ->
+  ?replicates:int ->
+  ?level:float ->
+  stat:(float array -> float) ->
+  float array ->
+  float * float
+(** [ci ~rng ~stat xs] is a percentile-bootstrap interval for
+    [stat xs]; default 1000 replicates at level 0.95. *)
+
+val median_ci :
+  rng:Jamming_prng.Prng.t -> ?replicates:int -> ?level:float -> float array -> float * float

@@ -1,0 +1,89 @@
+let require_nonempty name xs =
+  if Array.length xs = 0 then invalid_arg (Printf.sprintf "Descriptive.%s: empty sample" name)
+
+let total xs = Array.fold_left ( +. ) 0.0 xs
+
+let mean xs =
+  require_nonempty "mean" xs;
+  total xs /. float_of_int (Array.length xs)
+
+let variance xs =
+  require_nonempty "variance" xs;
+  let n = Array.length xs in
+  if n < 2 then 0.0
+  else begin
+    let m = mean xs in
+    let acc = Array.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 xs in
+    acc /. float_of_int (n - 1)
+  end
+
+let stddev xs = sqrt (variance xs)
+
+let min xs =
+  require_nonempty "min" xs;
+  Array.fold_left Float.min xs.(0) xs
+
+let max xs =
+  require_nonempty "max" xs;
+  Array.fold_left Float.max xs.(0) xs
+
+let quantile xs ~q =
+  require_nonempty "quantile" xs;
+  if not (q >= 0.0 && q <= 1.0) then invalid_arg "Descriptive.quantile: q must lie in [0, 1]";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let n = Array.length sorted in
+  let pos = q *. float_of_int (n - 1) in
+  let lo = int_of_float (Float.floor pos) in
+  let hi = Stdlib.min (lo + 1) (n - 1) in
+  let frac = pos -. float_of_int lo in
+  sorted.(lo) +. (frac *. (sorted.(hi) -. sorted.(lo)))
+
+let median xs = quantile xs ~q:0.5
+let iqr xs = quantile xs ~q:0.75 -. quantile xs ~q:0.25
+
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  p25 : float;
+  median : float;
+  p75 : float;
+  p95 : float;
+  max : float;
+}
+
+let summarize xs =
+  require_nonempty "summarize" xs;
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let q qv = quantile sorted ~q:qv in
+  {
+    count = Array.length xs;
+    mean = mean xs;
+    stddev = stddev xs;
+    min = sorted.(0);
+    p25 = q 0.25;
+    median = q 0.5;
+    p75 = q 0.75;
+    p95 = q 0.95;
+    max = sorted.(Array.length sorted - 1);
+  }
+
+let pp_summary ppf s =
+  Format.fprintf ppf
+    "n=%d mean=%.2f sd=%.2f min=%.2f p25=%.2f med=%.2f p75=%.2f p95=%.2f max=%.2f" s.count
+    s.mean s.stddev s.min s.p25 s.median s.p75 s.p95 s.max
+
+let mean_ci95 xs =
+  require_nonempty "mean_ci95" xs;
+  let m = mean xs in
+  let n = Array.length xs in
+  if n < 2 then (m, m)
+  else begin
+    let se = stddev xs /. sqrt (float_of_int n) in
+    (m -. (1.96 *. se), m +. (1.96 *. se))
+  end
+
+let of_ints xs = Array.map float_of_int xs

@@ -1,0 +1,41 @@
+(** Descriptive statistics over float samples.
+
+    All functions raise [Invalid_argument] on an empty sample unless
+    noted.  Quantiles use linear interpolation between order statistics
+    (type 7, the R default). *)
+
+val mean : float array -> float
+val variance : float array -> float
+(** Unbiased (n−1) sample variance; 0 for a single observation. *)
+
+val stddev : float array -> float
+val min : float array -> float
+val max : float array -> float
+val total : float array -> float
+
+val quantile : float array -> q:float -> float
+(** [q ∈ [0, 1]]; does not modify the input. *)
+
+val median : float array -> float
+val iqr : float array -> float
+
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  p25 : float;
+  median : float;
+  p75 : float;
+  p95 : float;
+  max : float;
+}
+
+val summarize : float array -> summary
+val pp_summary : Format.formatter -> summary -> unit
+
+val mean_ci95 : float array -> float * float
+(** Normal-approximation 95% confidence interval for the mean
+    ([mean ± 1.96·stderr]); degenerate for n < 2. *)
+
+val of_ints : int array -> float array

@@ -1,0 +1,52 @@
+type t = {
+  lo : float;
+  hi : float;
+  bins : int array;
+  mutable total : int;
+}
+
+let create ~lo ~hi ~bins =
+  if not (lo < hi) then invalid_arg "Histogram.create: need lo < hi";
+  if bins < 1 then invalid_arg "Histogram.create: need bins >= 1";
+  { lo; hi; bins = Array.make bins 0; total = 0 }
+
+let add t x =
+  let nbins = Array.length t.bins in
+  let idx =
+    if x <= t.lo then 0
+    else if x >= t.hi then nbins - 1
+    else int_of_float (float_of_int nbins *. (x -. t.lo) /. (t.hi -. t.lo))
+  in
+  let idx = Int.min idx (nbins - 1) in
+  t.bins.(idx) <- t.bins.(idx) + 1;
+  t.total <- t.total + 1
+
+let of_samples ?(bins = 10) xs =
+  if Array.length xs = 0 then invalid_arg "Histogram.of_samples: empty sample";
+  let lo = Descriptive.min xs and hi = Descriptive.max xs in
+  let hi = if lo = hi then lo +. 1.0 else hi in
+  let t = create ~lo ~hi ~bins in
+  Array.iter (add t) xs;
+  t
+
+let count t = t.total
+let bin_counts t = Array.copy t.bins
+
+let bin_edges t =
+  let nbins = Array.length t.bins in
+  let step = (t.hi -. t.lo) /. float_of_int nbins in
+  Array.init nbins (fun i ->
+      (t.lo +. (float_of_int i *. step), t.lo +. (float_of_int (i + 1) *. step)))
+
+let render ?(width = 50) t =
+  let max_count = Array.fold_left Int.max 1 t.bins in
+  let edges = bin_edges t in
+  let buf = Buffer.create 256 in
+  Array.iteri
+    (fun i c ->
+      let bar = width * c / max_count in
+      Buffer.add_string buf
+        (Printf.sprintf "[%10.2f, %10.2f) %6d %s\n" (fst edges.(i)) (snd edges.(i)) c
+           (String.make bar '#')))
+    t.bins;
+  Buffer.contents buf

@@ -1,0 +1,19 @@
+(** Fixed-width histograms with ASCII rendering, used by the examples
+    and the experiment reports. *)
+
+type t
+
+val create : lo:float -> hi:float -> bins:int -> t
+(** Requires [lo < hi] and [bins ≥ 1].  Out-of-range observations are
+    clamped into the first/last bin. *)
+
+val of_samples : ?bins:int -> float array -> t
+(** Range from the sample; default 10 bins. *)
+
+val add : t -> float -> unit
+val count : t -> int
+val bin_counts : t -> int array
+val bin_edges : t -> (float * float) array
+
+val render : ?width:int -> t -> string
+(** Multi-line bar rendering, one bin per line. *)

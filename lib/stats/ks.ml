@@ -1,0 +1,53 @@
+let statistic xs ys =
+  let n1 = Array.length xs and n2 = Array.length ys in
+  if n1 = 0 || n2 = 0 then invalid_arg "Ks.statistic: empty sample";
+  let a = Array.copy xs and b = Array.copy ys in
+  Array.sort compare a;
+  Array.sort compare b;
+  (* Merge-walk the two sorted samples, tracking the CDF gap. *)
+  let rec go i j d =
+    if i >= n1 || j >= n2 then
+      (* Only one CDF still moves; the gap is maximal at this boundary. *)
+      let fa = float_of_int i /. float_of_int n1 in
+      let fb = float_of_int j /. float_of_int n2 in
+      Float.max d (Float.abs (fa -. fb))
+    else begin
+      let i, j =
+        if a.(i) < b.(j) then (i + 1, j)
+        else if a.(i) > b.(j) then (i, j + 1)
+        else begin
+          (* Equal values: advance past ties in both samples together. *)
+          let v = a.(i) in
+          let rec skip arr k = if k < Array.length arr && arr.(k) = v then skip arr (k + 1) else k in
+          (skip a i, skip b j)
+        end
+      in
+      let fa = float_of_int i /. float_of_int n1 in
+      let fb = float_of_int j /. float_of_int n2 in
+      go i j (Float.max d (Float.abs (fa -. fb)))
+    end
+  in
+  go 0 0 0.0
+
+let p_value ~n1 ~n2 ~d =
+  if n1 < 1 || n2 < 1 then invalid_arg "Ks.p_value: need positive sample sizes";
+  if d <= 0.0 then 1.0
+  else begin
+    let ne = float_of_int n1 *. float_of_int n2 /. float_of_int (n1 + n2) in
+    let lambda = (sqrt ne +. 0.12 +. (0.11 /. sqrt ne)) *. d in
+    (* Kolmogorov series: 2 sum (-1)^{k-1} exp(-2 k^2 lambda^2). *)
+    let rec series k acc =
+      if k > 100 then acc
+      else begin
+        let term = 2.0 *. exp (-2.0 *. float_of_int (k * k) *. lambda *. lambda) in
+        let signed = if k mod 2 = 1 then term else -.term in
+        let acc' = acc +. signed in
+        if Float.abs term < 1e-10 then acc' else series (k + 1) acc'
+      end
+    in
+    Float.max 0.0 (Float.min 1.0 (series 1 0.0))
+  end
+
+let same_distribution ?(alpha = 0.01) xs ys =
+  let d = statistic xs ys in
+  p_value ~n1:(Array.length xs) ~n2:(Array.length ys) ~d >= alpha

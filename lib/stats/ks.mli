@@ -1,0 +1,17 @@
+(** Two-sample Kolmogorov–Smirnov test, used by the engine-equivalence
+    ablation (A1) to compare whole election-time distributions rather
+    than just their means. *)
+
+val statistic : float array -> float array -> float
+(** [statistic xs ys] is [sup_t |F_xs(t) − F_ys(t)|], the maximal gap
+    between the two empirical CDFs.  Both samples must be non-empty;
+    inputs are not modified. *)
+
+val p_value : n1:int -> n2:int -> d:float -> float
+(** Asymptotic two-sided p-value for statistic [d] on samples of sizes
+    [n1], [n2] (Kolmogorov distribution with the effective size
+    [n1·n2/(n1+n2)]).  Accurate enough for n ≳ 20 per sample. *)
+
+val same_distribution : ?alpha:float -> float array -> float array -> bool
+(** [true] when the test does {e not} reject equality at level [alpha]
+    (default 0.01). *)

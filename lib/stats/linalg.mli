@@ -1,0 +1,15 @@
+(** Minimal dense linear algebra: just enough to solve the hitting-time
+    systems of {!Jamming_core.Markov} (a few hundred unknowns). *)
+
+val solve : float array array -> float array -> float array
+(** [solve a b] solves [a · x = b] by Gaussian elimination with partial
+    pivoting.  [a] is an array of rows (modified: pass a copy if you
+    need it again); requires a square, non-singular system.  Raises
+    [Invalid_argument] on shape mismatch, [Failure] on a (numerically)
+    singular matrix. *)
+
+val mat_vec : float array array -> float array -> float array
+(** Matrix–vector product, for residual checks. *)
+
+val residual_norm : float array array -> float array -> float array -> float
+(** [‖a·x − b‖∞]. *)

@@ -1,0 +1,71 @@
+type fit = { slope : float; intercept : float; r2 : float }
+
+let check_pair name xs ys =
+  let n = Array.length xs in
+  if n <> Array.length ys then invalid_arg (Printf.sprintf "Regression.%s: length mismatch" name);
+  if n < 2 then invalid_arg (Printf.sprintf "Regression.%s: need at least 2 points" name);
+  n
+
+let linear ~xs ~ys =
+  let n = check_pair "linear" xs ys in
+  let nf = float_of_int n in
+  let mx = Descriptive.mean xs and my = Descriptive.mean ys in
+  let sxx = ref 0.0 and sxy = ref 0.0 and syy = ref 0.0 in
+  for i = 0 to n - 1 do
+    let dx = xs.(i) -. mx and dy = ys.(i) -. my in
+    sxx := !sxx +. (dx *. dx);
+    sxy := !sxy +. (dx *. dy);
+    syy := !syy +. (dy *. dy)
+  done;
+  if !sxx = 0.0 then invalid_arg "Regression.linear: xs is constant";
+  let slope = !sxy /. !sxx in
+  let intercept = my -. (slope *. mx) in
+  let r2 =
+    if !syy = 0.0 then 1.0 (* ys constant: the fit is exact *)
+    else begin
+      let ss_res = ref 0.0 in
+      for i = 0 to n - 1 do
+        let resid = ys.(i) -. (intercept +. (slope *. xs.(i))) in
+        ss_res := !ss_res +. (resid *. resid)
+      done;
+      1.0 -. (!ss_res /. !syy)
+    end
+  in
+  ignore nf;
+  { slope; intercept; r2 }
+
+let log_log_slope ~xs ~ys =
+  let n = check_pair "log_log_slope" xs ys in
+  let lx = Array.make n 0.0 and ly = Array.make n 0.0 in
+  for i = 0 to n - 1 do
+    if xs.(i) <= 0.0 || ys.(i) <= 0.0 then
+      invalid_arg "Regression.log_log_slope: values must be positive";
+    lx.(i) <- log xs.(i);
+    ly.(i) <- log ys.(i)
+  done;
+  linear ~xs:lx ~ys:ly
+
+let pearson ~xs ~ys =
+  let n = check_pair "pearson" xs ys in
+  let mx = Descriptive.mean xs and my = Descriptive.mean ys in
+  let sxx = ref 0.0 and sxy = ref 0.0 and syy = ref 0.0 in
+  for i = 0 to n - 1 do
+    let dx = xs.(i) -. mx and dy = ys.(i) -. my in
+    sxx := !sxx +. (dx *. dx);
+    sxy := !sxy +. (dx *. dy);
+    syy := !syy +. (dy *. dy)
+  done;
+  if !sxx = 0.0 || !syy = 0.0 then invalid_arg "Regression.pearson: constant input";
+  !sxy /. sqrt (!sxx *. !syy)
+
+let ratio_spread ~xs ~ys =
+  let n = check_pair "ratio_spread" xs ys in
+  let rmin = ref infinity and rmax = ref neg_infinity in
+  for i = 0 to n - 1 do
+    if xs.(i) <= 0.0 || ys.(i) <= 0.0 then
+      invalid_arg "Regression.ratio_spread: values must be positive";
+    let r = ys.(i) /. xs.(i) in
+    rmin := Float.min !rmin r;
+    rmax := Float.max !rmax r
+  done;
+  !rmax /. !rmin

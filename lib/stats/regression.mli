@@ -1,0 +1,25 @@
+(** Least-squares fits used to check the asymptotic shapes of the
+    theorems: e.g. E1 regresses measured election time on [log₂ n] and
+    inspects the slope and the goodness of fit, E2 regresses on [T]. *)
+
+type fit = {
+  slope : float;
+  intercept : float;
+  r2 : float;  (** coefficient of determination; 1 for a perfect fit *)
+}
+
+val linear : xs:float array -> ys:float array -> fit
+(** Ordinary least squares of [ys] on [xs]; arrays must have equal,
+    ≥ 2 length and [xs] must not be constant. *)
+
+val log_log_slope : xs:float array -> ys:float array -> fit
+(** Fit of [log ys] on [log xs]: the slope estimates the polynomial
+    degree of the relationship.  All values must be positive. *)
+
+val pearson : xs:float array -> ys:float array -> float
+(** Correlation coefficient. *)
+
+val ratio_spread : xs:float array -> ys:float array -> float
+(** [max(ys/xs) / min(ys/xs)] — a scale-free measure of how close
+    [ys ∝ xs] holds; near 1 means proportional.  Values must be
+    positive. *)

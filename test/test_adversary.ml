@@ -1,0 +1,190 @@
+open Test_util
+
+let mk factory = factory ()
+
+let test_none () =
+  let a = mk Adversary.none in
+  for slot = 0 to 50 do
+    check_true "none never wants to jam" (not (a.Adversary.wants_jam ~slot ~can_jam:true))
+  done
+
+let test_greedy () =
+  let a = mk Adversary.greedy in
+  check_true "greedy asks when allowed" (a.Adversary.wants_jam ~slot:0 ~can_jam:true);
+  check_true "greedy passes when blocked" (not (a.Adversary.wants_jam ~slot:0 ~can_jam:false))
+
+let test_random_extremes () =
+  let a = mk (Adversary.random ~seed:1 ~p:1.0) in
+  for slot = 0 to 20 do
+    check_true "p=1 always asks" (a.Adversary.wants_jam ~slot ~can_jam:true)
+  done;
+  let b = mk (Adversary.random ~seed:1 ~p:0.0) in
+  for slot = 0 to 20 do
+    check_true "p=0 never asks" (not (b.Adversary.wants_jam ~slot ~can_jam:true))
+  done
+
+let test_random_invalid () =
+  Alcotest.check_raises "p out of range"
+    (Invalid_argument "Adversary.random: p must lie in [0, 1]") (fun () ->
+      let (_ : Adversary.factory) = Adversary.random ~seed:1 ~p:1.5 in
+      ())
+
+let test_random_rate () =
+  let a = mk (Adversary.random ~seed:5 ~p:0.3) in
+  let asks = ref 0 in
+  let n = 20_000 in
+  for slot = 0 to n - 1 do
+    if a.Adversary.wants_jam ~slot ~can_jam:true then incr asks
+  done;
+  check_float_eps 0.02 "asks at rate p" 0.3 (float_of_int !asks /. float_of_int n)
+
+let test_periodic_pattern () =
+  let a = mk (Adversary.periodic ~period:5 ~burst:2) in
+  let expected slot = slot mod 5 < 2 in
+  for slot = 0 to 30 do
+    check_bool
+      (Printf.sprintf "periodic at %d" slot)
+      (expected slot)
+      (a.Adversary.wants_jam ~slot ~can_jam:true)
+  done
+
+let test_periodic_invalid () =
+  Alcotest.check_raises "burst > period"
+    (Invalid_argument "Adversary.periodic: need 1 <= burst <= period") (fun () ->
+      let (_ : Adversary.factory) = Adversary.periodic ~period:3 ~burst:4 in
+      ())
+
+let test_front_loaded_asks_early () =
+  let a = mk (Adversary.front_loaded ~window:8) in
+  check_true "asks at block start" (a.Adversary.wants_jam ~slot:0 ~can_jam:true);
+  check_true "asks mid block" (a.Adversary.wants_jam ~slot:3 ~can_jam:true);
+  check_true "spares the last slot of a block" (not (a.Adversary.wants_jam ~slot:7 ~can_jam:true));
+  check_true "never asks when budget-blocked" (not (a.Adversary.wants_jam ~slot:0 ~can_jam:false))
+
+let test_silence_breaker_reacts () =
+  let a = mk Adversary.silence_breaker in
+  check_true "initially passive" (not (a.Adversary.wants_jam ~slot:0 ~can_jam:true));
+  a.Adversary.notify ~slot:0 ~jammed:false ~state:Channel.Null;
+  check_true "asks after a Null" (a.Adversary.wants_jam ~slot:1 ~can_jam:true);
+  a.Adversary.notify ~slot:1 ~jammed:true ~state:Channel.Collision;
+  check_true "passive after a Collision" (not (a.Adversary.wants_jam ~slot:2 ~can_jam:true))
+
+let test_streak_saver () =
+  let a = mk (Adversary.streak_saver ~quota:3) in
+  check_true "waits for the streak" (not (a.Adversary.wants_jam ~slot:0 ~can_jam:true));
+  for slot = 0 to 2 do
+    a.Adversary.notify ~slot ~jammed:false ~state:Channel.Collision
+  done;
+  check_true "fires once quota reached" (a.Adversary.wants_jam ~slot:3 ~can_jam:true);
+  a.Adversary.notify ~slot:3 ~jammed:true ~state:Channel.Collision;
+  check_true "resets after jamming" (not (a.Adversary.wants_jam ~slot:4 ~can_jam:true))
+
+let test_stateful_constructor () =
+  let factory =
+    Adversary.stateful ~name:"every-other"
+      ~init:(fun () -> ref false)
+      ~wants:(fun flag ~slot:_ ~can_jam:_ -> !flag)
+      ~notify:(fun flag ~slot:_ ~jammed:_ ~state:_ -> flag := not !flag)
+  in
+  let a = mk factory in
+  Alcotest.(check string) "name" "every-other" a.Adversary.name;
+  check_true "starts false" (not (a.Adversary.wants_jam ~slot:0 ~can_jam:true));
+  a.Adversary.notify ~slot:0 ~jammed:false ~state:Channel.Null;
+  check_true "flips" (a.Adversary.wants_jam ~slot:1 ~can_jam:true)
+
+let test_factories_are_fresh () =
+  let factory = Adversary.silence_breaker in
+  let a = factory () in
+  a.Adversary.notify ~slot:0 ~jammed:false ~state:Channel.Null;
+  let b = factory () in
+  check_true "second instance unaffected by first"
+    (not (b.Adversary.wants_jam ~slot:0 ~can_jam:true))
+
+let test_pattern_schedule () =
+  let a = mk (Adversary.pattern "JJ..") in
+  let expected = [| true; true; false; false |] in
+  for slot = 0 to 19 do
+    check_bool
+      (Printf.sprintf "pattern at %d" slot)
+      expected.(slot mod 4)
+      (a.Adversary.wants_jam ~slot ~can_jam:true)
+  done
+
+let test_pattern_aliases_and_whitespace () =
+  let a = mk (Adversary.pattern "1 0\nj.") in
+  let expected = [| true; false; true; false |] in
+  for slot = 0 to 7 do
+    check_bool "aliases parse" expected.(slot mod 4) (a.Adversary.wants_jam ~slot ~can_jam:true)
+  done
+
+let test_pattern_validation () =
+  Alcotest.check_raises "empty" (Invalid_argument "Adversary.pattern: empty schedule")
+    (fun () ->
+      let (_ : Adversary.factory) = Adversary.pattern "" in
+      ());
+  Alcotest.check_raises "bad char" (Invalid_argument "Adversary.pattern: bad character 'x'")
+    (fun () ->
+      let (_ : Adversary.factory) = Adversary.pattern "J.x" in
+      ())
+
+(* Protocol-aware jammers from jamming_core. *)
+module AJ = Jamming_core.Adaptive_jammers
+
+let test_single_suppressor_band () =
+  let a = mk (AJ.single_suppressor ~eps_protocol:0.5 ~n:1024) in
+  (* At u = 0 the replica is far below log2 n = 10: outside the band. *)
+  check_true "passive at u=0" (not (a.Adversary.wants_jam ~slot:0 ~can_jam:true));
+  (* Drive the replica into the regular band with Collisions: each adds
+     eps/8 = 1/16... after ~160 collisions u ~ 10. *)
+  for slot = 0 to 170 do
+    a.Adversary.notify ~slot ~jammed:false ~state:Channel.Collision
+  done;
+  check_true "jams once u enters the Single-rich band"
+    (a.Adversary.wants_jam ~slot:200 ~can_jam:true)
+
+let test_estimate_twister_threshold () =
+  let a = mk (AJ.estimate_twister ~eps_protocol:0.5 ~n:16) in
+  check_true "pushes while u is low" (a.Adversary.wants_jam ~slot:0 ~can_jam:true);
+  (* u0 + log2 a = 4 + 4 = 8 -> 8 * 16 collisions drive u past it. *)
+  for slot = 0 to (8 * 16) + 1 do
+    a.Adversary.notify ~slot ~jammed:false ~state:Channel.Collision
+  done;
+  check_true "stops once u is far above log2 n"
+    (not (a.Adversary.wants_jam ~slot:300 ~can_jam:true))
+
+let test_notification_saboteur_targets_c1_c3 () =
+  let a = mk AJ.notification_saboteur in
+  let module I = Jamming_core.Intervals in
+  for slot = 0 to 200 do
+    let expected =
+      match I.classify slot with
+      | I.C1 _ | I.C3 _ -> true
+      | I.C2 _ | I.Idle -> false
+    in
+    check_bool
+      (Printf.sprintf "saboteur at slot %d" slot)
+      expected
+      (a.Adversary.wants_jam ~slot ~can_jam:true)
+  done
+
+let suite =
+  [
+    ("none", `Quick, test_none);
+    ("greedy", `Quick, test_greedy);
+    ("random extremes", `Quick, test_random_extremes);
+    ("random validation", `Quick, test_random_invalid);
+    ("random ask rate", `Quick, test_random_rate);
+    ("periodic pattern", `Quick, test_periodic_pattern);
+    ("periodic validation", `Quick, test_periodic_invalid);
+    ("front-loaded asks early", `Quick, test_front_loaded_asks_early);
+    ("silence-breaker reacts to Nulls", `Quick, test_silence_breaker_reacts);
+    ("streak-saver paces its budget", `Quick, test_streak_saver);
+    ("pattern schedule", `Quick, test_pattern_schedule);
+    ("pattern aliases/whitespace", `Quick, test_pattern_aliases_and_whitespace);
+    ("pattern validation", `Quick, test_pattern_validation);
+    ("stateful constructor", `Quick, test_stateful_constructor);
+    ("factories give fresh state", `Quick, test_factories_are_fresh);
+    ("single-suppressor targets the band", `Quick, test_single_suppressor_band);
+    ("estimate-twister stops above threshold", `Quick, test_estimate_twister_threshold);
+    ("notification-saboteur targets C1/C3", `Quick, test_notification_saboteur_targets_c1_c3);
+  ]

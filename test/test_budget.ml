@@ -1,0 +1,223 @@
+open Test_util
+
+(* Brute-force O(t^2) reference: a finished jam pattern is (T, 1-eps)-
+   bounded iff every contiguous window of length >= T holds at most
+   (1-eps)*w jams.  The Budget module additionally treats windows that
+   would close in the future as binding (count <= (1-eps)*T for short
+   suffixes), so everything it accepts must pass this reference. *)
+let reference_valid ~window ~eps jams =
+  let n = Array.length jams in
+  let ok = ref true in
+  for i = 0 to n - 1 do
+    let count = ref 0 in
+    for j = i to n - 1 do
+      if jams.(j) then incr count;
+      let w = j - i + 1 in
+      if w >= window && float_of_int !count > ((1.0 -. eps) *. float_of_int w) +. 1e-9 then
+        ok := false
+    done
+  done;
+  !ok
+
+(* Drive a desired pattern through the budget; return what was jammed. *)
+let filter_pattern ~window ~eps desired =
+  let b = Budget.create ~window ~eps in
+  Array.map
+    (fun want ->
+      let jam = want && Budget.can_jam b in
+      Budget.advance b ~jam;
+      jam)
+    desired
+
+let test_create_invalid () =
+  Alcotest.check_raises "window 0" (Invalid_argument "Budget.create: window must be >= 1")
+    (fun () -> ignore (Budget.create ~window:0 ~eps:0.5));
+  Alcotest.check_raises "eps 0" (Invalid_argument "Budget.create: eps must lie in (0, 1]")
+    (fun () -> ignore (Budget.create ~window:4 ~eps:0.0));
+  Alcotest.check_raises "eps > 1" (Invalid_argument "Budget.create: eps must lie in (0, 1]")
+    (fun () -> ignore (Budget.create ~window:4 ~eps:1.5))
+
+let test_eps_one_blocks_everything () =
+  let b = Budget.create ~window:8 ~eps:1.0 in
+  for _ = 1 to 100 do
+    check_true "eps=1 never allows a jam" (not (Budget.can_jam b));
+    Budget.advance b ~jam:false
+  done
+
+let test_window_one_blocks_everything () =
+  let b = Budget.create ~window:1 ~eps:0.5 in
+  for _ = 1 to 50 do
+    check_true "T=1 never allows a jam (each 1-window may hold < 1 jam)"
+      (not (Budget.can_jam b));
+    Budget.advance b ~jam:false
+  done
+
+let test_illegal_jam_raises () =
+  let b = Budget.create ~window:4 ~eps:1.0 in
+  Alcotest.check_raises "advance with illegal jam" (Budget.Illegal_jam 0) (fun () ->
+      Budget.advance b ~jam:true)
+
+let test_counters () =
+  let b = Budget.create ~window:4 ~eps:0.5 in
+  check_int "window accessor" 4 (Budget.window b);
+  check_float "eps accessor" 0.5 (Budget.eps b);
+  check_int "max jams in window" 2 (Budget.max_jams_in_window b);
+  Budget.advance b ~jam:true;
+  Budget.advance b ~jam:false;
+  check_int "elapsed" 2 (Budget.elapsed b);
+  check_int "jammed_total" 1 (Budget.jammed_total b)
+
+let test_no_three_consecutive_early () =
+  (* T=4, eps=0.5: three jams in any 4 consecutive slots would violate
+     the window that closes over them — even within the first T slots. *)
+  let jams = filter_pattern ~window:4 ~eps:0.5 (Array.make 12 true) in
+  for i = 0 to Array.length jams - 4 do
+    let c = ref 0 in
+    for j = i to i + 3 do
+      if jams.(j) then incr c
+    done;
+    check_true "at most 2 jams per 4-window" (!c <= 2)
+  done
+
+let test_greedy_expected_prefix () =
+  (* T=4, eps=0.5 greedy: first decisions are jam,jam,idle,idle,idle,jam
+     (window [0..4] of length 5 allows only 2 of the first 5). *)
+  let jams = filter_pattern ~window:4 ~eps:0.5 (Array.make 6 true) in
+  Alcotest.(check (array bool)) "greedy prefix" [| true; true; false; false; false; true |] jams
+
+(* The achievable long-run jam density is NOT (1-eps): integer rounding
+   of odd windows binds first.  E.g. (T=4, eps=0.5): a 5-slot window
+   admits floor(2.5) = 2 jams, so no pattern exceeds density 2/5.  The
+   true cap is min over w >= T of floor((1-eps)w)/w. *)
+let density_cap ~window ~eps =
+  let cap = ref 1.0 in
+  for w = window to 20 * window do
+    let allowed = Float.of_int (int_of_float ((1.0 -. eps) *. float_of_int w +. 1e-9)) in
+    cap := Float.min !cap (allowed /. float_of_int w)
+  done;
+  !cap
+
+let test_greedy_achieves_density () =
+  List.iter
+    (fun (window, eps) ->
+      let t = 50 * window in
+      let jams = filter_pattern ~window ~eps (Array.make t true) in
+      let total = Array.fold_left (fun acc j -> if j then acc + 1 else acc) 0 jams in
+      let target = density_cap ~window ~eps *. float_of_int t in
+      check_true
+        (Printf.sprintf "greedy jams close to the cap (T=%d eps=%.2f): %d vs %.0f" window
+           eps total target)
+        (float_of_int total >= target -. (3.0 *. float_of_int window) -. 2.0);
+      check_true "greedy pattern is reference-valid" (reference_valid ~window ~eps jams))
+    [ (4, 0.5); (16, 0.25); (16, 0.75); (64, 0.1); (3, 0.34) ]
+
+let test_burst_after_quiet () =
+  (* After a long quiet stretch the adversary may jam (1-eps)T of the next
+     window, but no more. *)
+  let window = 10 and eps = 0.5 in
+  let b = Budget.create ~window ~eps in
+  for _ = 1 to 100 do
+    Budget.advance b ~jam:false
+  done;
+  let burst = ref 0 in
+  for _ = 1 to window do
+    if Budget.can_jam b then begin
+      Budget.advance b ~jam:true;
+      incr burst
+    end
+    else Budget.advance b ~jam:false
+  done;
+  check_int "burst capacity is floor((1-eps)T)" 5 !burst
+
+let test_exhaustive_small_patterns () =
+  (* EVERY desire pattern of length 12, for several (T, eps): the
+     filtered result must pass the reference checker.  4096 patterns per
+     configuration — a complete enumeration, not a sample. *)
+  List.iter
+    (fun (window, eps) ->
+      for code = 0 to (1 lsl 12) - 1 do
+        let desired = Array.init 12 (fun i -> code land (1 lsl i) <> 0) in
+        let jams = filter_pattern ~window ~eps desired in
+        if not (reference_valid ~window ~eps jams) then
+          Alcotest.failf "violation for T=%d eps=%.2f desire code %d" window eps code
+      done)
+    [ (2, 0.5); (3, 0.34); (4, 0.5); (4, 0.75); (5, 0.21) ]
+
+let test_jam_capacity_never_lost () =
+  (* Whatever happened before, after T clear slots the adversary can
+     always jam at least floor((1-eps)T) of the next T (aligned burst
+     capacity regenerates). *)
+  let window = 8 and eps = 0.5 in
+  List.iter
+    (fun seed ->
+      let g = Prng.create ~seed in
+      let b = Budget.create ~window ~eps in
+      (* random legal prefix *)
+      for _ = 1 to 100 do
+        let jam = Prng.bool g ~p:0.5 && Budget.can_jam b in
+        Budget.advance b ~jam
+      done;
+      (* cooldown *)
+      for _ = 1 to window do
+        Budget.advance b ~jam:false
+      done;
+      let burst = ref 0 in
+      for _ = 1 to window do
+        if Budget.can_jam b then begin
+          Budget.advance b ~jam:true;
+          incr burst
+        end
+        else Budget.advance b ~jam:false
+      done;
+      check_int
+        (Printf.sprintf "regenerated capacity (seed %d)" seed)
+        (Budget.max_jams_in_window b)
+        !burst)
+    [ 1; 2; 3; 4; 5 ]
+
+let prop_filtered_patterns_are_valid =
+  qtest ~count:300 "budget-filtered random patterns satisfy the reference checker"
+    QCheck.(
+      triple (int_range 1 12)
+        (float_range 0.05 1.0)
+        (pair small_int (int_range 1 400)))
+    (fun (window, eps, (seed, len)) ->
+      let g = Prng.create ~seed in
+      let desired = Array.init len (fun _ -> Prng.bool g ~p:0.7) in
+      let jams = filter_pattern ~window ~eps desired in
+      reference_valid ~window ~eps jams)
+
+let prop_greedy_valid =
+  qtest ~count:100 "budget-filtered greedy satisfies the reference checker"
+    QCheck.(pair (int_range 1 20) (float_range 0.05 0.95))
+    (fun (window, eps) ->
+      let jams = filter_pattern ~window ~eps (Array.make (20 * window) true) in
+      reference_valid ~window ~eps jams)
+
+let prop_budget_monotone_in_eps =
+  qtest ~count:100 "a larger eps never allows more greedy jams"
+    QCheck.(pair (int_range 2 16) (pair (float_range 0.1 0.5) (float_range 0.0 0.4)))
+    (fun (window, (eps, delta)) ->
+      let count e =
+        let jams = filter_pattern ~window ~eps:e (Array.make (30 * window) true) in
+        Array.fold_left (fun acc j -> if j then acc + 1 else acc) 0 jams
+      in
+      count (eps +. delta) <= count eps)
+
+let suite =
+  [
+    ("create validation", `Quick, test_create_invalid);
+    ("eps = 1 blocks all jams", `Quick, test_eps_one_blocks_everything);
+    ("T = 1 blocks all jams", `Quick, test_window_one_blocks_everything);
+    ("illegal jam raises", `Quick, test_illegal_jam_raises);
+    ("accessors and counters", `Quick, test_counters);
+    ("no 3 jams in a 4-window early", `Quick, test_no_three_consecutive_early);
+    ("greedy prefix exact", `Quick, test_greedy_expected_prefix);
+    ("greedy reaches the density cap", `Quick, test_greedy_achieves_density);
+    ("burst capacity after quiet", `Quick, test_burst_after_quiet);
+    ("exhaustive 12-slot patterns", `Slow, test_exhaustive_small_patterns);
+    ("jam capacity regenerates", `Quick, test_jam_capacity_never_lost);
+    prop_filtered_patterns_are_valid;
+    prop_greedy_valid;
+    prop_budget_monotone_in_eps;
+  ]

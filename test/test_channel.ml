@@ -1,0 +1,88 @@
+open Test_util
+
+let test_resolve () =
+  Alcotest.check state_testable "0 tx, clear" Channel.Null
+    (Channel.resolve ~transmitters:0 ~jammed:false);
+  Alcotest.check state_testable "1 tx, clear" Channel.Single
+    (Channel.resolve ~transmitters:1 ~jammed:false);
+  Alcotest.check state_testable "2 tx, clear" Channel.Collision
+    (Channel.resolve ~transmitters:2 ~jammed:false);
+  Alcotest.check state_testable "17 tx, clear" Channel.Collision
+    (Channel.resolve ~transmitters:17 ~jammed:false)
+
+let test_resolve_jammed () =
+  (* A jammed slot is Collision no matter what (indistinguishability, 1.1). *)
+  List.iter
+    (fun transmitters ->
+      Alcotest.check state_testable
+        (Printf.sprintf "%d tx, jammed" transmitters)
+        Channel.Collision
+        (Channel.resolve ~transmitters ~jammed:true))
+    [ 0; 1; 2; 10 ]
+
+let test_resolve_invalid () =
+  Alcotest.check_raises "negative count rejected"
+    (Invalid_argument "Channel.resolve: negative transmitter count") (fun () ->
+      ignore (Channel.resolve ~transmitters:(-1) ~jammed:false))
+
+let test_perceive_strong () =
+  (* Strong-CD: everyone gets the truth, transmitting or not. *)
+  List.iter
+    (fun st ->
+      List.iter
+        (fun transmitted ->
+          Alcotest.check state_testable "strong-CD passthrough" st
+            (Channel.perceive Channel.Strong_cd st ~transmitted))
+        [ true; false ])
+    [ Channel.Null; Channel.Single; Channel.Collision ]
+
+let test_perceive_weak () =
+  (* Weak-CD transmitters assume Collision (Function 3 of the paper). *)
+  List.iter
+    (fun st ->
+      Alcotest.check state_testable "weak-CD transmitter sees Collision" Channel.Collision
+        (Channel.perceive Channel.Weak_cd st ~transmitted:true))
+    [ Channel.Single; Channel.Collision ];
+  List.iter
+    (fun st ->
+      Alcotest.check state_testable "weak-CD listener sees truth" st
+        (Channel.perceive Channel.Weak_cd st ~transmitted:false))
+    [ Channel.Null; Channel.Single; Channel.Collision ]
+
+let test_perceive_no_cd () =
+  Alcotest.check state_testable "no-CD: Null reads as no-Single" Channel.Collision
+    (Channel.perceive Channel.No_cd Channel.Null ~transmitted:false);
+  Alcotest.check state_testable "no-CD: Collision reads as no-Single" Channel.Collision
+    (Channel.perceive Channel.No_cd Channel.Collision ~transmitted:false);
+  Alcotest.check state_testable "no-CD: Single still heard" Channel.Single
+    (Channel.perceive Channel.No_cd Channel.Single ~transmitted:false);
+  Alcotest.check state_testable "no-CD transmitter blind" Channel.Collision
+    (Channel.perceive Channel.No_cd Channel.Single ~transmitted:true)
+
+let test_listener_knows_null () =
+  check_true "strong knows Null" (Channel.listener_knows_null Channel.Strong_cd);
+  check_true "weak knows Null" (Channel.listener_knows_null Channel.Weak_cd);
+  check_true "no-CD cannot see Null" (not (Channel.listener_knows_null Channel.No_cd))
+
+let test_printers () =
+  Alcotest.(check string) "state string" "Single" (Channel.state_to_string Channel.Single);
+  Alcotest.(check string) "cd string" "weak-CD" (Channel.cd_model_to_string Channel.Weak_cd)
+
+let test_equal () =
+  check_true "equal state" (Channel.equal_state Channel.Null Channel.Null);
+  check_true "unequal state" (not (Channel.equal_state Channel.Null Channel.Collision));
+  check_true "equal cd" (Channel.equal_cd_model Channel.No_cd Channel.No_cd);
+  check_true "unequal cd" (not (Channel.equal_cd_model Channel.No_cd Channel.Weak_cd))
+
+let suite =
+  [
+    ("resolve clear slots", `Quick, test_resolve);
+    ("resolve jammed slots", `Quick, test_resolve_jammed);
+    ("resolve rejects negatives", `Quick, test_resolve_invalid);
+    ("perceive strong-CD", `Quick, test_perceive_strong);
+    ("perceive weak-CD", `Quick, test_perceive_weak);
+    ("perceive no-CD", `Quick, test_perceive_no_cd);
+    ("listener_knows_null", `Quick, test_listener_knows_null);
+    ("printers", `Quick, test_printers);
+    ("equality", `Quick, test_equal);
+  ]

@@ -1,0 +1,152 @@
+module Estimation = Jamming_core.Estimation
+module Size_approx = Jamming_core.Size_approx
+open Test_util
+
+let nulls k = List.init k (fun _ -> Channel.Null)
+let collisions k = List.init k (fun _ -> Channel.Collision)
+
+let test_validation () =
+  Alcotest.check_raises "threshold 0"
+    (Invalid_argument "Estimation.Logic.create: threshold must be >= 1") (fun () ->
+      ignore (Estimation.Logic.create ~threshold:0))
+
+let test_round_structure () =
+  let l = Estimation.Logic.create ~threshold:2 in
+  check_int "round starts at 1" 1 (Estimation.Logic.round l);
+  check_float "round-1 probability is 2^-2" 0.25 (Estimation.Logic.tx_prob l);
+  (* Round 1 has 2 slots; feed 2 collisions -> advance to round 2. *)
+  Estimation.Logic.on_state l Channel.Collision;
+  Estimation.Logic.on_state l Channel.Collision;
+  check_int "round 2 after 2 slots" 2 (Estimation.Logic.round l);
+  check_float "round-2 probability is 2^-4" (1.0 /. 16.0) (Estimation.Logic.tx_prob l);
+  (* Round 2 has 4 slots. *)
+  for _ = 1 to 4 do
+    Estimation.Logic.on_state l Channel.Collision
+  done;
+  check_int "round 3 after 4 more" 3 (Estimation.Logic.round l)
+
+let test_returns_on_enough_nulls () =
+  (* Round 1 (2 slots) with 2 Nulls meets L = 2 immediately. *)
+  match Estimation.run_logic ~threshold:2 ~states:(nulls 2) with
+  | `Returned 1 -> ()
+  | `Returned r -> Alcotest.failf "returned %d, expected 1" r
+  | `Singled -> Alcotest.fail "unexpected Single"
+  | `Running _ -> Alcotest.fail "should have returned"
+
+let test_nulls_must_be_in_one_round () =
+  (* One Null in round 1 does not carry over; round 2 (4 slots) is fed
+     only 3 slots with a single Null, so the logic is still mid-round. *)
+  let states = [ Channel.Null; Channel.Collision ] @ collisions 2 @ [ Channel.Null ] in
+  match Estimation.run_logic ~threshold:2 ~states with
+  | `Running l -> check_int "still in round 2" 2 (Estimation.Logic.round l)
+  | `Returned r -> Alcotest.failf "returned %d too early" r
+  | `Singled -> Alcotest.fail "unexpected Single"
+
+let test_single_stops_everything () =
+  match Estimation.run_logic ~threshold:2 ~states:(collisions 3 @ [ Channel.Single ]) with
+  | `Singled -> ()
+  | _ -> Alcotest.fail "Single must end the estimation"
+
+let test_threshold_one () =
+  match Estimation.run_logic ~threshold:1 ~states:[ Channel.Collision; Channel.Null ] with
+  | `Returned 1 -> ()
+  | _ -> Alcotest.fail "L=1 returns on the first Null-bearing round"
+
+let test_probability_underflows_gracefully () =
+  let l = Estimation.Logic.create ~threshold:2 in
+  (* Push to a very high round. *)
+  let rec drain r =
+    if r < 70 then begin
+      for _ = 1 to 1 lsl Stdlib.min r 22 do
+        Estimation.Logic.on_state l Channel.Collision
+      done;
+      drain (r + 1)
+    end
+  in
+  drain 1;
+  let p = Estimation.Logic.tx_prob l in
+  check_true "probability stays a valid float" (p >= 0.0 && p <= 1.0)
+
+(* --- Lemma 2.8 in simulation (via Size_approx, which wraps Estimation) --- *)
+
+let run_estimation ~seed ~n ~window ~adversary =
+  let rng = Prng.create ~seed in
+  let budget = Budget.create ~window ~eps:0.5 in
+  Size_approx.run ~n ~rng ~adversary:(adversary ()) ~budget
+    ~max_slots:(Stdlib.max 200_000 (64 * window)) ()
+
+let test_band_no_adversary () =
+  List.iter
+    (fun n ->
+      let in_band = ref 0 and total = 30 in
+      for seed = 1 to total do
+        match run_estimation ~seed ~n ~window:16 ~adversary:Adversary.none with
+        | Size_approx.Estimate { round; _ } ->
+            if Size_approx.within_lemma_2_8_band ~round ~n ~window:16 then incr in_band
+        | Size_approx.Leader_elected _ -> incr in_band
+        | Size_approx.Exhausted _ -> ()
+      done;
+      check_true
+        (Printf.sprintf "n=%d: %d/%d runs in the Lemma 2.8 band" n !in_band total)
+        (!in_band >= total - 1))
+    [ 128; 4096; 65536 ]
+
+let test_band_under_greedy_jamming () =
+  let n = 4096 and window = 64 in
+  let ok = ref 0 and total = 30 in
+  for seed = 100 to 100 + total - 1 do
+    match run_estimation ~seed ~n ~window ~adversary:Adversary.greedy with
+    | Size_approx.Estimate { round; _ } ->
+        if Size_approx.within_lemma_2_8_band ~round ~n ~window then incr ok
+    | Size_approx.Leader_elected _ -> incr ok
+    | Size_approx.Exhausted _ -> ()
+  done;
+  check_true (Printf.sprintf "greedy: %d/%d in band" !ok total) (!ok >= total - 2)
+
+let test_time_bound () =
+  (* Lemma 2.8: O(max{log n, T}) slots. *)
+  let n = 65536 and window = 16 in
+  match run_estimation ~seed:5 ~n ~window ~adversary:Adversary.none with
+  | Size_approx.Estimate { slots; _ } | Size_approx.Leader_elected { slots } ->
+      check_true
+        (Printf.sprintf "estimation used %d slots for log n = 16" slots)
+        (slots <= 64 * 16)
+  | Size_approx.Exhausted _ -> Alcotest.fail "estimation did not finish"
+
+let test_n_hat_polynomial () =
+  (* n_hat = 2^(2^round) is within [sqrt n, n^4] when the round is in band
+     and T <= log n. *)
+  let n = 65536 in
+  match run_estimation ~seed:6 ~n ~window:8 ~adversary:Adversary.none with
+  | Size_approx.Estimate { n_hat; round; _ } ->
+      check_true "round in band" (Size_approx.within_lemma_2_8_band ~round ~n ~window:8);
+      let nf = float_of_int n in
+      check_true
+        (Printf.sprintf "n_hat = %g within [sqrt n, n^4]" n_hat)
+        (n_hat >= sqrt nf && n_hat <= nf ** 4.0)
+  | Size_approx.Leader_elected _ -> () (* acceptable per the lemma *)
+  | Size_approx.Exhausted _ -> Alcotest.fail "no estimate"
+
+let test_uniform_wrapper_stops_transmitting () =
+  let factory = Estimation.uniform ~threshold:2 () in
+  let u = factory () in
+  (* Feed Nulls until it returns; afterwards tx_prob must be 0. *)
+  ignore (u.Uniform.on_state Channel.Null);
+  ignore (u.Uniform.on_state Channel.Null);
+  check_float "post-return probability 0" 0.0 (u.Uniform.tx_prob ())
+
+let suite =
+  [
+    ("validation", `Quick, test_validation);
+    ("round structure", `Quick, test_round_structure);
+    ("returns on enough Nulls", `Quick, test_returns_on_enough_nulls);
+    ("Null quota is per round", `Quick, test_nulls_must_be_in_one_round);
+    ("Single stops estimation", `Quick, test_single_stops_everything);
+    ("threshold one", `Quick, test_threshold_one);
+    ("deep rounds underflow gracefully", `Quick, test_probability_underflows_gracefully);
+    ("Lemma 2.8 band, benign channel", `Slow, test_band_no_adversary);
+    ("Lemma 2.8 band, greedy jamming", `Slow, test_band_under_greedy_jamming);
+    ("Lemma 2.8 time bound", `Quick, test_time_bound);
+    ("size estimate is polynomial", `Quick, test_n_hat_polynomial);
+    ("uniform wrapper goes quiet after returning", `Quick, test_uniform_wrapper_stops_transmitting);
+  ]

@@ -1,0 +1,228 @@
+module E = Jamming_experiments
+open Test_util
+
+let test_table_render () =
+  let t =
+    E.Table.create ~title:"demo" ~columns:[ ("name", E.Table.Left); ("v", E.Table.Right) ]
+  in
+  E.Table.add_row t [ "alpha"; "1" ];
+  E.Table.add_row t [ "b"; "22" ];
+  let s = E.Table.render t in
+  check_true "title present" (String.length s > 4 && String.sub s 0 4 = "demo");
+  check_true "right alignment pads" (String.length s > 0);
+  Alcotest.check_raises "row arity enforced"
+    (Invalid_argument "Table.add_row: 1 cells for 2 columns") (fun () ->
+      E.Table.add_row t [ "only-one" ])
+
+let test_table_csv () =
+  let t = E.Table.create ~title:"t" ~columns:[ ("a", E.Table.Left); ("b", E.Table.Left) ] in
+  E.Table.add_row t [ "x,y"; "plain" ];
+  E.Table.add_separator t;
+  E.Table.add_row t [ "q\"uote"; "2" ];
+  let csv = E.Table.to_csv t in
+  Alcotest.(check string) "csv escaping" "a,b\n\"x,y\",plain\n\"q\"\"uote\",2\n" csv
+
+let test_table_formatters () =
+  Alcotest.(check string) "pct" "97.0%" (E.Table.fmt_pct 0.97);
+  Alcotest.(check string) "ratio" "1.50" (E.Table.fmt_ratio 1.5);
+  Alcotest.(check string) "capped slots" ">100" (E.Table.fmt_slots ~capped:true 100.0);
+  Alcotest.(check string) "plain slots" "137" (E.Table.fmt_slots ~capped:false 137.0)
+
+let test_ascii_plot () =
+  let s =
+    E.Ascii_plot.render ~width:20 ~height:8 ~x_label:"n" ~y_label:"slots"
+      [
+        { E.Ascii_plot.label = "a"; points = [ (1.0, 1.0); (2.0, 4.0); (3.0, 9.0) ] };
+        { E.Ascii_plot.label = "b"; points = [ (1.0, 2.0) ] };
+      ]
+  in
+  check_true "contains the legend" (String.length s > 0);
+  check_true "mentions both labels"
+    (String.index_opt s '*' <> None && String.index_opt s '+' <> None)
+
+let test_ascii_plot_validation () =
+  Alcotest.check_raises "empty plot" (Invalid_argument "Ascii_plot.render: no points")
+    (fun () ->
+      ignore (E.Ascii_plot.render ~x_label:"x" ~y_label:"y" [ { E.Ascii_plot.label = "e"; points = [] } ]))
+
+let setup = { E.Runner.n = 64; eps = 0.5; window = 16; max_slots = 50_000 }
+
+let test_runner_determinism () =
+  let s1 = E.Runner.replicate ~reps:5 setup (E.Specs.lesk ~eps:0.5) E.Specs.greedy in
+  let s2 = E.Runner.replicate ~reps:5 setup (E.Specs.lesk ~eps:0.5) E.Specs.greedy in
+  Array.iteri
+    (fun i r1 ->
+      check_int
+        (Printf.sprintf "rep %d identical" i)
+        r1.Metrics.slots
+        s2.E.Runner.results.(i).Metrics.slots)
+    s1.E.Runner.results
+
+let test_runner_seed_variation () =
+  let s1 = E.Runner.replicate ~base_seed:1 ~reps:8 setup (E.Specs.lesk ~eps:0.5) E.Specs.greedy in
+  let s2 = E.Runner.replicate ~base_seed:2 ~reps:8 setup (E.Specs.lesk ~eps:0.5) E.Specs.greedy in
+  let slots s = Array.map (fun r -> r.Metrics.slots) s.E.Runner.results in
+  check_true "different base seeds give different runs" (slots s1 <> slots s2)
+
+let test_runner_digests () =
+  let s = E.Runner.replicate ~reps:10 setup (E.Specs.lesk ~eps:0.5) E.Specs.no_jamming in
+  check_true "all complete without jamming" (E.Runner.all_completed s);
+  check_float "all succeed" 1.0 (E.Runner.success_rate s);
+  check_true "median positive" (E.Runner.median_slots s > 0.0);
+  check_true "energy positive" (E.Runner.mean_energy_per_station s > 0.0);
+  check_float "no jamming fraction" 0.0 (E.Runner.median_jammed_fraction s)
+
+let test_runner_validation () =
+  Alcotest.check_raises "bad eps" (Invalid_argument "Runner: eps must lie in (0, 1]")
+    (fun () ->
+      ignore
+        (E.Runner.run_once { setup with E.Runner.eps = 0.0 } (E.Specs.lesk ~eps:0.5)
+           E.Specs.greedy ~seed:1))
+
+let test_registry_complete () =
+  check_int "23 experiments registered" 23 (List.length E.Experiments.all);
+  let ids = List.map (fun e -> e.E.Registry.id) E.Experiments.all in
+  List.iter
+    (fun id -> check_true (id ^ " present") (List.mem id ids))
+    [
+      "E1"; "E2"; "E3"; "E4"; "E5"; "E6"; "E7"; "E8"; "E9"; "E10"; "E11"; "E12"; "E13";
+      "E14"; "E15"; "E16"; "F1"; "F2"; "A1"; "A2"; "A3"; "A4"; "A5";
+    ]
+
+let test_registry_find () =
+  (match E.Experiments.find "e7" with
+  | Some e -> Alcotest.(check string) "find by id" "notification-overhead" e.E.Registry.name
+  | None -> Alcotest.fail "E7 not found");
+  (match E.Experiments.find "LESK-SCALING-N" with
+  | Some e -> Alcotest.(check string) "find by name" "E1" e.E.Registry.id
+  | None -> Alcotest.fail "name lookup failed");
+  check_true "unknown is None" (E.Experiments.find "nope" = None)
+
+let test_specs_protocol_names () =
+  List.iter
+    (fun (p, expected) -> Alcotest.(check string) "protocol name" expected p.E.Specs.p_name)
+    [
+      (E.Specs.lesu (), "LESU");
+      (E.Specs.arss, "ARSS-MAC");
+      (E.Specs.willard, "Willard");
+      (E.Specs.known_n, "known-n");
+    ]
+
+let test_parallel_replication_identical () =
+  let setup = { E.Runner.n = 256; eps = 0.5; window = 32; max_slots = 100_000 } in
+  let seq = E.Runner.replicate ~jobs:1 ~reps:24 setup (E.Specs.lesk ~eps:0.5) E.Specs.greedy in
+  let par = E.Runner.replicate ~jobs:4 ~reps:24 setup (E.Specs.lesk ~eps:0.5) E.Specs.greedy in
+  Array.iteri
+    (fun i (r : Metrics.result) ->
+      check_int (Printf.sprintf "rep %d bit-identical" i) r.Metrics.slots
+        par.E.Runner.results.(i).Metrics.slots;
+      check_int "jams identical" r.Metrics.jammed_slots
+        par.E.Runner.results.(i).Metrics.jammed_slots)
+    seq.E.Runner.results
+
+let test_parallel_exact_identical () =
+  let setup = { E.Runner.n = 16; eps = 0.5; window = 32; max_slots = 100_000 } in
+  let run jobs =
+    E.Runner.replicate_exact ~jobs ~cd:Channel.Strong_cd ~reps:10 setup ~name:"lesk"
+      ~factory:(Jamming_core.Lesk.station ~eps:0.5)
+      E.Specs.greedy
+  in
+  let seq = run 1 and par = run 3 in
+  Array.iteri
+    (fun i (r : Metrics.result) ->
+      check_int (Printf.sprintf "exact rep %d identical" i) r.Metrics.slots
+        par.E.Runner.results.(i).Metrics.slots)
+    seq.E.Runner.results
+
+let test_recommended_jobs () =
+  let j = E.Runner.recommended_jobs () in
+  check_true "within [1, 8]" (j >= 1 && j <= 8)
+
+let test_run_one_smoke () =
+  (* Drive a full experiment end-to-end through the registry plumbing
+     (header, Output scoping, tables): F1 is the cheapest. *)
+  let buf = Buffer.create 4096 in
+  let ppf = Format.formatter_of_buffer buf in
+  let out = E.Output.to_formatter ppf in
+  (match E.Experiments.find "F1" with
+  | Some e -> E.Experiments.run_one ~scale:E.Registry.Quick out e
+  | None -> Alcotest.fail "F1 missing");
+  Format.pp_print_flush ppf ();
+  let text = Buffer.contents buf in
+  check_true "prints the banner" (String.length text > 200);
+  check_true "contains the claim id"
+    (String.length text >= 6 && String.sub text 0 6 = "\n=== F")
+
+let test_output_text_only () =
+  let buf = Buffer.create 64 in
+  let ppf = Format.formatter_of_buffer buf in
+  let out = E.Output.to_formatter ppf in
+  let t = E.Table.create ~title:"T" ~columns:[ ("a", E.Table.Left) ] in
+  E.Table.add_row t [ "1" ];
+  E.Output.table out t;
+  Format.pp_print_flush ppf ();
+  check_true "table rendered to formatter" (Buffer.length buf > 0);
+  Alcotest.(check (list string)) "no csv files" [] (E.Output.csv_files_written out)
+
+let test_output_csv_dir () =
+  let dir = Filename.temp_file "jamming" "csv" in
+  Sys.remove dir;
+  let ppf = Format.make_formatter (fun _ _ _ -> ()) (fun () -> ()) in
+  let out = E.Output.with_csv_dir ~dir ppf in
+  E.Output.begin_experiment out ~id:"E99";
+  let t = E.Table.create ~title:"My Table: v1!" ~columns:[ ("a", E.Table.Left) ] in
+  E.Table.add_row t [ "x" ];
+  E.Output.table out t;
+  E.Output.table out t;
+  (match E.Output.csv_files_written out with
+  | [ second; first ] ->
+      check_true "slugged name" (Filename.basename first = "e99-1-my-table-v1.csv");
+      check_true "counter increments" (Filename.basename second = "e99-2-my-table-v1.csv");
+      check_true "file exists" (Sys.file_exists first);
+      let ic = open_in first in
+      let line = input_line ic in
+      close_in ic;
+      Alcotest.(check string) "csv header" "a" line
+  | l -> Alcotest.failf "expected 2 csv files, got %d" (List.length l));
+  E.Output.begin_experiment out ~id:"E98";
+  E.Output.table out t;
+  (match E.Output.csv_files_written out with
+  | newest :: _ ->
+      check_true "new id resets the counter"
+        (Filename.basename newest = "e98-1-my-table-v1.csv")
+  | [] -> Alcotest.fail "no file written");
+  Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+  Sys.rmdir dir
+
+let test_standard_adversary_zoo () =
+  let zoo = E.Specs.standard_adversaries ~eps_protocol:0.5 in
+  check_int "nine adversaries" 9 (List.length zoo);
+  (* Instantiate each against a short LESK run to prove they are live. *)
+  List.iter
+    (fun a ->
+      let r = E.Runner.run_once setup (E.Specs.lesk ~eps:0.5) a ~seed:3 in
+      check_true (a.E.Specs.a_name ^ " run completes") r.Metrics.completed)
+    zoo
+
+let suite =
+  [
+    ("table render", `Quick, test_table_render);
+    ("table CSV", `Quick, test_table_csv);
+    ("table formatters", `Quick, test_table_formatters);
+    ("ascii plot", `Quick, test_ascii_plot);
+    ("ascii plot validation", `Quick, test_ascii_plot_validation);
+    ("runner determinism", `Quick, test_runner_determinism);
+    ("runner seed variation", `Quick, test_runner_seed_variation);
+    ("runner digests", `Quick, test_runner_digests);
+    ("runner validation", `Quick, test_runner_validation);
+    ("registry complete", `Quick, test_registry_complete);
+    ("registry find", `Quick, test_registry_find);
+    ("spec names", `Quick, test_specs_protocol_names);
+    ("parallel replication identical", `Quick, test_parallel_replication_identical);
+    ("parallel exact identical", `Quick, test_parallel_exact_identical);
+    ("recommended jobs", `Quick, test_recommended_jobs);
+    ("run_one end-to-end smoke", `Slow, test_run_one_smoke);
+    ("output text-only", `Quick, test_output_text_only);
+    ("output csv mirroring", `Quick, test_output_csv_dir);
+    ("adversary zoo is live", `Slow, test_standard_adversary_zoo);
+  ]

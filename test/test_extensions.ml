@@ -1,0 +1,214 @@
+module Size_approx = Jamming_core.Size_approx
+module K_selection = Jamming_core.K_selection
+open Test_util
+
+let test_size_approx_band_helper () =
+  (* n = 65536: log log n = 4; T = 16: log T = 4; band = [3, 5]. *)
+  check_true "3 in band" (Size_approx.within_lemma_2_8_band ~round:3 ~n:65536 ~window:16);
+  check_true "5 in band" (Size_approx.within_lemma_2_8_band ~round:5 ~n:65536 ~window:16);
+  check_true "2 below band" (not (Size_approx.within_lemma_2_8_band ~round:2 ~n:65536 ~window:16));
+  check_true "6 above band" (not (Size_approx.within_lemma_2_8_band ~round:6 ~n:65536 ~window:16));
+  (* Large T widens the top: T = 2^10 -> upper becomes 11. *)
+  check_true "T widens the band"
+    (Size_approx.within_lemma_2_8_band ~round:10 ~n:65536 ~window:1024)
+
+let test_size_approx_outcome_printer () =
+  let s =
+    Format.asprintf "%a" Size_approx.pp_outcome
+      (Size_approx.Estimate { round = 4; n_hat = 65536.0; slots = 30 })
+  in
+  check_true "printer mentions the round" (String.length s > 0)
+
+let run_refine ?(adversary = Adversary.greedy) ~n ~seed () =
+  let rng = Prng.create ~seed in
+  let budget = Budget.create ~window:64 ~eps:0.5 in
+  Size_approx.refine ~n ~rng ~adversary:(adversary ()) ~budget ~max_slots:500_000 ()
+
+let test_refine_constant_factor () =
+  List.iter
+    (fun n ->
+      List.iter
+        (fun seed ->
+          match run_refine ~n ~seed () with
+          | Size_approx.Refined { n_hat; _ } ->
+              check_true
+                (Printf.sprintf "n=%d seed=%d: n_hat=%.0f within 4x" n seed n_hat)
+                (n_hat >= float_of_int n /. 4.0 && n_hat <= 4.0 *. float_of_int n)
+          | Size_approx.Refine_failed _ -> Alcotest.failf "refine failed at n=%d seed=%d" n seed)
+        [ 1; 2; 3; 4; 5 ])
+    [ 100; 10_000 ]
+
+let test_refine_elects_en_route () =
+  match run_refine ~n:1000 ~seed:9 () with
+  | Size_approx.Refined { leader_elected; _ } ->
+      check_true "sweep crosses the Single zone" leader_elected
+  | Size_approx.Refine_failed _ -> Alcotest.fail "refine failed"
+
+let test_refine_benign_clear_fraction () =
+  match run_refine ~adversary:Adversary.none ~n:1000 ~seed:2 () with
+  | Size_approx.Refined { clear_fraction; _ } ->
+      check_true
+        (Printf.sprintf "benign plateau %.2f above jammed plateaus" clear_fraction)
+        (clear_fraction > 0.55)
+  | Size_approx.Refine_failed _ -> Alcotest.fail "refine failed"
+
+let test_refine_validation () =
+  Alcotest.check_raises "slots_per_probe too small"
+    (Invalid_argument "Size_approx.refine: slots_per_probe must be >= 8") (fun () ->
+      let rng = Prng.create ~seed:1 in
+      let budget = Budget.create ~window:8 ~eps:0.5 in
+      ignore
+        (Size_approx.refine ~slots_per_probe:4 ~n:10 ~rng
+           ~adversary:(Adversary.none ()) ~budget ~max_slots:100 ()))
+
+module Energy_cap = Jamming_core.Energy_cap
+
+let run_capped ~cap ~seed () =
+  let rng = Prng.create ~seed in
+  let budget = Budget.create ~window:32 ~eps:0.5 in
+  Energy_cap.run_lesk ~cap ~n:32 ~eps:0.5 ~rng ~adversary:(Adversary.greedy ()) ~budget
+    ~max_slots:20_000 ()
+
+let test_energy_cap_generous_is_free () =
+  let o = run_capped ~cap:1_000_000 ~seed:3 () in
+  check_true "huge cap elects" (Metrics.election_ok o.Energy_cap.result);
+  check_int "nobody exhausted" 0 o.Energy_cap.exhausted
+
+let test_energy_cap_zero_never_elects () =
+  let o = run_capped ~cap:0 ~seed:3 () in
+  check_true "cap 0 cannot elect" (not o.Energy_cap.result.Metrics.elected);
+  check_int "everyone 'exhausted' immediately" 32 o.Energy_cap.exhausted
+
+let test_energy_cap_respected () =
+  (* Per-station transmissions never exceed the cap: with cap c, total
+     transmissions <= n * c. *)
+  let cap = 5 in
+  let o = run_capped ~cap ~seed:7 () in
+  check_true "total transmissions bounded by n*cap"
+    (o.Energy_cap.result.Metrics.transmissions <= float_of_int (32 * cap) +. 0.5);
+  check_true "max per-station bounded"
+    (o.Energy_cap.result.Metrics.max_station_transmissions <= cap)
+
+let test_energy_cap_validation () =
+  Alcotest.check_raises "negative cap"
+    (Invalid_argument "Energy_cap.station: cap must be >= 0") (fun () ->
+      let factory = Energy_cap.station ~cap:(-1) (Jamming_core.Lesk.station ~eps:0.5) in
+      ignore (factory ~id:0 ~rng:(Prng.create ~seed:1)))
+
+let run_k_selection ?(warm_start = true) ?(adversary = Adversary.none) ~k ~n () =
+  let rng = Prng.create ~seed:77 in
+  let budget = Budget.create ~window:32 ~eps:0.5 in
+  K_selection.run ~warm_start ~k ~n ~eps:0.5 ~rng ~adversary:(adversary ()) ~budget
+    ~max_slots:500_000 ()
+
+let test_k_selection_basic () =
+  let outcome = run_k_selection ~k:5 ~n:64 () in
+  check_true "completed" outcome.K_selection.completed;
+  check_int "five rounds" 5 (List.length outcome.K_selection.rounds);
+  check_int "total is the sum of rounds" outcome.K_selection.total_slots
+    (List.fold_left
+       (fun acc (r : K_selection.round_result) -> acc + r.K_selection.slots)
+       0 outcome.K_selection.rounds);
+  List.iteri
+    (fun i (r : K_selection.round_result) ->
+      check_true
+        (Printf.sprintf "round %d winner index within shrinking population" i)
+        (r.K_selection.winner_index >= 0 && r.K_selection.winner_index < 64 - i))
+    outcome.K_selection.rounds
+
+let test_k_selection_k_equals_n () =
+  let outcome = run_k_selection ~k:4 ~n:4 () in
+  check_true "can select everyone" outcome.K_selection.completed;
+  check_int "four rounds" 4 (List.length outcome.K_selection.rounds)
+
+let test_k_selection_validation () =
+  Alcotest.check_raises "k > n" (Invalid_argument "K_selection.run: need 1 <= k <= n")
+    (fun () -> ignore (run_k_selection ~k:5 ~n:4 ()));
+  Alcotest.check_raises "k = 0" (Invalid_argument "K_selection.run: need 1 <= k <= n")
+    (fun () -> ignore (run_k_selection ~k:0 ~n:4 ()))
+
+let test_k_selection_under_jamming () =
+  let outcome = run_k_selection ~adversary:Adversary.greedy ~k:3 ~n:32 () in
+  check_true "k-selection completes under greedy jamming" outcome.K_selection.completed
+
+let test_k_selection_warm_start_faster () =
+  (* Warm start skips the ramp-up of later rounds; compare medians over
+     seeds for a mid-size network. *)
+  let total ~warm_start seed =
+    let rng = Prng.create ~seed in
+    let budget = Budget.create ~window:32 ~eps:0.5 in
+    let o =
+      K_selection.run ~warm_start ~k:8 ~n:256 ~eps:0.5 ~rng
+        ~adversary:(Adversary.none ()) ~budget ~max_slots:500_000 ()
+    in
+    float_of_int o.K_selection.total_slots
+  in
+  let med f = Jamming_stats.Descriptive.median (Array.init 15 (fun i -> f (i + 1))) in
+  let warm = med (total ~warm_start:true) and cold = med (total ~warm_start:false) in
+  check_true
+    (Printf.sprintf "warm start not slower (warm %.0f vs cold %.0f)" warm cold)
+    (warm <= cold *. 1.1)
+
+let test_k_selection_budget_spans_rounds () =
+  (* The same budget object is threaded through the rounds, so the whole
+     chain respects (T, 1-eps): total jams <= (1-eps)*total + T slack. *)
+  let rng = Prng.create ~seed:5 in
+  let budget = Budget.create ~window:16 ~eps:0.5 in
+  let o =
+    K_selection.run ~k:4 ~n:64 ~eps:0.5 ~rng ~adversary:(Adversary.greedy ()) ~budget
+      ~max_slots:500_000 ()
+  in
+  check_true "completed" o.K_selection.completed;
+  check_true "jam budget spans the chain"
+    (float_of_int (Budget.jammed_total budget)
+    <= (0.5 *. float_of_int (Budget.elapsed budget)) +. 16.0)
+
+let test_weak_cd_k_selection () =
+  let rng = Prng.create ~seed:21 in
+  let budget = Budget.create ~window:16 ~eps:0.5 in
+  let o =
+    K_selection.run_weak_cd ~k:3 ~n:10 ~eps:0.5 ~rng
+      ~adversary:(Adversary.greedy ())
+      ~budget ~max_slots:3_000_000 ()
+  in
+  check_true "completed" o.K_selection.completed;
+  check_int "three winners" 3 (List.length o.K_selection.winners);
+  check_true "winners are distinct original ids"
+    (List.sort_uniq compare o.K_selection.winners = List.sort compare o.K_selection.winners);
+  List.iter
+    (fun id -> check_true "winner id in range" (id >= 0 && id < 10))
+    o.K_selection.winners;
+  check_true "budget spans the weak-CD chain"
+    (float_of_int (Budget.jammed_total budget)
+    <= (0.5 *. float_of_int (Budget.elapsed budget)) +. 16.0)
+
+let test_weak_cd_k_selection_validation () =
+  let rng = Prng.create ~seed:1 in
+  let budget = Budget.create ~window:16 ~eps:0.5 in
+  Alcotest.check_raises "n - k < 2"
+    (Invalid_argument "K_selection.run_weak_cd: need 1 <= k and n - k >= 2") (fun () ->
+      ignore
+        (K_selection.run_weak_cd ~k:3 ~n:4 ~eps:0.5 ~rng ~adversary:(Adversary.none ())
+           ~budget ~max_slots:1000 ()))
+
+let suite =
+  [
+    ("Lemma 2.8 band helper", `Quick, test_size_approx_band_helper);
+    ("weak-CD k-selection", `Slow, test_weak_cd_k_selection);
+    ("refined size estimate, constant factor", `Slow, test_refine_constant_factor);
+    ("refine elects en route", `Quick, test_refine_elects_en_route);
+    ("refine sees the benign plateau", `Quick, test_refine_benign_clear_fraction);
+    ("refine validation", `Quick, test_refine_validation);
+    ("energy cap: generous is free", `Quick, test_energy_cap_generous_is_free);
+    ("energy cap: zero never elects", `Quick, test_energy_cap_zero_never_elects);
+    ("energy cap respected", `Quick, test_energy_cap_respected);
+    ("energy cap validation", `Quick, test_energy_cap_validation);
+    ("weak-CD k-selection validation", `Quick, test_weak_cd_k_selection_validation);
+    ("outcome printer", `Quick, test_size_approx_outcome_printer);
+    ("k-selection basic", `Quick, test_k_selection_basic);
+    ("k-selection k = n", `Quick, test_k_selection_k_equals_n);
+    ("k-selection validation", `Quick, test_k_selection_validation);
+    ("k-selection under jamming", `Quick, test_k_selection_under_jamming);
+    ("warm start helps", `Slow, test_k_selection_warm_start_faster);
+    ("budget spans the whole chain", `Quick, test_k_selection_budget_spans_rounds);
+  ]

@@ -1,0 +1,82 @@
+module Fair_use = Jamming_core.Fair_use
+open Test_util
+
+let test_jain_closed_forms () =
+  check_float "uniform is perfectly fair" 1.0 (Fair_use.jain_index [| 3.0; 3.0; 3.0; 3.0 |]);
+  check_float "monopoly scores 1/n" 0.25 (Fair_use.jain_index [| 8.0; 0.0; 0.0; 0.0 |]);
+  check_float_eps 1e-9 "two equal sharers among four" 0.5
+    (Fair_use.jain_index [| 1.0; 1.0; 0.0; 0.0 |])
+
+let test_jain_validation () =
+  Alcotest.check_raises "empty" (Invalid_argument "Fair_use.jain_index: empty array")
+    (fun () -> ignore (Fair_use.jain_index [||]));
+  Alcotest.check_raises "all zero" (Invalid_argument "Fair_use.jain_index: all-zero array")
+    (fun () -> ignore (Fair_use.jain_index [| 0.0; 0.0 |]));
+  Alcotest.check_raises "negative" (Invalid_argument "Fair_use.jain_index: negative value")
+    (fun () -> ignore (Fair_use.jain_index [| 1.0; -1.0 |]))
+
+let run_fair ?(rounds = 60) ?(n = 8) ?(adversary = Adversary.none) ?(seed = 5) () =
+  let rng = Prng.create ~seed in
+  let budget = Budget.create ~window:32 ~eps:0.5 in
+  Fair_use.run ~rounds ~n ~eps:0.5 ~rng ~adversary:(adversary ()) ~budget
+    ~max_slots:5_000_000 ()
+
+let test_completes_all_rounds () =
+  let o = run_fair () in
+  check_int "all rounds played" 60 o.Fair_use.completed_rounds;
+  check_int "wins sum to rounds" 60 (Array.fold_left ( + ) 0 o.Fair_use.wins);
+  check_true "slots accumulated" (o.Fair_use.total_slots > 0)
+
+let test_fairness_converges () =
+  let o = run_fair ~rounds:400 ~n:4 () in
+  check_true
+    (Printf.sprintf "Jain(wins) = %.2f above 0.8 after 400 rounds" o.Fair_use.jain_wins)
+    (o.Fair_use.jain_wins > 0.8);
+  check_true "every station won at least once" (Array.for_all (fun w -> w > 0) o.Fair_use.wins);
+  check_true "energy nearly even" (o.Fair_use.jain_energy > 0.95)
+
+let test_under_jamming () =
+  let o = run_fair ~adversary:Adversary.greedy () in
+  check_int "rounds survive jamming" 60 o.Fair_use.completed_rounds;
+  check_true "fairness survives jamming" (o.Fair_use.jain_wins > 0.6)
+
+let test_budget_spans_rounds () =
+  let rng = Prng.create ~seed:9 in
+  let budget = Budget.create ~window:16 ~eps:0.5 in
+  let o =
+    Fair_use.run ~rounds:20 ~n:8 ~eps:0.5 ~rng
+      ~adversary:(Adversary.greedy ())
+      ~budget ~max_slots:5_000_000 ()
+  in
+  check_int "rounds done" 20 o.Fair_use.completed_rounds;
+  check_true "chain-wide jam budget respected"
+    (float_of_int (Budget.jammed_total budget)
+    <= (0.5 *. float_of_int (Budget.elapsed budget)) +. 16.0)
+
+let test_validation () =
+  Alcotest.check_raises "rounds 0" (Invalid_argument "Fair_use.run: rounds must be >= 1")
+    (fun () -> ignore (run_fair ~rounds:0 ()));
+  Alcotest.check_raises "n 1" (Invalid_argument "Fair_use.run: need n >= 2") (fun () ->
+      ignore (run_fair ~n:1 ()))
+
+let test_max_slots_cap () =
+  let rng = Prng.create ~seed:5 in
+  let budget = Budget.create ~window:32 ~eps:0.5 in
+  let o =
+    Fair_use.run ~rounds:1000 ~n:8 ~eps:0.5 ~rng ~adversary:(Adversary.none ()) ~budget
+      ~max_slots:50 ()
+  in
+  check_true "cap truncates the schedule" (o.Fair_use.completed_rounds < 1000);
+  check_true "slots bounded by the cap" (o.Fair_use.total_slots <= 50)
+
+let suite =
+  [
+    ("Jain closed forms", `Quick, test_jain_closed_forms);
+    ("Jain validation", `Quick, test_jain_validation);
+    ("completes all rounds", `Quick, test_completes_all_rounds);
+    ("fairness converges", `Slow, test_fairness_converges);
+    ("fair under jamming", `Quick, test_under_jamming);
+    ("budget spans rounds", `Quick, test_budget_spans_rounds);
+    ("input validation", `Quick, test_validation);
+    ("max_slots cap", `Quick, test_max_slots_cap);
+  ]

@@ -1,0 +1,103 @@
+module Intervals = Jamming_core.Intervals
+open Test_util
+
+let test_idle_slots () =
+  for slot = 0 to 2 do
+    match Intervals.classify slot with
+    | Intervals.Idle -> ()
+    | c -> Alcotest.failf "slot %d should be idle, got %a" slot Intervals.pp c
+  done
+
+let test_negative_rejected () =
+  Alcotest.check_raises "negative slot" (Invalid_argument "Intervals.classify: negative slot")
+    (fun () -> ignore (Intervals.classify (-1)))
+
+let test_first_generation () =
+  (* i=1: C1 = {3,4}, C2 = {5,6}, C3 = {7,8}. *)
+  let expect slot cls =
+    let got = Intervals.classify slot in
+    if got <> cls then Alcotest.failf "slot %d: got %a" slot Intervals.pp got
+  in
+  expect 3 (Intervals.C1 { generation = 1; offset = 0 });
+  expect 4 (Intervals.C1 { generation = 1; offset = 1 });
+  expect 5 (Intervals.C2 { generation = 1; offset = 0 });
+  expect 6 (Intervals.C2 { generation = 1; offset = 1 });
+  expect 7 (Intervals.C3 { generation = 1; offset = 0 });
+  expect 8 (Intervals.C3 { generation = 1; offset = 1 });
+  expect 9 (Intervals.C1 { generation = 2; offset = 0 })
+
+let test_paper_formulas () =
+  (* The paper defines C^i_j in 1-indexed slot arithmetic starting at
+     3*2^i - 3; check the closed forms for several generations. *)
+  for i = 1 to 10 do
+    let start = Intervals.generation_start i in
+    check_int "start formula" ((3 * (1 lsl i)) - 3) start;
+    check_int "size formula" (1 lsl i) (Intervals.generation_size i);
+    (match Intervals.classify start with
+    | Intervals.C1 { generation; offset } ->
+        check_int "C1 generation" i generation;
+        check_int "C1 offset" 0 offset
+    | c -> Alcotest.failf "generation %d start: got %a" i Intervals.pp c);
+    let c2_start = start + (1 lsl i) in
+    (match Intervals.classify c2_start with
+    | Intervals.C2 { generation; offset } ->
+        check_int "C2 generation" i generation;
+        check_int "C2 offset" 0 offset
+    | c -> Alcotest.failf "generation %d C2 start: got %a" i Intervals.pp c);
+    let c3_end = start + (3 * (1 lsl i)) - 1 in
+    match Intervals.classify c3_end with
+    | Intervals.C3 { generation; offset } ->
+        check_int "C3 generation" i generation;
+        check_int "C3 last offset" ((1 lsl i) - 1) offset
+    | c -> Alcotest.failf "generation %d C3 end: got %a" i Intervals.pp c
+  done
+
+let test_partition () =
+  (* Every slot in [3, N) belongs to exactly one (generation, family,
+     offset) and they tile contiguously. *)
+  let last = ref (-1, 0, -1) in
+  for slot = 3 to 3000 do
+    let gen, fam, off =
+      match Intervals.classify slot with
+      | Intervals.C1 { generation; offset } -> (generation, 0, offset)
+      | Intervals.C2 { generation; offset } -> (generation, 1, offset)
+      | Intervals.C3 { generation; offset } -> (generation, 2, offset)
+      | Intervals.Idle -> Alcotest.failf "slot %d unexpectedly idle" slot
+    in
+    check_true "offset in range" (off >= 0 && off < Intervals.generation_size gen);
+    (let pg, pf, po = !last in
+     if pg >= 0 then
+       let contiguous =
+         (gen = pg && fam = pf && off = po + 1)
+         || (gen = pg && fam = pf + 1 && off = 0 && po = Intervals.generation_size pg - 1)
+         || (gen = pg + 1 && pf = 2 && fam = 0 && off = 0 && po = Intervals.generation_size pg - 1)
+       in
+       check_true (Printf.sprintf "tiling at slot %d" slot) contiguous);
+    last := (gen, fam, off)
+  done
+
+let prop_classify_consistent =
+  qtest ~count:500 "classify round-trips through the interval formulas"
+    QCheck.(int_range 3 10_000_000)
+    (fun slot ->
+      match Intervals.classify slot with
+      | Intervals.Idle -> false
+      | Intervals.C1 { generation; offset } ->
+          slot = Intervals.generation_start generation + offset
+      | Intervals.C2 { generation; offset } ->
+          slot = Intervals.generation_start generation + Intervals.generation_size generation + offset
+      | Intervals.C3 { generation; offset } ->
+          slot
+          = Intervals.generation_start generation
+            + (2 * Intervals.generation_size generation)
+            + offset)
+
+let suite =
+  [
+    ("slots 0-2 are idle", `Quick, test_idle_slots);
+    ("negative slots rejected", `Quick, test_negative_rejected);
+    ("first generation layout", `Quick, test_first_generation);
+    ("paper formulas", `Quick, test_paper_formulas);
+    ("partition tiles [3, N)", `Quick, test_partition);
+    prop_classify_consistent;
+  ]

@@ -1,0 +1,111 @@
+(* Executable checks of the paper's analytical lemmas: the calculus of
+   §2.2 verified numerically against the exact channel probabilities. *)
+
+module Lemmas = Jamming_core.Lemmas
+open Test_util
+
+let holds name (lhs, rhs) =
+  check_true (Printf.sprintf "%s: %.6g <= %.6g" name lhs rhs) (lhs <= rhs +. 1e-12)
+
+let test_lemma_2_1_points () =
+  List.iter
+    (fun (n, x) ->
+      holds "2.1(1) Null" (Lemmas.lemma_2_1_null ~n ~x);
+      holds "2.1(3,finite) Single-exp" (Lemmas.lemma_2_1_single_exp_finite ~n ~x);
+      if x >= 1.0 then begin
+        holds "2.1(3) Single-exp" (Lemmas.lemma_2_1_single_exp ~n ~x);
+        holds "2.1(2) Collision" (Lemmas.lemma_2_1_collision ~n ~x);
+        holds "2.1(4) Single-poly" (Lemmas.lemma_2_1_single_poly ~n ~x)
+      end)
+    [
+      (2, 1.0); (2, 4.0); (10, 0.5); (100, 1.0); (100, 3.0); (1000, 2.0);
+      (1000, 10.0); (100000, 1.5); (7, 1.1);
+    ]
+
+(* The reproduction note on Lemma 2.1(3): the literal statement fails
+   for x < 1 at finite n, and the repaired bound holds. *)
+let test_lemma_2_1_point_3_counterexample () =
+  let claimed, actual = Lemmas.lemma_2_1_single_exp ~n:10 ~x:0.5 in
+  check_true
+    (Printf.sprintf "literal 2.1(3) fails at n=10, x=0.5: %.6f > %.6f" claimed actual)
+    (claimed > actual);
+  holds "repaired bound holds there" (Lemmas.lemma_2_1_single_exp_finite ~n:10 ~x:0.5)
+
+let test_lemma_2_1_validation () =
+  Alcotest.check_raises "p > 1 rejected" (Invalid_argument "Lemmas: p = 1/(x n) exceeds 1")
+    (fun () -> ignore (Lemmas.lemma_2_1_null ~n:1 ~x:0.5))
+
+let prop_lemma_2_1 =
+  qtest ~count:300 "Lemma 2.1 holds across the (n, x) plane"
+    QCheck.(pair (int_range 2 200_000) (float_range 1.0 50.0))
+    (fun (n, x) ->
+      let le (a, b) = a <= b +. 1e-12 in
+      le (Lemmas.lemma_2_1_null ~n ~x)
+      && le (Lemmas.lemma_2_1_collision ~n ~x)
+      && le (Lemmas.lemma_2_1_single_exp ~n ~x)
+      && le (Lemmas.lemma_2_1_single_exp_finite ~n ~x)
+      && le (Lemmas.lemma_2_1_single_poly ~n ~x))
+
+let prop_lemma_2_2 =
+  qtest ~count:200 "Lemma 2.2 irregular-slot bounds"
+    QCheck.(pair (int_range 64 1_000_000) (float_range 0.05 1.0))
+    (fun (n, eps) ->
+      let le (a, b) = a <= b +. 1e-12 in
+      (* The silence bound needs 2 ln a <= n. *)
+      let a = 8.0 /. eps in
+      (2.0 *. log a > float_of_int n || le (Lemmas.lemma_2_2_irregular_silence ~n ~eps))
+      && le (Lemmas.lemma_2_2_irregular_collision ~n ~eps))
+
+let test_regular_band_shape () =
+  let lo, hi = Lemmas.regular_band ~eps:0.5 in
+  (* a = 16: band is [-log2(2 ln 16), 0.5 log2 16] = [-2.47, 2]. *)
+  check_float_eps 0.01 "band lower" (-2.47) lo;
+  check_float_eps 1e-9 "band upper" 2.0 hi;
+  check_true "band contains 0 (u = u0 is regular)" (lo < 0.0 && hi > 0.0)
+
+let prop_lemma_2_4 =
+  qtest ~count:200 "Lemma 2.4: every regular slot has P[Single] >= ln a / a^2"
+    QCheck.(
+      triple (int_range 1024 1_000_000) (float_range 0.1 1.0) (float_range 0.0 1.0))
+    (fun (n, eps, frac) ->
+      let lo, hi = Lemmas.regular_band ~eps in
+      let u_off = lo +. (frac *. (hi -. lo)) in
+      let bound, actual = Lemmas.lemma_2_4_regular_single ~n ~eps ~u_off in
+      bound <= actual +. 1e-12)
+
+let test_fact_1_chernoff () =
+  let rng = rng () in
+  List.iter
+    (fun (n, p, delta) ->
+      check_true
+        (Printf.sprintf "Chernoff at n=%d p=%.3f delta=%.2f" n p delta)
+        (Lemmas.fact_1_chernoff_holds ~rng ~n ~p ~delta ~trials:3000))
+    [ (100, 0.1, 0.5); (1000, 0.05, 0.3); (1000, 0.01, 1.0); (200, 0.25, 1.4) ]
+
+let test_fact_1_validation () =
+  let rng = rng () in
+  Alcotest.check_raises "delta out of range" (Invalid_argument "Lemmas.fact_1: delta out of range")
+    (fun () -> ignore (Lemmas.fact_1_chernoff_holds ~rng ~n:10 ~p:0.5 ~delta:2.0 ~trials:10))
+
+(* The bounds are not vacuous: check they are reasonably tight where the
+   paper uses them. *)
+let test_bounds_not_vacuous () =
+  let lhs, rhs = Lemmas.lemma_2_1_null ~n:100000 ~x:1.0 in
+  check_true "Null bound tight at x=1" (rhs -. lhs < 0.01);
+  let bound, actual = Lemmas.lemma_2_4_regular_single ~n:65536 ~eps:0.5 ~u_off:0.0 in
+  check_true "2.4 bound within 50x of the true P[Single] at band centre"
+    (actual /. bound < 50.0)
+
+let suite =
+  [
+    ("Lemma 2.1 at chosen points", `Quick, test_lemma_2_1_points);
+    ("Lemma 2.1(3) finite-n counterexample", `Quick, test_lemma_2_1_point_3_counterexample);
+    ("Lemma 2.1 validation", `Quick, test_lemma_2_1_validation);
+    prop_lemma_2_1;
+    prop_lemma_2_2;
+    ("regular band shape", `Quick, test_regular_band_shape);
+    prop_lemma_2_4;
+    ("Fact 1 (Chernoff), Monte-Carlo", `Slow, test_fact_1_chernoff);
+    ("Fact 1 validation", `Quick, test_fact_1_validation);
+    ("bounds are not vacuous", `Quick, test_bounds_not_vacuous);
+  ]

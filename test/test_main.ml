@@ -1,0 +1,23 @@
+let () =
+  Alcotest.run "jamming-election"
+    [
+      ("prng", Test_prng.suite);
+      ("channel", Test_channel.suite);
+      ("budget", Test_budget.suite);
+      ("adversary", Test_adversary.suite);
+      ("intervals", Test_intervals.suite);
+      ("sim", Test_sim.suite);
+      ("lesk", Test_lesk.suite);
+      ("lemmas", Test_lemmas.suite);
+      ("markov", Test_markov.suite);
+      ("estimation", Test_estimation.suite);
+      ("lesu", Test_lesu.suite);
+      ("schedule", Test_schedule.suite);
+      ("notification", Test_notification.suite);
+      ("baselines", Test_baselines.suite);
+      ("stats", Test_stats.suite);
+      ("trace", Test_trace.suite);
+      ("fair-use", Test_fair_use.suite);
+      ("extensions", Test_extensions.suite);
+      ("experiments", Test_experiments.suite);
+    ]

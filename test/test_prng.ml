@@ -1,0 +1,279 @@
+open Test_util
+
+let test_determinism () =
+  let a = Prng.create ~seed:123 and b = Prng.create ~seed:123 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.bits64 a) (Prng.bits64 b)
+  done
+
+let test_seed_sensitivity () =
+  let a = Prng.create ~seed:123 and b = Prng.create ~seed:124 in
+  check_true "different seeds diverge" (Prng.bits64 a <> Prng.bits64 b)
+
+let test_copy () =
+  let a = rng () in
+  ignore (Prng.bits64 a);
+  let b = Prng.copy a in
+  Alcotest.(check int64) "copy continues identically" (Prng.bits64 a) (Prng.bits64 b)
+
+let test_split_independence () =
+  let a = rng () in
+  let child = Prng.split a in
+  (* The child stream should not be a shift of the parent stream. *)
+  let parent_vals = Array.init 32 (fun _ -> Prng.bits64 a) in
+  let child_vals = Array.init 32 (fun _ -> Prng.bits64 child) in
+  check_true "split streams differ" (parent_vals <> child_vals)
+
+let test_float_range () =
+  let g = rng () in
+  for _ = 1 to 10_000 do
+    let f = Prng.float g in
+    check_true "float in [0,1)" (f >= 0.0 && f < 1.0)
+  done
+
+let test_float_mean () =
+  let g = rng () in
+  let n = 100_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. Prng.float g
+  done;
+  check_float_eps 0.01 "mean ~ 0.5" 0.5 (!sum /. float_of_int n)
+
+let test_int_bounds () =
+  let g = rng () in
+  for bound = 1 to 40 do
+    for _ = 1 to 200 do
+      let v = Prng.int g ~bound in
+      check_true "int in range" (v >= 0 && v < bound)
+    done
+  done
+
+let test_int_uniformity () =
+  let g = rng () in
+  let bound = 10 in
+  let counts = Array.make bound 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    let v = Prng.int g ~bound in
+    counts.(v) <- counts.(v) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      let freq = float_of_int c /. float_of_int n in
+      check_true (Printf.sprintf "bucket %d frequency %f near 0.1" i freq)
+        (Float.abs (freq -. 0.1) < 0.01))
+    counts
+
+let test_int_invalid () =
+  let g = rng () in
+  Alcotest.check_raises "bound 0 rejected" (Invalid_argument "Prng.int: bound must be positive")
+    (fun () -> ignore (Prng.int g ~bound:0))
+
+let test_bool_extremes () =
+  let g = rng () in
+  for _ = 1 to 100 do
+    check_true "p=1 always true" (Prng.bool g ~p:1.0);
+    check_true "p=0 always false" (not (Prng.bool g ~p:0.0));
+    check_true "p>1 clamps to true" (Prng.bool g ~p:2.0)
+  done
+
+let test_bool_frequency () =
+  let g = rng () in
+  let n = 50_000 in
+  let c = ref 0 in
+  for _ = 1 to n do
+    if Prng.bool g ~p:0.3 then incr c
+  done;
+  check_float_eps 0.02 "P[true] ~ 0.3" 0.3 (float_of_int !c /. float_of_int n)
+
+let test_seed_of_string_stable () =
+  check_int "stable across calls" (Prng.seed_of_string "hello") (Prng.seed_of_string "hello");
+  check_true "distinct strings map apart"
+    (Prng.seed_of_string "cell/1" <> Prng.seed_of_string "cell/2");
+  check_true "seed is non-negative" (Prng.seed_of_string "anything" >= 0)
+
+(* --- Sample --- *)
+
+let test_trichotomy_closed_forms () =
+  (* p_zero + p_one + p_many = 1 and each matches the binomial formula. *)
+  List.iter
+    (fun (n, p) ->
+      let z = Sample.p_zero ~n ~p and o = Sample.p_one ~n ~p and m = Sample.p_many ~n ~p in
+      check_float_eps 1e-9 "mass sums to 1" 1.0 (z +. o +. m);
+      let q = 1.0 -. p in
+      check_float_eps 1e-9 "p_zero = q^n" (q ** float_of_int n) z;
+      check_float_eps 1e-9 "p_one = npq^(n-1)"
+        (float_of_int n *. p *. (q ** float_of_int (n - 1)))
+        o)
+    [ (1, 0.5); (2, 0.3); (10, 0.1); (100, 0.01); (1000, 0.001) ]
+
+let test_trichotomy_extremes () =
+  check_float "p=0 is Null surely" 1.0 (Sample.p_zero ~n:50 ~p:0.0);
+  check_float "n=1, p=1 is Single surely" 1.0 (Sample.p_one ~n:1 ~p:1.0);
+  check_float "n=3, p=1 is Collision surely" 1.0 (Sample.p_many ~n:3 ~p:1.0);
+  check_float "n=0 is Null surely" 1.0 (Sample.p_zero ~n:0 ~p:0.7)
+
+let test_trichotomy_sampling_matches () =
+  let g = rng () in
+  let n = 64 and p = 1.0 /. 64.0 in
+  let reps = 200_000 in
+  let zero = ref 0 and one = ref 0 and many = ref 0 in
+  for _ = 1 to reps do
+    match Sample.trichotomy g ~n ~p with
+    | Sample.Zero -> incr zero
+    | Sample.One -> incr one
+    | Sample.Many -> incr many
+  done;
+  let f c = float_of_int !c /. float_of_int reps in
+  check_float_eps 0.01 "empirical P[Zero]" (Sample.p_zero ~n ~p) (f zero);
+  check_float_eps 0.01 "empirical P[One]" (Sample.p_one ~n ~p) (f one);
+  check_float_eps 0.01 "empirical P[Many]" (Sample.p_many ~n ~p) (f many)
+
+let test_trichotomy_vs_bernoulli_sum () =
+  (* The trichotomy must match simulating stations one by one. *)
+  let g = rng ~seed:99 () in
+  let n = 20 and p = 0.08 in
+  let reps = 100_000 in
+  let counts_direct = [| 0; 0; 0 |] in
+  for _ = 1 to reps do
+    let c = ref 0 in
+    for _ = 1 to n do
+      if Prng.bool g ~p then incr c
+    done;
+    let idx = if !c = 0 then 0 else if !c = 1 then 1 else 2 in
+    counts_direct.(idx) <- counts_direct.(idx) + 1
+  done;
+  let f c = float_of_int c /. float_of_int reps in
+  check_float_eps 0.01 "per-station P[0] matches closed form" (Sample.p_zero ~n ~p)
+    (f counts_direct.(0));
+  check_float_eps 0.01 "per-station P[1] matches closed form" (Sample.p_one ~n ~p)
+    (f counts_direct.(1))
+
+let test_binomial_moments () =
+  let g = rng () in
+  List.iter
+    (fun (n, p) ->
+      let reps = 20_000 in
+      let sum = ref 0.0 and sumsq = ref 0.0 in
+      for _ = 1 to reps do
+        let v = float_of_int (Sample.binomial g ~n ~p) in
+        sum := !sum +. v;
+        sumsq := !sumsq +. (v *. v)
+      done;
+      let mean = !sum /. float_of_int reps in
+      let var = (!sumsq /. float_of_int reps) -. (mean *. mean) in
+      let nf = float_of_int n in
+      check_float_eps (0.05 *. Float.max 1.0 (nf *. p)) "binomial mean" (nf *. p) mean;
+      check_float_eps
+        (0.15 *. Float.max 1.0 (nf *. p *. (1.0 -. p)))
+        "binomial variance"
+        (nf *. p *. (1.0 -. p))
+        var)
+    [ (10, 0.5); (300, 0.01); (1000, 0.3); (100_000, 0.001) ]
+
+let test_binomial_edges () =
+  let g = rng () in
+  check_int "p=0 gives 0" 0 (Sample.binomial g ~n:100 ~p:0.0);
+  check_int "p=1 gives n" 100 (Sample.binomial g ~n:100 ~p:1.0);
+  check_int "n=0 gives 0" 0 (Sample.binomial g ~n:0 ~p:0.5)
+
+let test_geometric_mean () =
+  let g = rng () in
+  let p = 0.25 in
+  let reps = 50_000 in
+  let sum = ref 0 in
+  for _ = 1 to reps do
+    sum := !sum + Sample.geometric g ~p
+  done;
+  (* failures before success: mean (1-p)/p = 3 *)
+  check_float_eps 0.1 "geometric mean" 3.0 (float_of_int !sum /. float_of_int reps)
+
+let test_exponential_mean () =
+  let g = rng () in
+  let reps = 50_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to reps do
+    sum := !sum +. Sample.exponential g ~rate:2.0
+  done;
+  check_float_eps 0.02 "exponential mean 1/rate" 0.5 (!sum /. float_of_int reps)
+
+let test_exponential_validation () =
+  let g = rng () in
+  Alcotest.check_raises "rate 0" (Invalid_argument "Sample.exponential: rate must be positive")
+    (fun () -> ignore (Sample.exponential g ~rate:0.0))
+
+let test_gaussian_moments () =
+  let g = rng () in
+  let reps = 50_000 in
+  let sum = ref 0.0 and sumsq = ref 0.0 in
+  for _ = 1 to reps do
+    let v = Sample.gaussian g ~mean:2.0 ~stddev:3.0 in
+    sum := !sum +. v;
+    sumsq := !sumsq +. (v *. v)
+  done;
+  let mean = !sum /. float_of_int reps in
+  let var = (!sumsq /. float_of_int reps) -. (mean *. mean) in
+  check_float_eps 0.1 "gaussian mean" 2.0 mean;
+  check_float_eps 0.3 "gaussian variance" 9.0 var
+
+let test_shuffle_permutes () =
+  let g = rng () in
+  let a = Array.init 50 Fun.id in
+  let b = Array.copy a in
+  Sample.shuffle g b;
+  let sorted = Array.copy b in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "shuffle is a permutation" a sorted
+
+let test_choose () =
+  let g = rng () in
+  let a = [| 10; 20; 30 |] in
+  for _ = 1 to 100 do
+    check_true "choose picks an element" (Array.mem (Sample.choose g a) a)
+  done
+
+let prop_trichotomy_valid =
+  qtest "trichotomy mass is a distribution"
+    QCheck.(pair (int_range 1 10_000) (float_range 0.0 1.0))
+    (fun (n, p) ->
+      let z = Sample.p_zero ~n ~p and o = Sample.p_one ~n ~p and m = Sample.p_many ~n ~p in
+      z >= 0.0 && o >= 0.0 && m >= 0.0 && Float.abs (z +. o +. m -. 1.0) < 1e-6)
+
+let prop_int_in_bounds =
+  qtest "Prng.int stays in bounds"
+    QCheck.(pair (int_range 1 1_000_000) small_int)
+    (fun (bound, seed) ->
+      let g = Prng.create ~seed in
+      let v = Prng.int g ~bound in
+      v >= 0 && v < bound)
+
+let suite =
+  [
+    ("determinism", `Quick, test_determinism);
+    ("seed sensitivity", `Quick, test_seed_sensitivity);
+    ("copy", `Quick, test_copy);
+    ("split independence", `Quick, test_split_independence);
+    ("float range", `Quick, test_float_range);
+    ("float mean", `Quick, test_float_mean);
+    ("int bounds", `Quick, test_int_bounds);
+    ("int uniformity", `Slow, test_int_uniformity);
+    ("int invalid bound", `Quick, test_int_invalid);
+    ("bool extremes", `Quick, test_bool_extremes);
+    ("bool frequency", `Quick, test_bool_frequency);
+    ("seed_of_string stable", `Quick, test_seed_of_string_stable);
+    ("trichotomy closed forms", `Quick, test_trichotomy_closed_forms);
+    ("trichotomy extremes", `Quick, test_trichotomy_extremes);
+    ("trichotomy sampling", `Slow, test_trichotomy_sampling_matches);
+    ("trichotomy vs bernoulli sum", `Slow, test_trichotomy_vs_bernoulli_sum);
+    ("binomial moments", `Slow, test_binomial_moments);
+    ("binomial edges", `Quick, test_binomial_edges);
+    ("geometric mean", `Slow, test_geometric_mean);
+    ("exponential mean", `Slow, test_exponential_mean);
+    ("exponential validation", `Quick, test_exponential_validation);
+    ("gaussian moments", `Slow, test_gaussian_moments);
+    ("shuffle permutes", `Quick, test_shuffle_permutes);
+    ("choose", `Quick, test_choose);
+    prop_trichotomy_valid;
+    prop_int_in_bounds;
+  ]

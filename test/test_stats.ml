@@ -1,0 +1,231 @@
+module D = Jamming_stats.Descriptive
+module R = Jamming_stats.Regression
+module H = Jamming_stats.Histogram
+module B = Jamming_stats.Bootstrap
+open Test_util
+
+let xs = [| 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 |]
+
+let test_mean_variance () =
+  check_float "mean" 5.0 (D.mean xs);
+  (* population variance is 4; sample variance 32/7 *)
+  check_float_eps 1e-9 "sample variance" (32.0 /. 7.0) (D.variance xs);
+  check_float_eps 1e-9 "stddev" (sqrt (32.0 /. 7.0)) (D.stddev xs);
+  check_float "total" 40.0 (D.total xs);
+  check_float "min" 2.0 (D.min xs);
+  check_float "max" 9.0 (D.max xs)
+
+let test_single_point () =
+  check_float "variance of singleton is 0" 0.0 (D.variance [| 3.0 |]);
+  check_float "median of singleton" 3.0 (D.median [| 3.0 |])
+
+let test_empty_rejected () =
+  Alcotest.check_raises "empty mean" (Invalid_argument "Descriptive.mean: empty sample")
+    (fun () -> ignore (D.mean [||]))
+
+let test_quantiles () =
+  let v = [| 1.0; 2.0; 3.0; 4.0 |] in
+  check_float "q0 is min" 1.0 (D.quantile v ~q:0.0);
+  check_float "q1 is max" 4.0 (D.quantile v ~q:1.0);
+  check_float "median interpolates" 2.5 (D.quantile v ~q:0.5);
+  check_float "q0.25" 1.75 (D.quantile v ~q:0.25);
+  (* input untouched *)
+  let w = [| 3.0; 1.0; 2.0 |] in
+  ignore (D.quantile w ~q:0.5);
+  Alcotest.(check (array (float 0.0))) "input not sorted in place" [| 3.0; 1.0; 2.0 |] w
+
+let test_summary () =
+  let s = D.summarize xs in
+  check_int "count" 8 s.D.count;
+  check_float "summary median" 4.5 s.D.median;
+  check_float "summary mean" 5.0 s.D.mean
+
+let test_mean_ci () =
+  let lo, hi = D.mean_ci95 xs in
+  check_true "CI brackets the mean" (lo <= 5.0 && 5.0 <= hi);
+  check_true "CI nondegenerate" (hi > lo)
+
+let test_of_ints () =
+  Alcotest.(check (array (float 0.0))) "of_ints" [| 1.0; 2.0 |] (D.of_ints [| 1; 2 |])
+
+let test_linear_regression_exact () =
+  let xs = [| 1.0; 2.0; 3.0; 4.0 |] in
+  let ys = Array.map (fun x -> (3.0 *. x) +. 2.0) xs in
+  let fit = R.linear ~xs ~ys in
+  check_float_eps 1e-9 "slope" 3.0 fit.R.slope;
+  check_float_eps 1e-9 "intercept" 2.0 fit.R.intercept;
+  check_float_eps 1e-9 "perfect r2" 1.0 fit.R.r2
+
+let test_linear_regression_noise () =
+  let g = rng () in
+  let n = 500 in
+  let xs = Array.init n (fun i -> float_of_int i /. 10.0) in
+  let ys = Array.map (fun x -> (2.0 *. x) -. 1.0 +. Jamming_prng.Sample.gaussian g ~mean:0.0 ~stddev:0.5) xs in
+  let fit = R.linear ~xs ~ys in
+  check_float_eps 0.05 "slope recovered" 2.0 fit.R.slope;
+  check_true "r2 high" (fit.R.r2 > 0.95)
+
+let test_regression_validation () =
+  Alcotest.check_raises "length mismatch" (Invalid_argument "Regression.linear: length mismatch")
+    (fun () -> ignore (R.linear ~xs:[| 1.0 |] ~ys:[| 1.0; 2.0 |]));
+  Alcotest.check_raises "constant xs" (Invalid_argument "Regression.linear: xs is constant")
+    (fun () -> ignore (R.linear ~xs:[| 1.0; 1.0 |] ~ys:[| 1.0; 2.0 |]))
+
+let test_log_log_slope () =
+  let xs = [| 2.0; 4.0; 8.0; 16.0 |] in
+  let ys = Array.map (fun x -> 5.0 *. (x ** 1.7)) xs in
+  let fit = R.log_log_slope ~xs ~ys in
+  check_float_eps 1e-9 "power recovered" 1.7 fit.R.slope
+
+let test_pearson () =
+  let xs = [| 1.0; 2.0; 3.0 |] in
+  check_float_eps 1e-9 "perfect correlation" 1.0 (R.pearson ~xs ~ys:[| 2.0; 4.0; 6.0 |]);
+  check_float_eps 1e-9 "perfect anticorrelation" (-1.0) (R.pearson ~xs ~ys:[| 3.0; 2.0; 1.0 |])
+
+let test_ratio_spread () =
+  check_float_eps 1e-9 "proportional arrays have spread 1" 1.0
+    (R.ratio_spread ~xs:[| 1.0; 2.0; 4.0 |] ~ys:[| 3.0; 6.0; 12.0 |]);
+  check_float_eps 1e-9 "spread detects deviation" 2.0
+    (R.ratio_spread ~xs:[| 1.0; 1.0 |] ~ys:[| 1.0; 2.0 |])
+
+let test_histogram_binning () =
+  let h = H.create ~lo:0.0 ~hi:10.0 ~bins:5 in
+  List.iter (H.add h) [ 0.5; 1.5; 2.5; 9.9; 100.0; -3.0 ];
+  check_int "count" 6 (H.count h);
+  Alcotest.(check (array int)) "bins" [| 3; 1; 0; 0; 2 |] (H.bin_counts h)
+
+let test_histogram_of_samples () =
+  let h = H.of_samples ~bins:4 [| 0.0; 1.0; 2.0; 3.0; 4.0 |] in
+  check_int "all samples binned" 5 (H.count h);
+  check_int "edges count" 4 (Array.length (H.bin_edges h));
+  check_true "render produces bars" (String.length (H.render h) > 0)
+
+let test_bootstrap_brackets () =
+  let g = rng () in
+  let sample = Array.init 200 (fun _ -> Jamming_prng.Sample.gaussian g ~mean:10.0 ~stddev:2.0) in
+  let lo, hi = B.median_ci ~rng:g sample in
+  check_true "bootstrap CI brackets the true median" (lo < 10.3 && hi > 9.7);
+  check_true "CI is an interval" (lo <= hi)
+
+let test_bootstrap_validation () =
+  let g = rng () in
+  Alcotest.check_raises "empty" (Invalid_argument "Bootstrap.ci: empty sample") (fun () ->
+      ignore (B.ci ~rng:g ~stat:D.mean [||]))
+
+module KS = Jamming_stats.Ks
+
+let test_ks_statistic_closed_forms () =
+  check_float "identical samples have d = 0" 0.0
+    (KS.statistic [| 1.0; 2.0; 3.0 |] [| 1.0; 2.0; 3.0 |]);
+  check_float "disjoint samples have d = 1" 1.0
+    (KS.statistic [| 1.0; 2.0 |] [| 10.0; 20.0 |]);
+  (* xs = {1,2}, ys = {2,3}: after value 1, gap = 1/2; ties at 2 resolve
+     together; max gap 1/2. *)
+  check_float "interleaved" 0.5 (KS.statistic [| 1.0; 2.0 |] [| 2.0; 3.0 |])
+
+let test_ks_symmetry () =
+  let g = rng () in
+  let xs = Array.init 50 (fun _ -> Prng.float g) in
+  let ys = Array.init 70 (fun _ -> Prng.float g) in
+  check_float "symmetric" (KS.statistic xs ys) (KS.statistic ys xs)
+
+let test_ks_same_distribution () =
+  let g = rng () in
+  let xs = Array.init 300 (fun _ -> Jamming_prng.Sample.gaussian g ~mean:0.0 ~stddev:1.0) in
+  let ys = Array.init 300 (fun _ -> Jamming_prng.Sample.gaussian g ~mean:0.0 ~stddev:1.0) in
+  check_true "same gaussian accepted" (KS.same_distribution xs ys)
+
+let test_ks_different_distribution () =
+  let g = rng () in
+  let xs = Array.init 300 (fun _ -> Jamming_prng.Sample.gaussian g ~mean:0.0 ~stddev:1.0) in
+  let ys = Array.init 300 (fun _ -> Jamming_prng.Sample.gaussian g ~mean:1.0 ~stddev:1.0) in
+  check_true "shifted gaussian rejected" (not (KS.same_distribution xs ys))
+
+let test_ks_p_value_range () =
+  check_float "d = 0 has p = 1" 1.0 (KS.p_value ~n1:10 ~n2:10 ~d:0.0);
+  let p = KS.p_value ~n1:100 ~n2:100 ~d:0.5 in
+  check_true "large d has tiny p" (p < 1e-6)
+
+module BC = Jamming_stats.Binomial_ci
+
+let test_wilson_brackets () =
+  let lo, hi = BC.wilson95 ~successes:50 ~trials:100 in
+  check_true "brackets 0.5" (lo < 0.5 && 0.5 < hi);
+  check_true "non-degenerate" (hi -. lo > 0.1 && hi -. lo < 0.3)
+
+let test_wilson_extremes () =
+  let lo, hi = BC.wilson95 ~successes:100 ~trials:100 in
+  check_float "upper bound is 1 at perfect success" 1.0 hi;
+  check_true "lower bound strictly below 1" (lo < 1.0 && lo > 0.9);
+  let lo0, hi0 = BC.wilson95 ~successes:0 ~trials:100 in
+  check_float "lower bound 0 at total failure" 0.0 lo0;
+  check_true "upper bound near rule of three" (hi0 < 0.06)
+
+let test_wilson_validation () =
+  Alcotest.check_raises "successes > trials"
+    (Invalid_argument "Binomial_ci.wilson: successes out of range") (fun () ->
+      ignore (BC.wilson95 ~successes:3 ~trials:2));
+  Alcotest.check_raises "no trials" (Invalid_argument "Binomial_ci.wilson: trials must be >= 1")
+    (fun () -> ignore (BC.wilson95 ~successes:0 ~trials:0))
+
+let test_rule_of_three () =
+  check_float "3/n" 0.003 (BC.rule_of_three ~trials:1000)
+
+let prop_wilson_ordered =
+  qtest ~count:200 "wilson bounds are ordered and bracket the MLE"
+    QCheck.(pair (int_range 1 500) (int_range 0 500))
+    (fun (trials, s) ->
+      let successes = Stdlib.min s trials in
+      let lo, hi = BC.wilson95 ~successes ~trials in
+      let p = float_of_int successes /. float_of_int trials in
+      lo <= p +. 1e-9 && p <= hi +. 1e-9 && lo >= 0.0 && hi <= 1.0)
+
+let prop_quantile_monotone =
+  qtest ~count:200 "quantiles are monotone in q"
+    QCheck.(pair (list_of_size (QCheck.Gen.int_range 2 40) (float_range (-100.) 100.))
+              (pair (float_range 0.0 1.0) (float_range 0.0 1.0)))
+    (fun (l, (q1, q2)) ->
+      let v = Array.of_list l in
+      let qa = Float.min q1 q2 and qb = Float.max q1 q2 in
+      D.quantile v ~q:qa <= D.quantile v ~q:qb +. 1e-9)
+
+let prop_mean_between_min_max =
+  qtest ~count:200 "mean lies within [min, max]"
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 50) (float_range (-1e6) 1e6))
+    (fun l ->
+      let v = Array.of_list l in
+      let m = D.mean v in
+      m >= D.min v -. 1e-6 && m <= D.max v +. 1e-6)
+
+let suite =
+  [
+    ("mean/variance closed forms", `Quick, test_mean_variance);
+    ("singleton sample", `Quick, test_single_point);
+    ("empty sample rejected", `Quick, test_empty_rejected);
+    ("quantiles", `Quick, test_quantiles);
+    ("summary", `Quick, test_summary);
+    ("mean CI", `Quick, test_mean_ci);
+    ("of_ints", `Quick, test_of_ints);
+    ("linear regression exact", `Quick, test_linear_regression_exact);
+    ("linear regression with noise", `Quick, test_linear_regression_noise);
+    ("regression validation", `Quick, test_regression_validation);
+    ("log-log slope", `Quick, test_log_log_slope);
+    ("pearson", `Quick, test_pearson);
+    ("ratio spread", `Quick, test_ratio_spread);
+    ("histogram binning", `Quick, test_histogram_binning);
+    ("histogram of samples", `Quick, test_histogram_of_samples);
+    ("bootstrap CI brackets", `Quick, test_bootstrap_brackets);
+    ("bootstrap validation", `Quick, test_bootstrap_validation);
+    ("KS closed forms", `Quick, test_ks_statistic_closed_forms);
+    ("KS symmetry", `Quick, test_ks_symmetry);
+    ("KS accepts equal distributions", `Quick, test_ks_same_distribution);
+    ("KS rejects shifted distributions", `Quick, test_ks_different_distribution);
+    ("KS p-value range", `Quick, test_ks_p_value_range);
+    ("wilson brackets", `Quick, test_wilson_brackets);
+    ("wilson extremes", `Quick, test_wilson_extremes);
+    ("wilson validation", `Quick, test_wilson_validation);
+    ("rule of three", `Quick, test_rule_of_three);
+    prop_wilson_ordered;
+    prop_quantile_monotone;
+    prop_mean_between_min_max;
+  ]

@@ -1,0 +1,44 @@
+(* Shared helpers for the test suite. *)
+
+module Prng = Jamming_prng.Prng
+module Sample = Jamming_prng.Sample
+module Channel = Jamming_channel.Channel
+module Budget = Jamming_adversary.Budget
+module Adversary = Jamming_adversary.Adversary
+module Station = Jamming_station.Station
+module Uniform = Jamming_station.Uniform
+module Metrics = Jamming_sim.Metrics
+module Engine = Jamming_sim.Engine
+module Uniform_engine = Jamming_sim.Uniform_engine
+
+let rng ?(seed = 20260706) () = Prng.create ~seed
+
+let check_float = Alcotest.(check (float 1e-9))
+let check_float_eps eps = Alcotest.(check (float eps))
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_true msg b = check_bool msg true b
+
+let state_testable =
+  Alcotest.testable Channel.pp_state Channel.equal_state
+
+let status_testable = Alcotest.testable Station.pp_status Station.equal_status
+
+let qtest ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)
+
+(* Run a uniform protocol to completion on the fast engine. *)
+let run_uniform ?(seed = 7) ?(eps = 0.5) ?(window = 32) ?(max_slots = 200_000)
+    ?(adversary = Adversary.none) ~n factory =
+  let rng = Prng.create ~seed in
+  let budget = Budget.create ~window ~eps in
+  Uniform_engine.run ~n ~rng ~protocol:(factory ()) ~adversary:(adversary ()) ~budget
+    ~max_slots ()
+
+(* Run station factories to completion on the exact engine. *)
+let run_exact ?(seed = 7) ?(eps = 0.5) ?(window = 32) ?(max_slots = 400_000)
+    ?(adversary = Adversary.none) ?(cd = Channel.Strong_cd) ~n factory =
+  let rng = Prng.create ~seed in
+  let stations = Engine.make_stations ~n ~rng factory in
+  let budget = Budget.create ~window ~eps in
+  Engine.run ~cd ~adversary:(adversary ()) ~budget ~max_slots ~stations ()

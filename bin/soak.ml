@@ -1,125 +1,275 @@
 (* soak — randomized invariant testing, for as many iterations as asked.
 
    Each iteration draws a random configuration (protocol, adversary,
-   CD model, n, eps, T), runs a full election, and checks the
+   CD model, n, eps, T, fault-injection rates), runs a full election
+   with the online invariant monitor attached, and checks the
    system-wide invariants:
-     - the executed jam pattern is (T, 1-eps)-bounded (independent
-       O(t^2)-free accounting via the slot trace);
-     - on completion, exactly one leader and full termination;
-     - slot-class counters are consistent.
+     - the executed jam pattern is (T, 1-eps)-bounded — enforced online
+       by the monitor and cross-checked offline by
+       Budget.verify_bounded (exact, every window of length >= T);
+     - slot-class counters are consistent, online and in aggregate;
+     - never two simultaneous leaders; on fault-free completion,
+       exactly one leader and full termination.
+
+   Fault injection (CD misperception, crash-stop, transient sleep,
+   late wake-up) is enabled by default; under injected faults the
+   election guarantee is allowed to degrade, the engine-level
+   invariants are not.  A failing configuration is shrunk to a minimal
+   reproduction (halve n, truncate the slot cap, drop fault classes one
+   at a time) and a replayable report is written to results/.
 
    Exit code 0 iff every iteration held.
 
      dune exec bin/soak.exe -- --iterations 200 --seed 7
+     dune exec bin/soak.exe -- --seed 7 --replay 143   # rerun one iteration
 *)
 
 module E = Jamming_experiments
 module Prng = Jamming_prng.Prng
 module Metrics = Jamming_sim.Metrics
+module Monitor = Jamming_sim.Monitor
 module Channel = Jamming_channel.Channel
+module Budget = Jamming_adversary.Budget
+module Faults = Jamming_faults
 
-type violation = { iteration : int; description : string }
+type config = {
+  iteration : int;
+  base_seed : int;
+  run_seed : int;
+  mode : int; (* 0 = LESK, 1 = LESU, 2 = LEWK *)
+  n : int;
+  eps : float;
+  window : int;
+  max_slots : int;
+  adversary_ix : int;
+  faults : Faults.Config.t;
+}
 
-let random_choice rng l = List.nth l (Prng.int rng ~bound:(List.length l))
+let adversaries =
+  [|
+    E.Specs.no_jamming; E.Specs.greedy; E.Specs.random_jam ~p:0.7; E.Specs.front_loaded;
+    E.Specs.periodic; E.Specs.silence_breaker; E.Specs.streak_saver;
+    E.Specs.notification_saboteur;
+  |]
 
-let check_jam_density ~eps ~window records =
-  (* Sliding exact check over the recorded pattern (reference-style). *)
-  let jams = Array.of_list (List.map (fun r -> r.Metrics.jammed) records) in
-  let t = Array.length jams in
-  let ok = ref true in
-  let prefix = Array.make (t + 1) 0 in
-  for i = 0 to t - 1 do
-    prefix.(i + 1) <- prefix.(i) + if jams.(i) then 1 else 0
-  done;
-  for i = 0 to t - 1 do
-    let j = Int.min (t - 1) (i + window - 1) in
-    (* every window of length >= window starting at i: check a few sizes *)
-    List.iter
-      (fun w ->
-        let e = i + w - 1 in
-        if e < t && w >= window then
-          if
-            float_of_int (prefix.(e + 1) - prefix.(i))
-            > ((1.0 -. eps) *. float_of_int w) +. 1e-9
-          then ok := false)
-      [ window; 2 * window; j - i + 1 ]
-  done;
-  !ok
+let mode_name = function 0 -> "LESK" | 1 -> "LESU" | _ -> "LEWK"
 
-let run_iteration ~seed ~iteration =
+let pp_config ppf c =
+  Format.fprintf ppf "%s n=%d eps=%.2f T=%d cap=%d adversary=%s seed=%d %a"
+    (mode_name c.mode) c.n c.eps c.window c.max_slots
+    adversaries.(c.adversary_ix).E.Specs.a_name c.run_seed Faults.Config.pp c.faults
+
+let sample_faults rng =
+  if Prng.bool rng ~p:0.5 then Faults.Config.none
+  else
+    let perception =
+      if Prng.bool rng ~p:0.5 then Faults.Perception.uniform ~p:(0.15 *. Prng.float rng)
+      else Faults.Perception.none
+    in
+    let p_crash = if Prng.bool rng ~p:0.4 then 0.3 *. Prng.float rng else 0.0 in
+    let p_sleep = if Prng.bool rng ~p:0.4 then 0.3 *. Prng.float rng else 0.0 in
+    let p_late_wake = if Prng.bool rng ~p:0.4 then 0.5 *. Prng.float rng else 0.0 in
+    {
+      Faults.Config.perception;
+      p_crash;
+      crash_horizon = 1 + Prng.int rng ~bound:2000;
+      p_sleep;
+      sleep_horizon = 1 + Prng.int rng ~bound:2000;
+      max_sleep = 1 + Prng.int rng ~bound:200;
+      p_late_wake;
+      max_wake_delay = 1 + Prng.int rng ~bound:300;
+    }
+
+let sample_config ~base_seed ~seed ~iteration ~with_faults =
   let rng = Prng.create ~seed in
-  let n = 3 + Prng.int rng ~bound:62 in
   let eps = 0.2 +. (0.8 *. Prng.float rng) in
   let window = 1 + Prng.int rng ~bound:64 in
-  let cap = 2_000_000 in
-  let setup = { E.Runner.n; eps; window; max_slots = cap } in
-  let adversaries =
-    [
-      E.Specs.no_jamming; E.Specs.greedy; E.Specs.random_jam ~p:0.7; E.Specs.front_loaded;
-      E.Specs.periodic; E.Specs.silence_breaker; E.Specs.streak_saver;
-      E.Specs.notification_saboteur;
-    ]
-  in
-  let adversary = random_choice rng adversaries in
+  let adversary_ix = Prng.int rng ~bound:(Array.length adversaries) in
+  let mode = Prng.int rng ~bound:3 in
+  let faults = if with_faults then sample_faults rng else Faults.Config.none in
+  let faulty = not (Faults.Config.is_null faults) in
+  (* Faulty runs always use the exact engine (O(n)/slot): keep them to
+     moderate n and a tighter cap so capped runs stay cheap. *)
+  let n = if faulty then 3 + Prng.int rng ~bound:38 else 3 + Prng.int rng ~bound:62 in
+  let max_slots = if faulty then 150_000 else 2_000_000 in
+  { iteration; base_seed; run_seed = seed; mode; n; eps; window; max_slots;
+    adversary_ix; faults }
+
+(* Runs [c] and returns the invariant violations observed (empty = held). *)
+let run_config c =
+  let setup = { E.Runner.n = c.n; eps = c.eps; window = c.window; max_slots = c.max_slots } in
+  let adversary = adversaries.(c.adversary_ix) in
+  let faulty = not (Faults.Config.is_null c.faults) in
   let records = ref [] in
   let on_slot r = records := r :: !records in
-  let mode = Prng.int rng ~bound:3 in
-  let name, result =
-    match mode with
-    | 0 ->
-        ( "LESK/uniform",
-          E.Runner.run_once ~on_slot setup (E.Specs.lesk ~eps) adversary ~seed )
-    | 1 ->
-        ( "LESU/uniform",
-          E.Runner.run_once ~on_slot setup (E.Specs.lesu ()) adversary ~seed )
-    | _ ->
-        ( "LEWK/weak-CD",
-          E.Runner.run_exact_once ~on_slot ~cd:Channel.Weak_cd setup
-            ~factory:(Jamming_core.Lewk.station ~eps ())
-            adversary ~seed )
+  let violations = ref [] in
+  let fail fmt = Format.kasprintf (fun d -> violations := d :: !violations) fmt in
+  let result =
+    try
+      let result =
+        if (not faulty) && c.mode < 2 then
+          (* Fault-free uniform protocols keep the fast O(1)/slot path. *)
+          let protocol =
+            if c.mode = 0 then E.Specs.lesk ~eps:c.eps else E.Specs.lesu ()
+          in
+          Some (E.Runner.run_once ~on_slot setup protocol adversary ~seed:c.run_seed)
+        else
+          let cd, factory =
+            match c.mode with
+            | 0 -> (Channel.Strong_cd, Jamming_core.Lesk.station ~eps:c.eps)
+            | 1 -> (Channel.Strong_cd, Jamming_core.Lesu.station ())
+            | _ -> (Channel.Weak_cd, Jamming_core.Lewk.station ~eps:c.eps ())
+          in
+          Some
+            (E.Runner.run_faulty_once ~on_slot ~cd setup ~factory ~faults:c.faults
+               adversary ~seed:c.run_seed)
+      in
+      result
+    with Monitor.Violation v ->
+      fail "monitor: %s" (Monitor.violation_to_string v);
+      None
   in
   let records = List.rev !records in
-  let violations = ref [] in
-  let fail fmt =
-    Format.kasprintf
-      (fun description -> violations := { iteration; description } :: !violations)
-      fmt
-  in
-  if not result.Metrics.completed then
-    fail "%s n=%d eps=%.2f T=%d (%s): did not complete within %d slots" name n eps window
-      adversary.E.Specs.a_name cap;
-  if result.Metrics.completed && not (Metrics.election_ok result) then
-    fail "%s: completed but not exactly one leader" name;
-  if not (check_jam_density ~eps ~window records) then
-    fail "%s: executed jam pattern violates (T, 1-eps)!" name;
-  let jams = List.length (List.filter (fun r -> r.Metrics.jammed) records) in
-  if jams <> result.Metrics.jammed_slots then fail "%s: jam accounting mismatch" name;
-  (!violations, name, result.Metrics.slots)
+  let jam_pattern = Array.of_list (List.map (fun r -> r.Metrics.jammed) records) in
+  (match Budget.verify_bounded ~window:c.window ~eps:c.eps jam_pattern with
+  | None -> ()
+  | Some v ->
+      fail "executed jam pattern violates (T, 1-eps): %a" Budget.pp_window_violation v);
+  (match result with
+  | None -> ()
+  | Some result ->
+      let jams = List.length (List.filter (fun r -> r.Metrics.jammed) records) in
+      if jams <> result.Metrics.jammed_slots then fail "jam accounting mismatch";
+      if not faulty then begin
+        if not result.Metrics.completed then
+          fail "did not complete within %d slots" c.max_slots;
+        if result.Metrics.completed && not (Metrics.election_ok result) then
+          fail "completed but not exactly one leader"
+      end);
+  (!violations, match result with Some r -> r.Metrics.slots | None -> 0)
 
-let run iterations seed =
-  let t0 = Unix.gettimeofday () in
-  let all_violations = ref [] in
-  let total_slots = ref 0 in
-  for iteration = 1 to iterations do
-    let vs, _name, slots =
-      run_iteration ~seed:(Prng.seed_of_string (Printf.sprintf "soak/%d/%d" seed iteration)) ~iteration
+(* --- shrinking: halve n, truncate the cap, drop fault classes one at a
+   time; keep any variant that still fails; stop at a fixpoint. --- *)
+
+let drop_faults c =
+  let f = c.faults in
+  List.filter_map
+    (fun (label, f') ->
+      if f' = f then None else Some (label, { c with faults = f' }))
+    [
+      ("drop perception noise",
+       { f with Faults.Config.perception = Faults.Perception.none });
+      ("drop crashes", { f with Faults.Config.p_crash = 0.0 });
+      ("drop sleeps", { f with Faults.Config.p_sleep = 0.0 });
+      ("drop late wake-ups", { f with Faults.Config.p_late_wake = 0.0 });
+    ]
+
+let shrink_candidates c =
+  (if c.n > 3 then [ ("halve n", { c with n = Int.max 3 (c.n / 2) }) ] else [])
+  @ (if c.max_slots > 2_000 then
+       [ ("truncate slots", { c with max_slots = Int.max 2_000 (c.max_slots / 2) }) ]
+     else [])
+  @ drop_faults c
+
+let shrink ~budget c0 =
+  let attempts = ref 0 in
+  let rec go c =
+    let step =
+      List.find_map
+        (fun (label, c') ->
+          if !attempts >= budget then None
+          else begin
+            incr attempts;
+            match run_config c' with
+            | [], _ -> None
+            | vs, _ -> Some (label, c', vs)
+          end)
+        (shrink_candidates c)
     in
-    total_slots := !total_slots + slots;
-    all_violations := vs @ !all_violations;
-    if iteration mod 50 = 0 then
-      Format.printf "… %d/%d iterations, %d slots simulated, %d violations@." iteration
-        iterations !total_slots
-        (List.length !all_violations)
-  done;
-  let dt = Unix.gettimeofday () -. t0 in
-  Format.printf "%d iterations, %d total slots, %.1fs.@." iterations !total_slots dt;
-  match !all_violations with
-  | [] ->
-      Format.printf "all invariants held.@.";
-      `Ok ()
-  | vs ->
-      List.iter (fun v -> Format.printf "VIOLATION @@ %d: %s@." v.iteration v.description) vs;
-      `Error (false, Printf.sprintf "%d invariant violations" (List.length vs))
+    match step with None -> (c, !attempts) | Some (_, c', _) -> go c'
+  in
+  go c0
+
+(* --- violation reports --- *)
+
+let ensure_dir dir =
+  if not (Sys.file_exists dir) then Unix.mkdir dir 0o755
+
+let write_report ~dir c violations =
+  ensure_dir dir;
+  let shrunk, attempts = shrink ~budget:40 c in
+  let shrunk_violations, _ = if shrunk = c then (violations, 0) else run_config shrunk in
+  let path =
+    Filename.concat dir (Printf.sprintf "soak-violation-%d-%d.txt" c.base_seed c.iteration)
+  in
+  let oc = open_out path in
+  let ppf = Format.formatter_of_out_channel oc in
+  Format.fprintf ppf "soak invariant violation@.";
+  Format.fprintf ppf "iteration: %d (base seed %d)@." c.iteration c.base_seed;
+  Format.fprintf ppf "config: %a@." pp_config c;
+  List.iter (fun d -> Format.fprintf ppf "violation: %s@." d) violations;
+  Format.fprintf ppf "shrunk config (%d shrink re-runs): %a@." attempts pp_config shrunk;
+  List.iter (fun d -> Format.fprintf ppf "shrunk violation: %s@." d) shrunk_violations;
+  Format.fprintf ppf "replay: dune exec bin/soak.exe -- --seed %d --replay %d@."
+    c.base_seed c.iteration;
+  Format.pp_print_flush ppf ();
+  close_out oc;
+  path
+
+let iteration_seed ~seed ~iteration =
+  Prng.seed_of_string (Printf.sprintf "soak/%d/%d" seed iteration)
+
+let run_iteration ~base_seed ~iteration ~with_faults =
+  let seed = iteration_seed ~seed:base_seed ~iteration in
+  let c = sample_config ~base_seed ~seed ~iteration ~with_faults in
+  let violations, slots = run_config c in
+  (c, violations, slots)
+
+let run iterations seed no_faults replay report_dir =
+  let with_faults = not no_faults in
+  match replay with
+  | Some iteration ->
+      let c, violations, slots = run_iteration ~base_seed:seed ~iteration ~with_faults in
+      Format.printf "replaying iteration %d: %a@." iteration pp_config c;
+      Format.printf "%d slots simulated.@." slots;
+      (match violations with
+      | [] ->
+          Format.printf "all invariants held.@.";
+          `Ok ()
+      | vs ->
+          List.iter (fun d -> Format.printf "VIOLATION: %s@." d) vs;
+          `Error (false, "replayed iteration violates invariants"))
+  | None ->
+      let t0 = Unix.gettimeofday () in
+      let failures = ref [] in
+      let total_slots = ref 0 in
+      for iteration = 1 to iterations do
+        let c, violations, slots = run_iteration ~base_seed:seed ~iteration ~with_faults in
+        total_slots := !total_slots + slots;
+        if violations <> [] then failures := (c, violations) :: !failures;
+        if iteration mod 50 = 0 then
+          Format.printf "… %d/%d iterations, %d slots simulated, %d violations@." iteration
+            iterations !total_slots
+            (List.length !failures)
+      done;
+      let dt = Unix.gettimeofday () -. t0 in
+      Format.printf "%d iterations, %d total slots, %.1fs (faults %s).@." iterations
+        !total_slots dt
+        (if with_faults then "enabled" else "disabled");
+      (match !failures with
+      | [] ->
+          Format.printf "all invariants held.@.";
+          `Ok ()
+      | fs ->
+          List.iter
+            (fun (c, violations) ->
+              List.iter
+                (fun d -> Format.printf "VIOLATION @@ %d: %s@." c.iteration d)
+                violations;
+              let path = write_report ~dir:report_dir c violations in
+              Format.printf "  report: %s@." path)
+            (List.rev fs);
+          `Error (false, Printf.sprintf "%d failing iterations" (List.length fs)))
 
 open Cmdliner
 
@@ -128,8 +278,20 @@ let cmd =
     Arg.(value & opt int 100 & info [ "iterations"; "n" ] ~doc:"Random elections to run.")
   in
   let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Base seed.") in
+  let no_faults =
+    Arg.(value & flag & info [ "no-faults" ] ~doc:"Disable fault injection (seed-soak behaviour).")
+  in
+  let replay =
+    Arg.(value & opt (some int) None
+         & info [ "replay" ] ~docv:"ITERATION"
+             ~doc:"Rerun a single iteration (as printed in a violation report) and exit.")
+  in
+  let report_dir =
+    Arg.(value & opt string "results"
+         & info [ "report-dir" ] ~doc:"Directory for violation reports.")
+  in
   Cmd.v
     (Cmd.info "soak" ~doc:"Randomized invariant soak-testing of the whole pipeline")
-    Term.(ret (const run $ iterations $ seed))
+    Term.(ret (const run $ iterations $ seed $ no_faults $ replay $ report_dir))
 
 let () = exit (Cmd.eval cmd)

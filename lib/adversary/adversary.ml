@@ -18,8 +18,21 @@ let greedy () =
 
 let random ~seed ~p =
   if not (p >= 0.0 && p <= 1.0) then invalid_arg "Adversary.random: p must lie in [0, 1]";
+  (* Mix an instance counter into the seed so that each factory
+     invocation gets a fresh stream: baking [seed] in directly made
+     every instance — and hence every replication — replay the identical
+     jam pattern.  Runs stay reproducible from the caller's seed because
+     instances are numbered deterministically in creation order. *)
+  let instances = ref 0 in
   fun () ->
-    let rng = Jamming_prng.Prng.create ~seed in
+    let instance = !instances in
+    incr instances;
+    let rng =
+      Jamming_prng.Prng.create
+        ~seed:
+          (Jamming_prng.Prng.seed_of_string
+             (Printf.sprintf "adversary/random/%d/%d" seed instance))
+    in
     {
       name = Printf.sprintf "random(p=%.2f)" p;
       wants_jam = (fun ~slot:_ ~can_jam:_ -> Jamming_prng.Prng.bool rng ~p);

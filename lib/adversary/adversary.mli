@@ -33,7 +33,11 @@ val greedy : factory
     adversary. *)
 
 val random : seed:int -> p:float -> factory
-(** Asks to jam each slot independently with probability [p]. *)
+(** Asks to jam each slot independently with probability [p].  Each
+    factory invocation derives a fresh stream from [seed] and an
+    instance counter, so replicated runs see independent jam patterns
+    while remaining exactly reproducible from [seed] (instances are
+    numbered in creation order). *)
 
 val front_loaded : window:int -> factory
 (** Tries to jam the earliest slots of every aligned [window]-length

@@ -64,6 +64,48 @@ let can_jam t =
   (* (A): all already-closable windows of length >= T ending here. *)
   && h t ~jams:(t.jams + 1) ~k:(t.m + 1) <= min_h_for_next t +. tolerance
 
+type window_violation = { start : int; length : int; jams_in_window : int }
+
+let pp_window_violation ppf v =
+  Format.fprintf ppf "window [%d, %d) of %d slots holds %d jams" v.start
+    (v.start + v.length) v.length v.jams_in_window
+
+let verify_bounded ~window ~eps jams =
+  if window < 1 then invalid_arg "Budget.verify_bounded: window must be >= 1";
+  if not (eps > 0.0 && eps <= 1.0) then
+    invalid_arg "Budget.verify_bounded: eps must lie in (0, 1]";
+  let t = Array.length jams in
+  (* Prefix counts J(0..t); a window [k, m) of length >= window violates
+     iff J(m) - J(k) > (1-eps)(m-k), i.e. h(m) > h(k) with
+     h(k) = J(k) - (1-eps)*k.  Scanning m while maintaining
+     min { h(k) : k <= m - window } checks every window of every length
+     >= window exactly, in O(t) — no sampled window sizes. *)
+  let prefix = Array.make (t + 1) 0 in
+  for i = 0 to t - 1 do
+    prefix.(i + 1) <- prefix.(i) + if jams.(i) then 1 else 0
+  done;
+  let h k = float_of_int prefix.(k) -. ((1.0 -. eps) *. float_of_int k) in
+  let min_h = ref infinity and argmin = ref (-1) in
+  let violation = ref None in
+  let m = ref window in
+  while !violation = None && !m <= t do
+    let k = !m - window in
+    if h k < !min_h then begin
+      min_h := h k;
+      argmin := k
+    end;
+    if h !m > !min_h +. tolerance then
+      violation :=
+        Some
+          {
+            start = !argmin;
+            length = !m - !argmin;
+            jams_in_window = prefix.(!m) - prefix.(!argmin);
+          };
+    incr m
+  done;
+  !violation
+
 let advance t ~jam =
   if jam && not (can_jam t) then raise (Illegal_jam t.m);
   let next = t.m + 1 in

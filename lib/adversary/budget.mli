@@ -55,3 +55,24 @@ val advance : t -> jam:bool -> unit
 
 val max_jams_in_window : t -> int
 (** [⌊(1−ε)·T⌋], the jam capacity of a length-[T] window. *)
+
+(** {1 Offline verification} *)
+
+type window_violation = {
+  start : int;  (** First slot of the offending window. *)
+  length : int;  (** Window length ([≥ window]). *)
+  jams_in_window : int;  (** Jams inside — exceeds [(1−ε)·length]. *)
+}
+
+val pp_window_violation : Format.formatter -> window_violation -> unit
+
+val verify_bounded :
+  window:int -> eps:float -> bool array -> window_violation option
+(** [verify_bounded ~window ~eps jams] checks a {e recorded} jam pattern
+    ([jams.(i)] = slot [i] was jammed) against the (window, 1−eps)
+    constraint, exactly, for {e every} window of {e every} length
+    [≥ window], in O(t) time via prefix-minimum accounting — the
+    independent, after-the-fact counterpart of the online enforcer
+    above, used by the soak harness to cross-check executed runs.
+    Returns the first violated window found (scanning window ends left
+    to right), or [None] if the pattern is bounded. *)

@@ -49,7 +49,34 @@ let run scale out =
     "The uniform engine samples the exact 0/1/>=2 transmitter-count trichotomy, so the \
      two simulations draw from the same process; mean ratios hover around 1.0 and the \
      two-sample Kolmogorov-Smirnov test does not distinguish the election-time \
-     distributions (p-values far above any rejection level).@."
+     distributions (p-values far above any rejection level).@.";
+  (* Zero-fault injection must be a no-op: the exact engine with an
+     all-zero fault config (and the online monitor attached) is required
+     to be bit-identical to the seed engine for the same seeds. *)
+  let zero_seeds = 25 in
+  let setup = { Runner.n = 24; eps; window; max_slots = 100_000 } in
+  for i = 1 to zero_seeds do
+    let seed = Jamming_prng.Prng.seed_of_string (Printf.sprintf "A1/zero-fault/%d" i) in
+    let plain =
+      Runner.run_exact_once ~cd:Jamming_channel.Channel.Strong_cd setup
+        ~factory:(Jamming_core.Lesk.station ~eps)
+        Specs.greedy ~seed
+    in
+    let faulty =
+      Runner.run_faulty_once ~cd:Jamming_channel.Channel.Strong_cd setup
+        ~factory:(Jamming_core.Lesk.station ~eps)
+        ~faults:Jamming_faults.Config.none Specs.greedy ~seed
+    in
+    if plain <> faulty then
+      failwith
+        (Printf.sprintf
+           "A1: zero-fault injection is NOT bit-identical to the seed engine (seed %d: \
+            %d vs %d slots)"
+           seed plain.Jamming_sim.Metrics.slots faulty.Jamming_sim.Metrics.slots)
+  done;
+  Format.fprintf ppf
+    "Zero-fault injection check: %d/%d seeds bit-identical between the seed engine and \
+     the fault-injection path (all-zero rates, monitor attached).@." zero_seeds zero_seeds
 
 let experiment =
   {

@@ -1,0 +1,4 @@
+(** A6 — election success and slot-count curves for LESK/LESU/LEWK under
+    injected CD misperception and crash-stop faults. *)
+
+val experiment : Registry.t

@@ -23,6 +23,7 @@ let all =
     Exp_lesu_calibration.experiment;
     Exp_estimation_threshold.experiment;
     Exp_markov.experiment;
+    Exp_fault_tolerance.experiment;
   ]
 
 let find key =

@@ -1,6 +1,8 @@
 module Prng = Jamming_prng.Prng
 module Budget = Jamming_adversary.Budget
 module Metrics = Jamming_sim.Metrics
+module Monitor = Jamming_sim.Monitor
+module Faults = Jamming_faults
 
 type setup = { n : int; eps : float; window : int; max_slots : int }
 
@@ -36,6 +38,44 @@ let run_exact_once ?on_slot ~cd setup ~factory (adversary : Specs.adversary) ~se
   let budget = Budget.create ~window:setup.window ~eps:setup.eps in
   Jamming_sim.Engine.run ?on_slot ~cd ~adversary:adv ~budget ~max_slots:setup.max_slots
     ~stations ()
+
+let run_faulty_once ?on_slot ?monitor_checks ~cd setup ~factory ~faults
+    (adversary : Specs.adversary) ~seed =
+  validate setup;
+  Faults.Config.validate faults;
+  let rng = Prng.create ~seed in
+  let stations = Jamming_sim.Engine.make_stations ~n:setup.n ~rng factory in
+  (* Dedicated streams for plans and sensing noise, derived from the run
+     seed: adding or removing faults never perturbs the station or
+     adversary streams. *)
+  let plan_rng =
+    Prng.create ~seed:(Prng.seed_of_string (Printf.sprintf "%d/faults/plans" seed))
+  in
+  let plans = Faults.Config.sample_plans faults ~rng:plan_rng ~n:setup.n in
+  let stations = Faults.Config.wrap_stations plans stations in
+  let injection =
+    Faults.Injection.create ~noise:faults.Faults.Config.perception
+      ~rng:(Prng.create ~seed:(Prng.seed_of_string (Printf.sprintf "%d/faults/noise" seed)))
+  in
+  let checks =
+    match monitor_checks with
+    | Some c -> c
+    | None ->
+        (* The election safety property only holds under the paper's
+           fault-free assumptions; engine-level invariants always do. *)
+        if Faults.Config.is_null faults then Monitor.all_checks
+        else Monitor.safety_checks
+  in
+  let monitor =
+    Monitor.create ~checks ~seed ~window:setup.window ~eps:setup.eps ()
+  in
+  let adv =
+    adversary.Specs.a_make ~seed:(seed lxor 0x5bd1e995) ~n:setup.n ~eps:setup.eps
+      ~window:setup.window ()
+  in
+  let budget = Budget.create ~window:setup.window ~eps:setup.eps in
+  Jamming_sim.Engine.run ?on_slot ~faults:injection ~monitor ~cd ~adversary:adv ~budget
+    ~max_slots:setup.max_slots ~stations ()
 
 type sample = {
   setup : setup;
@@ -91,6 +131,20 @@ let replicate ?jobs ?(base_seed = 42) ~reps setup protocol adversary =
     adversary_name = adversary.Specs.a_name;
     results;
   }
+
+let replicate_faulty ?jobs ?(base_seed = 42) ?monitor_checks ~cd ~reps setup ~name ~factory
+    ~faults adversary =
+  let jobs = match jobs with Some j -> j | None -> !default_jobs in
+  let tag =
+    Printf.sprintf "faulty|%s|%s|%d|%f|%d" name adversary.Specs.a_name setup.n setup.eps
+      setup.window
+  in
+  let results =
+    parallel_init ~jobs ~reps (fun rep ->
+        run_faulty_once ?monitor_checks ~cd setup ~factory ~faults adversary
+          ~seed:(cell_seed ~base_seed ~tag ~rep))
+  in
+  { setup; protocol_name = name; adversary_name = adversary.Specs.a_name; results }
 
 let replicate_exact ?jobs ?(base_seed = 42) ~cd ~reps setup ~name ~factory adversary =
   let jobs = match jobs with Some j -> j | None -> !default_jobs in

@@ -30,6 +30,25 @@ val run_exact_once :
 (** One election on the exact engine (weak-CD protocols, cross-engine
     validation). *)
 
+val run_faulty_once :
+  ?on_slot:(Jamming_sim.Metrics.slot_record -> unit) ->
+  ?monitor_checks:Jamming_sim.Monitor.checks ->
+  cd:Jamming_channel.Channel.cd_model ->
+  setup ->
+  factory:Jamming_station.Station.factory ->
+  faults:Jamming_faults.Config.t ->
+  Specs.adversary ->
+  seed:int ->
+  Jamming_sim.Metrics.result
+(** One election on the exact engine with fault injection and the online
+    invariant monitor.  Station plans and sensing noise are drawn from
+    dedicated streams derived from [seed], so the same seed without
+    faults reproduces the seed engine's run exactly.  Default monitor
+    checks: everything when [faults] is null, engine-level safety only
+    (no at-most-one-leader) otherwise — injected faults genuinely break
+    the paper's election guarantee, which is the thing being measured.
+    Raises {!Jamming_sim.Monitor.Violation} on a broken invariant. *)
+
 type sample = {
   setup : setup;
   protocol_name : string;
@@ -61,6 +80,21 @@ val replicate_exact :
   factory:Jamming_station.Station.factory ->
   Specs.adversary ->
   sample
+
+val replicate_faulty :
+  ?jobs:int ->
+  ?base_seed:int ->
+  ?monitor_checks:Jamming_sim.Monitor.checks ->
+  cd:Jamming_channel.Channel.cd_model ->
+  reps:int ->
+  setup ->
+  name:string ->
+  factory:Jamming_station.Station.factory ->
+  faults:Jamming_faults.Config.t ->
+  Specs.adversary ->
+  sample
+(** Replicated {!run_faulty_once} — the workhorse of the
+    fault-tolerance experiment. *)
 
 val recommended_jobs : unit -> int
 (** [min (domain count) 8], at least 1. *)

@@ -1,0 +1,76 @@
+module Prng = Jamming_prng.Prng
+
+type t = {
+  perception : Perception.t;
+  p_crash : float;
+  crash_horizon : int;
+  p_sleep : float;
+  sleep_horizon : int;
+  max_sleep : int;
+  p_late_wake : float;
+  max_wake_delay : int;
+}
+
+let none =
+  {
+    perception = Perception.none;
+    p_crash = 0.0;
+    crash_horizon = 1;
+    p_sleep = 0.0;
+    sleep_horizon = 1;
+    max_sleep = 1;
+    p_late_wake = 0.0;
+    max_wake_delay = 1;
+  }
+
+let is_null t =
+  Perception.is_null t.perception && t.p_crash = 0.0 && t.p_sleep = 0.0
+  && t.p_late_wake = 0.0
+
+let in_unit p = p >= 0.0 && p <= 1.0
+
+let validate t =
+  Perception.validate t.perception;
+  if not (in_unit t.p_crash && in_unit t.p_sleep && in_unit t.p_late_wake) then
+    invalid_arg "Faults.Config: probabilities must lie in [0, 1]";
+  if t.crash_horizon < 1 || t.sleep_horizon < 1 then
+    invalid_arg "Faults.Config: horizons must be >= 1";
+  if t.max_sleep < 1 || t.max_wake_delay < 1 then
+    invalid_arg "Faults.Config: max_sleep and max_wake_delay must be >= 1"
+
+let sample_plan t ~rng =
+  validate t;
+  let wake_slot =
+    if t.p_late_wake > 0.0 && Prng.bool rng ~p:t.p_late_wake then
+      1 + Prng.int rng ~bound:t.max_wake_delay
+    else 0
+  in
+  let crash_slot =
+    if t.p_crash > 0.0 && Prng.bool rng ~p:t.p_crash then
+      Some (Prng.int rng ~bound:t.crash_horizon)
+    else None
+  in
+  let sleeps =
+    if t.p_sleep > 0.0 && Prng.bool rng ~p:t.p_sleep then begin
+      let start = Prng.int rng ~bound:t.sleep_horizon in
+      let len = 1 + Prng.int rng ~bound:t.max_sleep in
+      [ (start, start + len) ]
+    end
+    else []
+  in
+  { Fault_plan.wake_slot; crash_slot; sleeps }
+
+let sample_plans t ~rng ~n =
+  if n < 0 then invalid_arg "Faults.Config.sample_plans: n must be >= 0";
+  Array.init n (fun _ -> sample_plan t ~rng)
+
+let wrap_stations plans stations =
+  if Array.length plans <> Array.length stations then
+    invalid_arg "Faults.Config.wrap_stations: plans and stations must have equal length";
+  Array.mapi (fun i s -> Fault_plan.wrap plans.(i) s) stations
+
+let pp ppf t =
+  Format.fprintf ppf
+    "faults(%a crash=%.3g@%d sleep=%.3g@%d<=%d wake=%.3g<=%d)" Perception.pp t.perception
+    t.p_crash t.crash_horizon t.p_sleep t.sleep_horizon t.max_sleep t.p_late_wake
+    t.max_wake_delay

@@ -1,0 +1,40 @@
+(** Run-level fault configuration: perception noise rates plus the
+    distributions from which per-station {!Fault_plan.plan}s are drawn.
+
+    A config is pure data; {!sample_plans} turns it into concrete plans
+    with an explicit generator, so a (config, seed) pair is a complete,
+    replayable description of a faulty run — the soak harness shrinks
+    configs and reports them verbatim. *)
+
+type t = {
+  perception : Perception.t;  (** Per-station CD misperception rates. *)
+  p_crash : float;  (** Probability a given station crash-stops. *)
+  crash_horizon : int;  (** Crash slot is uniform on [\[0, crash_horizon)]. *)
+  p_sleep : float;  (** Probability a given station sleeps once. *)
+  sleep_horizon : int;  (** Sleep start is uniform on [\[0, sleep_horizon)]. *)
+  max_sleep : int;  (** Sleep length is uniform on [\[1, max_sleep\]]. *)
+  p_late_wake : float;  (** Probability a given station starts late. *)
+  max_wake_delay : int;  (** Wake slot is uniform on [\[1, max_wake_delay\]]. *)
+}
+
+val none : t
+(** No faults of any kind; {!is_null} holds. *)
+
+val is_null : t -> bool
+(** No perception noise and no lifecycle fault can ever be drawn. *)
+
+val validate : t -> unit
+
+val sample_plan : t -> rng:Jamming_prng.Prng.t -> Fault_plan.plan
+(** One station's lifecycle draw.  Draws nothing for fault classes whose
+    probability is zero. *)
+
+val sample_plans : t -> rng:Jamming_prng.Prng.t -> n:int -> Fault_plan.plan array
+(** Independent plans for stations [0 .. n−1], in id order. *)
+
+val wrap_stations :
+  Fault_plan.plan array -> Jamming_station.Station.t array ->
+  Jamming_station.Station.t array
+(** Applies [plans.(i)] to station [i].  Lengths must agree. *)
+
+val pp : Format.formatter -> t -> unit

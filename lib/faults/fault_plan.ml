@@ -1,0 +1,57 @@
+module Station = Jamming_station.Station
+
+type plan = {
+  wake_slot : int;
+  crash_slot : int option;
+  sleeps : (int * int) list;
+}
+
+let none = { wake_slot = 0; crash_slot = None; sleeps = [] }
+
+let is_null plan = plan.wake_slot <= 0 && plan.crash_slot = None && plan.sleeps = []
+
+let validate plan =
+  if plan.wake_slot < 0 then invalid_arg "Fault_plan: wake_slot must be >= 0";
+  (match plan.crash_slot with
+  | Some c when c < 0 -> invalid_arg "Fault_plan: crash_slot must be >= 0"
+  | _ -> ());
+  List.iter
+    (fun (a, b) ->
+      if a < 0 || b <= a then invalid_arg "Fault_plan: sleep intervals must be non-empty")
+    plan.sleeps
+
+let dormant plan ~slot =
+  slot < plan.wake_slot || List.exists (fun (a, b) -> slot >= a && slot < b) plan.sleeps
+
+let crashed plan ~slot = match plan.crash_slot with Some c -> slot >= c | None -> false
+
+let wrap plan (s : Station.t) =
+  validate plan;
+  if is_null plan then s
+  else begin
+    (* The latch makes the crash permanent even though [finished] does
+       not receive the slot: the engine consults [decide]/[observe]
+       every live slot, so the latch is set no later than the crash
+       slot itself. *)
+    let dead = ref false in
+    let check_crash ~slot = if crashed plan ~slot then dead := true in
+    {
+      s with
+      Station.decide =
+        (fun ~slot ->
+          check_crash ~slot;
+          if !dead || dormant plan ~slot then Station.Listen else s.Station.decide ~slot);
+      observe =
+        (fun ~slot ~perceived ~transmitted ->
+          check_crash ~slot;
+          if not (!dead || dormant plan ~slot) then
+            s.Station.observe ~slot ~perceived ~transmitted);
+      finished = (fun () -> !dead || s.Station.finished ());
+    }
+  end
+
+let pp ppf plan =
+  let crash = match plan.crash_slot with Some c -> string_of_int c | None -> "-" in
+  Format.fprintf ppf "plan(wake=%d crash=%s sleeps=[%s])" plan.wake_slot crash
+    (String.concat ";"
+       (List.map (fun (a, b) -> Printf.sprintf "%d,%d" a b) plan.sleeps))

@@ -1,0 +1,44 @@
+(** Station lifecycle faults: crash-stop, transient sleep, late wake-up.
+
+    A plan is a per-station schedule of dormancy and death, applied by
+    {!wrap} to any {!Jamming_station.Station.t} {e without touching
+    protocol code}: the wrapper intercepts [decide]/[observe] and the
+    inner protocol never runs during a dormant slot (its state freezes —
+    the station genuinely misses those slots, it does not merely stay
+    silent).
+
+    Semantics per slot [s]:
+    - {b late wake-up}: before [wake_slot] the station is dormant — it
+      listens to nothing and transmits nothing (asynchronous start).
+    - {b transient sleep}: dormant during every half-open interval
+      [\[start, stop)] of [sleeps].
+    - {b crash-stop}: from [crash_slot] onward the station is
+      permanently finished; its status stays whatever it last was, so a
+      crashed undecided station counts against election success. *)
+
+type plan = {
+  wake_slot : int;  (** First slot the station participates in. *)
+  crash_slot : int option;  (** Slot at which the station halts forever. *)
+  sleeps : (int * int) list;  (** Half-open dormancy intervals. *)
+}
+
+val none : plan
+(** Wakes at slot 0, never crashes, never sleeps. *)
+
+val is_null : plan -> bool
+
+val validate : plan -> unit
+(** Raises [Invalid_argument] on a negative wake/crash slot or an empty
+    or negative sleep interval. *)
+
+val dormant : plan -> slot:int -> bool
+(** Whether the station is asleep (or not yet awake) at [slot].  Crash
+    is not dormancy; see {!crashed}. *)
+
+val crashed : plan -> slot:int -> bool
+
+val wrap : plan -> Jamming_station.Station.t -> Jamming_station.Station.t
+(** [wrap plan s] is [s] subjected to [plan].  A null plan returns [s]
+    itself, so fault-free runs are bit-identical to unwrapped runs. *)
+
+val pp : Format.formatter -> plan -> unit

@@ -1,0 +1,9 @@
+type t = { noise : Perception.t; rng : Jamming_prng.Prng.t }
+
+let create ~noise ~rng =
+  Perception.validate noise;
+  { noise; rng }
+
+let active t = not (Perception.is_null t.noise)
+let sense t st = Perception.apply t.noise t.rng st
+let noise t = t.noise

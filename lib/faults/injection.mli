@@ -1,0 +1,21 @@
+(** The handle the exact engine threads through a faulty run: the
+    perception noise rates plus a dedicated generator for the noise
+    draws.
+
+    The generator is private to the injection, so adding (or removing)
+    noise never perturbs station or adversary streams — and a noise
+    config whose rates are all zero consumes no randomness at all,
+    keeping zero-rate runs bit-identical to fault-free runs. *)
+
+type t
+
+val create : noise:Perception.t -> rng:Jamming_prng.Prng.t -> t
+(** Validates the rates. *)
+
+val active : t -> bool
+(** Whether any rate is positive (the engine skips inactive noise). *)
+
+val sense : t -> Jamming_channel.Channel.state -> Jamming_channel.Channel.state
+(** One per-station draw of the sensed channel state. *)
+
+val noise : t -> Perception.t

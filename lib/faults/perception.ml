@@ -1,0 +1,61 @@
+module Channel = Jamming_channel.Channel
+module Prng = Jamming_prng.Prng
+
+type t = {
+  p_null_to_collision : float;
+  p_single_to_collision : float;
+  p_collision_to_single : float;
+  p_collision_to_null : float;
+}
+
+let none =
+  {
+    p_null_to_collision = 0.0;
+    p_single_to_collision = 0.0;
+    p_collision_to_single = 0.0;
+    p_collision_to_null = 0.0;
+  }
+
+let in_unit p = p >= 0.0 && p <= 1.0
+
+let validate t =
+  if
+    not
+      (in_unit t.p_null_to_collision && in_unit t.p_single_to_collision
+      && in_unit t.p_collision_to_single && in_unit t.p_collision_to_null)
+  then invalid_arg "Perception: rates must lie in [0, 1]";
+  if t.p_collision_to_single +. t.p_collision_to_null > 1.0 +. 1e-12 then
+    invalid_arg "Perception: collision flip rates must sum to at most 1"
+
+let uniform ~p =
+  if not (p >= 0.0 && p <= 0.5) then invalid_arg "Perception.uniform: p must lie in [0, 0.5]";
+  {
+    p_null_to_collision = p;
+    p_single_to_collision = p;
+    p_collision_to_single = p;
+    p_collision_to_null = p;
+  }
+
+let is_null t =
+  t.p_null_to_collision = 0.0 && t.p_single_to_collision = 0.0
+  && t.p_collision_to_single = 0.0 && t.p_collision_to_null = 0.0
+
+let apply t rng st =
+  match st with
+  | Channel.Null ->
+      if Prng.bool rng ~p:t.p_null_to_collision then Channel.Collision else Channel.Null
+  | Channel.Single ->
+      if Prng.bool rng ~p:t.p_single_to_collision then Channel.Collision else Channel.Single
+  | Channel.Collision ->
+      let ps = t.p_collision_to_single and pn = t.p_collision_to_null in
+      if ps <= 0.0 && pn <= 0.0 then Channel.Collision
+      else begin
+        let u = Prng.float rng in
+        if u < ps then Channel.Single
+        else if u < ps +. pn then Channel.Null
+        else Channel.Collision
+      end
+
+let pp ppf t =
+  Format.fprintf ppf "noise(N>C=%.3g S>C=%.3g C>S=%.3g C>N=%.3g)" t.p_null_to_collision
+    t.p_single_to_collision t.p_collision_to_single t.p_collision_to_null

@@ -1,0 +1,49 @@
+(** Probabilistic collision-detection misperception.
+
+    The paper assumes every listener reads the channel state exactly.
+    Real radios do not: energy detection has false positives (a clear
+    slot read as busy), capture effects (a collision decoded as one
+    clean transmission) and missed detections (a busy slot read as
+    silence).  This module models those errors as independent per-station
+    per-slot state flips applied to the {e true} resolved state before
+    the CD-model filter ({!Jamming_channel.Channel.perceive}) — so a
+    weak-CD or no-CD transmitter, which cannot sense the channel at all,
+    is unaffected by sensing noise, exactly as in hardware.
+
+    All rates are probabilities in [0, 1].  A rate of exactly [0] draws
+    nothing from the generator, so a config whose rates are all zero
+    perturbs neither the observations nor the random streams: runs are
+    bit-identical to runs without fault injection. *)
+
+type t = {
+  p_null_to_collision : float;
+      (** Phantom energy: a [Null] slot read as [Collision]. *)
+  p_single_to_collision : float;
+      (** Smearing: a [Single] slot read as [Collision]. *)
+  p_collision_to_single : float;
+      (** Capture effect: a [Collision] decoded as a clean [Single]. *)
+  p_collision_to_null : float;
+      (** Missed detection: a [Collision] read as silence. *)
+}
+
+val none : t
+(** All rates zero. *)
+
+val uniform : p:float -> t
+(** Every misperception occurs at rate [p].  Requires [0 ≤ p ≤ 0.5] so
+    that the two collision outcomes stay a sub-distribution. *)
+
+val is_null : t -> bool
+(** Whether every rate is zero (no noise will ever be applied). *)
+
+val validate : t -> unit
+(** Raises [Invalid_argument] unless every rate lies in [0, 1] and
+    [p_collision_to_single + p_collision_to_null ≤ 1]. *)
+
+val apply :
+  t -> Jamming_prng.Prng.t -> Jamming_channel.Channel.state ->
+  Jamming_channel.Channel.state
+(** One independent draw: the state this station's radio senses.
+    Consumes randomness only when a relevant rate is positive. *)
+
+val pp : Format.formatter -> t -> unit

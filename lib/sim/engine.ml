@@ -2,17 +2,22 @@ module Channel = Jamming_channel.Channel
 module Adversary = Jamming_adversary.Adversary
 module Budget = Jamming_adversary.Budget
 module Station = Jamming_station.Station
+module Injection = Jamming_faults.Injection
 
 let make_stations ~n ~rng factory =
   Array.init n (fun id -> factory ~id ~rng:(Jamming_prng.Prng.split rng))
 
-let run ?on_slot ?(start_slot = 0) ~cd ~adversary ~budget ~max_slots ~stations () =
+let run ?on_slot ?(start_slot = 0) ?faults ?monitor ~cd ~adversary ~budget ~max_slots
+    ~stations () =
   let n = Array.length stations in
   let actions = Array.make n Station.Listen in
   let tx_counts = Array.make n 0 in
   let jammed_slots = ref 0 in
   let nulls = ref 0 and singles = ref 0 and collisions = ref 0 in
   let all_finished () = Array.for_all (fun s -> s.Station.finished ()) stations in
+  let noise =
+    match faults with Some f when Injection.active f -> Some f | Some _ | None -> None
+  in
   let slot = ref 0 in
   let finished = ref (all_finished ()) in
   while (not !finished) && !slot < max_slots do
@@ -34,7 +39,10 @@ let run ?on_slot ?(start_slot = 0) ~cd ~adversary ~budget ~max_slots ~stations (
         end
       end
     done;
-    (* 3. Resolve and deliver feedback. *)
+    (* 3. Resolve and deliver feedback.  Sensing noise, when injected,
+       perturbs each live station's view of the true state independently
+       (in station order, off a dedicated stream); metrics and the
+       adversary always see the truth. *)
     let state = Channel.resolve ~transmitters:!transmitters ~jammed:jam in
     if jam then incr jammed_slots;
     (match state with
@@ -44,14 +52,25 @@ let run ?on_slot ?(start_slot = 0) ~cd ~adversary ~budget ~max_slots ~stations (
     for i = 0 to n - 1 do
       if not (stations.(i).Station.finished ()) then begin
         let transmitted = Station.equal_action actions.(i) Station.Transmit in
-        let perceived = Channel.perceive cd state ~transmitted in
+        let sensed =
+          match noise with None -> state | Some inj -> Injection.sense inj state
+        in
+        let perceived = Channel.perceive cd sensed ~transmitted in
         stations.(i).Station.observe ~slot:t ~perceived ~transmitted
       end
     done;
     adversary.Adversary.notify ~slot:t ~jammed:jam ~state;
-    (match on_slot with
+    let record = { Metrics.slot = t; transmitters = !transmitters; jammed = jam; state } in
+    (match monitor with
     | None -> ()
-    | Some f -> f { Metrics.slot = t; transmitters = !transmitters; jammed = jam; state });
+    | Some mon ->
+        let leaders = ref 0 in
+        Array.iter
+          (fun s ->
+            if Station.equal_status (s.Station.status ()) Station.Leader then incr leaders)
+          stations;
+        Monitor.on_slot mon ~record ~leaders:!leaders);
+    (match on_slot with None -> () | Some f -> f record);
     incr slot;
     finished := all_finished ()
   done;
@@ -66,16 +85,20 @@ let run ?on_slot ?(start_slot = 0) ~cd ~adversary ~budget ~max_slots ~stations (
       0 statuses
   in
   let transmissions = Array.fold_left (fun acc c -> acc + c) 0 tx_counts in
-  {
-    Metrics.slots = !slot;
-    completed = !finished;
-    elected = !finished && leaders = 1;
-    leader = (if leaders = 1 then !leader else None);
-    statuses;
-    jammed_slots = !jammed_slots;
-    nulls = !nulls;
-    singles = !singles;
-    collisions = !collisions;
-    transmissions = float_of_int transmissions;
-    max_station_transmissions = Array.fold_left Int.max 0 tx_counts;
-  }
+  let result =
+    {
+      Metrics.slots = !slot;
+      completed = !finished;
+      elected = !finished && leaders = 1;
+      leader = (if leaders = 1 then !leader else None);
+      statuses;
+      jammed_slots = !jammed_slots;
+      nulls = !nulls;
+      singles = !singles;
+      collisions = !collisions;
+      transmissions = float_of_int transmissions;
+      max_station_transmissions = Array.fold_left Int.max 0 tx_counts;
+    }
+  in
+  (match monitor with None -> () | Some mon -> Monitor.check_result mon result);
+  result

@@ -8,6 +8,8 @@
 val run :
   ?on_slot:(Metrics.slot_record -> unit) ->
   ?start_slot:int ->
+  ?faults:Jamming_faults.Injection.t ->
+  ?monitor:Monitor.t ->
   cd:Jamming_channel.Channel.cd_model ->
   adversary:Jamming_adversary.Adversary.t ->
   budget:Jamming_adversary.Budget.t ->
@@ -23,7 +25,20 @@ val run :
     seeing any action, per §1.1), live stations choose actions, the slot
     resolves, every live station receives its perceived state, the
     adversary observes the true state.  Stations that have finished
-    neither transmit nor listen. *)
+    neither transmit nor listen.
+
+    [faults] injects per-station CD misperception: each live station's
+    perceived state is drawn by passing the true resolved state through
+    the injection's noise before the CD-model filter.  Absent faults —
+    or an injection whose rates are all zero — the run is bit-identical
+    to the seed engine for the same seeds (zero-rate noise draws no
+    randomness).  Station lifecycle faults (crash/sleep/late wake-up)
+    are orthogonal: wrap the stations with
+    {!Jamming_faults.Fault_plan.wrap} before calling [run].
+
+    [monitor] receives every resolved slot plus the current number of
+    leaders and may raise {!Monitor.Violation}; {!Monitor.check_result}
+    is invoked on the final metrics before they are returned. *)
 
 val make_stations :
   n:int -> rng:Jamming_prng.Prng.t -> Jamming_station.Station.factory ->

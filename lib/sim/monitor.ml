@@ -1,0 +1,173 @@
+module Channel = Jamming_channel.Channel
+module Station = Jamming_station.Station
+
+type check = Jam_budget | Slot_consistency | At_most_one_leader
+
+let check_to_string = function
+  | Jam_budget -> "jam-budget"
+  | Slot_consistency -> "slot-consistency"
+  | At_most_one_leader -> "at-most-one-leader"
+
+type checks = {
+  jam_budget : bool;
+  slot_consistency : bool;
+  at_most_one_leader : bool;
+}
+
+let all_checks = { jam_budget = true; slot_consistency = true; at_most_one_leader = true }
+let safety_checks = { all_checks with at_most_one_leader = false }
+
+type violation = { slot : int; check : check; seed : int option; detail : string }
+
+exception Violation of violation
+
+let pp_violation ppf v =
+  Format.fprintf ppf "[%s] slot %d%s: %s" (check_to_string v.check) v.slot
+    (match v.seed with Some s -> Printf.sprintf " (seed %d)" s | None -> "")
+    v.detail
+
+let violation_to_string v = Format.asprintf "%a" pp_violation v
+
+(* Jam-budget state mirrors Budget's invariants (see budget.ml), kept
+   deliberately independent of that module:
+   - [prefix_jams.(k mod window) = J(k)] for the last [window] prefixes;
+   - [eligible_min = min { h(k) : 0 <= k <= m - window }] with
+     [h(k) = J(k) - (1-eps)*k], so a violated window of length >= window
+     ending at the current prefix shows up as [h(m) > eligible_min]. *)
+type t = {
+  checks : checks;
+  window : int;
+  eps : float;
+  seed : int option;
+  mutable m : int;  (* slots seen *)
+  mutable jams : int;
+  prefix_jams : int array;
+  mutable eligible_min : float;
+  mutable eligible_argmin : int;
+  mutable next_slot : int option;  (* expected slot number, once known *)
+  mutable nulls : int;
+  mutable singles : int;
+  mutable collisions : int;
+}
+
+let tolerance = 1e-9
+
+let create ?(checks = all_checks) ?seed ~window ~eps () =
+  if window < 1 then invalid_arg "Monitor.create: window must be >= 1";
+  if not (eps > 0.0 && eps <= 1.0) then
+    invalid_arg "Monitor.create: eps must lie in (0, 1]";
+  {
+    checks;
+    window;
+    eps;
+    seed;
+    m = 0;
+    jams = 0;
+    prefix_jams = Array.make window 0;
+    eligible_min = infinity;
+    eligible_argmin = -1;
+    next_slot = None;
+    nulls = 0;
+    singles = 0;
+    collisions = 0;
+  }
+
+let slots_seen t = t.m
+
+let fail t ~slot ~check fmt =
+  Format.kasprintf
+    (fun detail -> raise (Violation { slot; check; seed = t.seed; detail }))
+    fmt
+
+let h t ~jams ~k = float_of_int jams -. ((1.0 -. t.eps) *. float_of_int k)
+
+let check_consistency t (r : Metrics.slot_record) =
+  (match t.next_slot with
+  | Some expected when r.Metrics.slot <> expected ->
+      fail t ~slot:r.Metrics.slot ~check:Slot_consistency
+        "slot numbers skipped: expected %d, engine reported %d" expected r.Metrics.slot
+  | _ -> ());
+  if r.Metrics.transmitters < 0 then
+    fail t ~slot:r.Metrics.slot ~check:Slot_consistency "negative transmitter count %d"
+      r.Metrics.transmitters;
+  let expected =
+    Channel.resolve ~transmitters:r.Metrics.transmitters ~jammed:r.Metrics.jammed
+  in
+  if not (Channel.equal_state expected r.Metrics.state) then
+    fail t ~slot:r.Metrics.slot ~check:Slot_consistency
+      "state %s inconsistent with %d transmitters%s (expected %s)"
+      (Channel.state_to_string r.Metrics.state)
+      r.Metrics.transmitters
+      (if r.Metrics.jammed then " under jamming" else "")
+      (Channel.state_to_string expected)
+
+let check_jam_budget t (r : Metrics.slot_record) =
+  let next = t.m + 1 in
+  (* Retire prefix k = next - window into the eligible minimum; its ring
+     cell is about to be overwritten by J(next). *)
+  let retiring = next - t.window in
+  if retiring >= 0 then begin
+    let hr = h t ~jams:t.prefix_jams.(retiring mod t.window) ~k:retiring in
+    if hr < t.eligible_min then begin
+      t.eligible_min <- hr;
+      t.eligible_argmin <- retiring
+    end
+  end;
+  if r.Metrics.jammed then t.jams <- t.jams + 1;
+  t.prefix_jams.(next mod t.window) <- t.jams;
+  if t.eligible_min < infinity && h t ~jams:t.jams ~k:next > t.eligible_min +. tolerance
+  then begin
+    let k = t.eligible_argmin in
+    let len = next - k in
+    (* The ring cell for k may already be overwritten; J(k) is recovered
+       exactly from h(k) = J(k) - (1-eps)*k, an integer plus a known term. *)
+    let j_k = int_of_float (Float.round (t.eligible_min +. ((1.0 -. t.eps) *. float_of_int k))) in
+    let jams_in = t.jams - j_k in
+    fail t ~slot:r.Metrics.slot ~check:Jam_budget
+      "window of %d slots ending here holds %d jams > (1-eps)*%d = %.2f" len jams_in len
+      ((1.0 -. t.eps) *. float_of_int len)
+  end
+
+let on_slot t ~record ~leaders =
+  if t.checks.slot_consistency then check_consistency t record;
+  if t.checks.jam_budget then check_jam_budget t record
+  else begin
+    (* Keep the prefix bookkeeping coherent even when the check is off,
+       so toggling checks never corrupts the tallies. *)
+    if record.Metrics.jammed then t.jams <- t.jams + 1;
+    t.prefix_jams.((t.m + 1) mod t.window) <- t.jams
+  end;
+  if t.checks.at_most_one_leader && leaders > 1 then
+    fail t ~slot:record.Metrics.slot ~check:At_most_one_leader
+      "%d stations simultaneously claim leadership" leaders;
+  (match record.Metrics.state with
+  | Channel.Null -> t.nulls <- t.nulls + 1
+  | Channel.Single -> t.singles <- t.singles + 1
+  | Channel.Collision -> t.collisions <- t.collisions + 1);
+  t.m <- t.m + 1;
+  t.next_slot <- Some (record.Metrics.slot + 1)
+
+let check_result t (r : Metrics.result) =
+  let final_slot = match t.next_slot with Some s -> s - 1 | None -> 0 in
+  if t.checks.slot_consistency then begin
+    let mismatch what expected got =
+      fail t ~slot:final_slot ~check:Slot_consistency
+        "engine reported %d %s but the monitor counted %d" got what expected
+    in
+    if r.Metrics.slots <> t.m then mismatch "slots" t.m r.Metrics.slots;
+    if r.Metrics.nulls <> t.nulls then mismatch "nulls" t.nulls r.Metrics.nulls;
+    if r.Metrics.singles <> t.singles then mismatch "singles" t.singles r.Metrics.singles;
+    if r.Metrics.collisions <> t.collisions then
+      mismatch "collisions" t.collisions r.Metrics.collisions;
+    if r.Metrics.jammed_slots <> t.jams then mismatch "jams" t.jams r.Metrics.jammed_slots
+  end;
+  if t.checks.at_most_one_leader then begin
+    let leaders =
+      Array.fold_left
+        (fun acc st -> if Station.equal_status st Station.Leader then acc + 1 else acc)
+        0 r.Metrics.statuses
+    in
+    if leaders > 1 then
+      fail t ~slot:final_slot ~check:At_most_one_leader
+        "%d stations finished in status Leader" leaders
+  end

@@ -1,0 +1,75 @@
+(** Online invariant monitor for the exact engine.
+
+    Checks, {e every slot} while the simulation runs (rather than after
+    the fact, as the soak harness used to):
+
+    - {b jam-budget boundedness} — the executed jam pattern satisfies
+      the (T, 1−ε) constraint for {e every} window of length ≥ T that
+      has closed so far, via the same O(1)-amortised prefix-minimum
+      accounting the {!Jamming_adversary.Budget} enforcer uses, but
+      rebuilt independently so the monitor cross-checks the enforcer
+      instead of trusting it;
+    - {b slot-class consistency} — each slot record is internally
+      consistent (a jammed slot reads [Collision]; a clear slot reads
+      the transmitter-count trichotomy) and slot numbers advance by one;
+    - {b at-most-one-leader} — no point in time ever has two stations
+      in status [Leader].  (Exactly-one is a {e liveness} property
+      checked at completion by {!Jamming_sim.Metrics.election_ok}; two
+      simultaneous leaders is the safety violation.)
+
+    A failed check raises {!Violation} carrying the offending slot, the
+    failed invariant and the run's replay seed, so a soak harness can
+    print a one-line reproduction recipe.
+
+    Checks can be disabled individually: under injected lifecycle or
+    perception faults the paper's election guarantee genuinely degrades
+    (two stations may legitimately come to believe they won), so fault
+    soaking runs with [at_most_one_leader = false] while the
+    engine-level invariants stay on. *)
+
+type check = Jam_budget | Slot_consistency | At_most_one_leader
+
+val check_to_string : check -> string
+
+type checks = {
+  jam_budget : bool;
+  slot_consistency : bool;
+  at_most_one_leader : bool;
+}
+
+val all_checks : checks
+(** Everything on — the fault-free default. *)
+
+val safety_checks : checks
+(** [at_most_one_leader] off; for runs with injected faults. *)
+
+type violation = {
+  slot : int;  (** Slot at which the invariant broke. *)
+  check : check;
+  seed : int option;  (** Replay seed of the run, when known. *)
+  detail : string;  (** Human-readable diagnosis. *)
+}
+
+exception Violation of violation
+
+val pp_violation : Format.formatter -> violation -> unit
+val violation_to_string : violation -> string
+
+type t
+
+val create : ?checks:checks -> ?seed:int -> window:int -> eps:float -> unit -> t
+(** A fresh monitor for one run of a (window, 1−eps)-bounded adversary.
+    Requires [window ≥ 1] and [0 < eps ≤ 1]. *)
+
+val on_slot : t -> record:Metrics.slot_record -> leaders:int -> unit
+(** Feed one resolved slot and the number of stations currently in
+    status [Leader].  Raises {!Violation} on the first broken
+    invariant. *)
+
+val check_result : t -> Metrics.result -> unit
+(** End-of-run cross-check: the engine's aggregate counters
+    (slots, nulls, singles, collisions, jammed) must equal the
+    monitor's own tallies, and final statuses must contain at most one
+    leader.  Raises {!Violation} on mismatch. *)
+
+val slots_seen : t -> int

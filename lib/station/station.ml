@@ -32,3 +32,5 @@ type t = {
 }
 
 type factory = id:int -> rng:Jamming_prng.Prng.t -> t
+
+let map_factory f (factory : factory) : factory = fun ~id ~rng -> f (factory ~id ~rng)

@@ -36,3 +36,9 @@ type t = {
 
 type factory = id:int -> rng:Jamming_prng.Prng.t -> t
 (** Builds station [id]'s instance with a private random stream. *)
+
+val map_factory : (t -> t) -> factory -> factory
+(** [map_factory f factory] post-processes every built station with [f] —
+    the hook fault-injection wrappers use to decorate stations without
+    touching protocol code.  [f] receives the fully-built station (its
+    [id] field identifies it). *)

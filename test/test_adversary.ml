@@ -38,6 +38,32 @@ let test_random_rate () =
   done;
   check_float_eps 0.02 "asks at rate p" 0.3 (float_of_int !asks /. float_of_int n)
 
+let ask_trace a slots =
+  List.init slots (fun slot -> a.Adversary.wants_jam ~slot ~can_jam:true)
+
+let test_random_instances_independent () =
+  (* Regression for the fixed-seed-per-instance bug: two instances from the
+     same factory must draw from different streams, not replay each other. *)
+  let factory = Adversary.random ~seed:11 ~p:0.5 in
+  let a = factory () and b = factory () in
+  check_true "instances see different coin flips"
+    (ask_trace a 256 <> ask_trace b 256)
+
+let test_random_factories_reproducible () =
+  (* ...while re-creating the factory with the same seed replays the same
+     sequence of instance streams, so experiments stay deterministic. *)
+  let run () =
+    let factory = Adversary.random ~seed:11 ~p:0.5 in
+    List.init 3 (fun _ -> ask_trace (factory ()) 256)
+  in
+  check_true "same seed, same instance streams" (run () = run ());
+  let other = Adversary.random ~seed:12 ~p:0.5 in
+  check_true "different seed, different stream"
+    (ask_trace (other ()) 256
+    <> List.hd
+         (let factory = Adversary.random ~seed:11 ~p:0.5 in
+          [ ask_trace (factory ()) 256 ]))
+
 let test_periodic_pattern () =
   let a = mk (Adversary.periodic ~period:5 ~burst:2) in
   let expected slot = slot mod 5 < 2 in
@@ -122,6 +148,10 @@ let test_pattern_validation () =
     (fun () ->
       let (_ : Adversary.factory) = Adversary.pattern "" in
       ());
+  Alcotest.check_raises "whitespace-only is empty"
+    (Invalid_argument "Adversary.pattern: empty schedule") (fun () ->
+      let (_ : Adversary.factory) = Adversary.pattern " \t\n " in
+      ());
   Alcotest.check_raises "bad char" (Invalid_argument "Adversary.pattern: bad character 'x'")
     (fun () ->
       let (_ : Adversary.factory) = Adversary.pattern "J.x" in
@@ -174,6 +204,8 @@ let suite =
     ("random extremes", `Quick, test_random_extremes);
     ("random validation", `Quick, test_random_invalid);
     ("random ask rate", `Quick, test_random_rate);
+    ("random instances independent", `Quick, test_random_instances_independent);
+    ("random factories reproducible", `Quick, test_random_factories_reproducible);
     ("periodic pattern", `Quick, test_periodic_pattern);
     ("periodic validation", `Quick, test_periodic_invalid);
     ("front-loaded asks early", `Quick, test_front_loaded_asks_early);

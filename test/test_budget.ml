@@ -204,9 +204,60 @@ let prop_budget_monotone_in_eps =
       in
       count (eps +. delta) <= count eps)
 
+(* --- offline verifier --- *)
+
+let test_verify_bounded_validation () =
+  Alcotest.check_raises "window 0"
+    (Invalid_argument "Budget.verify_bounded: window must be >= 1") (fun () ->
+      ignore (Budget.verify_bounded ~window:0 ~eps:0.5 [||]));
+  Alcotest.check_raises "eps 0"
+    (Invalid_argument "Budget.verify_bounded: eps must lie in (0, 1]") (fun () ->
+      ignore (Budget.verify_bounded ~window:4 ~eps:0.0 [||]))
+
+let test_verify_bounded_accepts_filtered () =
+  let jams = filter_pattern ~window:4 ~eps:0.5 (Array.make 200 true) in
+  Alcotest.(check bool) "filtered greedy pattern is bounded" true
+    (Budget.verify_bounded ~window:4 ~eps:0.5 jams = None)
+
+let test_verify_bounded_catches_intermediate_window () =
+  (* "JJ..JJ": every window of length exactly T=4 holds 2 <= 2 jams, but
+     the length-5 window [0, 5) holds 3 > 2.5 — a violation only visible
+     at a window size the old three-size spot check never sampled. *)
+  let jams = [| true; true; false; false; true; true |] in
+  match Budget.verify_bounded ~window:4 ~eps:0.5 jams with
+  | None -> Alcotest.fail "length-5 window violation missed"
+  | Some v ->
+      check_int "starts at 0" 0 v.Budget.start;
+      check_int "length 5" 5 v.Budget.length;
+      check_int "three jams" 3 v.Budget.jams_in_window;
+      check_true "printable"
+        (String.length (Format.asprintf "%a" Budget.pp_window_violation v) > 0)
+
+let test_verify_bounded_empty_and_short () =
+  Alcotest.(check bool) "empty pattern bounded" true
+    (Budget.verify_bounded ~window:4 ~eps:0.5 [||] = None);
+  Alcotest.(check bool) "shorter than T bounded" true
+    (Budget.verify_bounded ~window:8 ~eps:0.5 (Array.make 5 true) = None)
+
+let prop_verify_bounded_agrees_with_reference =
+  qtest ~count:200 "verify_bounded = brute-force reference on random patterns"
+    QCheck.(triple (int_range 1 10) (float_range 0.1 0.9) (pair small_int (int_range 0 60)))
+    (fun (window, eps, (seed, len)) ->
+      let g = Prng.create ~seed in
+      let jams = Array.init len (fun _ -> Prng.bool g ~p:0.6) in
+      reference_valid ~window ~eps jams
+      = (Budget.verify_bounded ~window ~eps jams = None))
+
 let suite =
   [
     ("create validation", `Quick, test_create_invalid);
+    ("verify_bounded validation", `Quick, test_verify_bounded_validation);
+    ("verify_bounded accepts filtered patterns", `Quick, test_verify_bounded_accepts_filtered);
+    ( "verify_bounded catches intermediate windows",
+      `Quick,
+      test_verify_bounded_catches_intermediate_window );
+    ("verify_bounded trivial patterns", `Quick, test_verify_bounded_empty_and_short);
+    prop_verify_bounded_agrees_with_reference;
     ("eps = 1 blocks all jams", `Quick, test_eps_one_blocks_everything);
     ("T = 1 blocks all jams", `Quick, test_window_one_blocks_everything);
     ("illegal jam raises", `Quick, test_illegal_jam_raises);

@@ -59,6 +59,44 @@ let test_perceive_no_cd () =
   Alcotest.check state_testable "no-CD transmitter blind" Channel.Collision
     (Channel.perceive Channel.No_cd Channel.Single ~transmitted:true)
 
+let test_perceive_exhaustive () =
+  (* The full 3 models x 3 states x {transmitted, listening} truth table,
+     written out explicitly so any change to the perception function has
+     to be confronted with the paper's Table (S1.1). *)
+  let cases =
+    [
+      (Channel.Strong_cd, Channel.Null, false, Channel.Null);
+      (Channel.Strong_cd, Channel.Null, true, Channel.Null);
+      (Channel.Strong_cd, Channel.Single, false, Channel.Single);
+      (Channel.Strong_cd, Channel.Single, true, Channel.Single);
+      (Channel.Strong_cd, Channel.Collision, false, Channel.Collision);
+      (Channel.Strong_cd, Channel.Collision, true, Channel.Collision);
+      (Channel.Weak_cd, Channel.Null, false, Channel.Null);
+      (Channel.Weak_cd, Channel.Null, true, Channel.Collision);
+      (Channel.Weak_cd, Channel.Single, false, Channel.Single);
+      (Channel.Weak_cd, Channel.Single, true, Channel.Collision);
+      (Channel.Weak_cd, Channel.Collision, false, Channel.Collision);
+      (Channel.Weak_cd, Channel.Collision, true, Channel.Collision);
+      (Channel.No_cd, Channel.Null, false, Channel.Collision);
+      (Channel.No_cd, Channel.Null, true, Channel.Collision);
+      (Channel.No_cd, Channel.Single, false, Channel.Single);
+      (Channel.No_cd, Channel.Single, true, Channel.Collision);
+      (Channel.No_cd, Channel.Collision, false, Channel.Collision);
+      (Channel.No_cd, Channel.Collision, true, Channel.Collision);
+    ]
+  in
+  check_int "all 18 combinations covered" 18 (List.length cases);
+  List.iter
+    (fun (cd, st, transmitted, expected) ->
+      Alcotest.check state_testable
+        (Printf.sprintf "%s/%s/%s"
+           (Channel.cd_model_to_string cd)
+           (Channel.state_to_string st)
+           (if transmitted then "tx" else "rx"))
+        expected
+        (Channel.perceive cd st ~transmitted))
+    cases
+
 let test_listener_knows_null () =
   check_true "strong knows Null" (Channel.listener_knows_null Channel.Strong_cd);
   check_true "weak knows Null" (Channel.listener_knows_null Channel.Weak_cd);
@@ -82,6 +120,7 @@ let suite =
     ("perceive strong-CD", `Quick, test_perceive_strong);
     ("perceive weak-CD", `Quick, test_perceive_weak);
     ("perceive no-CD", `Quick, test_perceive_no_cd);
+    ("perceive exhaustive truth table", `Quick, test_perceive_exhaustive);
     ("listener_knows_null", `Quick, test_listener_knows_null);
     ("printers", `Quick, test_printers);
     ("equality", `Quick, test_equal);

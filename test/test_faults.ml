@@ -1,0 +1,286 @@
+open Test_util
+module Perception = Jamming_faults.Perception
+module Fault_plan = Jamming_faults.Fault_plan
+module Config = Jamming_faults.Config
+module Injection = Jamming_faults.Injection
+
+(* --- perception noise --- *)
+
+let test_perception_constructors () =
+  check_true "none is null" (Perception.is_null Perception.none);
+  check_true "uniform 0 is null" (Perception.is_null (Perception.uniform ~p:0.0));
+  let u = Perception.uniform ~p:0.25 in
+  check_true "uniform p is not null" (not (Perception.is_null u));
+  check_float "uniform sets every rate" 0.25 u.Perception.p_collision_to_null;
+  check_true "pp is non-empty" (String.length (Format.asprintf "%a" Perception.pp u) > 0)
+
+let test_perception_validation () =
+  Alcotest.check_raises "uniform above 0.5"
+    (Invalid_argument "Perception.uniform: p must lie in [0, 0.5]") (fun () ->
+      ignore (Perception.uniform ~p:0.6));
+  Alcotest.check_raises "negative rate" (Invalid_argument "Perception: rates must lie in [0, 1]")
+    (fun () -> Perception.validate { Perception.none with Perception.p_null_to_collision = -0.1 });
+  Alcotest.check_raises "collision flips oversubscribed"
+    (Invalid_argument "Perception: collision flip rates must sum to at most 1") (fun () ->
+      Perception.validate
+        {
+          Perception.none with
+          Perception.p_collision_to_single = 0.7;
+          p_collision_to_null = 0.7;
+        })
+
+let test_perception_zero_rates_draw_nothing () =
+  (* The bit-identical zero-fault guarantee rests on this: applying
+     all-zero noise must neither change the state nor advance the rng. *)
+  let g = rng () and witness = rng () in
+  List.iter
+    (fun st ->
+      Alcotest.check state_testable "zero noise is the identity" st
+        (Perception.apply Perception.none g st))
+    [ Channel.Null; Channel.Single; Channel.Collision ];
+  check_int "generator untouched"
+    (Prng.int witness ~bound:1_000_000)
+    (Prng.int g ~bound:1_000_000)
+
+let test_perception_extremes () =
+  let g = rng () in
+  let certain_n2c = { Perception.none with Perception.p_null_to_collision = 1.0 } in
+  Alcotest.check state_testable "Null -> Collision at rate 1" Channel.Collision
+    (Perception.apply certain_n2c g Channel.Null);
+  let certain_s2c = { Perception.none with Perception.p_single_to_collision = 1.0 } in
+  Alcotest.check state_testable "Single -> Collision at rate 1" Channel.Collision
+    (Perception.apply certain_s2c g Channel.Single);
+  let certain_c2s = { Perception.none with Perception.p_collision_to_single = 1.0 } in
+  Alcotest.check state_testable "Collision -> Single at rate 1" Channel.Single
+    (Perception.apply certain_c2s g Channel.Collision);
+  let certain_c2n = { Perception.none with Perception.p_collision_to_null = 1.0 } in
+  Alcotest.check state_testable "Collision -> Null at rate 1" Channel.Null
+    (Perception.apply certain_c2n g Channel.Collision);
+  (* Rates touching other states leave this one alone. *)
+  Alcotest.check state_testable "Single unaffected by Null rate" Channel.Single
+    (Perception.apply certain_n2c g Channel.Single)
+
+let test_perception_rates_empirical () =
+  let g = rng ~seed:99 () in
+  let t = { Perception.none with Perception.p_collision_to_single = 0.3 } in
+  let n = 20_000 and singles = ref 0 in
+  for _ = 1 to n do
+    if
+      Channel.equal_state (Perception.apply t g Channel.Collision) Channel.Single
+    then incr singles
+  done;
+  check_float_eps 0.02 "capture effect at rate p" 0.3 (float_of_int !singles /. float_of_int n)
+
+(* --- lifecycle plans --- *)
+
+(* A station that records which slots its inner protocol actually ran. *)
+let recorder ~decided ~observed ~id ~rng:_ =
+  {
+    Station.id;
+    decide =
+      (fun ~slot ->
+        decided := slot :: !decided;
+        Station.Transmit);
+    observe = (fun ~slot ~perceived:_ ~transmitted:_ -> observed := slot :: !observed);
+    status = (fun () -> Station.Undecided);
+    finished = (fun () -> false);
+  }
+
+let drive station slots =
+  for slot = 0 to slots - 1 do
+    if not (station.Station.finished ()) then begin
+      let action = station.Station.decide ~slot in
+      station.Station.observe ~slot ~perceived:Channel.Single
+        ~transmitted:(Station.equal_action action Station.Transmit)
+    end
+  done
+
+let test_plan_predicates () =
+  let plan = { Fault_plan.wake_slot = 3; crash_slot = Some 10; sleeps = [ (5, 7) ] } in
+  Fault_plan.validate plan;
+  check_true "dormant before wake" (Fault_plan.dormant plan ~slot:2);
+  check_true "awake at wake slot" (not (Fault_plan.dormant plan ~slot:3));
+  check_true "dormant inside sleep" (Fault_plan.dormant plan ~slot:5);
+  check_true "awake at sleep stop (half-open)" (not (Fault_plan.dormant plan ~slot:7));
+  check_true "not crashed before" (not (Fault_plan.crashed plan ~slot:9));
+  check_true "crashed from crash slot on" (Fault_plan.crashed plan ~slot:10);
+  check_true "pp is non-empty" (String.length (Format.asprintf "%a" Fault_plan.pp plan) > 0)
+
+let test_plan_validation () =
+  check_true "none is null" (Fault_plan.is_null Fault_plan.none);
+  Alcotest.check_raises "negative wake" (Invalid_argument "Fault_plan: wake_slot must be >= 0")
+    (fun () -> Fault_plan.validate { Fault_plan.none with Fault_plan.wake_slot = -1 });
+  Alcotest.check_raises "empty sleep"
+    (Invalid_argument "Fault_plan: sleep intervals must be non-empty") (fun () ->
+      Fault_plan.validate { Fault_plan.none with Fault_plan.sleeps = [ (4, 4) ] })
+
+let test_wrap_null_plan_is_identity () =
+  let decided = ref [] and observed = ref [] in
+  let s = recorder ~decided ~observed ~id:0 ~rng:(rng ()) in
+  check_true "null plan returns the station itself" (Fault_plan.wrap Fault_plan.none s == s)
+
+let test_wrap_late_wake_and_sleep () =
+  let decided = ref [] and observed = ref [] in
+  let s = recorder ~decided ~observed ~id:0 ~rng:(rng ()) in
+  let plan = { Fault_plan.wake_slot = 2; crash_slot = None; sleeps = [ (4, 6) ] } in
+  let w = Fault_plan.wrap plan s in
+  Alcotest.check (Alcotest.testable Station.pp_action Station.equal_action)
+    "dormant station listens" Station.Listen (w.Station.decide ~slot:0);
+  drive w 8;
+  (* Slot 0 consumed above; the inner protocol must have run exactly on
+     the awake slots 2,3,6,7 — dormancy freezes it, not just silences it. *)
+  Alcotest.(check (list int)) "inner decide ran only while awake" [ 2; 3; 6; 7 ]
+    (List.sort compare !decided);
+  Alcotest.(check (list int)) "inner observe ran only while awake" [ 2; 3; 6; 7 ]
+    (List.sort compare !observed)
+
+let test_wrap_crash_stop () =
+  let decided = ref [] and observed = ref [] in
+  let s = recorder ~decided ~observed ~id:0 ~rng:(rng ()) in
+  let plan = { Fault_plan.none with Fault_plan.crash_slot = Some 3 } in
+  let w = Fault_plan.wrap plan s in
+  drive w 10;
+  Alcotest.(check (list int)) "inner protocol dead from the crash slot" [ 0; 1; 2 ]
+    (List.sort compare !decided);
+  check_true "wrapper reports finished" (w.Station.finished ());
+  Alcotest.check status_testable "status frozen at last value" Station.Undecided
+    (w.Station.status ())
+
+(* --- config sampling --- *)
+
+let test_config_null_and_validation () =
+  check_true "none is null" (Config.is_null Config.none);
+  Config.validate Config.none;
+  Alcotest.check_raises "bad probability"
+    (Invalid_argument "Faults.Config: probabilities must lie in [0, 1]") (fun () ->
+      Config.validate { Config.none with Config.p_crash = 1.5 });
+  Alcotest.check_raises "bad horizon" (Invalid_argument "Faults.Config: horizons must be >= 1")
+    (fun () -> Config.validate { Config.none with Config.crash_horizon = 0 });
+  check_true "pp is non-empty" (String.length (Format.asprintf "%a" Config.pp Config.none) > 0)
+
+let test_config_null_sampling_draws_nothing () =
+  let g = rng () and witness = rng () in
+  let plans = Config.sample_plans Config.none ~rng:g ~n:20 in
+  check_true "null config yields null plans" (Array.for_all Fault_plan.is_null plans);
+  check_int "generator untouched"
+    (Prng.int witness ~bound:1_000_000)
+    (Prng.int g ~bound:1_000_000)
+
+let test_config_certain_faults () =
+  let cfg =
+    {
+      Config.none with
+      Config.p_crash = 1.0;
+      crash_horizon = 50;
+      p_sleep = 1.0;
+      sleep_horizon = 30;
+      max_sleep = 5;
+      p_late_wake = 1.0;
+      max_wake_delay = 4;
+    }
+  in
+  let plans = Config.sample_plans cfg ~rng:(rng ()) ~n:50 in
+  Array.iter
+    (fun plan ->
+      Fault_plan.validate plan;
+      check_true "wake delayed within bound"
+        (plan.Fault_plan.wake_slot >= 1 && plan.Fault_plan.wake_slot <= 4);
+      (match plan.Fault_plan.crash_slot with
+      | Some c -> check_true "crash within horizon" (c >= 0 && c < 50)
+      | None -> Alcotest.fail "p_crash = 1 must always crash");
+      match plan.Fault_plan.sleeps with
+      | [ (a, b) ] ->
+          check_true "sleep within bounds" (a >= 0 && a < 30 && b - a >= 1 && b - a <= 5)
+      | _ -> Alcotest.fail "p_sleep = 1 must sleep exactly once")
+    plans
+
+let test_config_sampling_deterministic () =
+  let cfg = { Config.none with Config.p_crash = 0.5; crash_horizon = 100 } in
+  let sample seed = Config.sample_plans cfg ~rng:(Prng.create ~seed) ~n:30 in
+  check_true "same seed, same plans" (sample 5 = sample 5);
+  check_true "different seed, different plans" (sample 5 <> sample 6)
+
+let test_wrap_stations_length_mismatch () =
+  Alcotest.check_raises "length mismatch"
+    (Invalid_argument "Faults.Config.wrap_stations: plans and stations must have equal length")
+    (fun () -> ignore (Config.wrap_stations [| Fault_plan.none |] [||]))
+
+(* --- engine integration --- *)
+
+let listen_only ~id ~rng:_ =
+  let slots = ref 0 in
+  {
+    Station.id;
+    decide = (fun ~slot:_ -> incr slots; Station.Listen);
+    observe = (fun ~slot:_ ~perceived:_ ~transmitted:_ -> ());
+    status = (fun () -> if !slots >= 10 then Station.Non_leader else Station.Undecided);
+    finished = (fun () -> !slots >= 10);
+  }
+
+let test_engine_noise_changes_perception () =
+  (* All-listening stations on a clear channel: with certain Null ->
+     Collision noise every strong-CD listener perceives Collision. *)
+  let perceived = ref [] in
+  let observing ~id ~rng =
+    let s = listen_only ~id ~rng in
+    { s with Station.observe = (fun ~slot:_ ~perceived:p ~transmitted:_ -> perceived := p :: !perceived) }
+  in
+  let noise = { Perception.none with Perception.p_null_to_collision = 1.0 } in
+  let run noise =
+    perceived := [];
+    let stations = Engine.make_stations ~n:2 ~rng:(rng ()) observing in
+    let faults = Injection.create ~noise ~rng:(rng ~seed:4 ()) in
+    ignore
+      (Engine.run ~faults ~cd:Channel.Strong_cd ~adversary:(Adversary.none ())
+         ~budget:(Budget.create ~window:4 ~eps:1.0)
+         ~max_slots:10 ~stations ());
+    !perceived
+  in
+  check_true "noisy run: every perception flipped to Collision"
+    (List.for_all (Channel.equal_state Channel.Collision) (run noise));
+  check_true "zero-rate run: truth (Null) comes through"
+    (List.for_all (Channel.equal_state Channel.Null) (run Perception.none))
+
+let test_engine_zero_faults_bit_identical () =
+  (* Same seeds, LESK under a greedy jammer: the fault path with an
+     all-zero config must reproduce the plain run exactly. *)
+  let go ~faulty =
+    let g = Prng.create ~seed:20260805 in
+    let stations = Engine.make_stations ~n:12 ~rng:g (Jamming_core.Lesk.station ~eps:0.5) in
+    let stations =
+      if faulty then
+        Config.wrap_stations
+          (Config.sample_plans Config.none ~rng:(Prng.create ~seed:1) ~n:12)
+          stations
+      else stations
+    in
+    let faults =
+      if faulty then Some (Injection.create ~noise:Perception.none ~rng:(Prng.create ~seed:2))
+      else None
+    in
+    Engine.run ?faults ~cd:Channel.Strong_cd ~adversary:(Adversary.greedy ())
+      ~budget:(Budget.create ~window:16 ~eps:0.5)
+      ~max_slots:100_000 ~stations ()
+  in
+  check_true "bit-identical results" (go ~faulty:false = go ~faulty:true)
+
+let suite =
+  [
+    ("perception constructors", `Quick, test_perception_constructors);
+    ("perception validation", `Quick, test_perception_validation);
+    ("perception zero rates draw nothing", `Quick, test_perception_zero_rates_draw_nothing);
+    ("perception extremes", `Quick, test_perception_extremes);
+    ("perception empirical rate", `Quick, test_perception_rates_empirical);
+    ("plan predicates", `Quick, test_plan_predicates);
+    ("plan validation", `Quick, test_plan_validation);
+    ("wrap null plan is identity", `Quick, test_wrap_null_plan_is_identity);
+    ("wrap late wake + sleep", `Quick, test_wrap_late_wake_and_sleep);
+    ("wrap crash-stop", `Quick, test_wrap_crash_stop);
+    ("config null + validation", `Quick, test_config_null_and_validation);
+    ("config null sampling draws nothing", `Quick, test_config_null_sampling_draws_nothing);
+    ("config certain faults", `Quick, test_config_certain_faults);
+    ("config sampling deterministic", `Quick, test_config_sampling_deterministic);
+    ("wrap_stations length mismatch", `Quick, test_wrap_stations_length_mismatch);
+    ("engine noise changes perception", `Quick, test_engine_noise_changes_perception);
+    ("engine zero faults bit-identical", `Quick, test_engine_zero_faults_bit_identical);
+  ]

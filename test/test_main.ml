@@ -7,6 +7,8 @@ let () =
       ("adversary", Test_adversary.suite);
       ("intervals", Test_intervals.suite);
       ("sim", Test_sim.suite);
+      ("faults", Test_faults.suite);
+      ("monitor", Test_monitor.suite);
       ("lesk", Test_lesk.suite);
       ("lemmas", Test_lemmas.suite);
       ("markov", Test_markov.suite);

@@ -5,8 +5,11 @@
    experiment's cell — plus microbenchmarks of the simulator's hot
    primitives.
 
-   Part 2: regenerates every table and figure (E1..E14, F1, A1..A3) at Quick
-   scale; set BENCH_FULL=1 for the EXPERIMENTS.md parameters.
+   Part 2: regenerates every table and figure (E1..E16, F1, F2, A1..A6) at
+   Quick scale; set BENCH_FULL=1 for the EXPERIMENTS.md parameters.  Each
+   experiment is metered (wall time, slots simulated, slots/sec) and the
+   whole run is written to BENCH_<ISO-date>.json; set BENCH_BASELINE to a
+   previous BENCH_*.json to print a non-blocking slots/sec diff.
 
    Run with:  dune exec bench/main.exe *)
 
@@ -197,17 +200,125 @@ let print_results results =
     (fun (name, est) -> Printf.printf "  %s/run   %s\n" (ns est) name)
     (List.sort compare rows)
 
+(* --- Part 2: metered table regeneration + BENCH_<date>.json --- *)
+
+module Telemetry = Jamming_telemetry.Telemetry
+module Json = Jamming_telemetry.Json
+module Gauges = Jamming_sim.Gauges
+
+(* One metered experiment: fresh telemetry sink (captures Runner-level
+   counters and the experiment wall timer), Gauges deltas for the slots
+   simulated by cells that drive the engines directly. *)
+let meter_experiment ~scale out e =
+  let tel = Telemetry.create () in
+  let slots0 = Gauges.slots_simulated () and runs0 = Gauges.runs_completed () in
+  E.Experiments.run_one ~telemetry:tel ~scale out e;
+  let slots = Gauges.slots_simulated () - slots0 in
+  let runs = Gauges.runs_completed () - runs0 in
+  let wall = Telemetry.timer_seconds tel "experiment.wall" in
+  Json.Obj
+    [
+      ("id", Json.String e.E.Registry.id);
+      ("name", Json.String e.E.Registry.name);
+      ("wall_s", Json.Float wall);
+      ("slots", Json.Int slots);
+      ("runs", Json.Int runs);
+      ( "slots_per_sec",
+        if wall > 0.0 then Json.Float (float_of_int slots /. wall) else Json.Null );
+    ]
+
+let iso_date () =
+  let tm = Unix.gmtime (Unix.time ()) in
+  Printf.sprintf "%04d-%02d-%02d" (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1)
+    tm.Unix.tm_mday
+
+let cell_field json field =
+  Option.bind (Json.member field json) Json.to_float_opt
+
+(* Non-blocking comparison against a previous BENCH_*.json: prints the
+   slots/sec ratio per experiment and never fails the run. *)
+let diff_against_baseline ~path cells =
+  match Json.read_file ~path with
+  | Error msg -> Printf.printf "baseline %s unreadable (%s); skipping diff\n" path msg
+  | Ok baseline ->
+      let baseline_cells =
+        match Option.bind (Json.member "experiments" baseline) Json.to_list_opt with
+        | Some l -> l
+        | None -> []
+      in
+      let lookup id =
+        List.find_opt
+          (fun c -> Option.bind (Json.member "id" c) Json.to_string_opt = Some id)
+          baseline_cells
+      in
+      Printf.printf "\n--- slots/sec vs baseline %s (informational) ---\n" path;
+      List.iter
+        (fun cell ->
+          match Option.bind (Json.member "id" cell) Json.to_string_opt with
+          | None -> ()
+          | Some id -> (
+              match
+                ( cell_field cell "slots_per_sec",
+                  Option.bind (lookup id) (fun b -> cell_field b "slots_per_sec") )
+              with
+              | Some now, Some before when before > 0.0 ->
+                  Printf.printf "  %-4s %+7.1f%%  (%.3g -> %.3g slots/s)\n" id
+                    ((now /. before -. 1.0) *. 100.0)
+                    before now
+              | _ -> Printf.printf "  %-4s (no baseline entry)\n" id))
+        cells
+
 let () =
   let scale =
     match Sys.getenv_opt "BENCH_FULL" with
     | Some ("1" | "true" | "yes") -> E.Registry.Full
     | Some _ | None -> E.Registry.Quick
   in
-  print_endline "=== Bechamel microbenchmarks (time per representative run) ===";
-  print_endline "--- simulator primitives ---";
-  print_results (benchmark primitive_tests);
-  print_endline "--- one representative run per experiment ---";
-  print_results (benchmark experiment_tests);
+  let skip_micro =
+    match Sys.getenv_opt "BENCH_SKIP_MICRO" with
+    | Some ("1" | "true" | "yes") -> true
+    | Some _ | None -> false
+  in
+  E.Runner.default_jobs := E.Runner.recommended_jobs ();
+  if not skip_micro then begin
+    print_endline "=== Bechamel microbenchmarks (time per representative run) ===";
+    print_endline "--- simulator primitives ---";
+    print_results (benchmark primitive_tests);
+    print_endline "--- one representative run per experiment ---";
+    print_results (benchmark experiment_tests)
+  end;
   Printf.printf "\n=== Experiment tables and figures (%s scale) ===\n"
     (match scale with E.Registry.Quick -> "quick" | E.Registry.Full -> "full");
-  E.Experiments.run_all_fmt ~scale Format.std_formatter
+  let out = E.Output.to_formatter Format.std_formatter in
+  let t0 = Unix.gettimeofday () in
+  let slots0 = Gauges.slots_simulated () in
+  let cells = List.map (meter_experiment ~scale out) E.Experiments.all in
+  let wall = Unix.gettimeofday () -. t0 in
+  let total_slots = Gauges.slots_simulated () - slots0 in
+  let date = iso_date () in
+  let report =
+    Json.Obj
+      [
+        ("schema", Json.String "jamming-election.bench/1");
+        ("date", Json.String date);
+        ("scale", Json.String (match scale with E.Registry.Full -> "full" | _ -> "quick"));
+        ("jobs", Json.Int !E.Runner.default_jobs);
+        ("experiments", Json.List cells);
+        ( "totals",
+          Json.Obj
+            [
+              ("wall_s", Json.Float wall);
+              ("slots", Json.Int total_slots);
+              ( "slots_per_sec",
+                if wall > 0.0 then Json.Float (float_of_int total_slots /. wall)
+                else Json.Null );
+            ] );
+      ]
+  in
+  let path = Printf.sprintf "BENCH_%s.json" date in
+  Json.write_file ~path report;
+  Printf.printf "\nbench report written: %s (%d experiments, %d slots, %.1fs)\n" path
+    (List.length cells) total_slots wall;
+  match Sys.getenv_opt "BENCH_BASELINE" with
+  | Some p when String.trim p <> "" -> diff_against_baseline ~path:p cells
+  | Some _ | None -> ()

@@ -42,7 +42,8 @@ let adversaries ~eps =
     ("estimation-staller", E.Specs.estimation_staller);
   ]
 
-let run protocol_name adversary_name n eps window max_slots seed reps weak_cd verbose trace =
+let run protocol_name adversary_name n eps window max_slots seed reps weak_cd verbose trace
+    json_out =
   let fail fmt = Format.kasprintf (fun s -> `Error (false, s)) fmt in
   let adversary_lookup name =
     match String.index_opt name ':' with
@@ -62,18 +63,21 @@ let run protocol_name adversary_name n eps window max_slots seed reps weak_cd ve
       if weak_cd && protocol_name <> "lesk" && protocol_name <> "lesu" then
         fail "--weak-cd supports lesk (as LEWK) and lesu (as LEWU) only"
       else begin
-        let sample =
+        let engine =
           if weak_cd then
             let factory =
               if protocol_name = "lesk" then Jamming_core.Lewk.station ~eps ()
               else Jamming_core.Lewu.station ()
             in
-            E.Runner.replicate_exact ~base_seed:seed ~cd:Jamming_channel.Channel.Weak_cd
-              ~reps setup
-              ~name:(protocol.E.Specs.p_name ^ "+Notification")
-              ~factory adversary
-          else E.Runner.replicate ~base_seed:seed ~reps setup protocol adversary
+            E.Runner.Exact
+              {
+                name = protocol.E.Specs.p_name ^ "+Notification";
+                cd = Jamming_channel.Channel.Weak_cd;
+                factory;
+              }
+          else E.Runner.Uniform protocol
         in
+        let sample = E.Runner.replicate ~base_seed:seed ~engine ~reps setup adversary in
         if verbose then
           Array.iteri
             (fun i r -> Format.printf "run %2d: %a@." i Metrics.pp_result r)
@@ -84,19 +88,19 @@ let run protocol_name adversary_name n eps window max_slots seed reps weak_cd ve
           Jamming_stats.Descriptive.pp_summary s
           (E.Table.fmt_pct (E.Runner.success_rate sample))
           (E.Runner.median_jammed_fraction sample);
+        (match json_out with
+        | None -> ()
+        | Some path ->
+            Jamming_telemetry.Json.write_file ~path
+              (E.Runner.sample_to_json ~include_results:true sample);
+            Format.printf "JSON written: %s@." path);
         if trace > 0 then begin
-          (* One extra, separately seeded run with a slot trace attached. *)
+          (* One extra, separately seeded run with a slot trace attached
+             as an observer. *)
           let t = Jamming_sim.Trace.create ~capacity:trace in
-          let on_slot = Jamming_sim.Trace.record t in
           let r =
-            if weak_cd then
-              let factory =
-                if protocol_name = "lesk" then Jamming_core.Lewk.station ~eps ()
-                else Jamming_core.Lewu.station ()
-              in
-              E.Runner.run_exact_once ~on_slot ~cd:Jamming_channel.Channel.Weak_cd setup
-                ~factory adversary ~seed
-            else E.Runner.run_once ~on_slot setup protocol adversary ~seed
+            E.Runner.run ~observers:[ Jamming_sim.Trace.observer t ] ~engine setup
+              adversary ~seed
           in
           Format.printf "@.--- last %d slots of a traced run (%d slots total) ---@.%a"
             (Int.min trace r.Metrics.slots)
@@ -132,11 +136,17 @@ let cmd =
       & info [ "trace" ] ~doc:"Also run one traced election and print its last $(docv) slots."
           ~docv:"SLOTS")
   in
+  let json_out =
+    Arg.(
+      value & opt (some string) None
+      & info [ "json-out" ] ~docv:"FILE"
+          ~doc:"Write the sample (setup, per-run results, digests) as JSON to $(docv).")
+  in
   let term =
     Term.(
       ret
         (const run $ protocol $ adversary $ n $ eps $ window $ max_slots $ seed $ reps
-        $ weak_cd $ verbose $ trace))
+        $ weak_cd $ verbose $ trace $ json_out))
   in
   Cmd.v
     (Cmd.info "lesim" ~doc:"Simulate jamming-resistant leader election (Klonowski-Pajak 2015)")

@@ -225,7 +225,25 @@ let run_iteration ~base_seed ~iteration ~with_faults =
   let violations, slots = run_config c in
   (c, violations, slots)
 
-let run iterations seed no_faults replay report_dir =
+let write_json ~path ~iterations ~total_slots ~wall ~failures =
+  let module Json = Jamming_telemetry.Json in
+  Json.write_file ~path
+    (Json.Obj
+       [
+         ("schema", Json.String "jamming-election.soak/1");
+         ("iterations", Json.Int iterations);
+         ("total_slots", Json.Int total_slots);
+         ("wall_s", Json.Float wall);
+         ( "slots_per_sec",
+           if wall > 0.0 then Json.Float (float_of_int total_slots /. wall) else Json.Null );
+         ("violations", Json.Int (List.length failures));
+         ( "failing_iterations",
+           Json.List
+             (List.rev_map (fun (c, _) -> Json.Int c.iteration) failures) );
+       ]);
+  Format.printf "JSON written: %s@." path
+
+let run iterations seed no_faults replay report_dir json_out =
   let with_faults = not no_faults in
   match replay with
   | Some iteration ->
@@ -256,6 +274,11 @@ let run iterations seed no_faults replay report_dir =
       Format.printf "%d iterations, %d total slots, %.1fs (faults %s).@." iterations
         !total_slots dt
         (if with_faults then "enabled" else "disabled");
+      (match json_out with
+      | None -> ()
+      | Some path ->
+          write_json ~path ~iterations ~total_slots:!total_slots ~wall:dt
+            ~failures:!failures);
       (match !failures with
       | [] ->
           Format.printf "all invariants held.@.";
@@ -290,8 +313,13 @@ let cmd =
     Arg.(value & opt string "results"
          & info [ "report-dir" ] ~doc:"Directory for violation reports.")
   in
+  let json_out =
+    Arg.(value & opt (some string) None
+         & info [ "json-out" ] ~docv:"FILE"
+             ~doc:"Write iterations, slots, wall time and violation count as JSON.")
+  in
   Cmd.v
     (Cmd.info "soak" ~doc:"Randomized invariant soak-testing of the whole pipeline")
-    Term.(ret (const run $ iterations $ seed $ no_faults $ replay $ report_dir))
+    Term.(ret (const run $ iterations $ seed $ no_faults $ replay $ report_dir $ json_out))
 
 let () = exit (Cmd.eval cmd)

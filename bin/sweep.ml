@@ -14,7 +14,34 @@ let list_experiments () =
       Format.printf "%-4s %-24s %s@." e.E.Registry.id e.E.Registry.name e.E.Registry.claim)
     E.Experiments.all
 
-let run list full csv_dir jobs ids =
+module Telemetry = Jamming_telemetry.Telemetry
+module Json = Jamming_telemetry.Json
+module Gauges = Jamming_sim.Gauges
+
+(* Runs one experiment under a fresh telemetry sink and returns its
+   machine-readable digest.  Gauges deltas pick up slots simulated by
+   experiments that bypass Runner.replicate. *)
+let run_metered ~scale out e =
+  let tel = Telemetry.create () in
+  let slots0 = Gauges.slots_simulated () and runs0 = Gauges.runs_completed () in
+  E.Experiments.run_one ~telemetry:tel ~scale out e;
+  let slots = Gauges.slots_simulated () - slots0 in
+  let runs = Gauges.runs_completed () - runs0 in
+  let wall = Telemetry.timer_seconds tel "experiment.wall" in
+  ( tel,
+    Json.Obj
+      [
+        ("id", Json.String e.E.Registry.id);
+        ("name", Json.String e.E.Registry.name);
+        ("wall_s", Json.Float wall);
+        ("slots", Json.Int slots);
+        ("runs", Json.Int runs);
+        ( "slots_per_sec",
+          if wall > 0.0 then Json.Float (float_of_int slots /. wall) else Json.Null );
+        ("telemetry", Telemetry.to_json tel);
+      ] )
+
+let run list full csv_dir jobs telemetry json_out ids =
   if list then begin
     list_experiments ();
     `Ok ()
@@ -22,9 +49,8 @@ let run list full csv_dir jobs ids =
   else begin
     E.Runner.default_jobs :=
       (match jobs with
-      | Some 0 -> E.Runner.recommended_jobs ()
-      | Some j -> j
-      | None -> 1);
+      | Some 0 | None -> E.Runner.recommended_jobs ()
+      | Some j -> j);
     let scale = if full then E.Registry.Full else E.Registry.Quick in
     let ids = if ids = [] then [ "all" ] else ids in
     let targets =
@@ -43,7 +69,35 @@ let run list full csv_dir jobs ids =
           | Some dir -> E.Output.with_csv_dir ~dir Format.std_formatter
           | None -> E.Output.to_formatter Format.std_formatter
         in
-        List.iter (E.Experiments.run_one ~scale out) targets;
+        let metered = telemetry || json_out <> None in
+        let cells =
+          if metered then
+            List.map
+              (fun e ->
+                let tel, cell = run_metered ~scale out e in
+                if telemetry then
+                  Format.printf "@.--- telemetry (%s) ---@.%a@." e.E.Registry.id
+                    Telemetry.pp tel;
+                cell)
+              targets
+          else begin
+            List.iter (E.Experiments.run_one ~scale out) targets;
+            []
+          end
+        in
+        (match json_out with
+        | None -> ()
+        | Some path ->
+            Json.write_file ~path
+              (Json.Obj
+                 [
+                   ("schema", Json.String "jamming-election.sweep/1");
+                   ( "scale",
+                     Json.String (match scale with E.Registry.Full -> "full" | _ -> "quick") );
+                   ("jobs", Json.Int !E.Runner.default_jobs);
+                   ("experiments", Json.List cells);
+                 ]);
+            Format.printf "@.JSON written: %s@." path);
         (match E.Output.csv_files_written out with
         | [] -> ()
         | files ->
@@ -71,10 +125,25 @@ let cmd =
       value
       & opt (some int) None
       & info [ "jobs"; "j" ] ~docv:"N"
-          ~doc:"Run replications on $(docv) domains (0 = auto).")
+          ~doc:
+            "Run replications on $(docv) domains (0 or omitted = all available; \
+             JAMMING_JOBS overrides the detected count).")
+  in
+  let telemetry =
+    Arg.(
+      value & flag
+      & info [ "telemetry" ]
+          ~doc:"Print a telemetry summary (counters, timers, histograms) per experiment.")
+  in
+  let json_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json-out" ] ~docv:"FILE"
+          ~doc:"Write per-experiment wall time, slots, slots/sec and telemetry as JSON.")
   in
   Cmd.v
     (Cmd.info "sweep" ~doc:"Regenerate the paper-reproduction tables and figures")
-    Term.(ret (const run $ list $ full $ csv_dir $ jobs $ ids))
+    Term.(ret (const run $ list $ full $ csv_dir $ jobs $ telemetry $ json_out $ ids))
 
 let () = exit (Cmd.eval cmd)

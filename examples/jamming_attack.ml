@@ -31,8 +31,9 @@ let () =
   in
   List.iter
     (fun protocol ->
-      let benign = E.Runner.replicate ~reps setup protocol E.Specs.no_jamming in
-      let jammed = E.Runner.replicate ~reps setup protocol E.Specs.greedy in
+      let engine = E.Runner.Uniform protocol in
+      let benign = E.Runner.replicate ~engine ~reps setup E.Specs.no_jamming in
+      let jammed = E.Runner.replicate ~engine ~reps setup E.Specs.greedy in
       let mb = E.Runner.median_slots benign and mj = E.Runner.median_slots jammed in
       E.Table.add_row table
         [

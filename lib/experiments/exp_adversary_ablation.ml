@@ -24,7 +24,7 @@ let run scale out =
   in
   List.iter
     (fun adversary ->
-      let sample = Runner.replicate ~reps setup (Specs.lesk ~eps) adversary in
+      let sample = Runner.replicate ~engine:(Runner.Uniform (Specs.lesk ~eps)) ~reps setup adversary in
       let s = D.summarize (Runner.slots sample) in
       Table.add_row table
         [

@@ -23,7 +23,7 @@ let run scale out =
         List.map
           (fun protocol ->
             let setup = { Runner.n; eps; window; max_slots = 500_000 } in
-            let sample = Runner.replicate ~reps setup protocol Specs.greedy in
+            let sample = Runner.replicate ~engine:(Runner.Uniform protocol) ~reps setup Specs.greedy in
             Table.fmt_float ~decimals:2 (Runner.mean_energy_per_station sample))
           protocols
       in

@@ -21,7 +21,7 @@ let run scale out =
   List.iter
     (fun n ->
       let setup = { Runner.n; eps; window; max_slots = 100_000 } in
-      let fast = Runner.replicate ~reps setup (Specs.lesk ~eps) Specs.greedy in
+      let fast = Runner.replicate ~engine:(Runner.Uniform (Specs.lesk ~eps)) ~reps setup Specs.greedy in
       let exact =
         Runner.replicate_exact ~cd:Jamming_channel.Channel.Strong_cd ~reps setup
           ~name:"LESK-exact"

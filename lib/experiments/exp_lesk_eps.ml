@@ -28,7 +28,7 @@ let run scale out =
       let setup =
         { Runner.n; eps; window; max_slots = Int.max 50_000 (int_of_float (200.0 *. bound)) }
       in
-      let sample = Runner.replicate ~reps setup (Specs.lesk ~eps) Specs.greedy in
+      let sample = Runner.replicate ~engine:(Runner.Uniform (Specs.lesk ~eps)) ~reps setup Specs.greedy in
       let s = D.summarize (Runner.slots sample) in
       let ratio = s.D.median /. bound in
       ratios := ratio :: !ratios;

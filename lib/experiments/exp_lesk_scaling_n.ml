@@ -37,7 +37,7 @@ let run scale out =
               max_slots = Int.max 20_000 (int_of_float (100.0 *. bound));
             }
           in
-          let sample = Runner.replicate ~reps setup (Specs.lesk ~eps) Specs.greedy in
+          let sample = Runner.replicate ~engine:(Runner.Uniform (Specs.lesk ~eps)) ~reps setup Specs.greedy in
           let xs = Runner.slots sample in
           let s = D.summarize xs in
           points := (float_of_int n, s.D.median) :: !points;

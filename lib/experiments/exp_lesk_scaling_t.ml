@@ -28,7 +28,7 @@ let run scale out =
       List.iter
         (fun window ->
           let setup = { Runner.n; eps; window; max_slots = Int.max 100_000 (100 * window) } in
-          let sample = Runner.replicate ~reps setup (Specs.lesk ~eps) adversary in
+          let sample = Runner.replicate ~engine:(Runner.Uniform (Specs.lesk ~eps)) ~reps setup adversary in
           let xs = Runner.slots sample in
           let s = D.summarize xs in
           points := (float_of_int window, s.D.median) :: !points;

@@ -18,7 +18,7 @@ let run scale out =
   List.iter
     (fun c ->
       let config = { Jamming_core.Lesu.default_config with c } in
-      let sample = Runner.replicate ~reps setup (Specs.lesu ~config ()) Specs.greedy in
+      let sample = Runner.replicate ~engine:(Runner.Uniform (Specs.lesu ~config ())) ~reps setup Specs.greedy in
       let xs = Array.map (fun r -> float_of_int r.Jamming_sim.Metrics.slots) sample.Runner.results in
       Table.add_row table
         [

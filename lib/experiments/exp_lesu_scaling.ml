@@ -30,8 +30,8 @@ let run scale out =
           let bound = Jamming_core.Lesu.expected_time_bound ~eps ~n ~window in
           let cap = Int.max 200_000 (int_of_float (100.0 *. bound)) in
           let setup = { Runner.n; eps; window; max_slots = cap } in
-          let lesu = Runner.replicate ~reps setup (Specs.lesu ()) Specs.greedy in
-          let lesk = Runner.replicate ~reps setup (Specs.lesk ~eps) Specs.greedy in
+          let lesu = Runner.replicate ~engine:(Runner.Uniform (Specs.lesu ())) ~reps setup Specs.greedy in
+          let lesk = Runner.replicate ~engine:(Runner.Uniform (Specs.lesk ~eps)) ~reps setup Specs.greedy in
           let mu = Runner.median_slots lesu and mk = Runner.median_slots lesk in
           points := (Float.log2 (float_of_int n), mu) :: !points;
           Table.add_row table

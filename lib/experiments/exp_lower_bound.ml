@@ -42,7 +42,7 @@ let run scale out =
       let setup =
         { Runner.n; eps; window; max_slots = Int.max 100_000 (int_of_float (100.0 *. bound)) }
       in
-      let sample = Runner.replicate ~reps setup Specs.known_n Specs.front_loaded in
+      let sample = Runner.replicate ~engine:(Runner.Uniform Specs.known_n) ~reps setup Specs.front_loaded in
       let xs = Runner.slots sample in
       let p95 = D.quantile xs ~q:0.95 in
       let clear =

@@ -22,7 +22,7 @@ let run scale out =
     (fun n ->
       let analytic = Jamming_core.Markov.expected_election_time ~n ~a () in
       let setup = { Runner.n; eps; window = 32; max_slots = 200_000 } in
-      let sample = Runner.replicate ~reps setup (Specs.lesk ~eps) Specs.no_jamming in
+      let sample = Runner.replicate ~engine:(Runner.Uniform (Specs.lesk ~eps)) ~reps setup Specs.no_jamming in
       let xs = Runner.slots sample in
       let lo, hi = D.mean_ci95 xs in
       Table.add_row table

@@ -27,7 +27,7 @@ let run scale out =
   in
   List.iter
     (fun (label, a) ->
-      let sample = Runner.replicate ~reps setup (Specs.lesk_with_a ~eps ~a) Specs.greedy in
+      let sample = Runner.replicate ~engine:(Runner.Uniform (Specs.lesk_with_a ~eps ~a)) ~reps setup Specs.greedy in
       let m = Runner.median_slots sample in
       let xs = Array.map (fun r -> float_of_int r.Jamming_sim.Metrics.slots) sample.Runner.results in
       Table.add_row table

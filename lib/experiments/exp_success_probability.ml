@@ -20,7 +20,7 @@ let run scale out =
     let bound = Jamming_core.Lesk.expected_time_bound ~eps ~n ~window in
     let cap = Int.max 50_000 (int_of_float (300.0 *. bound)) in
     let setup = { Runner.n; eps; window; max_slots = cap } in
-    let sample = Runner.replicate ~reps:reps_fast setup protocol Specs.greedy in
+    let sample = Runner.replicate ~engine:(Runner.Uniform protocol) ~reps:reps_fast setup Specs.greedy in
     Table.add_row table
       [
         protocol.Specs.p_name;

@@ -6,7 +6,7 @@ let run scale out =
   let reps = match scale with Registry.Quick -> 2_000 | Registry.Full -> 20_000 in
   let n = 1024 and eps = 0.5 and window = 64 in
   let setup = { Runner.n; eps; window; max_slots = 100_000 } in
-  let sample = Runner.replicate ~reps setup (Specs.lesk ~eps) Specs.greedy in
+  let sample = Runner.replicate ~engine:(Runner.Uniform (Specs.lesk ~eps)) ~reps setup Specs.greedy in
   let xs = Runner.slots sample in
   let s = D.summarize xs in
   Format.fprintf ppf

@@ -38,7 +38,7 @@ let run scale out =
         List.map2
           (fun protocol (_, curve) ->
             let setup = { Runner.n; eps; window; max_slots = cap } in
-            let sample = Runner.replicate ~reps setup protocol Specs.greedy in
+            let sample = Runner.replicate ~engine:(Runner.Uniform protocol) ~reps setup Specs.greedy in
             let m = Runner.median_slots sample in
             let capped = not (Runner.all_completed sample) in
             if not capped then curve := (float_of_int n, m) :: !curve;

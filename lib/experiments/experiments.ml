@@ -33,11 +33,20 @@ let find key =
       String.lowercase_ascii e.Registry.id = key || String.lowercase_ascii e.Registry.name = key)
     all
 
-let run_one ~scale out e =
+let run_one ?telemetry ~scale out e =
   Registry.pp_header (Output.ppf out) e;
   Output.begin_experiment out ~id:e.Registry.id;
-  e.Registry.run scale out
+  match telemetry with
+  | None -> e.Registry.run scale out
+  | Some tel ->
+      (* Meter the whole experiment: install the sink as the process
+         default (so every Runner.replicate inside contributes) and time
+         it; Gauges deltas around this call give total slots whatever
+         path the experiment takes into the engines. *)
+      let wall = Jamming_telemetry.Telemetry.timer tel "experiment.wall" in
+      Runner.with_telemetry tel (fun () ->
+          Jamming_telemetry.Telemetry.time wall (fun () -> e.Registry.run scale out))
 
-let run_all ~scale out = List.iter (run_one ~scale out) all
+let run_all ?telemetry ~scale out = List.iter (run_one ?telemetry ~scale out) all
 
 let run_all_fmt ~scale ppf = run_all ~scale (Output.to_formatter ppf)

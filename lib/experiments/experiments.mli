@@ -8,8 +8,20 @@ val find : string -> Registry.t option
 (** Look up by id ("E7") or bench-target name ("notification-overhead"),
     case-insensitively. *)
 
-val run_all : scale:Registry.scale -> Output.t -> unit
-val run_one : scale:Registry.scale -> Output.t -> Registry.t -> unit
+val run_all :
+  ?telemetry:Jamming_telemetry.Telemetry.t -> scale:Registry.scale -> Output.t -> unit
+
+val run_one :
+  ?telemetry:Jamming_telemetry.Telemetry.t ->
+  scale:Registry.scale ->
+  Output.t ->
+  Registry.t ->
+  unit
+(** [telemetry] installs the sink as the process default for the
+    duration of the experiment ({!Runner.with_telemetry}) and records
+    the experiment's wall time under timer ["experiment.wall"]; pair
+    with {!Jamming_sim.Gauges} deltas for slots/sec accounting.  See
+    bench/main.ml and [sweep --json-out]. *)
 
 val run_all_fmt : scale:Registry.scale -> Format.formatter -> unit
 (** Text-only convenience wrapper. *)

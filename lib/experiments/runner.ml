@@ -1,8 +1,12 @@
 module Prng = Jamming_prng.Prng
 module Budget = Jamming_adversary.Budget
+module Channel = Jamming_channel.Channel
 module Metrics = Jamming_sim.Metrics
 module Monitor = Jamming_sim.Monitor
+module Observer = Jamming_sim.Observer
 module Faults = Jamming_faults
+module Telemetry = Jamming_telemetry.Telemetry
+module Json = Jamming_telemetry.Json
 
 type setup = { n : int; eps : float; window : int; max_slots : int }
 
@@ -15,67 +19,92 @@ let validate setup =
   if setup.window < 1 then invalid_arg "Runner: window must be >= 1";
   if setup.max_slots < 1 then invalid_arg "Runner: max_slots must be >= 1"
 
-let run_once ?on_slot setup (protocol : Specs.protocol) (adversary : Specs.adversary) ~seed =
-  validate setup;
-  let rng = Prng.create ~seed in
-  let proto = protocol.Specs.p_make ~n:setup.n ~window:setup.window () in
-  let adv =
-    adversary.Specs.a_make ~seed:(seed lxor 0x5bd1e995) ~n:setup.n ~eps:setup.eps
-      ~window:setup.window ()
-  in
-  let budget = Budget.create ~window:setup.window ~eps:setup.eps in
-  Jamming_sim.Uniform_engine.run ?on_slot ~n:setup.n ~rng ~protocol:proto ~adversary:adv
-    ~budget ~max_slots:setup.max_slots ()
+(* --- the engine spec: one description of how to run a cell --- *)
 
-let run_exact_once ?on_slot ~cd setup ~factory (adversary : Specs.adversary) ~seed =
-  validate setup;
-  let rng = Prng.create ~seed in
-  let stations = Jamming_sim.Engine.make_stations ~n:setup.n ~rng factory in
-  let adv =
-    adversary.Specs.a_make ~seed:(seed lxor 0x5bd1e995) ~n:setup.n ~eps:setup.eps
-      ~window:setup.window ()
-  in
-  let budget = Budget.create ~window:setup.window ~eps:setup.eps in
-  Jamming_sim.Engine.run ?on_slot ~cd ~adversary:adv ~budget ~max_slots:setup.max_slots
-    ~stations ()
+type engine =
+  | Uniform of Specs.protocol
+  | Exact of {
+      name : string;
+      cd : Channel.cd_model;
+      factory : Jamming_station.Station.factory;
+    }
+  | Faulty of {
+      name : string;
+      cd : Channel.cd_model;
+      factory : Jamming_station.Station.factory;
+      faults : Faults.Config.t;
+      monitor_checks : Monitor.checks option;
+    }
 
-let run_faulty_once ?on_slot ?monitor_checks ~cd setup ~factory ~faults
-    (adversary : Specs.adversary) ~seed =
+let engine_name = function
+  | Uniform p -> p.Specs.p_name
+  | Exact { name; _ } -> name
+  | Faulty { name; _ } -> name
+
+let make_adversary (adversary : Specs.adversary) setup ~seed =
+  adversary.Specs.a_make ~seed:(seed lxor 0x5bd1e995) ~n:setup.n ~eps:setup.eps
+    ~window:setup.window ()
+
+let run ?(observers = []) ?on_slot ~engine setup (adversary : Specs.adversary) ~seed =
   validate setup;
-  Faults.Config.validate faults;
-  let rng = Prng.create ~seed in
-  let stations = Jamming_sim.Engine.make_stations ~n:setup.n ~rng factory in
-  (* Dedicated streams for plans and sensing noise, derived from the run
-     seed: adding or removing faults never perturbs the station or
-     adversary streams. *)
-  let plan_rng =
-    Prng.create ~seed:(Prng.seed_of_string (Printf.sprintf "%d/faults/plans" seed))
-  in
-  let plans = Faults.Config.sample_plans faults ~rng:plan_rng ~n:setup.n in
-  let stations = Faults.Config.wrap_stations plans stations in
-  let injection =
-    Faults.Injection.create ~noise:faults.Faults.Config.perception
-      ~rng:(Prng.create ~seed:(Prng.seed_of_string (Printf.sprintf "%d/faults/noise" seed)))
-  in
-  let checks =
-    match monitor_checks with
-    | Some c -> c
-    | None ->
-        (* The election safety property only holds under the paper's
-           fault-free assumptions; engine-level invariants always do. *)
-        if Faults.Config.is_null faults then Monitor.all_checks
-        else Monitor.safety_checks
-  in
-  let monitor =
-    Monitor.create ~checks ~seed ~window:setup.window ~eps:setup.eps ()
-  in
-  let adv =
-    adversary.Specs.a_make ~seed:(seed lxor 0x5bd1e995) ~n:setup.n ~eps:setup.eps
-      ~window:setup.window ()
-  in
   let budget = Budget.create ~window:setup.window ~eps:setup.eps in
-  Jamming_sim.Engine.run ?on_slot ~faults:injection ~monitor ~cd ~adversary:adv ~budget
-    ~max_slots:setup.max_slots ~stations ()
+  match engine with
+  | Uniform protocol ->
+      let rng = Prng.create ~seed in
+      let proto = protocol.Specs.p_make ~n:setup.n ~window:setup.window () in
+      let adv = make_adversary adversary setup ~seed in
+      Jamming_sim.Uniform_engine.run ?on_slot ~observers ~n:setup.n ~rng ~protocol:proto
+        ~adversary:adv ~budget ~max_slots:setup.max_slots ()
+  | Exact { cd; factory; name = _ } ->
+      let rng = Prng.create ~seed in
+      let stations = Jamming_sim.Engine.make_stations ~n:setup.n ~rng factory in
+      let adv = make_adversary adversary setup ~seed in
+      Jamming_sim.Engine.run ?on_slot ~observers ~cd ~adversary:adv ~budget
+        ~max_slots:setup.max_slots ~stations ()
+  | Faulty { cd; factory; faults; monitor_checks; name = _ } ->
+      Faults.Config.validate faults;
+      let rng = Prng.create ~seed in
+      let stations = Jamming_sim.Engine.make_stations ~n:setup.n ~rng factory in
+      (* Dedicated streams for plans and sensing noise, derived from the run
+         seed: adding or removing faults never perturbs the station or
+         adversary streams. *)
+      let plan_rng =
+        Prng.create ~seed:(Prng.seed_of_string (Printf.sprintf "%d/faults/plans" seed))
+      in
+      let plans = Faults.Config.sample_plans faults ~rng:plan_rng ~n:setup.n in
+      let stations = Faults.Config.wrap_stations plans stations in
+      let injection =
+        Faults.Injection.create ~noise:faults.Faults.Config.perception
+          ~rng:
+            (Prng.create
+               ~seed:(Prng.seed_of_string (Printf.sprintf "%d/faults/noise" seed)))
+      in
+      let checks =
+        match monitor_checks with
+        | Some c -> c
+        | None ->
+            (* The election safety property only holds under the paper's
+               fault-free assumptions; engine-level invariants always do. *)
+            if Faults.Config.is_null faults then Monitor.all_checks
+            else Monitor.safety_checks
+      in
+      let monitor = Monitor.create ~checks ~seed ~window:setup.window ~eps:setup.eps () in
+      let adv = make_adversary adversary setup ~seed in
+      Jamming_sim.Engine.run ?on_slot ~observers ~faults:injection ~monitor ~cd
+        ~adversary:adv ~budget ~max_slots:setup.max_slots ~stations ()
+
+(* --- deprecated single-run wrappers (kept so call sites compile) --- *)
+
+let run_once ?on_slot setup protocol adversary ~seed =
+  run ?on_slot ~engine:(Uniform protocol) setup adversary ~seed
+
+let run_exact_once ?on_slot ~cd setup ~factory adversary ~seed =
+  run ?on_slot ~engine:(Exact { name = "exact"; cd; factory }) setup adversary ~seed
+
+let run_faulty_once ?on_slot ?monitor_checks ~cd setup ~factory ~faults adversary ~seed =
+  run ?on_slot
+    ~engine:(Faulty { name = "faulty"; cd; factory; faults; monitor_checks })
+    setup adversary ~seed
 
 type sample = {
   setup : setup;
@@ -87,9 +116,43 @@ type sample = {
 let cell_seed ~base_seed ~tag ~rep =
   Prng.seed_of_string (Printf.sprintf "%d/%s/%d" base_seed tag rep)
 
-let recommended_jobs () = Int.max 1 (Int.min (Domain.recommended_domain_count ()) 8)
+(* Seed tags must stay exactly as the pre-observer runner derived them,
+   per engine kind, so every published table remains reproducible. *)
+let cell_tag ~engine ~(adversary : Specs.adversary) setup =
+  match engine with
+  | Uniform p ->
+      Printf.sprintf "%s|%s|%d|%f|%d" p.Specs.p_name adversary.Specs.a_name setup.n
+        setup.eps setup.window
+  | Exact { name; _ } ->
+      Printf.sprintf "exact|%s|%s|%d|%f|%d" name adversary.Specs.a_name setup.n setup.eps
+        setup.window
+  | Faulty { name; _ } ->
+      Printf.sprintf "faulty|%s|%s|%d|%f|%d" name adversary.Specs.a_name setup.n setup.eps
+        setup.window
+
+let recommended_jobs () =
+  let from_env =
+    match Sys.getenv_opt "JAMMING_JOBS" with
+    | Some s -> int_of_string_opt (String.trim s)
+    | None -> None
+  in
+  match from_env with
+  | Some j when j >= 1 -> j
+  | Some _ | None -> Int.max 1 (Domain.recommended_domain_count ())
 
 let default_jobs = ref 1
+
+(* Process-default telemetry sink, used when [?telemetry] is omitted —
+   the same pattern as [default_jobs]: harnesses (bench, sweep) install
+   a sink around a workload and experiment code stays oblivious. *)
+let default_telemetry : Telemetry.t option ref = ref None
+
+let set_telemetry t = default_telemetry := t
+
+let with_telemetry tel f =
+  let previous = !default_telemetry in
+  default_telemetry := Some tel;
+  Fun.protect ~finally:(fun () -> default_telemetry := previous) f
 
 (* Fill [results] by applying [f] to every index, fanning the indices
    out over [jobs] domains.  Replications are embarrassingly parallel:
@@ -115,48 +178,60 @@ let parallel_init ~jobs ~reps f =
     results
   end
 
-let replicate ?jobs ?(base_seed = 42) ~reps setup protocol adversary =
+(* Aggregate a finished replication into the sink.  Folding the result
+   array in index order (on the calling domain, after the join) makes
+   the aggregate independent of [jobs]: counters and histograms are
+   identical for jobs=1 and jobs=4; only the wall timer varies. *)
+let record_sample tel (results : Metrics.result array) =
+  let c name = Telemetry.counter tel ("runner." ^ name) in
+  let runs = c "runs" and slots = c "slots" and jammed = c "jammed" in
+  let nulls = c "null" and singles = c "single" and collisions = c "collision" in
+  let completed = c "completed" and elected = c "elected" in
+  let per_run = Telemetry.histogram tel "runner.slots_per_run" in
+  Array.iter
+    (fun (r : Metrics.result) ->
+      Telemetry.incr runs;
+      Telemetry.add slots r.Metrics.slots;
+      Telemetry.add jammed r.Metrics.jammed_slots;
+      Telemetry.add nulls r.Metrics.nulls;
+      Telemetry.add singles r.Metrics.singles;
+      Telemetry.add collisions r.Metrics.collisions;
+      if r.Metrics.completed then Telemetry.incr completed;
+      if Metrics.election_ok r then Telemetry.incr elected;
+      Telemetry.observe per_run r.Metrics.slots)
+    results
+
+let replicate ?jobs ?(base_seed = 42) ?telemetry ~engine ~reps setup adversary =
   let jobs = match jobs with Some j -> j | None -> !default_jobs in
-  let tag =
-    Printf.sprintf "%s|%s|%d|%f|%d" protocol.Specs.p_name adversary.Specs.a_name setup.n
-      setup.eps setup.window
+  let tel = match telemetry with Some t -> Some t | None -> !default_telemetry in
+  let tag = cell_tag ~engine ~adversary setup in
+  let wall =
+    match tel with Some t -> Some (Telemetry.timer t "runner.wall") | None -> None
   in
+  (match wall with Some w -> Telemetry.start w | None -> ());
   let results =
     parallel_init ~jobs ~reps (fun rep ->
-        run_once setup protocol adversary ~seed:(cell_seed ~base_seed ~tag ~rep))
+        run ~engine setup adversary ~seed:(cell_seed ~base_seed ~tag ~rep))
   in
+  (match wall with Some w -> Telemetry.stop w | None -> ());
+  (match tel with Some t -> record_sample t results | None -> ());
   {
     setup;
-    protocol_name = protocol.Specs.p_name;
+    protocol_name = engine_name engine;
     adversary_name = adversary.Specs.a_name;
     results;
   }
 
-let replicate_faulty ?jobs ?(base_seed = 42) ?monitor_checks ~cd ~reps setup ~name ~factory
-    ~faults adversary =
-  let jobs = match jobs with Some j -> j | None -> !default_jobs in
-  let tag =
-    Printf.sprintf "faulty|%s|%s|%d|%f|%d" name adversary.Specs.a_name setup.n setup.eps
-      setup.window
-  in
-  let results =
-    parallel_init ~jobs ~reps (fun rep ->
-        run_faulty_once ?monitor_checks ~cd setup ~factory ~faults adversary
-          ~seed:(cell_seed ~base_seed ~tag ~rep))
-  in
-  { setup; protocol_name = name; adversary_name = adversary.Specs.a_name; results }
+(* --- deprecated replicated wrappers --- *)
 
-let replicate_exact ?jobs ?(base_seed = 42) ~cd ~reps setup ~name ~factory adversary =
-  let jobs = match jobs with Some j -> j | None -> !default_jobs in
-  let tag =
-    Printf.sprintf "exact|%s|%s|%d|%f|%d" name adversary.Specs.a_name setup.n setup.eps
-      setup.window
-  in
-  let results =
-    parallel_init ~jobs ~reps (fun rep ->
-        run_exact_once ~cd setup ~factory adversary ~seed:(cell_seed ~base_seed ~tag ~rep))
-  in
-  { setup; protocol_name = name; adversary_name = adversary.Specs.a_name; results }
+let replicate_exact ?jobs ?base_seed ~cd ~reps setup ~name ~factory adversary =
+  replicate ?jobs ?base_seed ~engine:(Exact { name; cd; factory }) ~reps setup adversary
+
+let replicate_faulty ?jobs ?base_seed ?monitor_checks ~cd ~reps setup ~name ~factory
+    ~faults adversary =
+  replicate ?jobs ?base_seed
+    ~engine:(Faulty { name; cd; factory; faults; monitor_checks })
+    ~reps setup adversary
 
 let slots sample =
   sample.results
@@ -192,3 +267,36 @@ let median_jammed_fraction sample =
       sample.results
   in
   Jamming_stats.Descriptive.median xs
+
+let setup_to_json s =
+  Json.Obj
+    [
+      ("n", Json.Int s.n);
+      ("eps", Json.Float s.eps);
+      ("window", Json.Int s.window);
+      ("max_slots", Json.Int s.max_slots);
+    ]
+
+let sample_to_json ?(include_results = false) sample =
+  let total_slots =
+    Array.fold_left (fun acc r -> acc + r.Metrics.slots) 0 sample.results
+  in
+  Json.Obj
+    ([
+       ("protocol", Json.String sample.protocol_name);
+       ("adversary", Json.String sample.adversary_name);
+       ("setup", setup_to_json sample.setup);
+       ("reps", Json.Int (Array.length sample.results));
+       ("total_slots", Json.Int total_slots);
+       ("success_rate", Json.Float (success_rate sample));
+       ("median_slots", Json.Float (median_slots sample));
+       ("mean_energy_per_station", Json.Float (mean_energy_per_station sample));
+       ("median_jammed_fraction", Json.Float (median_jammed_fraction sample));
+     ]
+    @
+    if include_results then
+      [
+        ( "results",
+          Json.List (Array.to_list (Array.map Metrics.result_to_json sample.results)) );
+      ]
+    else [])

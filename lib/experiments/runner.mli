@@ -3,7 +3,15 @@
 
     Seeds are derived deterministically from the cell description and
     the replication index, so every table in EXPERIMENTS.md is exactly
-    reproducible. *)
+    reproducible.
+
+    One pair of entry points covers all three execution modes: {!run}
+    and {!replicate} take an {!engine} spec saying {e how} to simulate
+    the cell (fast uniform engine, exact per-station engine, or exact
+    engine with fault injection + online monitor).  The historical
+    trios ([run_once]/[run_exact_once]/[run_faulty_once] and
+    [replicate_exact]/[replicate_faulty]) remain as thin deprecated
+    wrappers. *)
 
 type setup = {
   n : int;  (** network size *)
@@ -14,10 +22,90 @@ type setup = {
 
 val pp_setup : Format.formatter -> setup -> unit
 
+(** How to execute one cell. *)
+type engine =
+  | Uniform of Specs.protocol
+      (** O(1)-per-slot {!Jamming_sim.Uniform_engine} — uniform
+          protocols in strong-CD. *)
+  | Exact of {
+      name : string;  (** label used in sample/telemetry/seed tags *)
+      cd : Jamming_channel.Channel.cd_model;
+      factory : Jamming_station.Station.factory;
+    }
+      (** Exact per-station {!Jamming_sim.Engine} (weak-CD protocols,
+          cross-engine validation). *)
+  | Faulty of {
+      name : string;
+      cd : Jamming_channel.Channel.cd_model;
+      factory : Jamming_station.Station.factory;
+      faults : Jamming_faults.Config.t;
+      monitor_checks : Jamming_sim.Monitor.checks option;
+          (** [None] = everything when [faults] is null, engine-level
+              safety only otherwise — injected faults genuinely break
+              the paper's election guarantee, which is the thing being
+              measured. *)
+    }
+      (** Exact engine with fault injection and the online invariant
+          monitor.  Station plans and sensing noise are drawn from
+          dedicated streams derived from the run seed, so the same seed
+          with null faults reproduces the fault-free run exactly.
+          Raises {!Jamming_sim.Monitor.Violation} on a broken
+          invariant. *)
+
+val engine_name : engine -> string
+
+type sample = {
+  setup : setup;
+  protocol_name : string;
+  adversary_name : string;
+  results : Jamming_sim.Metrics.result array;
+}
+
+val run :
+  ?observers:Jamming_sim.Observer.t list ->
+  ?on_slot:(Jamming_sim.Metrics.slot_record -> unit) ->
+  engine:engine ->
+  setup ->
+  Specs.adversary ->
+  seed:int ->
+  Jamming_sim.Metrics.result
+(** One election.  [observers] (e.g. {!Jamming_sim.Trace.observer},
+    {!Jamming_sim.Monitor.observer},
+    {!Jamming_sim.Observer.telemetry}) are passed straight to the
+    engine and never perturb the run.  [on_slot] is the deprecated
+    single-callback form. *)
+
+val replicate :
+  ?jobs:int ->
+  ?base_seed:int ->
+  ?telemetry:Jamming_telemetry.Telemetry.t ->
+  engine:engine ->
+  reps:int ->
+  setup ->
+  Specs.adversary ->
+  sample
+(** [jobs] (default {!default_jobs}) runs the replications on that many
+    OCaml 5 domains.  Each replication is fully independent (own seed,
+    own protocol/adversary/budget state, disjoint result slot), so the
+    outcome is bit-identical to the sequential run — only faster.
+
+    [telemetry] (default: the sink installed with {!set_telemetry} /
+    {!with_telemetry}, if any) receives, under the ["runner."] prefix,
+    counters [runs]/[slots]/[jammed]/[null]/[single]/[collision]/
+    [completed]/[elected], histogram [slots_per_run], and wall timer
+    [wall].  Aggregation folds the finished result array in index order
+    on the calling domain, so counters and histograms are identical
+    whatever [jobs] is; only the timer varies run to run. *)
+
+(** {1 Deprecated compatibility wrappers}
+
+    Thin aliases for {!run}/{!replicate} with pre-observer signatures.
+    New code should build an {!engine} value instead. *)
+
 val run_once :
   ?on_slot:(Jamming_sim.Metrics.slot_record -> unit) ->
   setup -> Specs.protocol -> Specs.adversary -> seed:int -> Jamming_sim.Metrics.result
-(** One election on the fast (uniform) engine. *)
+(** @deprecated Use [run ~engine:(Uniform protocol)]. *)
 
 val run_exact_once :
   ?on_slot:(Jamming_sim.Metrics.slot_record -> unit) ->
@@ -27,8 +115,7 @@ val run_exact_once :
   Specs.adversary ->
   seed:int ->
   Jamming_sim.Metrics.result
-(** One election on the exact engine (weak-CD protocols, cross-engine
-    validation). *)
+(** @deprecated Use [run ~engine:(Exact _)]. *)
 
 val run_faulty_once :
   ?on_slot:(Jamming_sim.Metrics.slot_record -> unit) ->
@@ -40,35 +127,7 @@ val run_faulty_once :
   Specs.adversary ->
   seed:int ->
   Jamming_sim.Metrics.result
-(** One election on the exact engine with fault injection and the online
-    invariant monitor.  Station plans and sensing noise are drawn from
-    dedicated streams derived from [seed], so the same seed without
-    faults reproduces the seed engine's run exactly.  Default monitor
-    checks: everything when [faults] is null, engine-level safety only
-    (no at-most-one-leader) otherwise — injected faults genuinely break
-    the paper's election guarantee, which is the thing being measured.
-    Raises {!Jamming_sim.Monitor.Violation} on a broken invariant. *)
-
-type sample = {
-  setup : setup;
-  protocol_name : string;
-  adversary_name : string;
-  results : Jamming_sim.Metrics.result array;
-}
-
-val replicate :
-  ?jobs:int ->
-  ?base_seed:int ->
-  reps:int ->
-  setup ->
-  Specs.protocol ->
-  Specs.adversary ->
-  sample
-(** [jobs] (default 1) runs the replications on that many OCaml 5
-    domains.  Each replication is fully independent (own seed, own
-    protocol/adversary/budget state, disjoint result slot), so the
-    outcome is bit-identical to the sequential run — only faster.  Use
-    [recommended_jobs ()] for a sensible default on big sweeps. *)
+(** @deprecated Use [run ~engine:(Faulty _)]. *)
 
 val replicate_exact :
   ?jobs:int ->
@@ -80,6 +139,7 @@ val replicate_exact :
   factory:Jamming_station.Station.factory ->
   Specs.adversary ->
   sample
+(** @deprecated Use [replicate ~engine:(Exact _)]. *)
 
 val replicate_faulty :
   ?jobs:int ->
@@ -93,16 +153,29 @@ val replicate_faulty :
   faults:Jamming_faults.Config.t ->
   Specs.adversary ->
   sample
-(** Replicated {!run_faulty_once} — the workhorse of the
-    fault-tolerance experiment. *)
+(** @deprecated Use [replicate ~engine:(Faulty _)]. *)
+
+(** {1 Parallelism and telemetry defaults} *)
 
 val recommended_jobs : unit -> int
-(** [min (domain count) 8], at least 1. *)
+(** All available domains ([Domain.recommended_domain_count ()], at
+    least 1).  The [JAMMING_JOBS] environment variable, when set to a
+    positive integer, overrides the detected count (and [--jobs] on the
+    CLIs overrides both). *)
 
 val default_jobs : int ref
 (** The [jobs] value used when the argument is omitted (initially 1).
     The sweep CLI sets it from [--jobs]; experiment code can then stay
     oblivious to parallelism. *)
+
+val set_telemetry : Jamming_telemetry.Telemetry.t option -> unit
+(** Install (or clear) the process-default telemetry sink used by
+    {!replicate} when [?telemetry] is omitted. *)
+
+val with_telemetry : Jamming_telemetry.Telemetry.t -> (unit -> 'a) -> 'a
+(** Run a thunk with the default sink set, restoring the previous sink
+    after (exception-safe).  This is how bench and sweep meter a whole
+    experiment without the experiment knowing. *)
 
 (** {1 Sample digests} *)
 
@@ -119,3 +192,9 @@ val median_slots : sample -> float
 
 val mean_energy_per_station : sample -> float
 val median_jammed_fraction : sample -> float
+
+val sample_to_json : ?include_results:bool -> sample -> Jamming_telemetry.Json.t
+(** Machine-readable digest: protocol, adversary, setup, reps, total
+    slots, and the headline statistics; [~include_results:true] appends
+    every {!Jamming_sim.Metrics.result_to_json}.  Schema in DESIGN.md
+    §9. *)

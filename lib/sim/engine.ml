@@ -7,9 +7,21 @@ module Injection = Jamming_faults.Injection
 let make_stations ~n ~rng factory =
   Array.init n (fun id -> factory ~id ~rng:(Jamming_prng.Prng.split rng))
 
-let run ?on_slot ?(start_slot = 0) ?faults ?monitor ~cd ~adversary ~budget ~max_slots
-    ~stations () =
+(* The deprecated [?monitor] and [?on_slot] arguments are folded into
+   the observer list: monitor first, then the raw callback, then the
+   caller's observers — the notification order the pre-observer engine
+   used. *)
+let assemble_observers ?on_slot ?monitor observers =
+  let obs = match on_slot with None -> observers | Some f -> Observer.of_on_slot f :: observers in
+  let obs = match monitor with None -> obs | Some mon -> Monitor.observer mon :: obs in
+  Array.of_list obs
+
+let run ?on_slot ?(start_slot = 0) ?faults ?monitor ?(observers = []) ~cd ~adversary
+    ~budget ~max_slots ~stations () =
   let n = Array.length stations in
+  let obs = assemble_observers ?on_slot ?monitor observers in
+  let observed = Array.length obs > 0 in
+  let needs_leaders = Array.exists (fun o -> o.Observer.needs_leaders) obs in
   let actions = Array.make n Station.Listen in
   let tx_counts = Array.make n 0 in
   let jammed_slots = ref 0 in
@@ -60,17 +72,23 @@ let run ?on_slot ?(start_slot = 0) ?faults ?monitor ~cd ~adversary ~budget ~max_
       end
     done;
     adversary.Adversary.notify ~slot:t ~jammed:jam ~state;
-    let record = { Metrics.slot = t; transmitters = !transmitters; jammed = jam; state } in
-    (match monitor with
-    | None -> ()
-    | Some mon ->
-        let leaders = ref 0 in
-        Array.iter
-          (fun s ->
-            if Station.equal_status (s.Station.status ()) Station.Leader then incr leaders)
-          stations;
-        Monitor.on_slot mon ~record ~leaders:!leaders);
-    (match on_slot with None -> () | Some f -> f record);
+    if observed then begin
+      let record =
+        { Metrics.slot = t; transmitters = !transmitters; jammed = jam; state }
+      in
+      let leaders =
+        if not needs_leaders then -1
+        else begin
+          let count = ref 0 in
+          Array.iter
+            (fun s ->
+              if Station.equal_status (s.Station.status ()) Station.Leader then incr count)
+            stations;
+          !count
+        end
+      in
+      Array.iter (fun o -> o.Observer.on_slot record ~leaders) obs
+    end;
     incr slot;
     finished := all_finished ()
   done;
@@ -100,5 +118,6 @@ let run ?on_slot ?(start_slot = 0) ?faults ?monitor ~cd ~adversary ~budget ~max_
       max_station_transmissions = Array.fold_left Int.max 0 tx_counts;
     }
   in
-  (match monitor with None -> () | Some mon -> Monitor.check_result mon result);
+  Gauges.note_run ~slots:!slot;
+  Array.iter (fun o -> o.Observer.on_result result) obs;
   result

@@ -10,6 +10,7 @@ val run :
   ?start_slot:int ->
   ?faults:Jamming_faults.Injection.t ->
   ?monitor:Monitor.t ->
+  ?observers:Observer.t list ->
   cd:Jamming_channel.Channel.cd_model ->
   adversary:Jamming_adversary.Adversary.t ->
   budget:Jamming_adversary.Budget.t ->
@@ -36,9 +37,19 @@ val run :
     are orthogonal: wrap the stations with
     {!Jamming_faults.Fault_plan.wrap} before calling [run].
 
-    [monitor] receives every resolved slot plus the current number of
-    leaders and may raise {!Monitor.Violation}; {!Monitor.check_result}
-    is invoked on the final metrics before they are returned. *)
+    [observers] watch the run: each is notified after every resolved
+    slot (with the live leader count when some observer set
+    [needs_leaders], [-1] otherwise) and once with the final metrics
+    before they are returned.  Observers never touch the random
+    streams, so attaching any number of them leaves the result
+    bit-identical.  With no observers the engine skips building slot
+    records altogether.
+
+    [monitor] and [on_slot] are deprecated conveniences, kept so
+    existing call sites compile: they are folded into the observer
+    list as [Monitor.observer mon] and {!Observer.of_on_slot}
+    respectively (notified in that order, before [observers]).  Prefer
+    passing observers. *)
 
 val make_stations :
   n:int -> rng:Jamming_prng.Prng.t -> Jamming_station.Station.factory ->

@@ -1,0 +1,9 @@
+let slots = Atomic.make 0
+let runs = Atomic.make 0
+
+let slots_simulated () = Atomic.get slots
+let runs_completed () = Atomic.get runs
+
+let note_run ~slots:n =
+  ignore (Atomic.fetch_and_add slots n);
+  ignore (Atomic.fetch_and_add runs 1)

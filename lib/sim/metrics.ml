@@ -37,6 +37,48 @@ let election_ok r =
         statuses;
       !leaders = 1 && !leaders + !others = Array.length statuses
 
+let equal_result a b =
+  a.slots = b.slots && a.completed = b.completed && a.elected = b.elected
+  && a.leader = b.leader
+  && a.statuses = b.statuses
+  && a.jammed_slots = b.jammed_slots
+  && a.nulls = b.nulls && a.singles = b.singles && a.collisions = b.collisions
+  && a.transmissions = b.transmissions
+  && a.max_station_transmissions = b.max_station_transmissions
+
+let result_to_json r =
+  let module Json = Jamming_telemetry.Json in
+  let leaders = ref 0 and non_leaders = ref 0 and undecided = ref 0 in
+  Array.iter
+    (fun st ->
+      match st with
+      | Station.Leader -> incr leaders
+      | Station.Non_leader -> incr non_leaders
+      | Station.Undecided -> incr undecided)
+    r.statuses;
+  Json.Obj
+    [
+      ("slots", Json.Int r.slots);
+      ("completed", Json.Bool r.completed);
+      ("elected", Json.Bool r.elected);
+      ("leader", match r.leader with Some i -> Json.Int i | None -> Json.Null);
+      ( "statuses",
+        if r.statuses = [||] then Json.Null
+        else
+          Json.Obj
+            [
+              ("leader", Json.Int !leaders);
+              ("non_leader", Json.Int !non_leaders);
+              ("undecided", Json.Int !undecided);
+            ] );
+      ("jammed_slots", Json.Int r.jammed_slots);
+      ("nulls", Json.Int r.nulls);
+      ("singles", Json.Int r.singles);
+      ("collisions", Json.Int r.collisions);
+      ("transmissions", Json.Float r.transmissions);
+      ("max_station_transmissions", Json.Int r.max_station_transmissions);
+    ]
+
 let pp_result ppf r =
   Format.fprintf ppf
     "@[<v>slots: %d%s@ leader: %s@ jammed: %d  null: %d  single: %d  collision: %d@ \

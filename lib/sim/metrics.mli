@@ -31,4 +31,13 @@ type result = {
 val election_ok : result -> bool
 (** Exactly one leader, everyone else non-leader, all terminated. *)
 
+val equal_result : result -> result -> bool
+(** Structural equality over every field (the bit-identity check used
+    by the observer and fault-injection tests). *)
+
+val result_to_json : result -> Jamming_telemetry.Json.t
+(** Machine-readable form. [statuses] is summarized as per-status
+    counts ([null] for the uniform engine's empty array); every other
+    field maps one to one. Schema documented in DESIGN.md §9. *)
+
 val pp_result : Format.formatter -> result -> unit

@@ -171,3 +171,13 @@ let check_result t (r : Metrics.result) =
       fail t ~slot:final_slot ~check:At_most_one_leader
         "%d stations finished in status Leader" leaders
   end
+
+let observer t =
+  {
+    Observer.name = "monitor";
+    (* The O(n) per-slot leader scan is only needed for the
+       at-most-one-leader check; the other invariants ignore it. *)
+    needs_leaders = t.checks.at_most_one_leader;
+    on_slot = (fun record ~leaders -> on_slot t ~record ~leaders);
+    on_result = (fun result -> check_result t result);
+  }

@@ -72,4 +72,12 @@ val check_result : t -> Metrics.result -> unit
     monitor's own tallies, and final statuses must contain at most one
     leader.  Raises {!Violation} on mismatch. *)
 
+val observer : t -> Observer.t
+(** The monitor as an {!Observer}: [on_slot] feeds slots, [on_result]
+    runs {!check_result}. [needs_leaders] is set iff the
+    at-most-one-leader check is on, so the exact engine only pays the
+    per-slot leader scan when that invariant is being watched. This is
+    the preferred way to attach a monitor; the engines' [?monitor]
+    argument remains as a thin wrapper. *)
+
 val slots_seen : t -> int

@@ -1,0 +1,53 @@
+module Channel = Jamming_channel.Channel
+module Telemetry = Jamming_telemetry.Telemetry
+
+type t = {
+  name : string;
+  needs_leaders : bool;
+  on_slot : Metrics.slot_record -> leaders:int -> unit;
+  on_result : Metrics.result -> unit;
+}
+
+let nop_slot _ ~leaders:_ = ()
+let nop_result _ = ()
+
+let make ?(name = "anonymous") ?(needs_leaders = false) ?(on_slot = nop_slot)
+    ?(on_result = nop_result) () =
+  { name; needs_leaders; on_slot; on_result }
+
+let of_on_slot f =
+  { name = "on-slot"; needs_leaders = false; on_slot = (fun r ~leaders:_ -> f r);
+    on_result = nop_result }
+
+let compose observers =
+  {
+    name = "composite(" ^ String.concat "," (List.map (fun o -> o.name) observers) ^ ")";
+    needs_leaders = List.exists (fun o -> o.needs_leaders) observers;
+    on_slot =
+      (fun r ~leaders -> List.iter (fun o -> o.on_slot r ~leaders) observers);
+    on_result = (fun result -> List.iter (fun o -> o.on_result result) observers);
+  }
+
+let telemetry ?(prefix = "sim") tel =
+  let c name = Telemetry.counter tel (prefix ^ "." ^ name) in
+  let slots = c "slots" and jammed = c "jammed" in
+  let nulls = c "null" and singles = c "single" and collisions = c "collision" in
+  let runs = c "runs" and elected = c "elected" in
+  let per_run = Telemetry.histogram tel (prefix ^ ".slots_per_run") in
+  {
+    name = "telemetry:" ^ prefix;
+    needs_leaders = false;
+    on_slot =
+      (fun (r : Metrics.slot_record) ~leaders:_ ->
+        Telemetry.incr slots;
+        if r.Metrics.jammed then Telemetry.incr jammed;
+        match r.Metrics.state with
+        | Channel.Null -> Telemetry.incr nulls
+        | Channel.Single -> Telemetry.incr singles
+        | Channel.Collision -> Telemetry.incr collisions);
+    on_result =
+      (fun (result : Metrics.result) ->
+        Telemetry.incr runs;
+        if result.Metrics.elected then Telemetry.incr elected;
+        Telemetry.observe per_run result.Metrics.slots);
+  }

@@ -1,0 +1,54 @@
+(** First-class simulation observers.
+
+    An observer is the composable successor of the engines' single
+    [?on_slot] callback: any number of observers — a {!Trace} ring
+    buffer, the invariant {!Monitor}, a telemetry probe, ad-hoc user
+    callbacks — can watch one simulation side by side. Both engines
+    accept an [?observers] list and notify it in list order, once per
+    resolved slot and once on the final result.
+
+    Observers are passive: they never touch the random streams, so a
+    run with any combination of observers attached is bit-identical to
+    the same run with none (asserted in the test suite). When no
+    observer is attached the engines skip building slot records
+    entirely, so the idle cost is one length check per slot. *)
+
+type t = {
+  name : string;  (** For diagnostics; not interpreted. *)
+  needs_leaders : bool;
+      (** Ask the exact engine to count stations in status [Leader]
+          every slot (an O(n) scan, done once per slot no matter how
+          many observers ask). Observers that leave this [false] still
+          see the count when another observer requested it. *)
+  on_slot : Metrics.slot_record -> leaders:int -> unit;
+      (** Called after every resolved slot. [leaders] is the current
+          number of stations in status [Leader], or [-1] when unknown
+          (uniform engine, or no observer set [needs_leaders]). *)
+  on_result : Metrics.result -> unit;
+      (** Called once with the final metrics, before the engine
+          returns them. *)
+}
+
+val make :
+  ?name:string ->
+  ?needs_leaders:bool ->
+  ?on_slot:(Metrics.slot_record -> leaders:int -> unit) ->
+  ?on_result:(Metrics.result -> unit) ->
+  unit ->
+  t
+(** Defaults: ["anonymous"], [false], and no-ops. *)
+
+val of_on_slot : (Metrics.slot_record -> unit) -> t
+(** Wrap a legacy [?on_slot] callback (ignores the leader count). *)
+
+val compose : t list -> t
+(** One observer that forwards to each in list order; [needs_leaders]
+    is the disjunction. [compose []] observes nothing. *)
+
+val telemetry : ?prefix:string -> Jamming_telemetry.Telemetry.t -> t
+(** A per-slot metrics probe. Under [prefix] (default ["sim"]) it
+    maintains counters [<prefix>.slots], [<prefix>.jammed],
+    [<prefix>.null], [<prefix>.single], [<prefix>.collision],
+    [<prefix>.runs], [<prefix>.elected], and histogram
+    [<prefix>.slots_per_run]. On a disabled sink every callback is a
+    dead store, preserving the bit-identity guarantee at ~zero cost. *)

@@ -45,3 +45,11 @@ let count_jammed t =
   List.fold_left
     (fun acc (r : Metrics.slot_record) -> if r.Metrics.jammed then acc + 1 else acc)
     0 (to_list t)
+
+let observer t =
+  {
+    Observer.name = "trace";
+    needs_leaders = false;
+    on_slot = (fun r ~leaders:_ -> record t r);
+    on_result = (fun _ -> ());
+  }

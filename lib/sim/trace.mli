@@ -23,3 +23,7 @@ val count_state : t -> Jamming_channel.Channel.state -> int
 (** Occurrences of a state among the retained records. *)
 
 val count_jammed : t -> int
+
+val observer : t -> Observer.t
+(** The trace as an {!Observer}, so it can run alongside a monitor and
+    telemetry in one simulation instead of monopolising [?on_slot]. *)

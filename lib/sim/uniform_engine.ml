@@ -5,8 +5,16 @@ module Uniform = Jamming_station.Uniform
 module Sample = Jamming_prng.Sample
 module Prng = Jamming_prng.Prng
 
-let run ?on_slot ?(start_slot = 0) ~n ~rng ~protocol ~adversary ~budget ~max_slots () =
+let run ?on_slot ?(start_slot = 0) ?(observers = []) ~n ~rng ~protocol ~adversary ~budget
+    ~max_slots () =
   if n < 1 then invalid_arg "Uniform_engine.run: need n >= 1";
+  let obs =
+    Array.of_list
+      (match on_slot with
+      | None -> observers
+      | Some f -> Observer.of_on_slot f :: observers)
+  in
+  let observed = Array.length obs > 0 in
   let jammed_slots = ref 0 in
   let nulls = ref 0 and singles = ref 0 and collisions = ref 0 in
   let transmissions = ref 0.0 in
@@ -35,21 +43,29 @@ let run ?on_slot ?(start_slot = 0) ~n ~rng ~protocol ~adversary ~budget ~max_slo
     | Uniform.Continue -> ()
     | Uniform.Elected -> elected := true);
     adversary.Adversary.notify ~slot:t ~jammed:jam ~state;
-    (match on_slot with
-    | None -> ()
-    | Some f -> f { Metrics.slot = t; transmitters; jammed = jam; state });
+    if observed then begin
+      (* Per-station statuses don't exist on this engine, so the leader
+         count is reported as unknown (-1). *)
+      let record = { Metrics.slot = t; transmitters; jammed = jam; state } in
+      Array.iter (fun o -> o.Observer.on_slot record ~leaders:(-1)) obs
+    end;
     incr slot
   done;
-  {
-    Metrics.slots = !slot;
-    completed = !elected;
-    elected = !elected;
-    leader = (if !elected then Some (Prng.int rng ~bound:n) else None);
-    statuses = [||];
-    jammed_slots = !jammed_slots;
-    nulls = !nulls;
-    singles = !singles;
-    collisions = !collisions;
-    transmissions = !transmissions;
-    max_station_transmissions = 0;
-  }
+  let result =
+    {
+      Metrics.slots = !slot;
+      completed = !elected;
+      elected = !elected;
+      leader = (if !elected then Some (Prng.int rng ~bound:n) else None);
+      statuses = [||];
+      jammed_slots = !jammed_slots;
+      nulls = !nulls;
+      singles = !singles;
+      collisions = !collisions;
+      transmissions = !transmissions;
+      max_station_transmissions = 0;
+    }
+  in
+  Gauges.note_run ~slots:!slot;
+  Array.iter (fun o -> o.Observer.on_result result) obs;
+  result

@@ -9,6 +9,7 @@
 val run :
   ?on_slot:(Metrics.slot_record -> unit) ->
   ?start_slot:int ->
+  ?observers:Observer.t list ->
   n:int ->
   rng:Jamming_prng.Prng.t ->
   protocol:Jamming_station.Uniform.t ->
@@ -22,4 +23,12 @@ val run :
     the exact engine), but a jammed slot always resolves to [Collision].
     The leader, when elected, is a uniformly random station id.
     [result.transmissions] is the expectation [Σ_slots n·p], and
-    [result.statuses] is empty. *)
+    [result.statuses] is empty.
+
+    [observers] are notified after every slot and once with the final
+    result; this engine has no per-station statuses, so the leader
+    count is always reported as [-1] (unknown) — a {!Monitor} attached
+    here checks everything except at-most-one-leader.  Observers never
+    touch the random stream: results are bit-identical with or without
+    them.  [on_slot] is the deprecated single-callback form, folded in
+    ahead of [observers] via {!Observer.of_on_slot}. *)

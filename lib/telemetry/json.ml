@@ -1,0 +1,284 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+(* --- writing --- *)
+
+let escape b s =
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"'
+
+(* Stable, compact float image; integral values keep a ".0" marker so
+   they round-trip as floats, and non-finite values (illegal in JSON)
+   degrade to null. *)
+let float_image f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
+  else Printf.sprintf "%.12g" f
+
+let rec write b = function
+  | Null -> Buffer.add_string b "null"
+  | Bool v -> Buffer.add_string b (if v then "true" else "false")
+  | Int i -> Buffer.add_string b (string_of_int i)
+  | Float f ->
+      if Float.is_finite f then Buffer.add_string b (float_image f)
+      else Buffer.add_string b "null"
+  | String s -> escape b s
+  | List xs ->
+      Buffer.add_char b '[';
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_char b ',';
+          write b x)
+        xs;
+      Buffer.add_char b ']'
+  | Obj fields ->
+      Buffer.add_char b '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char b ',';
+          escape b k;
+          Buffer.add_char b ':';
+          write b v)
+        fields;
+      Buffer.add_char b '}'
+
+let to_string v =
+  let b = Buffer.create 256 in
+  write b v;
+  Buffer.contents b
+
+let rec pp ppf = function
+  | (Null | Bool _ | Int _ | Float _ | String _) as v ->
+      Format.pp_print_string ppf (to_string v)
+  | List [] -> Format.pp_print_string ppf "[]"
+  | List xs ->
+      Format.fprintf ppf "@[<v 2>[";
+      List.iteri
+        (fun i x -> Format.fprintf ppf "%s@,%a" (if i > 0 then "," else "") pp x)
+        xs;
+      Format.fprintf ppf "@]@,]"
+  | Obj [] -> Format.pp_print_string ppf "{}"
+  | Obj fields ->
+      Format.fprintf ppf "@[<v 2>{";
+      List.iteri
+        (fun i (k, v) ->
+          Format.fprintf ppf "%s@,%s: %a"
+            (if i > 0 then "," else "")
+            (to_string (String k))
+            pp v)
+        fields;
+      Format.fprintf ppf "@]@,}"
+
+let to_channel oc v =
+  let ppf = Format.formatter_of_out_channel oc in
+  Format.fprintf ppf "%a@." pp v
+
+let write_file ~path v =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> to_channel oc v)
+
+let write_line oc v =
+  output_string oc (to_string v);
+  output_char oc '\n'
+
+(* --- parsing: a plain recursive-descent reader --- *)
+
+type cursor = { src : string; mutable pos : int }
+
+exception Parse_error of int * string
+
+let error c msg = raise (Parse_error (c.pos, msg))
+let peek c = if c.pos < String.length c.src then Some c.src.[c.pos] else None
+
+let rec skip_ws c =
+  match peek c with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+      c.pos <- c.pos + 1;
+      skip_ws c
+  | _ -> ()
+
+let expect c ch =
+  match peek c with
+  | Some x when x = ch -> c.pos <- c.pos + 1
+  | _ -> error c (Printf.sprintf "expected %C" ch)
+
+let literal c word value =
+  let n = String.length word in
+  if c.pos + n <= String.length c.src && String.sub c.src c.pos n = word then begin
+    c.pos <- c.pos + n;
+    value
+  end
+  else error c (Printf.sprintf "expected %s" word)
+
+let parse_string c =
+  expect c '"';
+  let b = Buffer.create 16 in
+  let rec go () =
+    match peek c with
+    | None -> error c "unterminated string"
+    | Some '"' -> c.pos <- c.pos + 1
+    | Some '\\' -> (
+        c.pos <- c.pos + 1;
+        match peek c with
+        | Some '"' -> Buffer.add_char b '"'; c.pos <- c.pos + 1; go ()
+        | Some '\\' -> Buffer.add_char b '\\'; c.pos <- c.pos + 1; go ()
+        | Some '/' -> Buffer.add_char b '/'; c.pos <- c.pos + 1; go ()
+        | Some 'n' -> Buffer.add_char b '\n'; c.pos <- c.pos + 1; go ()
+        | Some 'r' -> Buffer.add_char b '\r'; c.pos <- c.pos + 1; go ()
+        | Some 't' -> Buffer.add_char b '\t'; c.pos <- c.pos + 1; go ()
+        | Some 'b' -> Buffer.add_char b '\b'; c.pos <- c.pos + 1; go ()
+        | Some 'f' -> Buffer.add_char b '\012'; c.pos <- c.pos + 1; go ()
+        | Some 'u' ->
+            if c.pos + 5 > String.length c.src then error c "truncated \\u escape";
+            let hex = String.sub c.src (c.pos + 1) 4 in
+            (match int_of_string_opt ("0x" ^ hex) with
+            | None -> error c "bad \\u escape"
+            | Some code ->
+                (* Keep it simple: BMP code points only, encoded as UTF-8. *)
+                if code < 0x80 then Buffer.add_char b (Char.chr code)
+                else if code < 0x800 then begin
+                  Buffer.add_char b (Char.chr (0xC0 lor (code lsr 6)));
+                  Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+                end
+                else begin
+                  Buffer.add_char b (Char.chr (0xE0 lor (code lsr 12)));
+                  Buffer.add_char b (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+                  Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+                end);
+            c.pos <- c.pos + 5;
+            go ()
+        | _ -> error c "bad escape")
+    | Some ch ->
+        Buffer.add_char b ch;
+        c.pos <- c.pos + 1;
+        go ()
+  in
+  go ();
+  Buffer.contents b
+
+let parse_number c =
+  let start = c.pos in
+  let is_num_char ch =
+    match ch with '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true | _ -> false
+  in
+  while (match peek c with Some ch when is_num_char ch -> true | _ -> false) do
+    c.pos <- c.pos + 1
+  done;
+  let lexeme = String.sub c.src start (c.pos - start) in
+  let integral =
+    (not (String.contains lexeme '.'))
+    && (not (String.contains lexeme 'e'))
+    && not (String.contains lexeme 'E')
+  in
+  if integral then
+    match int_of_string_opt lexeme with
+    | Some i -> Int i
+    | None -> (
+        match float_of_string_opt lexeme with
+        | Some f -> Float f
+        | None -> error c "bad number")
+  else
+    match float_of_string_opt lexeme with
+    | Some f -> Float f
+    | None -> error c "bad number"
+
+let rec parse_value c =
+  skip_ws c;
+  match peek c with
+  | None -> error c "unexpected end of input"
+  | Some 'n' -> literal c "null" Null
+  | Some 't' -> literal c "true" (Bool true)
+  | Some 'f' -> literal c "false" (Bool false)
+  | Some '"' -> String (parse_string c)
+  | Some '[' ->
+      c.pos <- c.pos + 1;
+      skip_ws c;
+      if peek c = Some ']' then begin
+        c.pos <- c.pos + 1;
+        List []
+      end
+      else begin
+        let items = ref [ parse_value c ] in
+        skip_ws c;
+        while peek c = Some ',' do
+          c.pos <- c.pos + 1;
+          items := parse_value c :: !items;
+          skip_ws c
+        done;
+        expect c ']';
+        List (List.rev !items)
+      end
+  | Some '{' ->
+      c.pos <- c.pos + 1;
+      skip_ws c;
+      if peek c = Some '}' then begin
+        c.pos <- c.pos + 1;
+        Obj []
+      end
+      else begin
+        let field () =
+          skip_ws c;
+          let k = parse_string c in
+          skip_ws c;
+          expect c ':';
+          (k, parse_value c)
+        in
+        let fields = ref [ field () ] in
+        skip_ws c;
+        while peek c = Some ',' do
+          c.pos <- c.pos + 1;
+          fields := field () :: !fields;
+          skip_ws c
+        done;
+        expect c '}';
+        Obj (List.rev !fields)
+      end
+  | Some ('-' | '0' .. '9') -> parse_number c
+  | Some ch -> error c (Printf.sprintf "unexpected %C" ch)
+
+let of_string s =
+  let c = { src = s; pos = 0 } in
+  match
+    let v = parse_value c in
+    skip_ws c;
+    if c.pos <> String.length s then error c "trailing garbage";
+    v
+  with
+  | v -> Ok v
+  | exception Parse_error (pos, msg) -> Error (Printf.sprintf "at offset %d: %s" pos msg)
+
+let read_file ~path =
+  match open_in_bin path with
+  | exception Sys_error e -> Error e
+  | ic ->
+      let len = in_channel_length ic in
+      let s = really_input_string ic len in
+      close_in ic;
+      of_string s
+
+(* --- accessors --- *)
+
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | _ -> None
+
+let to_float_opt = function Int i -> Some (float_of_int i) | Float f -> Some f | _ -> None
+let to_int_opt = function Int i -> Some i | _ -> None
+let to_string_opt = function String s -> Some s | _ -> None
+let to_list_opt = function List xs -> Some xs | _ -> None

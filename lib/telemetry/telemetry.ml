@@ -1,0 +1,218 @@
+type counter = { mutable n : int }
+
+type timer = {
+  t_live : bool;  (* false on dummy handles: start/stop skip the clock *)
+  mutable total_s : float;
+  mutable spans : int;
+  mutable started_at : float;  (* negative when no span is open *)
+}
+
+let hist_bins = 63
+
+type histogram = {
+  bins : int array;
+  mutable h_count : int;
+  mutable h_sum : int;
+  mutable h_min : int;
+  mutable h_max : int;
+}
+
+type t = {
+  enabled : bool;
+  counters : (string, counter) Hashtbl.t;
+  timers : (string, timer) Hashtbl.t;
+  histograms : (string, histogram) Hashtbl.t;
+  (* Shared sinks handed out when disabled, so hot paths stay branch-free. *)
+  dummy_counter : counter;
+  dummy_timer : timer;
+  dummy_histogram : histogram;
+}
+
+let fresh_histogram () =
+  { bins = Array.make hist_bins 0; h_count = 0; h_sum = 0; h_min = max_int; h_max = min_int }
+
+let create ?(enabled = true) () =
+  {
+    enabled;
+    counters = Hashtbl.create 16;
+    timers = Hashtbl.create 8;
+    histograms = Hashtbl.create 8;
+    dummy_counter = { n = 0 };
+    dummy_timer = { t_live = false; total_s = 0.0; spans = 0; started_at = -1.0 };
+    dummy_histogram = fresh_histogram ();
+  }
+
+let disabled () = create ~enabled:false ()
+let is_enabled t = t.enabled
+
+let find_or_add table name make =
+  match Hashtbl.find_opt table name with
+  | Some x -> x
+  | None ->
+      let x = make () in
+      Hashtbl.add table name x;
+      x
+
+(* --- counters --- *)
+
+let counter t name =
+  if not t.enabled then t.dummy_counter
+  else find_or_add t.counters name (fun () -> { n = 0 })
+
+let incr c = c.n <- c.n + 1
+let add c k = c.n <- c.n + k
+let value c = c.n
+
+let counter_value t name =
+  match Hashtbl.find_opt t.counters name with Some c -> c.n | None -> 0
+
+(* --- timers --- *)
+
+let timer t name =
+  if not t.enabled then t.dummy_timer
+  else
+    find_or_add t.timers name (fun () ->
+        { t_live = true; total_s = 0.0; spans = 0; started_at = -1.0 })
+
+let start tm = if tm.t_live then tm.started_at <- Unix.gettimeofday ()
+
+let stop tm =
+  if tm.t_live && tm.started_at >= 0.0 then begin
+    tm.total_s <- tm.total_s +. (Unix.gettimeofday () -. tm.started_at);
+    tm.spans <- tm.spans + 1;
+    tm.started_at <- -1.0
+  end
+
+let time tm f =
+  start tm;
+  Fun.protect ~finally:(fun () -> stop tm) f
+
+let elapsed_s tm = tm.total_s
+
+let timer_seconds t name =
+  match Hashtbl.find_opt t.timers name with Some tm -> tm.total_s | None -> 0.0
+
+(* --- histograms --- *)
+
+let histogram t name =
+  if not t.enabled then t.dummy_histogram
+  else find_or_add t.histograms name fresh_histogram
+
+let bin_of v =
+  if v <= 0 then 0
+  else
+    (* bin i >= 1 holds [2^(i-1), 2^i) *)
+    let rec go i v = if v = 0 then i else go (i + 1) (v lsr 1) in
+    Int.min (hist_bins - 1) (go 0 v)
+
+let observe h v =
+  h.bins.(bin_of v) <- h.bins.(bin_of v) + 1;
+  h.h_count <- h.h_count + 1;
+  h.h_sum <- h.h_sum + v;
+  if v < h.h_min then h.h_min <- v;
+  if v > h.h_max then h.h_max <- v
+
+let histogram_count t name =
+  match Hashtbl.find_opt t.histograms name with Some h -> h.h_count | None -> 0
+
+let histogram_sum t name =
+  match Hashtbl.find_opt t.histograms name with Some h -> h.h_sum | None -> 0
+
+(* --- aggregation --- *)
+
+let merge ~into src =
+  if into.enabled then begin
+    Hashtbl.iter (fun name c -> add (counter into name) c.n) src.counters;
+    Hashtbl.iter
+      (fun name tm ->
+        let dst = timer into name in
+        dst.total_s <- dst.total_s +. tm.total_s;
+        dst.spans <- dst.spans + tm.spans)
+      src.timers;
+    Hashtbl.iter
+      (fun name h ->
+        let dst = histogram into name in
+        Array.iteri (fun i k -> dst.bins.(i) <- dst.bins.(i) + k) h.bins;
+        dst.h_count <- dst.h_count + h.h_count;
+        dst.h_sum <- dst.h_sum + h.h_sum;
+        if h.h_min < dst.h_min then dst.h_min <- h.h_min;
+        if h.h_max > dst.h_max then dst.h_max <- h.h_max)
+      src.histograms
+  end
+
+let reset t =
+  Hashtbl.iter (fun _ c -> c.n <- 0) t.counters;
+  Hashtbl.iter
+    (fun _ tm ->
+      tm.total_s <- 0.0;
+      tm.spans <- 0;
+      tm.started_at <- -1.0)
+    t.timers;
+  Hashtbl.iter
+    (fun _ h ->
+      Array.fill h.bins 0 hist_bins 0;
+      h.h_count <- 0;
+      h.h_sum <- 0;
+      h.h_min <- max_int;
+      h.h_max <- min_int)
+    t.histograms
+
+(* --- reporting --- *)
+
+let sorted_items table =
+  Hashtbl.fold (fun name x acc -> (name, x) :: acc) table []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let histogram_json h =
+  let bins =
+    Array.to_list h.bins
+    |> List.mapi (fun i k -> (i, k))
+    |> List.filter (fun (_, k) -> k > 0)
+    |> List.map (fun (i, k) -> Json.List [ Json.Int i; Json.Int k ])
+  in
+  Json.Obj
+    [
+      ("count", Json.Int h.h_count);
+      ("sum", Json.Int h.h_sum);
+      ("min", if h.h_count = 0 then Json.Null else Json.Int h.h_min);
+      ("max", if h.h_count = 0 then Json.Null else Json.Int h.h_max);
+      ("log2_bins", Json.List bins);
+    ]
+
+let to_json ?(timers = true) t =
+  let counters =
+    List.map (fun (name, c) -> (name, Json.Int c.n)) (sorted_items t.counters)
+  in
+  let timer_fields =
+    List.map
+      (fun (name, tm) ->
+        ( name,
+          Json.Obj [ ("seconds", Json.Float tm.total_s); ("spans", Json.Int tm.spans) ] ))
+      (sorted_items t.timers)
+  in
+  let histograms =
+    List.map (fun (name, h) -> (name, histogram_json h)) (sorted_items t.histograms)
+  in
+  Json.Obj
+    (("counters", Json.Obj counters)
+     :: (if timers then [ ("timers", Json.Obj timer_fields) ] else [])
+    @ [ ("histograms", Json.Obj histograms) ])
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun (name, c) -> Format.fprintf ppf "counter    %-32s %d@ " name c.n)
+    (sorted_items t.counters);
+  List.iter
+    (fun (name, tm) ->
+      Format.fprintf ppf "timer      %-32s %.3fs over %d span(s)@ " name tm.total_s tm.spans)
+    (sorted_items t.timers);
+  List.iter
+    (fun (name, h) ->
+      if h.h_count = 0 then Format.fprintf ppf "histogram  %-32s empty@ " name
+      else
+        Format.fprintf ppf "histogram  %-32s count=%d sum=%d min=%d max=%d mean=%.1f@ " name
+          h.h_count h.h_sum h.h_min h.h_max
+          (float_of_int h.h_sum /. float_of_int h.h_count))
+    (sorted_items t.histograms);
+  Format.fprintf ppf "@]"

@@ -1,0 +1,91 @@
+(** Lightweight metrics for the simulator: named counters, wall-clock
+    timers, and log₂-binned histograms, with a JSON snapshot.
+
+    Design constraints (see DESIGN.md §9):
+
+    - {b zero dependencies} beyond the OCaml distribution;
+    - {b near-zero overhead when disabled} — a sink created with
+      [~enabled:false] hands out shared dummy handles, so hot-path
+      [incr]/[observe] calls touch one dead cell and timers skip the
+      clock read entirely;
+    - {b deterministic aggregation} — counters and histograms are
+      integer-valued and merge by commutative addition, so aggregating
+      per-replication telemetry is independent of domain count and
+      scheduling ([jobs=1] and [jobs=4] agree bit-for-bit); only timer
+      values (wall-clock seconds) vary run to run;
+    - {b pure-data snapshots} — [to_json] emits names in sorted order,
+      so two equal sinks render identical JSON. *)
+
+type t
+(** A sink: a registry of named metrics. Handles ([counter], [timer],
+    [histogram]) are resolved once by name and are cheap to hit. *)
+
+type counter
+type timer
+type histogram
+
+val create : ?enabled:bool -> unit -> t
+(** Fresh sink; [enabled] defaults to [true]. *)
+
+val disabled : unit -> t
+(** [create ~enabled:false ()]. *)
+
+val is_enabled : t -> bool
+
+(** {1 Counters} *)
+
+val counter : t -> string -> counter
+(** Find-or-create. On a disabled sink, returns a dummy that is never
+    reported. *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val value : counter -> int
+val counter_value : t -> string -> int
+(** Value by name; [0] when absent. *)
+
+(** {1 Timers}
+
+    Wall-clock; one timer accumulates any number of [start]/[stop]
+    spans. [stop] without a matching [start] is a no-op. *)
+
+val timer : t -> string -> timer
+val start : timer -> unit
+val stop : timer -> unit
+val time : timer -> (unit -> 'a) -> 'a
+(** Run the thunk inside a span (exception-safe). *)
+
+val elapsed_s : timer -> float
+(** Total seconds over all closed spans. *)
+
+val timer_seconds : t -> string -> float
+(** By name; [0.] when absent. *)
+
+(** {1 Histograms}
+
+    Non-negative integer samples in log₂ bins: bin 0 holds values
+    [<= 0], bin [i >= 1] holds values in [[2^(i-1), 2^i)]. Tracks
+    count, sum, min, and max exactly. *)
+
+val histogram : t -> string -> histogram
+val observe : histogram -> int -> unit
+val histogram_count : t -> string -> int
+val histogram_sum : t -> string -> int
+
+(** {1 Aggregation and reporting} *)
+
+val merge : into:t -> t -> unit
+(** Add every metric of the source into [into] (find-or-create by
+    name). Merging into a disabled sink is a no-op. *)
+
+val reset : t -> unit
+(** Zero every registered metric (handles stay valid). *)
+
+val to_json : ?timers:bool -> t -> Json.t
+(** Snapshot as
+    [{"counters": {..}, "timers": {..}, "histograms": {..}}], names
+    sorted. [~timers:false] omits the timers section — the
+    deterministic subset, used by the [jobs]-independence tests. *)
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable multi-line summary (sorted by name). *)

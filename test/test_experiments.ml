@@ -47,9 +47,11 @@ let test_ascii_plot_validation () =
 
 let setup = { E.Runner.n = 64; eps = 0.5; window = 16; max_slots = 50_000 }
 
+let lesk_engine = E.Runner.Uniform (E.Specs.lesk ~eps:0.5)
+
 let test_runner_determinism () =
-  let s1 = E.Runner.replicate ~reps:5 setup (E.Specs.lesk ~eps:0.5) E.Specs.greedy in
-  let s2 = E.Runner.replicate ~reps:5 setup (E.Specs.lesk ~eps:0.5) E.Specs.greedy in
+  let s1 = E.Runner.replicate ~engine:lesk_engine ~reps:5 setup E.Specs.greedy in
+  let s2 = E.Runner.replicate ~engine:lesk_engine ~reps:5 setup E.Specs.greedy in
   Array.iteri
     (fun i r1 ->
       check_int
@@ -59,13 +61,13 @@ let test_runner_determinism () =
     s1.E.Runner.results
 
 let test_runner_seed_variation () =
-  let s1 = E.Runner.replicate ~base_seed:1 ~reps:8 setup (E.Specs.lesk ~eps:0.5) E.Specs.greedy in
-  let s2 = E.Runner.replicate ~base_seed:2 ~reps:8 setup (E.Specs.lesk ~eps:0.5) E.Specs.greedy in
+  let s1 = E.Runner.replicate ~base_seed:1 ~engine:lesk_engine ~reps:8 setup E.Specs.greedy in
+  let s2 = E.Runner.replicate ~base_seed:2 ~engine:lesk_engine ~reps:8 setup E.Specs.greedy in
   let slots s = Array.map (fun r -> r.Metrics.slots) s.E.Runner.results in
   check_true "different base seeds give different runs" (slots s1 <> slots s2)
 
 let test_runner_digests () =
-  let s = E.Runner.replicate ~reps:10 setup (E.Specs.lesk ~eps:0.5) E.Specs.no_jamming in
+  let s = E.Runner.replicate ~engine:lesk_engine ~reps:10 setup E.Specs.no_jamming in
   check_true "all complete without jamming" (E.Runner.all_completed s);
   check_float "all succeed" 1.0 (E.Runner.success_rate s);
   check_true "median positive" (E.Runner.median_slots s > 0.0);
@@ -110,8 +112,8 @@ let test_specs_protocol_names () =
 
 let test_parallel_replication_identical () =
   let setup = { E.Runner.n = 256; eps = 0.5; window = 32; max_slots = 100_000 } in
-  let seq = E.Runner.replicate ~jobs:1 ~reps:24 setup (E.Specs.lesk ~eps:0.5) E.Specs.greedy in
-  let par = E.Runner.replicate ~jobs:4 ~reps:24 setup (E.Specs.lesk ~eps:0.5) E.Specs.greedy in
+  let seq = E.Runner.replicate ~jobs:1 ~engine:lesk_engine ~reps:24 setup E.Specs.greedy in
+  let par = E.Runner.replicate ~jobs:4 ~engine:lesk_engine ~reps:24 setup E.Specs.greedy in
   Array.iteri
     (fun i (r : Metrics.result) ->
       check_int (Printf.sprintf "rep %d bit-identical" i) r.Metrics.slots
@@ -136,7 +138,14 @@ let test_parallel_exact_identical () =
 
 let test_recommended_jobs () =
   let j = E.Runner.recommended_jobs () in
-  check_true "within [1, 8]" (j >= 1 && j <= 8)
+  check_true "at least 1" (j >= 1);
+  (* JAMMING_JOBS overrides the detected domain count.  Environment
+     changes are process-global, so restore carefully. *)
+  let saved = Sys.getenv_opt "JAMMING_JOBS" in
+  Unix.putenv "JAMMING_JOBS" "3";
+  let overridden = E.Runner.recommended_jobs () in
+  (match saved with Some v -> Unix.putenv "JAMMING_JOBS" v | None -> Unix.putenv "JAMMING_JOBS" "");
+  check_int "JAMMING_JOBS override" 3 overridden
 
 let test_run_one_smoke () =
   (* Drive a full experiment end-to-end through the registry plumbing

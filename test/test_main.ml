@@ -19,6 +19,8 @@ let () =
       ("baselines", Test_baselines.suite);
       ("stats", Test_stats.suite);
       ("trace", Test_trace.suite);
+      ("observer", Test_observer.suite);
+      ("telemetry", Test_telemetry.suite);
       ("fair-use", Test_fair_use.suite);
       ("extensions", Test_extensions.suite);
       ("experiments", Test_experiments.suite);

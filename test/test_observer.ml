@@ -1,0 +1,164 @@
+(* Observer composition and the bit-identity guarantee: attaching any
+   combination of observers (trace, monitor, telemetry, user callbacks)
+   never perturbs a run. *)
+
+module E = Jamming_experiments
+module Observer = Jamming_sim.Observer
+module Trace = Jamming_sim.Trace
+module Monitor = Jamming_sim.Monitor
+module T = Jamming_telemetry.Telemetry
+open Test_util
+
+let dummy_record =
+  { Metrics.slot = 0; transmitters = 1; jammed = false; state = Channel.Single }
+
+let dummy_result =
+  {
+    Metrics.slots = 1;
+    completed = true;
+    elected = true;
+    leader = Some 0;
+    statuses = [||];
+    jammed_slots = 0;
+    nulls = 0;
+    singles = 1;
+    collisions = 0;
+    transmissions = 1.0;
+    max_station_transmissions = 1;
+  }
+
+let test_compose_order () =
+  let log = ref [] in
+  let obs tag =
+    Observer.make ~name:tag
+      ~on_slot:(fun _ ~leaders:_ -> log := (tag ^ ".slot") :: !log)
+      ~on_result:(fun _ -> log := (tag ^ ".result") :: !log)
+      ()
+  in
+  let c = Observer.compose [ obs "a"; obs "b"; obs "c" ] in
+  c.Observer.on_slot dummy_record ~leaders:(-1);
+  c.Observer.on_result dummy_result;
+  Alcotest.(check (list string))
+    "list-order notification"
+    [ "a.slot"; "b.slot"; "c.slot"; "a.result"; "b.result"; "c.result" ]
+    (List.rev !log)
+
+let test_compose_needs_leaders () =
+  let plain = Observer.make () in
+  let needy = Observer.make ~needs_leaders:true () in
+  check_true "disjunction: none" (not (Observer.compose [ plain; plain ]).Observer.needs_leaders);
+  check_true "disjunction: one suffices"
+    (Observer.compose [ plain; needy ]).Observer.needs_leaders;
+  check_true "empty composition observes nothing"
+    (not (Observer.compose []).Observer.needs_leaders)
+
+let test_of_on_slot () =
+  let n = ref 0 in
+  let o = Observer.of_on_slot (fun _ -> incr n) in
+  o.Observer.on_slot dummy_record ~leaders:5;
+  o.Observer.on_result dummy_result;
+  check_int "legacy callback sees slots only" 1 !n;
+  check_true "no leader scan requested" (not o.Observer.needs_leaders)
+
+let setup = { E.Runner.n = 48; eps = 0.5; window = 16; max_slots = 50_000 }
+let uniform = E.Runner.Uniform (E.Specs.lesk ~eps:0.5)
+
+let exact =
+  E.Runner.Exact
+    {
+      name = "lesk";
+      cd = Channel.Strong_cd;
+      factory = Jamming_core.Lesk.station ~eps:0.5;
+    }
+
+(* The heart of the API redesign: observers are passive.  A run with a
+   full stack of observers attached is bit-identical (every field of the
+   result) to the bare run. *)
+let test_observers_passive engine () =
+  let bare = E.Runner.run ~engine setup E.Specs.greedy ~seed:11 in
+  let tel = T.create () in
+  let trace = Trace.create ~capacity:32 in
+  let mon = Monitor.create ~seed:11 ~window:setup.E.Runner.window ~eps:setup.E.Runner.eps () in
+  let slots_seen = ref 0 in
+  let observed =
+    E.Runner.run
+      ~observers:
+        [
+          Trace.observer trace;
+          Monitor.observer mon;
+          Observer.telemetry tel;
+          Observer.of_on_slot (fun _ -> incr slots_seen);
+        ]
+      ~engine setup E.Specs.greedy ~seed:11
+  in
+  check_true "bit-identical result" (Metrics.equal_result bare observed);
+  check_int "every slot observed" bare.Metrics.slots !slots_seen;
+  check_int "trace saw the run" bare.Metrics.slots (Trace.recorded trace);
+  check_int "telemetry counted slots" bare.Metrics.slots (T.counter_value tel "sim.slots");
+  check_int "telemetry counted jams" bare.Metrics.jammed_slots
+    (T.counter_value tel "sim.jammed");
+  check_int "telemetry counted the run" 1 (T.counter_value tel "sim.runs")
+
+let test_disabled_telemetry_bit_identity () =
+  List.iter
+    (fun engine ->
+      let bare = E.Runner.run ~engine setup E.Specs.greedy ~seed:7 in
+      let tel = T.disabled () in
+      let observed =
+        E.Runner.run ~observers:[ Observer.telemetry tel ] ~engine setup E.Specs.greedy
+          ~seed:7
+      in
+      check_true "disabled-telemetry run bit-identical" (Metrics.equal_result bare observed);
+      check_int "and records nothing" 0 (T.counter_value tel "sim.slots"))
+    [ uniform; exact ]
+
+let test_monitor_as_observer_catches () =
+  (* Feed the monitor-observer an inconsistent slot directly: the
+     Observer interface must preserve the raising behaviour. *)
+  let mon = Monitor.create ~window:16 ~eps:0.5 () in
+  let o = Monitor.observer mon in
+  check_true "monitor asks for leader counts" o.Observer.needs_leaders;
+  let bad =
+    { Metrics.slot = 0; transmitters = 0; jammed = false; state = Channel.Single }
+  in
+  match o.Observer.on_slot bad ~leaders:0 with
+  | () -> Alcotest.fail "inconsistent slot not flagged"
+  | exception Monitor.Violation v ->
+      check_true "slot consistency violation" (v.Monitor.check = Monitor.Slot_consistency)
+
+let test_engine_observers_direct () =
+  (* Engines accept observers without Runner in the middle, and the
+     leader count flows to those that asked for it. *)
+  let leaders_seen = ref (-2) in
+  let o =
+    Observer.make ~needs_leaders:true
+      ~on_slot:(fun _ ~leaders -> leaders_seen := Int.max !leaders_seen leaders)
+      ()
+  in
+  let r =
+    run_exact ~n:12 ~seed:5 ~adversary:Jamming_adversary.Adversary.none
+      (Jamming_core.Lesk.station ~eps:0.5)
+  in
+  let rng = Jamming_prng.Prng.create ~seed:5 in
+  let stations =
+    Jamming_sim.Engine.make_stations ~n:12 ~rng (Jamming_core.Lesk.station ~eps:0.5)
+  in
+  let budget = Budget.create ~window:32 ~eps:0.5 in
+  let r' =
+    Jamming_sim.Engine.run ~observers:[ o ] ~cd:Channel.Strong_cd
+      ~adversary:(Adversary.none ()) ~budget ~max_slots:400_000 ~stations ()
+  in
+  check_true "direct engine observers passive" (Metrics.equal_result r r');
+  check_true "leader scan delivered" (!leaders_seen >= 1)
+
+let suite =
+  [
+    ("compose order", `Quick, test_compose_order);
+    ("compose needs_leaders", `Quick, test_compose_needs_leaders);
+    ("of_on_slot", `Quick, test_of_on_slot);
+    ("observers passive (uniform engine)", `Quick, test_observers_passive uniform);
+    ("observers passive (exact engine)", `Quick, test_observers_passive exact);
+    ("disabled telemetry bit-identity", `Quick, test_disabled_telemetry_bit_identity);
+    ("monitor observer raises", `Quick, test_monitor_as_observer_catches);
+    ("engine-level observers", `Quick, test_engine_observers_direct);
+  ]

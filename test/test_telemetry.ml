@@ -1,0 +1,211 @@
+(* Telemetry sink semantics, JSON writer/parser, and the determinism
+   guarantees the bench/sweep plumbing relies on (DESIGN.md §9). *)
+
+module E = Jamming_experiments
+module T = Jamming_telemetry.Telemetry
+module Json = Jamming_telemetry.Json
+open Test_util
+
+(* --- counters, timers, histograms --- *)
+
+let test_counters () =
+  let t = T.create () in
+  let c = T.counter t "hits" in
+  T.incr c;
+  T.incr c;
+  T.add c 40;
+  check_int "incr/add accumulate" 42 (T.value c);
+  check_int "lookup by name" 42 (T.counter_value t "hits");
+  check_int "absent counter reads 0" 0 (T.counter_value t "misses");
+  check_true "same name, same cell" (T.value (T.counter t "hits") = 42)
+
+let test_timers () =
+  let t = T.create () in
+  let w = T.timer t "wall" in
+  let v = T.time w (fun () -> Sys.opaque_identity (List.init 1000 Fun.id) |> List.length) in
+  check_int "thunk result passes through" 1000 v;
+  check_true "elapsed non-negative" (T.elapsed_s w >= 0.0);
+  T.stop w;
+  (* stop without start is a no-op *)
+  check_true "lookup by name" (T.timer_seconds t "wall" = T.elapsed_s w);
+  check_float "absent timer reads 0" 0.0 (T.timer_seconds t "nope")
+
+let test_histograms () =
+  let t = T.create () in
+  let h = T.histogram t "slots" in
+  List.iter (T.observe h) [ 0; 1; 2; 3; 1024 ];
+  check_int "count" 5 (T.histogram_count t "slots");
+  check_int "sum" 1030 (T.histogram_sum t "slots");
+  check_int "absent histogram count" 0 (T.histogram_count t "nope")
+
+let test_disabled_sink () =
+  let t = T.disabled () in
+  check_true "disabled" (not (T.is_enabled t));
+  let c = T.counter t "hits" and h = T.histogram t "h" in
+  T.incr c;
+  T.add c 10;
+  T.observe h 99;
+  let w = T.timer t "wall" in
+  T.start w;
+  T.stop w;
+  check_int "counter dead" 0 (T.counter_value t "hits");
+  check_int "histogram dead" 0 (T.histogram_count t "h");
+  check_float "timer dead" 0.0 (T.timer_seconds t "wall");
+  Alcotest.(check string)
+    "snapshot is empty" {|{"counters":{},"timers":{},"histograms":{}}|}
+    (Json.to_string (T.to_json t))
+
+let test_merge_and_reset () =
+  let a = T.create () and b = T.create () in
+  T.add (T.counter a "n") 1;
+  T.add (T.counter b "n") 2;
+  T.add (T.counter b "only-b") 7;
+  T.observe (T.histogram a "h") 4;
+  T.observe (T.histogram b "h") 8;
+  T.merge ~into:a b;
+  check_int "counters add" 3 (T.counter_value a "n");
+  check_int "new names created" 7 (T.counter_value a "only-b");
+  check_int "histogram counts add" 2 (T.histogram_count a "h");
+  check_int "histogram sums add" 12 (T.histogram_sum a "h");
+  T.reset a;
+  check_int "reset zeroes counters" 0 (T.counter_value a "n");
+  check_int "reset zeroes histograms" 0 (T.histogram_count a "h")
+
+(* --- JSON writer and parser --- *)
+
+let test_json_golden () =
+  let v =
+    Json.Obj
+      [
+        ("s", Json.String "a\"b\n");
+        ("i", Json.Int (-3));
+        ("f", Json.Float 1.5);
+        ("whole", Json.Float 2.0);
+        ("nan", Json.Float Float.nan);
+        ("l", Json.List [ Json.Null; Json.Bool true; Json.Bool false ]);
+        ("o", Json.Obj []);
+      ]
+  in
+  Alcotest.(check string)
+    "compact rendering"
+    {|{"s":"a\"b\n","i":-3,"f":1.5,"whole":2.0,"nan":null,"l":[null,true,false],"o":{}}|}
+    (Json.to_string v)
+
+let test_json_roundtrip () =
+  let v =
+    Json.Obj
+      [
+        ("xs", Json.List [ Json.Int 1; Json.Float 2.25; Json.String "τ" ]);
+        ("b", Json.Bool false);
+        ("n", Json.Null);
+      ]
+  in
+  (match Json.of_string (Json.to_string v) with
+  | Ok v' -> check_true "round-trips" (v = v')
+  | Error e -> Alcotest.failf "parse failed: %s" e);
+  (match Json.of_string "{\"a\": [1, 2" with
+  | Ok _ -> Alcotest.fail "accepted truncated JSON"
+  | Error _ -> ());
+  match Json.of_string "[1e3, -4.5, 17]" with
+  | Ok (Json.List [ Json.Float 1000.0; Json.Float (-4.5); Json.Int 17 ]) -> ()
+  | Ok j -> Alcotest.failf "unexpected parse: %s" (Json.to_string j)
+  | Error e -> Alcotest.failf "parse failed: %s" e
+
+let test_result_json_golden () =
+  let r =
+    {
+      Metrics.slots = 120;
+      completed = true;
+      elected = true;
+      leader = Some 3;
+      statuses = [||];
+      jammed_slots = 30;
+      nulls = 50;
+      singles = 10;
+      collisions = 30;
+      transmissions = 64.5;
+      max_station_transmissions = 0;
+    }
+  in
+  Alcotest.(check string)
+    "Metrics.result serialization"
+    {|{"slots":120,"completed":true,"elected":true,"leader":3,"statuses":null,"jammed_slots":30,"nulls":50,"singles":10,"collisions":30,"transmissions":64.5,"max_station_transmissions":0}|}
+    (Json.to_string (Metrics.result_to_json r))
+
+let setup = { E.Runner.n = 64; eps = 0.5; window = 16; max_slots = 50_000 }
+let engine = E.Runner.Uniform (E.Specs.lesk ~eps:0.5)
+
+let test_sample_json () =
+  let sample = E.Runner.replicate ~engine ~reps:4 setup E.Specs.greedy in
+  let j = E.Runner.sample_to_json ~include_results:true sample in
+  (* Deterministic: same cell, same JSON, byte for byte. *)
+  let again = E.Runner.replicate ~engine ~reps:4 setup E.Specs.greedy in
+  Alcotest.(check string)
+    "sample JSON deterministic" (Json.to_string j)
+    (Json.to_string (E.Runner.sample_to_json ~include_results:true again));
+  (* And structurally sound under our own parser. *)
+  match Json.of_string (Json.to_string j) with
+  | Error e -> Alcotest.failf "sample JSON unparseable: %s" e
+  | Ok j ->
+      check_true "protocol recorded"
+        (Option.bind (Json.member "protocol" j) Json.to_string_opt = Some "LESK(0.5)");
+      check_true "adversary recorded"
+        (Option.bind (Json.member "adversary" j) Json.to_string_opt = Some "greedy");
+      check_true "reps recorded"
+        (Option.bind (Json.member "reps" j) Json.to_int_opt = Some 4);
+      (match Option.bind (Json.member "results" j) Json.to_list_opt with
+      | Some l -> check_int "one result object per rep" 4 (List.length l)
+      | None -> Alcotest.fail "results array missing");
+      match Option.bind (Json.member "setup" j) (Json.member "n") with
+      | Some (Json.Int 64) -> ()
+      | _ -> Alcotest.fail "setup.n missing"
+
+(* --- aggregation determinism: the telemetry a replicate produces is
+   a pure function of the cell, not of the domain count. --- *)
+
+let test_jobs_independent_aggregation () =
+  let snapshot jobs =
+    let tel = T.create () in
+    ignore (E.Runner.replicate ~jobs ~telemetry:tel ~engine ~reps:12 setup E.Specs.greedy);
+    Json.to_string (T.to_json ~timers:false tel)
+  in
+  Alcotest.(check string) "jobs=1 and jobs=4 agree" (snapshot 1) (snapshot 4)
+
+let test_replicate_telemetry_contents () =
+  let tel = T.create () in
+  let sample = E.Runner.replicate ~telemetry:tel ~engine ~reps:5 setup E.Specs.greedy in
+  let total f = Array.fold_left (fun acc r -> acc + f r) 0 sample.E.Runner.results in
+  check_int "runner.runs" 5 (T.counter_value tel "runner.runs");
+  check_int "runner.slots" (total (fun r -> r.Metrics.slots))
+    (T.counter_value tel "runner.slots");
+  check_int "runner.jammed" (total (fun r -> r.Metrics.jammed_slots))
+    (T.counter_value tel "runner.jammed");
+  check_int "histogram count = reps" 5 (T.histogram_count tel "runner.slots_per_run");
+  check_int "histogram sum = slots" (total (fun r -> r.Metrics.slots))
+    (T.histogram_sum tel "runner.slots_per_run");
+  check_true "wall timer ran" (T.timer_seconds tel "runner.wall" >= 0.0)
+
+let test_default_sink_install () =
+  let tel = T.create () in
+  E.Runner.with_telemetry tel (fun () ->
+      ignore (E.Runner.replicate ~engine ~reps:2 setup E.Specs.no_jamming));
+  check_int "default sink receives runs" 2 (T.counter_value tel "runner.runs");
+  (* Restored after the thunk: further runs are unmetered. *)
+  ignore (E.Runner.replicate ~engine ~reps:2 setup E.Specs.no_jamming);
+  check_int "sink restored" 2 (T.counter_value tel "runner.runs")
+
+let suite =
+  [
+    ("counters", `Quick, test_counters);
+    ("timers", `Quick, test_timers);
+    ("histograms", `Quick, test_histograms);
+    ("disabled sink is inert", `Quick, test_disabled_sink);
+    ("merge and reset", `Quick, test_merge_and_reset);
+    ("json golden", `Quick, test_json_golden);
+    ("json round-trip", `Quick, test_json_roundtrip);
+    ("result json golden", `Quick, test_result_json_golden);
+    ("sample json", `Quick, test_sample_json);
+    ("jobs-independent aggregation", `Quick, test_jobs_independent_aggregation);
+    ("replicate telemetry contents", `Quick, test_replicate_telemetry_contents);
+    ("default sink install/restore", `Quick, test_default_sink_install);
+  ]

@@ -268,6 +268,96 @@ let diff_against_baseline ~path cells =
               | _ -> Printf.printf "  %-4s (no baseline entry)\n" id))
         cells
 
+(* --- exact-engine large-n scaling cells (X1..X3) ---
+
+   Early-finishing workload: station i retires after ceil(horizon *
+   ((i+1)/n)^16) slots, a power-law tail under which the live population
+   collapses quickly — total station-steps are ~ n*horizon/17, so the
+   active-set engine (X1, X3) does an order of magnitude less station
+   work than the reference engine (X2), which pays O(n) every slot.
+   X2's slots/sec is the committed-baseline figure the active-set
+   speedup is measured against. *)
+
+module Engine = Jamming_sim.Engine
+module Station = Jamming_station.Station
+
+let staggered_factory ~horizon ~n : Station.factory =
+ fun ~id ~rng:_ ->
+  let retire =
+    let frac = float_of_int (id + 1) /. float_of_int n in
+    Int.max 1 (int_of_float (Float.ceil (float_of_int horizon *. (frac ** 16.0))))
+  in
+  let fin = ref false in
+  {
+    Station.id;
+    decide = (fun ~slot:_ -> Station.Listen);
+    observe =
+      (fun ~slot ~perceived:_ ~transmitted:_ -> if slot + 1 >= retire then fin := true);
+    status = (fun () -> Station.Non_leader);
+    finished = (fun () -> !fin);
+  }
+
+let scaling_cell ~id ~name ~oracle ~n ~horizon ~reps =
+  let tel = Telemetry.create () in
+  let timer = Telemetry.timer tel "cell.wall" in
+  (* Stations are single-use closures, so each rep needs a fresh array;
+     build them all before starting the timer — the cell meters the
+     engine's slot loop, not station construction. *)
+  let prepared =
+    List.init reps (fun rep ->
+        let rng = Prng.create ~seed:(rep + 1) in
+        Engine.make_stations ~n ~rng (staggered_factory ~horizon ~n))
+  in
+  let slots0 = Gauges.slots_simulated () and runs0 = Gauges.runs_completed () in
+  Telemetry.start timer;
+  List.iter
+    (fun stations ->
+      let budget = Budget.create ~window:64 ~eps:0.5 in
+      let run = if oracle then Engine.run_reference else Engine.run in
+      ignore
+        (run ~cd:Jamming_channel.Channel.Strong_cd
+           ~adversary:(Adversary.none ())
+           ~budget ~max_slots:(horizon + 16) ~stations ()))
+    prepared;
+  Telemetry.stop timer;
+  let wall = Telemetry.timer_seconds tel "cell.wall" in
+  let slots = Gauges.slots_simulated () - slots0 in
+  let runs = Gauges.runs_completed () - runs0 in
+  Json.Obj
+    [
+      ("id", Json.String id);
+      ("name", Json.String name);
+      ("wall_s", Json.Float wall);
+      ("slots", Json.Int slots);
+      ("runs", Json.Int runs);
+      ( "slots_per_sec",
+        if wall > 0.0 then Json.Float (float_of_int slots /. wall) else Json.Null );
+    ]
+
+let scaling_cells () =
+  let horizon = 2048 in
+  let cells =
+    [
+      scaling_cell ~id:"X1" ~name:"exact-active-set-n1e4" ~oracle:false ~n:10_000
+        ~horizon ~reps:3;
+      scaling_cell ~id:"X2" ~name:"exact-reference-n1e4" ~oracle:true ~n:10_000 ~horizon
+        ~reps:3;
+      scaling_cell ~id:"X3" ~name:"exact-active-set-n1e5" ~oracle:false ~n:100_000
+        ~horizon ~reps:1;
+    ]
+  in
+  (match
+     ( List.nth_opt cells 0 |> Option.map (fun c -> cell_field c "slots_per_sec"),
+       List.nth_opt cells 1 |> Option.map (fun c -> cell_field c "slots_per_sec") )
+   with
+  | Some (Some active), Some (Some reference) when reference > 0.0 ->
+      Printf.printf
+        "exact-engine scaling (n=10^4, early-finishing): active set %.3g slots/s vs \
+         reference %.3g slots/s (%.1fx)\n"
+        active reference (active /. reference)
+  | _ -> ());
+  cells
+
 let () =
   let scale =
     match Sys.getenv_opt "BENCH_FULL" with
@@ -293,6 +383,8 @@ let () =
   let t0 = Unix.gettimeofday () in
   let slots0 = Gauges.slots_simulated () in
   let cells = List.map (meter_experiment ~scale out) E.Experiments.all in
+  Printf.printf "\n=== Exact-engine large-n scaling (X1..X3) ===\n";
+  let cells = cells @ scaling_cells () in
   let wall = Unix.gettimeofday () -. t0 in
   let total_slots = Gauges.slots_simulated () - slots0 in
   let date = iso_date () in

@@ -34,15 +34,22 @@ let trichotomy g ~n ~p =
 
 let bernoulli g ~p = Prng.bool g ~p
 
-let geometric g ~p =
+let geometric_of_u ~p u =
   if not (p > 0.0 && p <= 1.0) then invalid_arg "Sample.geometric: need 0 < p <= 1";
+  if not (u >= 0.0 && u < 1.0) then invalid_arg "Sample.geometric: need 0 <= u < 1";
   if p = 1.0 then 0
   else begin
-    let u = Prng.float g in
-    (* Inversion: floor (log u / log (1-p)); u = 0 cannot occur. *)
+    (* Inversion: floor (log (1-u) / log (1-p)); u = 1 cannot occur. *)
     let v = log (1.0 -. u) /. Float.log1p (-.p) in
-    int_of_float (Float.floor v)
+    (* For u near 1 and tiny p the ratio overflows the integer range,
+       where [int_of_float] is unspecified; clamp first.  The negated
+       comparison also routes a hypothetical NaN to the clamp. *)
+    if not (v < float_of_int max_int) then max_int else int_of_float (Float.floor v)
   end
+
+let geometric g ~p =
+  if not (p > 0.0 && p <= 1.0) then invalid_arg "Sample.geometric: need 0 < p <= 1";
+  if p = 1.0 then 0 else geometric_of_u ~p (Prng.float g)
 
 let gaussian g ~mean ~stddev =
   let rec polar () =

@@ -32,7 +32,15 @@ val bernoulli : Prng.t -> p:float -> bool
 
 val geometric : Prng.t -> p:float -> int
 (** Number of failures before the first success of a Bernoulli([p])
-    sequence, [p > 0].  Sampled by inversion. *)
+    sequence, [p > 0].  Sampled by inversion; variates beyond the
+    integer range (possible for tiny [p] and a uniform draw near 1)
+    are clamped to [max_int]. *)
+
+val geometric_of_u : p:float -> float -> int
+(** The deterministic inversion behind {!geometric} at a given uniform
+    draw [u ∈ \[0, 1)], exposed so boundary cases (tiny [p], [u] at the
+    representable edge below 1) can be tested without steering the
+    generator. *)
 
 val binomial : Prng.t -> n:int -> p:float -> int
 (** Binomial([n], [p]) variate.  Exact (Bernoulli sum or inversion) for

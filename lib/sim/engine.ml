@@ -16,8 +16,167 @@ let assemble_observers ?on_slot ?monitor observers =
   let obs = match monitor with None -> obs | Some mon -> Monitor.observer mon :: obs in
   Array.of_list obs
 
+(* Shared epilogue: final statuses, leader identification, result
+   construction and observer notification.  [leader = Some _] only when
+   the election actually completed with a unique leader; a run cut off
+   at [max_slots] reports [leader = None] even if one station happens
+   to stand in status Leader. *)
+let build_result ~slot ~finished ~stations ~tx_counts ~jammed_slots ~nulls ~singles
+    ~collisions obs =
+  let statuses = Array.map (fun s -> s.Station.status ()) stations in
+  let leader = ref None in
+  Array.iteri
+    (fun i st -> if Station.equal_status st Station.Leader then leader := Some i)
+    statuses;
+  let leaders =
+    Array.fold_left
+      (fun acc st -> if Station.equal_status st Station.Leader then acc + 1 else acc)
+      0 statuses
+  in
+  let elected = finished && leaders = 1 in
+  let transmissions = Array.fold_left (fun acc c -> acc + c) 0 tx_counts in
+  let result =
+    {
+      Metrics.slots = slot;
+      completed = finished;
+      elected;
+      leader = (if elected then !leader else None);
+      statuses;
+      jammed_slots;
+      nulls;
+      singles;
+      collisions;
+      transmissions = float_of_int transmissions;
+      max_station_transmissions = Array.fold_left Int.max 0 tx_counts;
+    }
+  in
+  Gauges.note_run ~slots:slot;
+  Array.iter (fun o -> o.Observer.on_result result) obs;
+  result
+
 let run ?on_slot ?(start_slot = 0) ?faults ?monitor ?(observers = []) ~cd ~adversary
     ~budget ~max_slots ~stations () =
+  let n = Array.length stations in
+  let obs = assemble_observers ?on_slot ?monitor observers in
+  let observed = Array.length obs > 0 in
+  let needs_leaders = Array.exists (fun o -> o.Observer.needs_leaders) obs in
+  let actions = Array.make n Station.Listen in
+  let tx_counts = Array.make n 0 in
+  let jammed_slots = ref 0 in
+  let nulls = ref 0 and singles = ref 0 and collisions = ref 0 in
+  let noise =
+    match faults with Some f when Injection.active f -> Some f | Some _ | None -> None
+  in
+  (* Active set: indices of the stations whose [finished] was last seen
+     false, kept in increasing station order.  Compaction is
+     order-preserving (never swap-remove): [Injection.sense] draws
+     sensing noise from one shared stream in station order, so the
+     sequence of draws — hence every fault-injected run — must match
+     [run_reference] bit for bit. *)
+  let active = Array.init n (fun i -> i) in
+  let n_active = ref 0 in
+  for i = 0 to n - 1 do
+    if not (stations.(i).Station.finished ()) then begin
+      active.(!n_active) <- i;
+      incr n_active
+    end
+  done;
+  (* Incremental leader count: once a station leaves the active set no
+     decide/observe call ever reaches it again, so its status is frozen
+     and its cached contribution stays valid.  Only stations touched in
+     the current slot can change status, so refreshing the count is
+     O(active), not O(n). *)
+  let cached_status = Array.make (if needs_leaders then n else 0) Station.Undecided in
+  let leader_count = ref 0 in
+  if needs_leaders then
+    Array.iteri
+      (fun i s ->
+        let st = s.Station.status () in
+        cached_status.(i) <- st;
+        if Station.equal_status st Station.Leader then incr leader_count)
+      stations;
+  let slot = ref 0 in
+  while !n_active > 0 && !slot < max_slots do
+    let t = start_slot + !slot in
+    (* 1. Adversary commits before seeing this slot's actions. *)
+    let can_jam = Budget.can_jam budget in
+    let jam = can_jam && adversary.Adversary.wants_jam ~slot:t ~can_jam in
+    Budget.advance budget ~jam;
+    (* 2. Live stations act. *)
+    let transmitters = ref 0 in
+    for k = 0 to !n_active - 1 do
+      let i = active.(k) in
+      let s = stations.(i) in
+      if s.Station.finished () then actions.(i) <- Station.Listen
+      else begin
+        let a = s.Station.decide ~slot:t in
+        actions.(i) <- a;
+        if Station.equal_action a Station.Transmit then begin
+          incr transmitters;
+          tx_counts.(i) <- tx_counts.(i) + 1
+        end
+      end
+    done;
+    (* 3. Resolve and deliver feedback.  Sensing noise, when injected,
+       perturbs each live station's view of the true state independently
+       (in station order, off a dedicated stream); metrics and the
+       adversary always see the truth. *)
+    let state = Channel.resolve ~transmitters:!transmitters ~jammed:jam in
+    if jam then incr jammed_slots;
+    (match state with
+    | Channel.Null -> incr nulls
+    | Channel.Single -> incr singles
+    | Channel.Collision -> incr collisions);
+    (* The same pass compacts the active set (order-preserving) and
+       folds this slot's status transitions into the leader count: a
+       station's [finished]/[status] only change through calls on that
+       station, so reading them right after its own [observe] sees the
+       same values a separate post-feedback pass would. *)
+    let kept = ref 0 in
+    for k = 0 to !n_active - 1 do
+      let i = active.(k) in
+      let s = stations.(i) in
+      if not (s.Station.finished ()) then begin
+        let transmitted = Station.equal_action actions.(i) Station.Transmit in
+        let sensed =
+          match noise with None -> state | Some inj -> Injection.sense inj state
+        in
+        let perceived = Channel.perceive cd sensed ~transmitted in
+        s.Station.observe ~slot:t ~perceived ~transmitted
+      end;
+      if needs_leaders then begin
+        let st = s.Station.status () in
+        if not (Station.equal_status st cached_status.(i)) then begin
+          if Station.equal_status cached_status.(i) Station.Leader then decr leader_count;
+          if Station.equal_status st Station.Leader then incr leader_count;
+          cached_status.(i) <- st
+        end
+      end;
+      if not (s.Station.finished ()) then begin
+        active.(!kept) <- i;
+        incr kept
+      end
+    done;
+    n_active := !kept;
+    adversary.Adversary.notify ~slot:t ~jammed:jam ~state;
+    if observed then begin
+      let record =
+        { Metrics.slot = t; transmitters = Metrics.Exact !transmitters; jammed = jam; state }
+      in
+      let leaders = if needs_leaders then !leader_count else -1 in
+      Array.iter (fun o -> o.Observer.on_slot record ~leaders) obs
+    end;
+    incr slot
+  done;
+  build_result ~slot:!slot ~finished:(!n_active = 0) ~stations ~tx_counts
+    ~jammed_slots:!jammed_slots ~nulls:!nulls ~singles:!singles ~collisions:!collisions
+    obs
+
+(* The pre-active-set engine, kept verbatim as the differential-testing
+   oracle: every loop is a full O(n) scan and the leader count is a
+   fresh scan per slot.  [run] must stay bit-identical to this path. *)
+let run_reference ?on_slot ?(start_slot = 0) ?faults ?monitor ?(observers = []) ~cd
+    ~adversary ~budget ~max_slots ~stations () =
   let n = Array.length stations in
   let obs = assemble_observers ?on_slot ?monitor observers in
   let observed = Array.length obs > 0 in
@@ -34,11 +193,9 @@ let run ?on_slot ?(start_slot = 0) ?faults ?monitor ?(observers = []) ~cd ~adver
   let finished = ref (all_finished ()) in
   while (not !finished) && !slot < max_slots do
     let t = start_slot + !slot in
-    (* 1. Adversary commits before seeing this slot's actions. *)
     let can_jam = Budget.can_jam budget in
     let jam = can_jam && adversary.Adversary.wants_jam ~slot:t ~can_jam in
     Budget.advance budget ~jam;
-    (* 2. Live stations act. *)
     let transmitters = ref 0 in
     for i = 0 to n - 1 do
       if stations.(i).Station.finished () then actions.(i) <- Station.Listen
@@ -51,10 +208,6 @@ let run ?on_slot ?(start_slot = 0) ?faults ?monitor ?(observers = []) ~cd ~adver
         end
       end
     done;
-    (* 3. Resolve and deliver feedback.  Sensing noise, when injected,
-       perturbs each live station's view of the true state independently
-       (in station order, off a dedicated stream); metrics and the
-       adversary always see the truth. *)
     let state = Channel.resolve ~transmitters:!transmitters ~jammed:jam in
     if jam then incr jammed_slots;
     (match state with
@@ -74,7 +227,7 @@ let run ?on_slot ?(start_slot = 0) ?faults ?monitor ?(observers = []) ~cd ~adver
     adversary.Adversary.notify ~slot:t ~jammed:jam ~state;
     if observed then begin
       let record =
-        { Metrics.slot = t; transmitters = !transmitters; jammed = jam; state }
+        { Metrics.slot = t; transmitters = Metrics.Exact !transmitters; jammed = jam; state }
       in
       let leaders =
         if not needs_leaders then -1
@@ -92,32 +245,6 @@ let run ?on_slot ?(start_slot = 0) ?faults ?monitor ?(observers = []) ~cd ~adver
     incr slot;
     finished := all_finished ()
   done;
-  let statuses = Array.map (fun s -> s.Station.status ()) stations in
-  let leader = ref None in
-  Array.iteri
-    (fun i st -> if Station.equal_status st Station.Leader then leader := Some i)
-    statuses;
-  let leaders =
-    Array.fold_left
-      (fun acc st -> if Station.equal_status st Station.Leader then acc + 1 else acc)
-      0 statuses
-  in
-  let transmissions = Array.fold_left (fun acc c -> acc + c) 0 tx_counts in
-  let result =
-    {
-      Metrics.slots = !slot;
-      completed = !finished;
-      elected = !finished && leaders = 1;
-      leader = (if leaders = 1 then !leader else None);
-      statuses;
-      jammed_slots = !jammed_slots;
-      nulls = !nulls;
-      singles = !singles;
-      collisions = !collisions;
-      transmissions = float_of_int transmissions;
-      max_station_transmissions = Array.fold_left Int.max 0 tx_counts;
-    }
-  in
-  Gauges.note_run ~slots:!slot;
-  Array.iter (fun o -> o.Observer.on_result result) obs;
-  result
+  build_result ~slot:!slot ~finished:!finished ~stations ~tx_counts
+    ~jammed_slots:!jammed_slots ~nulls:!nulls ~singles:!singles ~collisions:!collisions
+    obs

@@ -2,8 +2,20 @@
 
     Handles every collision-detection model, heterogeneous stations
     (e.g. the phase-split stations of Notification), and any adversary.
-    Cost is O(n) per slot; use {!Uniform_engine} for uniform protocols at
-    large [n]. *)
+    The engine keeps a dense, order-preserving index of the stations
+    still running, so a slot costs O(active stations), not O(n): for
+    early-finishing workloads (k-selection-style retirement, crashing
+    stations, chained elections) the cost tracks the shrinking
+    population.  Use {!Uniform_engine} for uniform protocols at large
+    [n], where a slot is O(1).
+
+    The active-set bookkeeping assumes what every protocol in this
+    repository satisfies: a station's [finished] is {e monotone} (once
+    [true] it stays [true]) and neither [finished] nor [status] changes
+    spontaneously — only a [decide] or [observe] call on that station
+    may change them.  A station violating this could diverge from
+    {!run_reference}; the equivalence tests in [test_sim.ml] guard the
+    contract for the shipped protocols. *)
 
 val run :
   ?on_slot:(Metrics.slot_record -> unit) ->
@@ -49,7 +61,32 @@ val run :
     existing call sites compile: they are folded into the observer
     list as [Monitor.observer mon] and {!Observer.of_on_slot}
     respectively (notified in that order, before [observers]).  Prefer
-    passing observers. *)
+    passing observers.
+
+    The result reports [leader = Some _] exactly when [elected]: a run
+    cut off at [max_slots] reports no leader even if one station stands
+    in status [Leader] at the cut-off (its election never completed). *)
+
+val run_reference :
+  ?on_slot:(Metrics.slot_record -> unit) ->
+  ?start_slot:int ->
+  ?faults:Jamming_faults.Injection.t ->
+  ?monitor:Monitor.t ->
+  ?observers:Observer.t list ->
+  cd:Jamming_channel.Channel.cd_model ->
+  adversary:Jamming_adversary.Adversary.t ->
+  budget:Jamming_adversary.Budget.t ->
+  max_slots:int ->
+  stations:Jamming_station.Station.t array ->
+  unit ->
+  Metrics.result
+(** The pre-active-set engine: three full O(n) scans per slot and a
+    fresh O(n) leader scan whenever an observer asks for leader counts.
+    Kept {e only} as the differential-testing oracle — {!run} must stay
+    bit-identical to it (same results, same slot records, same leader
+    counts, same noise draws under fault injection) for every seed.
+    Tests and the bench reference path use it; production call sites
+    must use {!run}. *)
 
 val make_stations :
   n:int -> rng:Jamming_prng.Prng.t -> Jamming_station.Station.factory ->

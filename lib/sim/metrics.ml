@@ -1,8 +1,23 @@
 module Station = Jamming_station.Station
 
+type tx_count = Exact of int | At_least of int
+
+let tx_lower_bound = function Exact k | At_least k -> k
+
+let equal_tx_count a b =
+  match a, b with
+  | Exact x, Exact y | At_least x, At_least y -> x = y
+  | (Exact _ | At_least _), _ -> false
+
+let tx_count_to_string = function
+  | Exact k -> string_of_int k
+  | At_least k -> ">=" ^ string_of_int k
+
+let pp_tx_count ppf tx = Format.pp_print_string ppf (tx_count_to_string tx)
+
 type slot_record = {
   slot : int;
-  transmitters : int;
+  transmitters : tx_count;
   jammed : bool;
   state : Jamming_channel.Channel.state;
 }

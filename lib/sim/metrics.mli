@@ -1,11 +1,28 @@
 (** Per-run observations shared by both simulation engines. *)
 
+type tx_count =
+  | Exact of int  (** the engine counted exactly this many transmitters *)
+  | At_least of int
+      (** at least this many transmitted; the exact count was never
+          sampled.  The uniform engine reports its [Many] trichotomy
+          class as [At_least 2]: only the 0/1/≥2 class is drawn, so an
+          exact count would be fabricated. *)
+
+val tx_lower_bound : tx_count -> int
+(** The smallest transmitter count consistent with the record. *)
+
+val equal_tx_count : tx_count -> tx_count -> bool
+
+val tx_count_to_string : tx_count -> string
+(** ["2"] for [Exact 2], [">=2"] for [At_least 2]. *)
+
+val pp_tx_count : Format.formatter -> tx_count -> unit
+
 type slot_record = {
   slot : int;
-  transmitters : int;
-      (** Honest transmitter count.  For the uniform engine this is the
-          class representative (0, 1, or 2 for "at least two"): only the
-          class is sampled, not the exact count. *)
+  transmitters : tx_count;
+      (** Honest transmitter count: [Exact] on the per-station engine,
+          [Exact 0]/[Exact 1]/[At_least 2] on the uniform engine. *)
   jammed : bool;
   state : Jamming_channel.Channel.state;  (** true (post-jam) state *)
 }
@@ -15,6 +32,9 @@ type result = {
   completed : bool;  (** all stations terminated before [max_slots] *)
   elected : bool;  (** [completed] and exactly one station ended leader *)
   leader : int option;
+      (** [Some] exactly when [elected]: a run that hits [max_slots]
+          reports no leader even if one station happens to stand in
+          status [Leader] at the cut-off *)
   statuses : Jamming_station.Station.status array;
       (** per-station statuses; empty for the uniform engine *)
   jammed_slots : int;

@@ -87,19 +87,29 @@ let check_consistency t (r : Metrics.slot_record) =
       fail t ~slot:r.Metrics.slot ~check:Slot_consistency
         "slot numbers skipped: expected %d, engine reported %d" expected r.Metrics.slot
   | _ -> ());
-  if r.Metrics.transmitters < 0 then
-    fail t ~slot:r.Metrics.slot ~check:Slot_consistency "negative transmitter count %d"
-      r.Metrics.transmitters;
+  if Metrics.tx_lower_bound r.Metrics.transmitters < 0 then
+    fail t ~slot:r.Metrics.slot ~check:Slot_consistency "negative transmitter count %s"
+      (Metrics.tx_count_to_string r.Metrics.transmitters);
+  (* [Exact k] pins the state via the channel map.  [At_least k] pins it
+     only when every consistent count resolves the same way: k >= 2 (or
+     a jammed slot) forces Collision; below that the record is honest
+     about not knowing the count, so the state is unconstrained. *)
   let expected =
-    Channel.resolve ~transmitters:r.Metrics.transmitters ~jammed:r.Metrics.jammed
+    match r.Metrics.transmitters with
+    | Metrics.Exact k -> Some (Channel.resolve ~transmitters:k ~jammed:r.Metrics.jammed)
+    | Metrics.At_least k ->
+        if k >= 2 || r.Metrics.jammed then Some Channel.Collision else None
   in
-  if not (Channel.equal_state expected r.Metrics.state) then
-    fail t ~slot:r.Metrics.slot ~check:Slot_consistency
-      "state %s inconsistent with %d transmitters%s (expected %s)"
-      (Channel.state_to_string r.Metrics.state)
-      r.Metrics.transmitters
-      (if r.Metrics.jammed then " under jamming" else "")
-      (Channel.state_to_string expected)
+  match expected with
+  | None -> ()
+  | Some expected ->
+      if not (Channel.equal_state expected r.Metrics.state) then
+        fail t ~slot:r.Metrics.slot ~check:Slot_consistency
+          "state %s inconsistent with %s transmitters%s (expected %s)"
+          (Channel.state_to_string r.Metrics.state)
+          (Metrics.tx_count_to_string r.Metrics.transmitters)
+          (if r.Metrics.jammed then " under jamming" else "")
+          (Channel.state_to_string expected)
 
 let check_jam_budget t (r : Metrics.slot_record) =
   let next = t.m + 1 in

@@ -24,7 +24,12 @@ let to_list t =
       | None -> assert false)
 
 let pp_record ppf (r : Metrics.slot_record) =
-  Format.fprintf ppf "slot %6d  tx=%d%s  %a" r.Metrics.slot r.Metrics.transmitters
+  let tx =
+    match r.Metrics.transmitters with
+    | Metrics.Exact k -> Printf.sprintf "tx=%d" k
+    | Metrics.At_least k -> Printf.sprintf "tx>=%d" k
+  in
+  Format.fprintf ppf "slot %6d  %s%s  %a" r.Metrics.slot tx
     (if r.Metrics.jammed then " JAM" else "")
     Jamming_channel.Channel.pp_state r.Metrics.state
 

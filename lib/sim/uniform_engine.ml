@@ -45,8 +45,15 @@ let run ?on_slot ?(start_slot = 0) ?(observers = []) ~n ~rng ~protocol ~adversar
     adversary.Adversary.notify ~slot:t ~jammed:jam ~state;
     if observed then begin
       (* Per-station statuses don't exist on this engine, so the leader
-         count is reported as unknown (-1). *)
-      let record = { Metrics.slot = t; transmitters; jammed = jam; state } in
+         count is reported as unknown (-1).  The Many class only pins
+         the count to "at least two" — the exact count is never
+         sampled, and the record says so instead of fabricating 2. *)
+      let tx =
+        match class_ with
+        | Sample.Zero | Sample.One -> Metrics.Exact transmitters
+        | Sample.Many -> Metrics.At_least 2
+      in
+      let record = { Metrics.slot = t; transmitters = tx; jammed = jam; state } in
       Array.iter (fun o -> o.Observer.on_slot record ~leaders:(-1)) obs
     end;
     incr slot

@@ -3,7 +3,7 @@ module Monitor = Jamming_sim.Monitor
 
 let record ?(transmitters = 0) ?(jammed = false) slot =
   let state = Channel.resolve ~transmitters ~jammed in
-  { Metrics.slot; transmitters; jammed; state }
+  { Metrics.slot; transmitters = Metrics.Exact transmitters; jammed; state }
 
 let feed mon records = List.iter (fun r -> Monitor.on_slot mon ~record:r ~leaders:0) records
 
@@ -58,12 +58,40 @@ let test_jam_budget_longer_window () =
 
 let test_consistency_state_mismatch () =
   let mon = Monitor.create ~window:4 ~eps:0.5 () in
-  let bogus = { Metrics.slot = 0; transmitters = 0; jammed = false; state = Channel.Collision } in
+  let bogus =
+    { Metrics.slot = 0; transmitters = Metrics.Exact 0; jammed = false;
+      state = Channel.Collision }
+  in
   let v =
     expect_violation Monitor.Slot_consistency (fun () ->
         Monitor.on_slot mon ~record:bogus ~leaders:0)
   in
   check_int "at slot 0" 0 v.Monitor.slot
+
+let test_consistency_at_least () =
+  (* An honest ">=2" record is only consistent with Collision; below two
+     the exact count is unknown, so any state passes. *)
+  let mon = Monitor.create ~window:4 ~eps:0.5 () in
+  Monitor.on_slot mon
+    ~record:
+      { Metrics.slot = 0; transmitters = Metrics.At_least 2; jammed = false;
+        state = Channel.Collision }
+    ~leaders:0;
+  Monitor.on_slot mon
+    ~record:
+      { Metrics.slot = 1; transmitters = Metrics.At_least 0; jammed = false;
+        state = Channel.Single }
+    ~leaders:0;
+  check_int "both records accepted" 2 (Monitor.slots_seen mon);
+  let v =
+    expect_violation Monitor.Slot_consistency (fun () ->
+        Monitor.on_slot mon
+          ~record:
+            { Metrics.slot = 2; transmitters = Metrics.At_least 2; jammed = false;
+              state = Channel.Single }
+          ~leaders:0)
+  in
+  check_int "flagged the >=2 Single" 2 v.Monitor.slot
 
 let test_consistency_slot_skip () =
   let mon = Monitor.create ~window:4 ~eps:0.5 () in
@@ -213,6 +241,7 @@ let suite =
     ("jam-budget violation", `Quick, test_jam_budget_violation);
     ("jam-budget longer window", `Quick, test_jam_budget_longer_window);
     ("consistency: state mismatch", `Quick, test_consistency_state_mismatch);
+    ("consistency: at-least counts", `Quick, test_consistency_at_least);
     ("consistency: slot skip", `Quick, test_consistency_slot_skip);
     ("two simultaneous leaders", `Quick, test_two_leaders);
     ("checks can be disabled", `Quick, test_checks_can_be_disabled);

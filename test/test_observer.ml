@@ -10,7 +10,8 @@ module T = Jamming_telemetry.Telemetry
 open Test_util
 
 let dummy_record =
-  { Metrics.slot = 0; transmitters = 1; jammed = false; state = Channel.Single }
+  { Metrics.slot = 0; transmitters = Metrics.Exact 1; jammed = false;
+    state = Channel.Single }
 
 let dummy_result =
   {
@@ -119,7 +120,8 @@ let test_monitor_as_observer_catches () =
   let o = Monitor.observer mon in
   check_true "monitor asks for leader counts" o.Observer.needs_leaders;
   let bad =
-    { Metrics.slot = 0; transmitters = 0; jammed = false; state = Channel.Single }
+    { Metrics.slot = 0; transmitters = Metrics.Exact 0; jammed = false;
+      state = Channel.Single }
   in
   match o.Observer.on_slot bad ~leaders:0 with
   | () -> Alcotest.fail "inconsistent slot not flagged"

@@ -189,6 +189,33 @@ let test_geometric_mean () =
   (* failures before success: mean (1-p)/p = 3 *)
   check_float_eps 0.1 "geometric mean" 3.0 (float_of_int !sum /. float_of_int reps)
 
+let test_geometric_tail_clamped () =
+  (* For tiny p and a uniform draw at the representable edge below 1 the
+     inversion ratio overflows the integer range, where int_of_float is
+     unspecified; the variate must clamp instead of going undefined. *)
+  let u_max = Float.pred 1.0 in
+  (* p = 1e-12 at the extreme draw: ~3.7e13 failures — representable on
+     64-bit, clamped on 32-bit; either way a valid positive integer. *)
+  let v = Sample.geometric_of_u ~p:1e-12 u_max in
+  check_true "extreme draw yields a valid positive integer" (v > 0 && v <= max_int);
+  (* p small enough that the ratio exceeds every int range: clamps. *)
+  check_int "overflowing variate clamps to max_int" max_int
+    (Sample.geometric_of_u ~p:1e-18 u_max);
+  (* Just inside the safe range the inversion is untouched. *)
+  check_int "u=0 gives 0 failures" 0 (Sample.geometric_of_u ~p:1e-12 0.0);
+  check_int "moderate draw is finite and exact" 8 (Sample.geometric_of_u ~p:0.25 0.9);
+  (* p=1 succeeds immediately regardless of the draw. *)
+  check_int "p=1 gives 0" 0 (Sample.geometric_of_u ~p:1.0 u_max);
+  Alcotest.check_raises "u out of range"
+    (Invalid_argument "Sample.geometric: need 0 <= u < 1") (fun () ->
+      ignore (Sample.geometric_of_u ~p:0.5 1.0));
+  (* The sampling wrapper draws from [0,1), so it inherits the clamp. *)
+  let g = rng () in
+  for _ = 1 to 1_000 do
+    let v = Sample.geometric g ~p:1e-12 in
+    check_true "sampled variate in range" (v >= 0)
+  done
+
 let test_exponential_mean () =
   let g = rng () in
   let reps = 50_000 in
@@ -269,6 +296,7 @@ let suite =
     ("binomial moments", `Slow, test_binomial_moments);
     ("binomial edges", `Quick, test_binomial_edges);
     ("geometric mean", `Slow, test_geometric_mean);
+    ("geometric tail clamped", `Quick, test_geometric_tail_clamped);
     ("exponential mean", `Slow, test_exponential_mean);
     ("exponential validation", `Quick, test_exponential_validation);
     ("gaussian moments", `Slow, test_gaussian_moments);

@@ -131,6 +131,143 @@ let test_election_ok () =
   check_true "incomplete bad"
     (not (Metrics.election_ok (mk [| Station.Leader; Station.Non_leader |] false)))
 
+(* --- active-set engine vs reference oracle --- *)
+
+module Observer = Jamming_sim.Observer
+module Config = Jamming_faults.Config
+module Perception = Jamming_faults.Perception
+module Injection = Jamming_faults.Injection
+
+let test_timeout_with_standing_leader () =
+  (* Station 0 crowns itself immediately but nobody ever finishes: the
+     run hits max_slots with exactly one standing leader.  The result
+     must NOT claim a leader for an election that never completed. *)
+  let factory ~id ~rng:_ =
+    {
+      Station.id;
+      decide = (fun ~slot:_ -> Station.Listen);
+      observe = (fun ~slot:_ ~perceived:_ ~transmitted:_ -> ());
+      status = (fun () -> if id = 0 then Station.Leader else Station.Undecided);
+      finished = (fun () -> false);
+    }
+  in
+  let active ~cd ~adversary ~budget ~max_slots ~stations () =
+    Engine.run ~cd ~adversary ~budget ~max_slots ~stations ()
+  in
+  let oracle ~cd ~adversary ~budget ~max_slots ~stations () =
+    Engine.run_reference ~cd ~adversary ~budget ~max_slots ~stations ()
+  in
+  let go run =
+    let stations = Engine.make_stations ~n:3 ~rng:(rng ()) factory in
+    run ~cd:Channel.Strong_cd ~adversary:(Adversary.none ())
+      ~budget:(Budget.create ~window:4 ~eps:0.5) ~max_slots:5 ~stations ()
+  in
+  List.iter
+    (fun (name, run) ->
+      let r = go run in
+      check_true (name ^ ": not completed") (not r.Metrics.completed);
+      check_true (name ^ ": not elected") (not r.Metrics.elected);
+      check_true (name ^ ": no leader reported") (r.Metrics.leader = None);
+      Alcotest.check status_testable
+        (name ^ ": the standing status is still visible")
+        Station.Leader r.Metrics.statuses.(0))
+    [ ("active-set", active); ("reference", oracle) ]
+
+(* One run through either engine entry point, everything rebuilt from
+   the seed: stations, adversary, budget, fault plans and sensing noise
+   (mirroring Runner's dedicated fault streams), plus a needs_leaders
+   observer logging every slot record and leader count. *)
+let run_active ?faults ~observers ~cd ~adversary ~budget ~max_slots ~stations () =
+  Engine.run ?faults ~observers ~cd ~adversary ~budget ~max_slots ~stations ()
+
+let run_oracle ?faults ~observers ~cd ~adversary ~budget ~max_slots ~stations () =
+  Engine.run_reference ?faults ~observers ~cd ~adversary ~budget ~max_slots ~stations ()
+
+let equivalence_run engine_run ~seed ~n ~faulty factory =
+  let log = ref [] in
+  let recording =
+    Observer.make ~name:"rec" ~needs_leaders:true
+      ~on_slot:(fun r ~leaders ->
+        log :=
+          (r.Metrics.slot, r.Metrics.transmitters, r.Metrics.jammed, r.Metrics.state, leaders)
+          :: !log)
+      ()
+  in
+  let g = Prng.create ~seed in
+  let stations = Engine.make_stations ~n ~rng:g factory in
+  let stations, faults =
+    if not faulty then (stations, None)
+    else begin
+      let cfg =
+        {
+          Config.perception = Perception.uniform ~p:0.2;
+          p_crash = 0.3;
+          crash_horizon = 500;
+          p_sleep = 0.3;
+          sleep_horizon = 200;
+          max_sleep = 40;
+          p_late_wake = 0.3;
+          max_wake_delay = 10;
+        }
+      in
+      let plans =
+        Config.sample_plans cfg ~rng:(Prng.create ~seed:(seed lxor 0x9e3779b9)) ~n
+      in
+      let injection =
+        Injection.create ~noise:cfg.Config.perception
+          ~rng:(Prng.create ~seed:(seed lxor 0x85ebca6b))
+      in
+      (Config.wrap_stations plans stations, Some injection)
+    end
+  in
+  let budget = Budget.create ~window:16 ~eps:0.5 in
+  let result =
+    engine_run ?faults ~observers:[ recording ] ~cd:Channel.Strong_cd
+      ~adversary:(Adversary.greedy ()) ~budget ~max_slots:50_000 ~stations ()
+  in
+  (result, List.rev !log)
+
+let prop_active_set_matches_reference =
+  qtest ~count:40
+    "active-set engine bit-identical to reference (faults, observers, leader counts)"
+    QCheck.(triple (int_range 2 40) small_int bool)
+    (fun (n, seed, faulty) ->
+      let r, log =
+        equivalence_run run_active ~seed ~n ~faulty (Jamming_core.Lesk.station ~eps:0.5)
+      in
+      let r', log' =
+        equivalence_run run_oracle ~seed ~n ~faulty (Jamming_core.Lesk.station ~eps:0.5)
+      in
+      Metrics.equal_result r r' && log = log')
+
+let test_active_set_matches_reference_staggered () =
+  (* Heterogeneous early finishers: station i retires after i+1 slots,
+     so the active set shrinks every slot while the reference still
+     scans all n.  Statuses flip to Non_leader exactly at retirement,
+     exercising the incremental leader-count bookkeeping on every
+     transition. *)
+  let staggered ~id ~rng:_ =
+    let steps = ref 0 in
+    {
+      Station.id;
+      decide =
+        (fun ~slot:_ ->
+          incr steps;
+          if !steps = id + 1 then Station.Transmit else Station.Listen);
+      observe = (fun ~slot:_ ~perceived:_ ~transmitted:_ -> ());
+      status = (fun () -> if !steps > id then Station.Non_leader else Station.Undecided);
+      finished = (fun () -> !steps > id);
+    }
+  in
+  List.iter
+    (fun seed ->
+      let r, log = equivalence_run run_active ~seed ~n:32 ~faulty:false staggered in
+      let r', log' = equivalence_run run_oracle ~seed ~n:32 ~faulty:false staggered in
+      check_true "results identical" (Metrics.equal_result r r');
+      check_true "slot logs identical" (log = log');
+      check_int "all stations retired" 32 r.Metrics.slots)
+    [ 1; 2; 3 ]
+
 (* --- uniform engine --- *)
 
 let constant_p p () =
@@ -141,6 +278,43 @@ let constant_p p () =
       (fun state ->
         if Channel.equal_state state Channel.Single then Uniform.Elected else Uniform.Continue);
   }
+
+let test_uniform_engine_many_is_lower_bound () =
+  (* p = 1 with n >= 2: every slot lands in the Many trichotomy class.
+     Only the class is sampled, so the record must say "at least 2"
+     rather than fabricate an exact 2 — and the monitor's consistency
+     check must accept the honest encoding. *)
+  let records = ref [] in
+  let mon = Jamming_sim.Monitor.create ~window:4 ~eps:0.5 () in
+  let obs =
+    Observer.make ~name:"rec" ~on_slot:(fun r ~leaders:_ -> records := r :: !records) ()
+  in
+  let g = rng () in
+  let budget = Budget.create ~window:4 ~eps:0.5 in
+  let (_ : Metrics.result) =
+    Uniform_engine.run
+      ~observers:[ Jamming_sim.Monitor.observer mon; obs ]
+      ~n:8 ~rng:g ~protocol:(constant_p 1.0 ()) ~adversary:(Adversary.none ()) ~budget
+      ~max_slots:5 ()
+  in
+  check_int "five slots recorded" 5 (List.length !records);
+  check_true "every Many slot is recorded as >=2"
+    (List.for_all
+       (fun r -> Metrics.equal_tx_count r.Metrics.transmitters (Metrics.At_least 2))
+       !records);
+  check_int "monitor accepted every record" 5 (Jamming_sim.Monitor.slots_seen mon);
+  (* The 0 and 1 classes stay exact. *)
+  let records0 = ref [] in
+  let (_ : Metrics.result) =
+    Uniform_engine.run
+      ~on_slot:(fun r -> records0 := r :: !records0)
+      ~n:8 ~rng:g ~protocol:(constant_p 0.0 ()) ~adversary:(Adversary.none ()) ~budget
+      ~max_slots:3 ()
+  in
+  check_true "Zero class stays Exact 0"
+    (List.for_all
+       (fun r -> Metrics.equal_tx_count r.Metrics.transmitters (Metrics.Exact 0))
+       !records0)
 
 let test_uniform_engine_elects () =
   let result = run_uniform ~n:64 (constant_p (1.0 /. 64.0)) in
@@ -283,7 +457,13 @@ let suite =
     ("jamming masks a Single", `Quick, test_jam_turns_single_into_collision);
     ("budget clamps greedy jamming", `Quick, test_budget_violations_impossible);
     ("election_ok postconditions", `Quick, test_election_ok);
+    ("timeout with standing leader reports none", `Quick, test_timeout_with_standing_leader);
+    prop_active_set_matches_reference;
+    ("active set matches reference on staggered finishers", `Quick,
+      test_active_set_matches_reference_staggered);
     ("uniform engine elects", `Quick, test_uniform_engine_elects);
+    ("uniform engine Many class is a lower bound", `Quick,
+      test_uniform_engine_many_is_lower_bound);
     ("uniform engine p=0", `Quick, test_uniform_engine_p_zero_never_elects);
     ("uniform engine validates p", `Quick, test_uniform_engine_rejects_bad_p);
     ("uniform engine energy", `Quick, test_uniform_engine_energy_expectation);

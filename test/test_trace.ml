@@ -2,7 +2,7 @@ module Trace = Jamming_sim.Trace
 open Test_util
 
 let mk_record slot state jammed =
-  { Metrics.slot; transmitters = 1; jammed; state }
+  { Metrics.slot; transmitters = Metrics.Exact 1; jammed; state }
 
 let test_validation () =
   Alcotest.check_raises "capacity 0" (Invalid_argument "Trace.create: capacity must be >= 1")
@@ -54,6 +54,19 @@ let test_engine_integration () =
   check_int "trace saw every slot" result.Metrics.slots (Trace.recorded t);
   check_int "jam counts agree" result.Metrics.jammed_slots (Trace.count_jammed t)
 
+let test_pp_tx_counts () =
+  (* Exact counts print as tx=k; the uniform engine's Many class is only
+     a lower bound and must not render as an exact count. *)
+  let exact = Format.asprintf "%a" Trace.pp_record (mk_record 0 Channel.Single false) in
+  check_true "exact count prints tx=1" (contains_substring exact "tx=1");
+  let many =
+    { Metrics.slot = 1; transmitters = Metrics.At_least 2; jammed = false;
+      state = Channel.Collision }
+  in
+  let s = Format.asprintf "%a" Trace.pp_record many in
+  check_true "lower bound prints tx>=2" (contains_substring s "tx>=2");
+  check_true "lower bound does not claim tx=2" (not (contains_substring s "tx=2"))
+
 let test_pp_mentions_drops () =
   let t = Trace.create ~capacity:2 in
   for i = 0 to 4 do
@@ -69,5 +82,6 @@ let suite =
     ("ring overwrite keeps tail", `Quick, test_ring_overwrite);
     ("state counters", `Quick, test_counters);
     ("engine integration", `Quick, test_engine_integration);
+    ("pp renders tx counts honestly", `Quick, test_pp_tx_counts);
     ("pp mentions drops", `Quick, test_pp_mentions_drops);
   ]

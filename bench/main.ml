@@ -334,6 +334,70 @@ let scaling_cell ~id ~name ~oracle ~n ~horizon ~reps =
         if wall > 0.0 then Json.Float (float_of_int slots /. wall) else Json.Null );
     ]
 
+(* --- run-store overhead cells (X4, X5) ---
+
+   X4 meters the cold path (compute + persist into a throwaway private
+   store), X5 the warm path (hit + decode) over the identical cells, so
+   X5/X4 slots-per-sec directly reads off what a cache hit buys.  The
+   store lives under the system temp dir and is deleted afterwards —
+   the cells never touch results/cache/. *)
+
+module Store = Jamming_store.Store
+module Atomic_io = Jamming_store.Atomic_io
+
+let store_overhead_cell ~id ~name ~store ~reps =
+  let setup = { E.Runner.n = 4096; eps = 0.5; window = 64; max_slots = 2_000_000 } in
+  let engine = E.Runner.Uniform (E.Specs.lesk ~eps:0.5) in
+  let slots_of sample =
+    Array.fold_left
+      (fun acc r -> acc + r.Jamming_sim.Metrics.slots)
+      0 sample.E.Runner.results
+  in
+  let t0 = Unix.gettimeofday () in
+  let slots = ref 0 in
+  for base_seed = 1 to reps do
+    let sample =
+      E.Runner.replicate_cached ~base_seed ~store ~engine ~reps:4 setup E.Specs.greedy
+    in
+    slots := !slots + slots_of sample
+  done;
+  let wall = Unix.gettimeofday () -. t0 in
+  Json.Obj
+    [
+      ("id", Json.String id);
+      ("name", Json.String name);
+      ("wall_s", Json.Float wall);
+      ("slots", Json.Int !slots);
+      ("runs", Json.Int (reps * 4));
+      ( "slots_per_sec",
+        if wall > 0.0 then Json.Float (float_of_int !slots /. wall) else Json.Null );
+    ]
+
+let store_overhead_cells () =
+  let root =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "jamming-bench-store.%d" (Unix.getpid ()))
+  in
+  Atomic_io.remove_tree root;
+  let store = Store.create ~root () in
+  let reps = 16 in
+  let cold =
+    store_overhead_cell ~id:"X4" ~name:"store-cold-compute-persist-n4096" ~store ~reps
+  in
+  let warm =
+    store_overhead_cell ~id:"X5" ~name:"store-warm-hit-decode-n4096" ~store ~reps
+  in
+  let stats = Store.io_stats store in
+  Atomic_io.remove_tree root;
+  (match (cell_field cold "wall_s", cell_field warm "wall_s") with
+  | Some cw, Some ww when ww > 0.0 ->
+      Printf.printf
+        "run-store overhead (n=4096 LESK cells): cold compute+persist %.3fs vs warm \
+         hit+decode %.3fs (%.1fx); %d hits / %d misses\n"
+        cw ww (cw /. ww) stats.Store.hits stats.Store.misses
+  | _ -> ());
+  [ cold; warm ]
+
 let scaling_cells () =
   let horizon = 2048 in
   let cells =
@@ -369,6 +433,30 @@ let () =
     | Some ("1" | "true" | "yes") -> true
     | Some _ | None -> false
   in
+  (* Same cache switches as the CLIs, hand-parsed (bechamel owns no
+     argv conventions here): --cache / --no-cache / --resume /
+     --cache-dir DIR, with BENCH_CACHE=1 as the env default. *)
+  let argv = Array.to_list Sys.argv in
+  let has flag = List.mem flag argv in
+  let cache_dir =
+    let rec find = function
+      | "--cache-dir" :: dir :: _ -> dir
+      | _ :: rest -> find rest
+      | [] -> "results/cache"
+    in
+    find argv
+  in
+  let env_cache =
+    match Sys.getenv_opt "BENCH_CACHE" with
+    | Some ("1" | "true" | "yes") -> true
+    | Some _ | None -> false
+  in
+  let store =
+    if (has "--cache" || has "--resume" || env_cache) && not (has "--no-cache") then
+      Some (Store.create ~root:cache_dir ())
+    else None
+  in
+  E.Runner.set_store store;
   E.Runner.default_jobs := E.Runner.recommended_jobs ();
   if not skip_micro then begin
     print_endline "=== Bechamel microbenchmarks (time per representative run) ===";
@@ -385,30 +473,33 @@ let () =
   let cells = List.map (meter_experiment ~scale out) E.Experiments.all in
   Printf.printf "\n=== Exact-engine large-n scaling (X1..X3) ===\n";
   let cells = cells @ scaling_cells () in
+  Printf.printf "\n=== Run-store overhead (X4..X5) ===\n";
+  let cells = cells @ store_overhead_cells () in
   let wall = Unix.gettimeofday () -. t0 in
   let total_slots = Gauges.slots_simulated () - slots0 in
   let date = iso_date () in
   let report =
     Json.Obj
-      [
-        ("schema", Json.String "jamming-election.bench/1");
-        ("date", Json.String date);
-        ("scale", Json.String (match scale with E.Registry.Full -> "full" | _ -> "quick"));
-        ("jobs", Json.Int !E.Runner.default_jobs);
-        ("experiments", Json.List cells);
-        ( "totals",
-          Json.Obj
-            [
-              ("wall_s", Json.Float wall);
-              ("slots", Json.Int total_slots);
-              ( "slots_per_sec",
-                if wall > 0.0 then Json.Float (float_of_int total_slots /. wall)
-                else Json.Null );
-            ] );
-      ]
+      ([
+         ("schema", Json.String "jamming-election.bench/1");
+         ("date", Json.String date);
+         ("scale", Json.String (match scale with E.Registry.Full -> "full" | _ -> "quick"));
+         ("jobs", Json.Int !E.Runner.default_jobs);
+         ("experiments", Json.List cells);
+         ( "totals",
+           Json.Obj
+             [
+               ("wall_s", Json.Float wall);
+               ("slots", Json.Int total_slots);
+               ( "slots_per_sec",
+                 if wall > 0.0 then Json.Float (float_of_int total_slots /. wall)
+                 else Json.Null );
+             ] );
+       ]
+      @ match store with Some st -> [ ("store", Store.stats_json st) ] | None -> [])
   in
   let path = Printf.sprintf "BENCH_%s.json" date in
-  Json.write_file ~path report;
+  Atomic_io.write_json ~path report;
   Printf.printf "\nbench report written: %s (%d experiments, %d slots, %.1fs)\n" path
     (List.length cells) total_slots wall;
   match Sys.getenv_opt "BENCH_BASELINE" with

@@ -7,6 +7,24 @@
 
 module E = Jamming_experiments
 module Metrics = Jamming_sim.Metrics
+module Store = Jamming_store.Store
+module Atomic_io = Jamming_store.Atomic_io
+
+(* Same --cache / --no-cache / --resume resolution as sweep and soak:
+   --resume implies --cache, JAMMING_CACHE=1 flips the default,
+   --no-cache wins. *)
+let cache_enabled ~cache ~no_cache ~resume =
+  let env_default =
+    match Sys.getenv_opt "JAMMING_CACHE" with
+    | Some ("1" | "true" | "yes") -> true
+    | Some _ | None -> false
+  in
+  (cache || resume || env_default) && not no_cache
+
+let report_store_stats st =
+  let disk = Store.disk_stats st in
+  Format.eprintf "store: %a entries=%d disk_bytes=%d@." Store.pp_io_stats
+    (Store.io_stats st) disk.Store.entries disk.Store.bytes
 
 let protocols ~eps =
   [
@@ -43,7 +61,7 @@ let adversaries ~eps =
   ]
 
 let run protocol_name adversary_name n eps window max_slots seed reps weak_cd verbose trace
-    json_out =
+    json_out cache no_cache resume cache_dir =
   let fail fmt = Format.kasprintf (fun s -> `Error (false, s)) fmt in
   let adversary_lookup name =
     match String.index_opt name ':' with
@@ -77,6 +95,12 @@ let run protocol_name adversary_name n eps window max_slots seed reps weak_cd ve
               }
           else E.Runner.Uniform protocol
         in
+        let store =
+          if cache_enabled ~cache ~no_cache ~resume then
+            Some (Store.create ~root:cache_dir ())
+          else None
+        in
+        E.Runner.set_store store;
         let sample = E.Runner.replicate ~base_seed:seed ~engine ~reps setup adversary in
         if verbose then
           Array.iteri
@@ -91,9 +115,10 @@ let run protocol_name adversary_name n eps window max_slots seed reps weak_cd ve
         (match json_out with
         | None -> ()
         | Some path ->
-            Jamming_telemetry.Json.write_file ~path
+            Atomic_io.write_json ~path
               (E.Runner.sample_to_json ~include_results:true sample);
             Format.printf "JSON written: %s@." path);
+        (match store with Some st -> report_store_stats st | None -> ());
         if trace > 0 then begin
           (* One extra, separately seeded run with a slot trace attached
              as an observer. *)
@@ -142,11 +167,35 @@ let cmd =
       & info [ "json-out" ] ~docv:"FILE"
           ~doc:"Write the sample (setup, per-run results, digests) as JSON to $(docv).")
   in
+  let cache =
+    Arg.(
+      value & flag
+      & info [ "cache" ]
+          ~doc:
+            "Reuse persisted cell results from the content-addressed run store \
+             (JAMMING_CACHE=1 enables this by default).")
+  in
+  let no_cache =
+    Arg.(
+      value & flag
+      & info [ "no-cache" ] ~doc:"Disable the run store even if JAMMING_CACHE is set.")
+  in
+  let resume =
+    Arg.(
+      value & flag
+      & info [ "resume" ] ~doc:"Alias for $(b,--cache) (shared with sweep/soak).")
+  in
+  let cache_dir =
+    Arg.(
+      value
+      & opt string "results/cache"
+      & info [ "cache-dir" ] ~docv:"DIR" ~doc:"Run store root (default results/cache).")
+  in
   let term =
     Term.(
       ret
         (const run $ protocol $ adversary $ n $ eps $ window $ max_slots $ seed $ reps
-        $ weak_cd $ verbose $ trace $ json_out))
+        $ weak_cd $ verbose $ trace $ json_out $ cache $ no_cache $ resume $ cache_dir))
   in
   Cmd.v
     (Cmd.info "lesim" ~doc:"Simulate jamming-resistant leader election (Klonowski-Pajak 2015)")

@@ -26,6 +26,9 @@
 
 module E = Jamming_experiments
 module Prng = Jamming_prng.Prng
+module Store = Jamming_store.Store
+module Key = Jamming_store.Key
+module Atomic_io = Jamming_store.Atomic_io
 module Metrics = Jamming_sim.Metrics
 module Monitor = Jamming_sim.Monitor
 module Channel = Jamming_channel.Channel
@@ -192,18 +195,16 @@ let shrink ~budget c0 =
 
 (* --- violation reports --- *)
 
-let ensure_dir dir =
-  if not (Sys.file_exists dir) then Unix.mkdir dir 0o755
-
+(* The report is built in memory and written atomically (tmp + rename):
+   an interrupted soak never leaves a truncated report behind. *)
 let write_report ~dir c violations =
-  ensure_dir dir;
   let shrunk, attempts = shrink ~budget:40 c in
   let shrunk_violations, _ = if shrunk = c then (violations, 0) else run_config shrunk in
   let path =
     Filename.concat dir (Printf.sprintf "soak-violation-%d-%d.txt" c.base_seed c.iteration)
   in
-  let oc = open_out path in
-  let ppf = Format.formatter_of_out_channel oc in
+  let buf = Buffer.create 512 in
+  let ppf = Format.formatter_of_buffer buf in
   Format.fprintf ppf "soak invariant violation@.";
   Format.fprintf ppf "iteration: %d (base seed %d)@." c.iteration c.base_seed;
   Format.fprintf ppf "config: %a@." pp_config c;
@@ -213,41 +214,104 @@ let write_report ~dir c violations =
   Format.fprintf ppf "replay: dune exec bin/soak.exe -- --seed %d --replay %d@."
     c.base_seed c.iteration;
   Format.pp_print_flush ppf ();
-  close_out oc;
+  Atomic_io.write_string ~path (Buffer.contents buf);
   path
 
 let iteration_seed ~seed ~iteration =
   Prng.seed_of_string (Printf.sprintf "soak/%d/%d" seed iteration)
 
-let run_iteration ~base_seed ~iteration ~with_faults =
+(* One soak iteration through the run store.  The config itself is a
+   pure function of the seeds, so only the outcome (violations, slots)
+   is persisted; --resume then skips every iteration the interrupted
+   run already finished. *)
+let iteration_key ~base_seed ~iteration ~with_faults =
+  Key.v
+    [
+      ("kind", Key.S "soak");
+      ("base_seed", Key.I base_seed);
+      ("iteration", Key.I iteration);
+      ("with_faults", Key.B with_faults);
+    ]
+
+let iteration_value violations slots =
+  let module Json = Jamming_telemetry.Json in
+  Json.Obj
+    [
+      ("violations", Json.List (List.map (fun d -> Json.String d) violations));
+      ("slots", Json.Int slots);
+    ]
+
+let iteration_of_json json =
+  let module Json = Jamming_telemetry.Json in
+  match json with
+  | Json.Obj fields -> (
+      match (List.assoc_opt "violations" fields, List.assoc_opt "slots" fields) with
+      | Some (Json.List vs), Some (Json.Int slots) ->
+          let strings =
+            List.map (function Json.String s -> Some s | _ -> None) vs
+          in
+          if List.for_all Option.is_some strings then
+            Some (List.filter_map Fun.id strings, slots)
+          else None
+      | _ -> None)
+  | _ -> None
+
+let run_iteration ?store ~base_seed ~iteration ~with_faults () =
   let seed = iteration_seed ~seed:base_seed ~iteration in
   let c = sample_config ~base_seed ~seed ~iteration ~with_faults in
-  let violations, slots = run_config c in
-  (c, violations, slots)
+  match store with
+  | None ->
+      let violations, slots = run_config c in
+      (c, violations, slots)
+  | Some st -> (
+      let key = iteration_key ~base_seed ~iteration ~with_faults in
+      match Store.find st key ~decode:iteration_of_json with
+      | Some (violations, slots) -> (c, violations, slots)
+      | None ->
+          let violations, slots = run_config c in
+          Store.add st key (iteration_value violations slots);
+          (c, violations, slots))
 
-let write_json ~path ~iterations ~total_slots ~wall ~failures =
+let write_json ~path ~store ~iterations ~total_slots ~wall ~failures =
   let module Json = Jamming_telemetry.Json in
-  Json.write_file ~path
+  Atomic_io.write_json ~path
     (Json.Obj
-       [
-         ("schema", Json.String "jamming-election.soak/1");
-         ("iterations", Json.Int iterations);
-         ("total_slots", Json.Int total_slots);
-         ("wall_s", Json.Float wall);
-         ( "slots_per_sec",
-           if wall > 0.0 then Json.Float (float_of_int total_slots /. wall) else Json.Null );
-         ("violations", Json.Int (List.length failures));
-         ( "failing_iterations",
-           Json.List
-             (List.rev_map (fun (c, _) -> Json.Int c.iteration) failures) );
-       ]);
+       ([
+          ("schema", Json.String "jamming-election.soak/1");
+          ("iterations", Json.Int iterations);
+          ("total_slots", Json.Int total_slots);
+          ("wall_s", Json.Float wall);
+          ( "slots_per_sec",
+            if wall > 0.0 then Json.Float (float_of_int total_slots /. wall) else Json.Null );
+          ("violations", Json.Int (List.length failures));
+          ( "failing_iterations",
+            Json.List
+              (List.rev_map (fun (c, _) -> Json.Int c.iteration) failures) );
+        ]
+       @ match store with Some st -> [ ("store", Store.stats_json st) ] | None -> []));
   Format.printf "JSON written: %s@." path
 
-let run iterations seed no_faults replay report_dir json_out =
+let cache_enabled ~cache ~no_cache ~resume =
+  let env_default =
+    match Sys.getenv_opt "JAMMING_CACHE" with
+    | Some ("1" | "true" | "yes") -> true
+    | Some _ | None -> false
+  in
+  (cache || resume || env_default) && not no_cache
+
+let report_store_stats st =
+  let disk = Store.disk_stats st in
+  Format.eprintf "store: %a entries=%d disk_bytes=%d@." Store.pp_io_stats
+    (Store.io_stats st) disk.Store.entries disk.Store.bytes
+
+let run iterations seed no_faults replay report_dir json_out cache no_cache resume
+    cache_dir =
   let with_faults = not no_faults in
   match replay with
   | Some iteration ->
-      let c, violations, slots = run_iteration ~base_seed:seed ~iteration ~with_faults in
+      (* A replay is a diagnostic re-execution — never served from the
+         store. *)
+      let c, violations, slots = run_iteration ~base_seed:seed ~iteration ~with_faults () in
       Format.printf "replaying iteration %d: %a@." iteration pp_config c;
       Format.printf "%d slots simulated.@." slots;
       (match violations with
@@ -258,11 +322,18 @@ let run iterations seed no_faults replay report_dir json_out =
           List.iter (fun d -> Format.printf "VIOLATION: %s@." d) vs;
           `Error (false, "replayed iteration violates invariants"))
   | None ->
+      let store =
+        if cache_enabled ~cache ~no_cache ~resume then
+          Some (Store.create ~root:cache_dir ())
+        else None
+      in
       let t0 = Unix.gettimeofday () in
       let failures = ref [] in
       let total_slots = ref 0 in
       for iteration = 1 to iterations do
-        let c, violations, slots = run_iteration ~base_seed:seed ~iteration ~with_faults in
+        let c, violations, slots =
+          run_iteration ?store ~base_seed:seed ~iteration ~with_faults ()
+        in
         total_slots := !total_slots + slots;
         if violations <> [] then failures := (c, violations) :: !failures;
         if iteration mod 50 = 0 then
@@ -277,8 +348,9 @@ let run iterations seed no_faults replay report_dir json_out =
       (match json_out with
       | None -> ()
       | Some path ->
-          write_json ~path ~iterations ~total_slots:!total_slots ~wall:dt
+          write_json ~path ~store ~iterations ~total_slots:!total_slots ~wall:dt
             ~failures:!failures);
+      (match store with Some st -> report_store_stats st | None -> ());
       (match !failures with
       | [] ->
           Format.printf "all invariants held.@.";
@@ -318,8 +390,38 @@ let cmd =
          & info [ "json-out" ] ~docv:"FILE"
              ~doc:"Write iterations, slots, wall time and violation count as JSON.")
   in
+  let cache =
+    Arg.(
+      value & flag
+      & info [ "cache" ]
+          ~doc:
+            "Persist per-iteration outcomes in the content-addressed run store and \
+             reuse them (JAMMING_CACHE=1 enables this by default).")
+  in
+  let no_cache =
+    Arg.(
+      value & flag
+      & info [ "no-cache" ] ~doc:"Disable the run store even if JAMMING_CACHE is set.")
+  in
+  let resume =
+    Arg.(
+      value & flag
+      & info [ "resume" ]
+          ~doc:
+            "Resume an interrupted soak: implies $(b,--cache), so iterations completed \
+             by the previous run are loaded from the store instead of recomputed.")
+  in
+  let cache_dir =
+    Arg.(
+      value
+      & opt string "results/cache"
+      & info [ "cache-dir" ] ~docv:"DIR" ~doc:"Run store root (default results/cache).")
+  in
   Cmd.v
     (Cmd.info "soak" ~doc:"Randomized invariant soak-testing of the whole pipeline")
-    Term.(ret (const run $ iterations $ seed $ no_faults $ replay $ report_dir $ json_out))
+    Term.(
+      ret
+        (const run $ iterations $ seed $ no_faults $ replay $ report_dir $ json_out
+       $ cache $ no_cache $ resume $ cache_dir))
 
 let () = exit (Cmd.eval cmd)

@@ -17,6 +17,27 @@ let list_experiments () =
 module Telemetry = Jamming_telemetry.Telemetry
 module Json = Jamming_telemetry.Json
 module Gauges = Jamming_sim.Gauges
+module Store = Jamming_store.Store
+module Atomic_io = Jamming_store.Atomic_io
+
+(* --cache / --no-cache / --resume resolution, shared by the three
+   CLIs: --resume implies --cache (a resumed sweep is just a cached
+   sweep whose completed cells hit), JAMMING_CACHE=1 turns caching on
+   by default, and --no-cache beats everything. *)
+let cache_enabled ~cache ~no_cache ~resume =
+  let env_default =
+    match Sys.getenv_opt "JAMMING_CACHE" with
+    | Some ("1" | "true" | "yes") -> true
+    | Some _ | None -> false
+  in
+  (cache || resume || env_default) && not no_cache
+
+(* Stats go to stderr so stdout (the experiment tables) stays
+   byte-identical between cold and warm passes — CI diffs it. *)
+let report_store_stats st =
+  let disk = Store.disk_stats st in
+  Format.eprintf "store: %a entries=%d disk_bytes=%d@." Store.pp_io_stats
+    (Store.io_stats st) disk.Store.entries disk.Store.bytes
 
 (* Runs one experiment under a fresh telemetry sink and returns its
    machine-readable digest.  Gauges deltas pick up slots simulated by
@@ -41,7 +62,7 @@ let run_metered ~scale out e =
         ("telemetry", Telemetry.to_json tel);
       ] )
 
-let run list full csv_dir jobs telemetry json_out ids =
+let run list full csv_dir jobs telemetry json_out cache no_cache resume cache_dir ids =
   if list then begin
     list_experiments ();
     `Ok ()
@@ -51,6 +72,12 @@ let run list full csv_dir jobs telemetry json_out ids =
       (match jobs with
       | Some 0 | None -> E.Runner.recommended_jobs ()
       | Some j -> j);
+    let store =
+      if cache_enabled ~cache ~no_cache ~resume then
+        Some (Store.create ~root:cache_dir ())
+      else None
+    in
+    E.Runner.set_store store;
     let scale = if full then E.Registry.Full else E.Registry.Quick in
     let ids = if ids = [] then [ "all" ] else ids in
     let targets =
@@ -88,21 +115,26 @@ let run list full csv_dir jobs telemetry json_out ids =
         (match json_out with
         | None -> ()
         | Some path ->
-            Json.write_file ~path
+            Atomic_io.write_json ~path
               (Json.Obj
-                 [
-                   ("schema", Json.String "jamming-election.sweep/1");
-                   ( "scale",
-                     Json.String (match scale with E.Registry.Full -> "full" | _ -> "quick") );
-                   ("jobs", Json.Int !E.Runner.default_jobs);
-                   ("experiments", Json.List cells);
-                 ]);
+                 ([
+                    ("schema", Json.String "jamming-election.sweep/1");
+                    ( "scale",
+                      Json.String (match scale with E.Registry.Full -> "full" | _ -> "quick") );
+                    ("jobs", Json.Int !E.Runner.default_jobs);
+                    ("experiments", Json.List cells);
+                  ]
+                 @
+                 match store with
+                 | Some st -> [ ("store", Store.stats_json st) ]
+                 | None -> []));
             Format.printf "@.JSON written: %s@." path);
         (match E.Output.csv_files_written out with
         | [] -> ()
         | files ->
             Format.printf "@.CSV written:@.";
             List.iter (Format.printf "  %s@.") (List.rev files));
+        (match store with Some st -> report_store_stats st | None -> ());
         `Ok ()
   end
 
@@ -142,8 +174,39 @@ let cmd =
       & info [ "json-out" ] ~docv:"FILE"
           ~doc:"Write per-experiment wall time, slots, slots/sec and telemetry as JSON.")
   in
+  let cache =
+    Arg.(
+      value & flag
+      & info [ "cache" ]
+          ~doc:
+            "Cache every (engine, setup, adversary, reps, seed) cell in the \
+             content-addressed run store and reuse persisted results \
+             (JAMMING_CACHE=1 enables this by default).")
+  in
+  let no_cache =
+    Arg.(
+      value & flag
+      & info [ "no-cache" ] ~doc:"Disable the run store even if JAMMING_CACHE is set.")
+  in
+  let resume =
+    Arg.(
+      value & flag
+      & info [ "resume" ]
+          ~doc:
+            "Resume an interrupted sweep: implies $(b,--cache), so cells completed \
+             by the previous run are loaded from the store instead of recomputed.")
+  in
+  let cache_dir =
+    Arg.(
+      value
+      & opt string "results/cache"
+      & info [ "cache-dir" ] ~docv:"DIR" ~doc:"Run store root (default results/cache).")
+  in
   Cmd.v
     (Cmd.info "sweep" ~doc:"Regenerate the paper-reproduction tables and figures")
-    Term.(ret (const run $ list $ full $ csv_dir $ jobs $ telemetry $ json_out $ ids))
+    Term.(
+      ret
+        (const run $ list $ full $ csv_dir $ jobs $ telemetry $ json_out $ cache
+       $ no_cache $ resume $ cache_dir $ ids))
 
 let () = exit (Cmd.eval cmd)

@@ -7,6 +7,8 @@ module Observer = Jamming_sim.Observer
 module Faults = Jamming_faults
 module Telemetry = Jamming_telemetry.Telemetry
 module Json = Jamming_telemetry.Json
+module Store = Jamming_store.Store
+module Key = Jamming_store.Key
 
 type setup = { n : int; eps : float; window : int; max_slots : int }
 
@@ -201,7 +203,8 @@ let record_sample tel (results : Metrics.result array) =
       Telemetry.observe per_run r.Metrics.slots)
     results
 
-let replicate ?jobs ?(base_seed = 42) ?telemetry ~engine ~reps setup adversary =
+(* The compute path: always simulates, never consults the store. *)
+let replicate_computed ?jobs ~base_seed ?telemetry ~engine ~reps setup adversary =
   let jobs = match jobs with Some j -> j | None -> !default_jobs in
   let tel = match telemetry with Some t -> Some t | None -> !default_telemetry in
   let tag = cell_tag ~engine ~adversary setup in
@@ -221,17 +224,6 @@ let replicate ?jobs ?(base_seed = 42) ?telemetry ~engine ~reps setup adversary =
     adversary_name = adversary.Specs.a_name;
     results;
   }
-
-(* --- deprecated replicated wrappers --- *)
-
-let replicate_exact ?jobs ?base_seed ~cd ~reps setup ~name ~factory adversary =
-  replicate ?jobs ?base_seed ~engine:(Exact { name; cd; factory }) ~reps setup adversary
-
-let replicate_faulty ?jobs ?base_seed ?monitor_checks ~cd ~reps setup ~name ~factory
-    ~faults adversary =
-  replicate ?jobs ?base_seed
-    ~engine:(Faulty { name; cd; factory; faults; monitor_checks })
-    ~reps setup adversary
 
 let slots sample =
   sample.results
@@ -300,3 +292,141 @@ let sample_to_json ?(include_results = false) sample =
           Json.List (Array.to_list (Array.map Metrics.result_to_json sample.results)) );
       ]
     else [])
+
+let setup_of_json j =
+  let int k = Option.bind (Json.member k j) Json.to_int_opt in
+  let flt k = Option.bind (Json.member k j) Json.to_float_opt in
+  match (int "n", flt "eps", int "window", int "max_slots") with
+  | Some n, Some eps, Some window, Some max_slots -> Ok { n; eps; window; max_slots }
+  | _ -> Error "setup: missing or ill-typed field"
+
+let sample_of_json j =
+  let str k = Option.bind (Json.member k j) Json.to_string_opt in
+  match
+    ( str "protocol",
+      str "adversary",
+      Json.member "setup" j,
+      Option.bind (Json.member "results" j) Json.to_list_opt )
+  with
+  | Some protocol_name, Some adversary_name, Some setup_json, Some result_jsons -> (
+      match setup_of_json setup_json with
+      | Error _ as e -> e
+      | Ok setup -> (
+          let rec decode acc = function
+            | [] -> Ok (List.rev acc)
+            | r :: tl -> (
+                match Metrics.result_of_json r with
+                | Ok r -> decode (r :: acc) tl
+                | Error _ as e -> e)
+          in
+          match decode [] result_jsons with
+          | Error _ as e -> e
+          | Ok results -> (
+              let results = Array.of_list results in
+              match Option.bind (Json.member "reps" j) Json.to_int_opt with
+              | Some reps when reps <> Array.length results ->
+                  Error "sample: reps disagrees with the results array"
+              | Some _ | None -> Ok { setup; protocol_name; adversary_name; results })))
+  | _ -> Error "sample: missing protocol/adversary/setup/results"
+
+(* --- the content-addressed run store (DESIGN.md §11) --- *)
+
+(* Full-precision fault descriptor: the engine names baked into seed
+   tags do NOT distinguish fault configurations (exp A6 reuses "LESK"
+   across crash rates), so the cache key must.  Floats are rendered in
+   hex — [Faults.Config.pp]'s %.3g would conflate nearby rates. *)
+let faults_descriptor (f : Faults.Config.t) =
+  let p = f.Faults.Config.perception in
+  Printf.sprintf "perception=%h,%h,%h,%h;crash=%h@%d;sleep=%h@%d<=%d;wake=%h<=%d"
+    p.Faults.Perception.p_null_to_collision p.Faults.Perception.p_single_to_collision
+    p.Faults.Perception.p_collision_to_single p.Faults.Perception.p_collision_to_null
+    f.Faults.Config.p_crash f.Faults.Config.crash_horizon f.Faults.Config.p_sleep
+    f.Faults.Config.sleep_horizon f.Faults.Config.max_sleep f.Faults.Config.p_late_wake
+    f.Faults.Config.max_wake_delay
+
+let cell_key ~engine ~(adversary : Specs.adversary) ~reps ~base_seed setup =
+  let kind, cd =
+    match engine with
+    | Uniform _ -> ("uniform", Channel.Strong_cd)
+    | Exact { cd; _ } -> ("exact", cd)
+    | Faulty { cd; _ } -> ("faulty", cd)
+  in
+  Key.v
+    ([
+       ("kind", Key.S kind);
+       ("protocol", Key.S (engine_name engine));
+       ("cd", Key.S (Channel.cd_model_to_string cd));
+       ("adversary", Key.S adversary.Specs.a_name);
+       ("n", Key.I setup.n);
+       ("eps", Key.F setup.eps);
+       ("window", Key.I setup.window);
+       ("max_slots", Key.I setup.max_slots);
+       ("reps", Key.I reps);
+       ("base_seed", Key.I base_seed);
+     ]
+    @
+    match engine with
+    | Faulty { faults; _ } -> [ ("faults", Key.S (faults_descriptor faults)) ]
+    | Uniform _ | Exact _ -> [])
+
+(* Process-default store, same pattern as [default_telemetry]: the
+   CLIs install one under --cache and experiment code stays oblivious. *)
+let default_store : Store.t option ref = ref None
+
+let set_store s = default_store := s
+
+let with_store st f =
+  let previous = !default_store in
+  default_store := Some st;
+  Fun.protect ~finally:(fun () -> default_store := previous) f
+
+let replicate_cached ?jobs ?(base_seed = 42) ?telemetry ?store ~engine ~reps setup
+    adversary =
+  validate setup;
+  if reps < 1 then invalid_arg "Runner.replicate: reps must be >= 1";
+  let store = match store with Some _ as s -> s | None -> !default_store in
+  match store with
+  | None -> replicate_computed ?jobs ~base_seed ?telemetry ~engine ~reps setup adversary
+  | Some st -> (
+      let tel = match telemetry with Some t -> Some t | None -> !default_telemetry in
+      let key = cell_key ~engine ~adversary ~reps ~base_seed setup in
+      (* Decode defensively: a record that decodes but describes a
+         different cell than requested (possible only through tampering
+         or a hash collision) is a miss, not a wrong answer. *)
+      let decode json =
+        match sample_of_json json with
+        | Ok s
+          when s.setup = setup
+               && s.protocol_name = engine_name engine
+               && s.adversary_name = adversary.Specs.a_name
+               && Array.length s.results = reps ->
+            Some s
+        | Ok _ | Error _ -> None
+      in
+      match Store.find ?telemetry:tel st key ~decode with
+      | Some sample ->
+          (* Hit: the decoded sample is bit-identical to a fresh
+             compute (asserted by test), so aggregate the same
+             [runner.*] telemetry the compute path would. *)
+          (match tel with Some t -> record_sample t sample.results | None -> ());
+          sample
+      | None ->
+          let sample =
+            replicate_computed ?jobs ~base_seed ?telemetry ~engine ~reps setup adversary
+          in
+          Store.add ?telemetry:tel st key (sample_to_json ~include_results:true sample);
+          sample)
+
+let replicate ?jobs ?base_seed ?telemetry ~engine ~reps setup adversary =
+  replicate_cached ?jobs ?base_seed ?telemetry ~engine ~reps setup adversary
+
+(* --- deprecated replicated wrappers --- *)
+
+let replicate_exact ?jobs ?base_seed ~cd ~reps setup ~name ~factory adversary =
+  replicate ?jobs ?base_seed ~engine:(Exact { name; cd; factory }) ~reps setup adversary
+
+let replicate_faulty ?jobs ?base_seed ?monitor_checks ~cd ~reps setup ~name ~factory
+    ~faults adversary =
+  replicate ?jobs ?base_seed
+    ~engine:(Faulty { name; cd; factory; faults; monitor_checks })
+    ~reps setup adversary

@@ -95,7 +95,49 @@ val replicate :
     [completed]/[elected], histogram [slots_per_run], and wall timer
     [wall].  Aggregation folds the finished result array in index order
     on the calling domain, so counters and histograms are identical
-    whatever [jobs] is; only the timer varies run to run. *)
+    whatever [jobs] is; only the timer varies run to run.
+
+    When a process-default store is installed ({!set_store} /
+    {!with_store}), [replicate] is {!replicate_cached} against it —
+    experiment code picks up caching without changing. *)
+
+val replicate_cached :
+  ?jobs:int ->
+  ?base_seed:int ->
+  ?telemetry:Jamming_telemetry.Telemetry.t ->
+  ?store:Jamming_store.Store.t ->
+  engine:engine ->
+  reps:int ->
+  setup ->
+  Specs.adversary ->
+  sample
+(** {!replicate} through the content-addressed run store (DESIGN.md
+    §11).  The cell key covers the engine kind and name, CD model,
+    adversary name, full setup, [reps], [base_seed], the fault
+    configuration (for [Faulty] engines), the store schema version, and
+    the code fingerprint.  On a hit the persisted sample is decoded —
+    bit-identical to a fresh compute, results included (asserted by
+    test) — and the usual [runner.*] telemetry is still aggregated; on
+    a miss (including a corrupt or stale entry) the cell is computed
+    and persisted atomically.  [store] defaults to the process-default
+    store; with neither, this is exactly {!replicate}.  Lookup and
+    persistence traffic lands in the telemetry sink under [store.hits]
+    / [store.misses] / [store.bytes_read] / [store.bytes_written]. *)
+
+val cell_key :
+  engine:engine ->
+  adversary:Specs.adversary ->
+  reps:int ->
+  base_seed:int ->
+  setup ->
+  Jamming_store.Key.t
+(** The store key {!replicate_cached} uses for a cell. *)
+
+val sample_of_json : Jamming_telemetry.Json.t -> (sample, string) result
+(** Inverse of {!sample_to_json}[ ~include_results:true] on the fields
+    that constitute the sample (setup, names, per-run results); the
+    derived digest fields are recomputed on demand.  [Error] on any
+    missing or ill-typed field — the store treats that as a miss. *)
 
 (** {1 Deprecated compatibility wrappers}
 
@@ -176,6 +218,18 @@ val with_telemetry : Jamming_telemetry.Telemetry.t -> (unit -> 'a) -> 'a
 (** Run a thunk with the default sink set, restoring the previous sink
     after (exception-safe).  This is how bench and sweep meter a whole
     experiment without the experiment knowing. *)
+
+val default_store : Jamming_store.Store.t option ref
+(** The store {!replicate} consults when no explicit [?store] is given
+    (initially [None] — no caching). *)
+
+val set_store : Jamming_store.Store.t option -> unit
+(** Install (or clear) the process-default run store — how the CLIs'
+    [--cache] turns caching on for every cell of a sweep. *)
+
+val with_store : Jamming_store.Store.t -> (unit -> 'a) -> 'a
+(** Run a thunk with the default store set, restoring the previous
+    value after (exception-safe). *)
 
 (** {1 Sample digests} *)
 

@@ -1,4 +1,5 @@
 module Station = Jamming_station.Station
+module Json = Jamming_telemetry.Json
 
 type tx_count = Exact of int | At_least of int
 
@@ -14,6 +15,18 @@ let tx_count_to_string = function
   | At_least k -> ">=" ^ string_of_int k
 
 let pp_tx_count ppf tx = Format.pp_print_string ppf (tx_count_to_string tx)
+
+let tx_count_to_json = function
+  | Exact k -> Json.Int k
+  | At_least k -> Json.String (">=" ^ string_of_int k)
+
+let tx_count_of_json = function
+  | Json.Int k -> Ok (Exact k)
+  | Json.String s when String.length s > 2 && String.sub s 0 2 = ">=" -> (
+      match int_of_string_opt (String.sub s 2 (String.length s - 2)) with
+      | Some k -> Ok (At_least k)
+      | None -> Error "tx_count: malformed \">=k\"")
+  | _ -> Error "tx_count: expected an int or a \">=k\" string"
 
 type slot_record = {
   slot : int;
@@ -61,8 +74,18 @@ let equal_result a b =
   && a.transmissions = b.transmissions
   && a.max_station_transmissions = b.max_station_transmissions
 
+let status_to_char = function
+  | Station.Leader -> 'L'
+  | Station.Non_leader -> 'N'
+  | Station.Undecided -> 'U'
+
+let status_of_char = function
+  | 'L' -> Some Station.Leader
+  | 'N' -> Some Station.Non_leader
+  | 'U' -> Some Station.Undecided
+  | _ -> None
+
 let result_to_json r =
-  let module Json = Jamming_telemetry.Json in
   let leaders = ref 0 and non_leaders = ref 0 and undecided = ref 0 in
   Array.iter
     (fun st ->
@@ -85,6 +108,10 @@ let result_to_json r =
               ("leader", Json.Int !leaders);
               ("non_leader", Json.Int !non_leaders);
               ("undecided", Json.Int !undecided);
+              ( "packed",
+                Json.String
+                  (String.init (Array.length r.statuses) (fun i ->
+                       status_to_char r.statuses.(i))) );
             ] );
       ("jammed_slots", Json.Int r.jammed_slots);
       ("nulls", Json.Int r.nulls);
@@ -93,6 +120,97 @@ let result_to_json r =
       ("transmissions", Json.Float r.transmissions);
       ("max_station_transmissions", Json.Int r.max_station_transmissions);
     ]
+
+let result_of_json j =
+  let ( let* ) = Result.bind in
+  let field name =
+    match Json.member name j with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "result: missing field %S" name)
+  in
+  let int name =
+    let* v = field name in
+    match Json.to_int_opt v with
+    | Some i -> Ok i
+    | None -> Error (Printf.sprintf "result: %S is not an int" name)
+  in
+  let boolean name =
+    let* v = field name in
+    match v with
+    | Json.Bool b -> Ok b
+    | _ -> Error (Printf.sprintf "result: %S is not a bool" name)
+  in
+  let* slots = int "slots" in
+  let* completed = boolean "completed" in
+  let* elected = boolean "elected" in
+  let* leader =
+    let* v = field "leader" in
+    match v with
+    | Json.Null -> Ok None
+    | Json.Int i -> Ok (Some i)
+    | _ -> Error "result: \"leader\" is not null or an int"
+  in
+  let* statuses =
+    let* v = field "statuses" in
+    match v with
+    | Json.Null -> Ok [||]
+    | Json.Obj _ as o -> (
+        match Json.member "packed" o with
+        | Some (Json.String packed) -> (
+            let decode () =
+              Array.init (String.length packed) (fun i ->
+                  match status_of_char packed.[i] with
+                  | Some st -> st
+                  | None -> raise Exit)
+            in
+            match decode () with
+            | statuses ->
+                (* Counts are redundant with [packed]; a mismatch means
+                   a corrupt record, which the store must treat as a
+                   miss. *)
+                let count st =
+                  Array.fold_left
+                    (fun acc s -> if s = st then acc + 1 else acc)
+                    0 statuses
+                in
+                let matches name st =
+                  Option.bind (Json.member name o) Json.to_int_opt = Some (count st)
+                in
+                if
+                  matches "leader" Station.Leader
+                  && matches "non_leader" Station.Non_leader
+                  && matches "undecided" Station.Undecided
+                then Ok statuses
+                else Error "result: statuses counts disagree with \"packed\""
+            | exception Exit -> Error "result: bad character in \"packed\"")
+        | _ -> Error "result: statuses object lacks a \"packed\" string")
+    | _ -> Error "result: \"statuses\" is not null or an object"
+  in
+  let* jammed_slots = int "jammed_slots" in
+  let* nulls = int "nulls" in
+  let* singles = int "singles" in
+  let* collisions = int "collisions" in
+  let* transmissions =
+    let* v = field "transmissions" in
+    match Json.to_float_opt v with
+    | Some f -> Ok f
+    | None -> Error "result: \"transmissions\" is not a number"
+  in
+  let* max_station_transmissions = int "max_station_transmissions" in
+  Ok
+    {
+      slots;
+      completed;
+      elected;
+      leader;
+      statuses;
+      jammed_slots;
+      nulls;
+      singles;
+      collisions;
+      transmissions;
+      max_station_transmissions;
+    }
 
 let pp_result ppf r =
   Format.fprintf ppf

@@ -18,6 +18,13 @@ val tx_count_to_string : tx_count -> string
 
 val pp_tx_count : Format.formatter -> tx_count -> unit
 
+val tx_count_to_json : tx_count -> Jamming_telemetry.Json.t
+(** [Exact k] as the bare int [k], [At_least k] as the string
+    [">=k"]. *)
+
+val tx_count_of_json : Jamming_telemetry.Json.t -> (tx_count, string) result
+(** Exact inverse of {!tx_count_to_json}. *)
+
 type slot_record = {
   slot : int;
   transmitters : tx_count;
@@ -56,8 +63,17 @@ val equal_result : result -> result -> bool
     by the observer and fault-injection tests). *)
 
 val result_to_json : result -> Jamming_telemetry.Json.t
-(** Machine-readable form. [statuses] is summarized as per-status
-    counts ([null] for the uniform engine's empty array); every other
-    field maps one to one. Schema documented in DESIGN.md §9. *)
+(** Machine-readable form. [statuses] is [null] for the uniform
+    engine's empty array, otherwise an object with per-status counts
+    plus a ["packed"] string (one [L]/[N]/[U] character per station, in
+    station order) that makes the encoding lossless; every other field
+    maps one to one. Schema documented in DESIGN.md §9. *)
+
+val result_of_json : Jamming_telemetry.Json.t -> (result, string) Stdlib.result
+(** Exact inverse of {!result_to_json} (the run store's decoder):
+    [result_of_json (result_to_json r)] reconstructs [r] field for
+    field, floats included.  Any missing, ill-typed, or internally
+    inconsistent field (e.g. statuses counts disagreeing with
+    ["packed"]) is an [Error] — callers treat that as a cache miss. *)
 
 val pp_result : Format.formatter -> result -> unit

@@ -1,0 +1,16 @@
+let sanitize s =
+  String.map
+    (fun c ->
+      match c with 'A' .. 'Z' | 'a' .. 'z' | '0' .. '9' | '.' | '_' | '-' -> c | _ -> '-')
+    s
+
+let computed =
+  lazy
+    (match Sys.getenv_opt "JAMMING_STORE_FINGERPRINT" with
+    | Some s when String.trim s <> "" -> sanitize (String.trim s)
+    | Some _ | None -> (
+        match Digest.file Sys.executable_name with
+        | d -> Digest.to_hex d
+        | exception _ -> "unknown"))
+
+let code () = Lazy.force computed

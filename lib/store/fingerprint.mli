@@ -1,0 +1,18 @@
+(** The code fingerprint mixed into every cache key.
+
+    A cached sample is only valid for the code that produced it: the
+    engines, protocols and PRNG together define the deterministic
+    function a cell key names.  Rather than track which modules feed a
+    given cell, the store takes the conservative fingerprint-policy of
+    DESIGN.md §11 — hash the whole running executable — so {e any}
+    rebuild invalidates the cache.  False invalidation costs a
+    recompute; a false hit would silently serve results from different
+    code. *)
+
+val code : unit -> string
+(** MD5 (hex) of [Sys.executable_name], computed once per process.
+    The [JAMMING_STORE_FINGERPRINT] environment variable, when set to a
+    non-empty value, overrides the digest (sanitized to
+    [[A-Za-z0-9._-]] so it stays path-safe) — useful for sharing a
+    cache across binaries known to embed identical simulation code.
+    Falls back to ["unknown"] if the executable cannot be read. *)

@@ -1,0 +1,49 @@
+module Json = Jamming_telemetry.Json
+
+type component = S of string | I of int | F of float | B of bool
+
+type t = (string * component) list
+
+let v fields =
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun (name, _) ->
+      if name = "" then invalid_arg "Store key: empty component name";
+      if Hashtbl.mem seen name then
+        invalid_arg (Printf.sprintf "Store key: duplicate component %S" name);
+      Hashtbl.add seen name ())
+    fields;
+  fields
+
+(* Injective per-component image: tagged, and length-prefixed where the
+   payload could contain the separator. *)
+let component_image = function
+  | S s -> Printf.sprintf "s%d:%s" (String.length s) s
+  | I i -> Printf.sprintf "i%d" i
+  | F f -> Printf.sprintf "f%h" f
+  | B b -> if b then "b1" else "b0"
+
+let canonical ~schema ~fingerprint t =
+  let b = Buffer.create 128 in
+  Buffer.add_string b (Printf.sprintf "jamming-store/%d\n" schema);
+  Buffer.add_string b (Printf.sprintf "fp%d:%s\n" (String.length fingerprint) fingerprint);
+  List.iter
+    (fun (name, c) ->
+      Buffer.add_string b (Printf.sprintf "%d:%s=%s\n" (String.length name) name (component_image c)))
+    t;
+  Buffer.contents b
+
+let hash ~schema ~fingerprint t =
+  Digest.to_hex (Digest.string (canonical ~schema ~fingerprint t))
+
+let to_json t =
+  Json.Obj
+    (List.map
+       (fun (name, c) ->
+         ( name,
+           match c with
+           | S s -> Json.String s
+           | I i -> Json.Int i
+           | F f -> Json.Float f
+           | B b -> Json.Bool b ))
+       t)

@@ -1,0 +1,32 @@
+(** Stable cell keys for the content-addressed run store.
+
+    A key is an ordered list of named components describing everything
+    the cached value is a deterministic function of (engine name,
+    setup, adversary, reps, base seed, …).  The canonical encoding is
+    injective — strings are length-prefixed, floats rendered in hex
+    ([%h]) so two distinct values never collide — and the hash
+    additionally covers the store schema version and the code
+    fingerprint, so changing {e any} component, the record format, or
+    the binary yields a different address. *)
+
+type component =
+  | S of string
+  | I of int
+  | F of float  (** hashed via the exact hex image, never a rounding *)
+  | B of bool
+
+type t
+
+val v : (string * component) list -> t
+(** Build a key.  Raises [Invalid_argument] on duplicate or empty
+    component names (a silent duplicate would weaken injectivity). *)
+
+val canonical : schema:int -> fingerprint:string -> t -> string
+(** The injective byte encoding that is hashed. *)
+
+val hash : schema:int -> fingerprint:string -> t -> string
+(** MD5 (hex) of {!canonical} — the entry's content address. *)
+
+val to_json : t -> Jamming_telemetry.Json.t
+(** Human-readable echo of the components, embedded in each record for
+    debugging; never parsed back. *)

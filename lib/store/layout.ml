@@ -1,0 +1,68 @@
+let schema_version = 1
+let schema_id = Printf.sprintf "jamming-election.store/%d" schema_version
+
+let version_dir ~root = Filename.concat root (Printf.sprintf "v%d" schema_version)
+
+let fingerprint_dir ~root ~fingerprint = Filename.concat (version_dir ~root) fingerprint
+
+let entry_path ~root ~fingerprint ~hash =
+  let shard = if String.length hash >= 2 then String.sub hash 0 2 else "xx" in
+  Filename.concat
+    (Filename.concat (fingerprint_dir ~root ~fingerprint) shard)
+    (hash ^ ".json")
+
+let subdirs dir =
+  match Sys.readdir dir with exception Sys_error _ -> [||] | names -> names
+
+let is_dir p = try Sys.is_directory p with Sys_error _ -> false
+
+let is_entry name = Filename.check_suffix name ".json"
+let is_tmp name = List.exists (String.equal "tmp") (String.split_on_char '.' name)
+
+let iter_entries ~root f =
+  let vdir = version_dir ~root in
+  Array.iter
+    (fun fingerprint ->
+      let fdir = Filename.concat vdir fingerprint in
+      if is_dir fdir then
+        Array.iter
+          (fun shard ->
+            let sdir = Filename.concat fdir shard in
+            if is_dir sdir then
+              Array.iter
+                (fun name ->
+                  if is_entry name && not (is_tmp name) then
+                    f ~fingerprint ~path:(Filename.concat sdir name))
+                (subdirs sdir))
+          (subdirs fdir))
+    (subdirs vdir)
+
+let iter_stale ~root ~keep_fingerprint f =
+  (* Other schema versions: the whole directory is stale. *)
+  Array.iter
+    (fun name ->
+      let p = Filename.concat root name in
+      if
+        is_dir p
+        && String.length name > 1
+        && name.[0] = 'v'
+        && name <> Printf.sprintf "v%d" schema_version
+      then f p)
+    (subdirs root);
+  let vdir = version_dir ~root in
+  Array.iter
+    (fun fingerprint ->
+      let fdir = Filename.concat vdir fingerprint in
+      if is_dir fdir then
+        if fingerprint <> keep_fingerprint then f fdir
+        else
+          (* Current generation: only interrupted writes are stale. *)
+          Array.iter
+            (fun shard ->
+              let sdir = Filename.concat fdir shard in
+              if is_dir sdir then
+                Array.iter
+                  (fun name -> if is_tmp name then f (Filename.concat sdir name))
+                  (subdirs sdir))
+            (subdirs fdir))
+    (subdirs vdir)

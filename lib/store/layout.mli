@@ -1,0 +1,34 @@
+(** On-disk layout of the run store (DESIGN.md §11).
+
+    {v
+    <root>/v<schema>/<fingerprint>/<hh>/<hash>.json
+    v}
+
+    One directory per schema version, one per code fingerprint under
+    it, then 256-way sharding on the first two hex digits of the entry
+    hash so no single directory grows unboundedly.  Version and
+    fingerprint live in the {e path} (as well as in the key hash) so GC
+    can drop stale generations with a directory walk, no record
+    parsing. *)
+
+val schema_version : int
+(** Bumped whenever the record or value encoding changes shape. *)
+
+val schema_id : string
+(** The record's ["schema"] field, ["jamming-election.store/<v>"]. *)
+
+val version_dir : root:string -> string
+val fingerprint_dir : root:string -> fingerprint:string -> string
+
+val entry_path : root:string -> fingerprint:string -> hash:string -> string
+(** Where the record for [hash] lives. *)
+
+val iter_entries : root:string -> (fingerprint:string -> path:string -> unit) -> unit
+(** Visit every [*.json] entry of the {e current} schema version,
+    whatever its fingerprint.  Unknown files are skipped. *)
+
+val iter_stale : root:string -> keep_fingerprint:string -> (string -> unit) -> unit
+(** Visit every path that GC should delete: other schema-version
+    directories wholesale, other fingerprints' directories under the
+    current version, and leftover [*.tmp.*] files under the kept
+    fingerprint. *)

@@ -1,0 +1,152 @@
+module Json = Jamming_telemetry.Json
+module Telemetry = Jamming_telemetry.Telemetry
+
+type counters = {
+  mutable hits : int;
+  mutable misses : int;
+  mutable bytes_read : int;
+  mutable bytes_written : int;
+}
+
+type t = { root : string; fingerprint : string; io : counters }
+
+let create ?fingerprint ~root () =
+  let fingerprint =
+    match fingerprint with Some f -> f | None -> Fingerprint.code ()
+  in
+  { root; fingerprint; io = { hits = 0; misses = 0; bytes_read = 0; bytes_written = 0 } }
+
+let root t = t.root
+let fingerprint t = t.fingerprint
+
+let key_hash t key =
+  Key.hash ~schema:Layout.schema_version ~fingerprint:t.fingerprint key
+
+let entry_path t key =
+  Layout.entry_path ~root:t.root ~fingerprint:t.fingerprint ~hash:(key_hash t key)
+
+let bump telemetry name n =
+  match telemetry with
+  | None -> ()
+  | Some tel -> Telemetry.add (Telemetry.counter tel ("store." ^ name)) n
+
+let find ?telemetry t key ~decode =
+  let hash = key_hash t key in
+  let path = Layout.entry_path ~root:t.root ~fingerprint:t.fingerprint ~hash in
+  let miss () =
+    t.io.misses <- t.io.misses + 1;
+    bump telemetry "misses" 1;
+    None
+  in
+  match Atomic_io.read_string ~path with
+  | Error _ -> miss ()
+  | Ok raw -> (
+      t.io.bytes_read <- t.io.bytes_read + String.length raw;
+      bump telemetry "bytes_read" (String.length raw);
+      match Json.of_string raw with
+      | Error _ -> miss ()
+      | Ok record -> (
+          let str field = Option.bind (Json.member field record) Json.to_string_opt in
+          (* The record must claim the current schema and the exact
+             address we computed; anything else — including a hash
+             collision across keys, which MD5 makes negligible — is
+             treated as absent. *)
+          if str "schema" <> Some Layout.schema_id || str "hash" <> Some hash then
+            miss ()
+          else
+            match Option.bind (Json.member "value" record) decode with
+            | None -> miss ()
+            | Some v ->
+                t.io.hits <- t.io.hits + 1;
+                bump telemetry "hits" 1;
+                Some v))
+
+let add ?telemetry t key value =
+  let hash = key_hash t key in
+  let path = Layout.entry_path ~root:t.root ~fingerprint:t.fingerprint ~hash in
+  let record =
+    Json.Obj
+      [
+        ("schema", Json.String Layout.schema_id);
+        ("fingerprint", Json.String t.fingerprint);
+        ("key", Key.to_json key);
+        ("hash", Json.String hash);
+        ("value", value);
+      ]
+  in
+  (* Compact one-line rendering: cache entries are machine-only. *)
+  let raw = Json.to_string record ^ "\n" in
+  Atomic_io.write_string ~path raw;
+  t.io.bytes_written <- t.io.bytes_written + String.length raw;
+  bump telemetry "bytes_written" (String.length raw)
+
+(* --- stats and GC --- *)
+
+type io_stats = { hits : int; misses : int; bytes_read : int; bytes_written : int }
+
+let io_stats t =
+  {
+    hits = t.io.hits;
+    misses = t.io.misses;
+    bytes_read = t.io.bytes_read;
+    bytes_written = t.io.bytes_written;
+  }
+
+let hit_rate (s : io_stats) =
+  let total = s.hits + s.misses in
+  if total = 0 then 0.0 else 100.0 *. float_of_int s.hits /. float_of_int total
+
+type disk_stats = { entries : int; bytes : int }
+
+let file_size path = match Unix.stat path with
+  | { Unix.st_size; _ } -> st_size
+  | exception Unix.Unix_error _ -> 0
+
+let rec tree_stats path acc =
+  match Sys.is_directory path with
+  | exception Sys_error _ -> acc
+  | true ->
+      Array.fold_left
+        (fun acc name -> tree_stats (Filename.concat path name) acc)
+        acc (Sys.readdir path)
+  | false ->
+      {
+        entries = (acc.entries + if Filename.check_suffix path ".json" then 1 else 0);
+        bytes = acc.bytes + file_size path;
+      }
+
+let disk_stats t =
+  let acc = ref { entries = 0; bytes = 0 } in
+  Layout.iter_entries ~root:t.root (fun ~fingerprint:_ ~path ->
+      acc := { entries = !acc.entries + 1; bytes = !acc.bytes + file_size path });
+  !acc
+
+let gc t =
+  let removed = ref { entries = 0; bytes = 0 } in
+  Layout.iter_stale ~root:t.root ~keep_fingerprint:t.fingerprint (fun path ->
+      let s = tree_stats path { entries = 0; bytes = 0 } in
+      removed := { entries = !removed.entries + s.entries; bytes = !removed.bytes + s.bytes };
+      Atomic_io.remove_tree path);
+  !removed
+
+let clear t =
+  let s = tree_stats t.root { entries = 0; bytes = 0 } in
+  Atomic_io.remove_tree t.root;
+  s
+
+let stats_json t =
+  let io = io_stats t and disk = disk_stats t in
+  Json.Obj
+    [
+      ("hits", Json.Int io.hits);
+      ("misses", Json.Int io.misses);
+      ("hit_rate", Json.Float (hit_rate io));
+      ("bytes_read", Json.Int io.bytes_read);
+      ("bytes_written", Json.Int io.bytes_written);
+      ("entries", Json.Int disk.entries);
+      ("disk_bytes", Json.Int disk.bytes);
+    ]
+
+let pp_io_stats ppf (s : io_stats) =
+  Format.fprintf ppf "hits=%d misses=%d hit_rate=%.1f%% bytes_read=%d bytes_written=%d"
+    s.hits s.misses (hit_rate s) s.bytes_read s.bytes_written

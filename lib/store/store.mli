@@ -1,0 +1,75 @@
+(** Persistent, content-addressed result store (DESIGN.md §11).
+
+    Values are JSON documents addressed by a {!Key.t}; the address also
+    covers the store schema version and the code fingerprint, so a
+    rebuild or a format change can never serve stale bytes.  Writes are
+    atomic (tmp + rename via {!Atomic_io}), and loading is
+    corruption-tolerant: an unreadable, unparsable, mis-schema'd,
+    mis-addressed or undecodable record is a {e miss}, never a crash —
+    the caller recomputes and the entry is overwritten.
+
+    The store never invalidates by time: entries are immutable facts
+    about (code, key), reclaimed only by {!gc} (stale generations) or
+    {!clear}. *)
+
+type t
+
+val create : ?fingerprint:string -> root:string -> unit -> t
+(** A handle rooted at [root] (created lazily on first write).
+    [fingerprint] defaults to {!Fingerprint.code}[ ()]. *)
+
+val root : t -> string
+val fingerprint : t -> string
+
+val entry_path : t -> Key.t -> string
+(** Where the record for [key] lives (exposed for tests and
+    debugging). *)
+
+val find :
+  ?telemetry:Jamming_telemetry.Telemetry.t ->
+  t ->
+  Key.t ->
+  decode:(Jamming_telemetry.Json.t -> 'a option) ->
+  'a option
+(** Look up a key and decode its value.  Counts a {e hit} only when
+    every step succeeds — read, parse, schema check, address check, and
+    [decode]; any failure counts a miss.  [telemetry] additionally
+    receives the [store.hits] / [store.misses] / [store.bytes_read]
+    counters. *)
+
+val add : ?telemetry:Jamming_telemetry.Telemetry.t -> t -> Key.t -> Jamming_telemetry.Json.t -> unit
+(** Atomically persist [value] under [key] (last write wins).
+    [telemetry] receives [store.bytes_written]. *)
+
+(** {1 Stats and GC} *)
+
+type io_stats = { hits : int; misses : int; bytes_read : int; bytes_written : int }
+
+val io_stats : t -> io_stats
+(** This process's traffic through this handle. *)
+
+val hit_rate : io_stats -> float
+(** [hits / (hits + misses)] in percent; [0.] before any lookup. *)
+
+type disk_stats = { entries : int; bytes : int }
+
+val disk_stats : t -> disk_stats
+(** Entries and bytes currently on disk for the current schema
+    version, across all fingerprints. *)
+
+val gc : t -> disk_stats
+(** Delete stale generations — other schema versions, other code
+    fingerprints, interrupted-write temporaries — and return what was
+    reclaimed (entries counts [*.json] records only). *)
+
+val clear : t -> disk_stats
+(** Delete the whole store under [root]; returns what was removed. *)
+
+val stats_json : t -> Jamming_telemetry.Json.t
+(** [{"hits":..,"misses":..,"hit_rate":..,"bytes_read":..,
+    "bytes_written":..,"entries":..,"disk_bytes":..}] — the io stats of
+    this handle plus the on-disk totals. *)
+
+val pp_io_stats : Format.formatter -> io_stats -> unit
+(** ["hits=H misses=M hit_rate=R% bytes_read=BR bytes_written=BW"] —
+    the one-line summary the CLIs print (and CI parses). *)

@@ -26,10 +26,18 @@ let escape b s =
 
 (* Stable, compact float image; integral values keep a ".0" marker so
    they round-trip as floats, and non-finite values (illegal in JSON)
-   degrade to null. *)
+   degrade to null.  The image is value-exact: start from the short
+   %.12g form and add significant digits only when parsing the image
+   back would not reproduce the float — the run store relies on
+   serialized results decoding bit-identically. *)
 let float_image f =
   if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
-  else Printf.sprintf "%.12g" f
+  else
+    let s = Printf.sprintf "%.12g" f in
+    if float_of_string s = f then s
+    else
+      let s = Printf.sprintf "%.15g" f in
+      if float_of_string s = f then s else Printf.sprintf "%.17g" f
 
 let rec write b = function
   | Null -> Buffer.add_string b "null"

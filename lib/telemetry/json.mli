@@ -4,8 +4,10 @@
     telemetry snapshots, benchmark records ([BENCH_<date>.json]) and
     experiment summaries, and to read them back for regression diffs.
     Output is deterministic: object fields are emitted in the order
-    given, floats print via a stable shortest-ish format ([%.12g], with
-    integral values as [x.0]), and non-finite floats become [null]. *)
+    given, floats print via a stable shortest value-exact format
+    ([%.12g] widened to [%.15g]/[%.17g] only when needed to round-trip,
+    integral values as [x.0]), and non-finite floats become [null] —
+    so every finite float parses back bit-identically. *)
 
 type t =
   | Null

@@ -21,6 +21,7 @@ let () =
       ("trace", Test_trace.suite);
       ("observer", Test_observer.suite);
       ("telemetry", Test_telemetry.suite);
+      ("store", Test_store.suite);
       ("fair-use", Test_fair_use.suite);
       ("extensions", Test_extensions.suite);
       ("experiments", Test_experiments.suite);

@@ -1,0 +1,315 @@
+(* Content-addressed run store (DESIGN.md §11): atomic writes, key
+   injectivity, corruption-tolerant loading, stale-generation GC, and —
+   the property everything else leans on — cache hits that are
+   bit-identical to a fresh compute across all three engines. *)
+
+module E = Jamming_experiments
+module T = Jamming_telemetry.Telemetry
+module Json = Jamming_telemetry.Json
+module Store = Jamming_store.Store
+module Key = Jamming_store.Key
+module Atomic_io = Jamming_store.Atomic_io
+module Faults = Jamming_faults
+open Test_util
+
+(* Each test gets its own throwaway store root under the temp dir. *)
+let fresh_root =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    let root =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "jamming-store-test.%d.%d" (Unix.getpid ()) !counter)
+    in
+    Atomic_io.remove_tree root;
+    root
+
+let with_root f =
+  let root = fresh_root () in
+  Fun.protect ~finally:(fun () -> Atomic_io.remove_tree root) (fun () -> f root)
+
+(* --- atomic file IO --- *)
+
+let test_atomic_write () =
+  with_root (fun root ->
+      let path = Filename.concat (Filename.concat root "a/b") "c.txt" in
+      Atomic_io.write_string ~path "hello\n";
+      (match Atomic_io.read_string ~path with
+      | Ok s -> Alcotest.(check string) "content round-trips" "hello\n" s
+      | Error e -> Alcotest.failf "read failed: %s" e);
+      Atomic_io.write_string ~path "replaced";
+      (match Atomic_io.read_string ~path with
+      | Ok s -> Alcotest.(check string) "overwrite wins" "replaced" s
+      | Error e -> Alcotest.failf "read failed: %s" e);
+      (* No temporaries left behind. *)
+      let dir = Filename.dirname path in
+      Array.iter
+        (fun f -> check_true "no tmp leftovers" (f = "c.txt"))
+        (Sys.readdir dir);
+      match Atomic_io.read_string ~path:(Filename.concat root "absent") with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "read of absent file succeeded")
+
+(* --- key injectivity --- *)
+
+let base_fields =
+  [ ("proto", Key.S "LESK"); ("n", Key.I 64); ("eps", Key.F 0.5); ("cap", Key.B true) ]
+
+let hash fields = Key.hash ~schema:1 ~fingerprint:"fp" (Key.v fields)
+
+let test_key_sensitivity () =
+  let h0 = hash base_fields in
+  let variants =
+    [
+      ("string", [ ("proto", Key.S "LESU"); ("n", Key.I 64); ("eps", Key.F 0.5); ("cap", Key.B true) ]);
+      ("int", [ ("proto", Key.S "LESK"); ("n", Key.I 65); ("eps", Key.F 0.5); ("cap", Key.B true) ]);
+      ("float", [ ("proto", Key.S "LESK"); ("n", Key.I 64); ("eps", Key.F 0.5000000001); ("cap", Key.B true) ]);
+      ("bool", [ ("proto", Key.S "LESK"); ("n", Key.I 64); ("eps", Key.F 0.5); ("cap", Key.B false) ]);
+      ("name", [ ("protocol", Key.S "LESK"); ("n", Key.I 64); ("eps", Key.F 0.5); ("cap", Key.B true) ]);
+    ]
+  in
+  List.iter
+    (fun (what, fields) ->
+      check_true (Printf.sprintf "%s component changes the hash" what)
+        (hash fields <> h0))
+    variants;
+  check_true "schema changes the hash"
+    (Key.hash ~schema:2 ~fingerprint:"fp" (Key.v base_fields) <> h0);
+  check_true "fingerprint changes the hash"
+    (Key.hash ~schema:1 ~fingerprint:"fp2" (Key.v base_fields) <> h0);
+  check_true "same key, same hash" (hash base_fields = h0);
+  (* Field boundaries are length-prefixed, not separator-based. *)
+  check_true "no concatenation collision"
+    (hash [ ("a", Key.S "bc") ] <> hash [ ("ab", Key.S "c") ]);
+  (match Key.v [ ("a", Key.I 1); ("a", Key.I 2) ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "duplicate component names accepted");
+  match Key.v [ ("", Key.I 1) ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "empty component name accepted"
+
+(* --- store round-trip, miss accounting, corruption tolerance --- *)
+
+let key_a = Key.v [ ("cell", Key.S "a") ]
+let decode_id j = Some j
+
+let test_store_roundtrip () =
+  with_root (fun root ->
+      let st = Store.create ~fingerprint:"test" ~root () in
+      check_true "absent key misses" (Store.find st key_a ~decode:decode_id = None);
+      let v = Json.Obj [ ("x", Json.Int 42) ] in
+      Store.add st key_a v;
+      (match Store.find st key_a ~decode:decode_id with
+      | Some v' -> check_true "value round-trips" (v = v')
+      | None -> Alcotest.fail "fresh entry missed");
+      let stats = Store.io_stats st in
+      check_int "one hit" 1 stats.Store.hits;
+      check_int "one miss" 1 stats.Store.misses;
+      check_true "bytes flowed"
+        (stats.Store.bytes_read > 0 && stats.Store.bytes_written > 0);
+      check_float_eps 1e-9 "hit rate 50%" 50.0 (Store.hit_rate stats);
+      let disk = Store.disk_stats st in
+      check_int "one entry on disk" 1 disk.Store.entries;
+      (* A failing decoder turns a readable record into a miss. *)
+      check_true "decode failure is a miss"
+        (Store.find st key_a ~decode:(fun _ -> None) = None))
+
+let corrupt_with bytes st key =
+  Atomic_io.write_string ~path:(Store.entry_path st key) bytes
+
+let test_corruption_is_a_miss () =
+  with_root (fun root ->
+      let st = Store.create ~fingerprint:"test" ~root () in
+      let v = Json.Obj [ ("x", Json.Int 1) ] in
+      List.iter
+        (fun (what, bytes) ->
+          Store.add st key_a v;
+          corrupt_with bytes st key_a;
+          check_true (what ^ " is a miss") (Store.find st key_a ~decode:decode_id = None);
+          (* The caller recomputes and overwrites; the store heals. *)
+          Store.add st key_a v;
+          check_true ("store heals after " ^ what)
+            (Store.find st key_a ~decode:decode_id = Some v))
+        [
+          ("garbage bytes", "\x00\xffnot json");
+          ("truncated record", "{\"schema\":\"jamming-el");
+          ("empty file", "");
+          ("wrong schema", {|{"schema":"other/9","hash":"deadbeef","value":{"x":1}}|});
+          ("missing value", {|{"schema":"jamming-election.store/1","hash":"deadbeef"}|});
+        ])
+
+let test_fingerprint_isolation_and_gc () =
+  with_root (fun root ->
+      let old_gen = Store.create ~fingerprint:"build-1" ~root () in
+      Store.add old_gen key_a (Json.Int 1);
+      let new_gen = Store.create ~fingerprint:"build-2" ~root () in
+      check_true "other fingerprint's entry is a miss"
+        (Store.find new_gen key_a ~decode:decode_id = None);
+      Store.add new_gen key_a (Json.Int 2);
+      check_int "disk sees both generations" 2 (Store.disk_stats new_gen).Store.entries;
+      let reclaimed = Store.gc new_gen in
+      check_int "gc reclaims the stale generation" 1 reclaimed.Store.entries;
+      check_int "current generation survives" 1 (Store.disk_stats new_gen).Store.entries;
+      check_true "current entry still readable"
+        (Store.find new_gen key_a ~decode:decode_id = Some (Json.Int 2));
+      let removed = Store.clear new_gen in
+      check_int "clear removes everything" 1 removed.Store.entries;
+      check_int "store empty after clear" 0 (Store.disk_stats new_gen).Store.entries)
+
+(* --- replicate_cached: hits are bit-identical to a fresh compute --- *)
+
+let setup = { E.Runner.n = 48; eps = 0.5; window = 16; max_slots = 50_000 }
+
+let small_faults =
+  {
+    Faults.Config.perception = Faults.Perception.uniform ~p:0.05;
+    p_crash = 0.0;
+    crash_horizon = 1;
+    p_sleep = 0.0;
+    sleep_horizon = 1;
+    max_sleep = 1;
+    p_late_wake = 0.0;
+    max_wake_delay = 1;
+  }
+
+let engines =
+  [
+    ("uniform", E.Runner.Uniform (E.Specs.lesk ~eps:0.5));
+    ( "exact",
+      E.Runner.Exact
+        {
+          name = "LESK-exact";
+          cd = Jamming_channel.Channel.Strong_cd;
+          factory = Jamming_core.Lesk.station ~eps:0.5;
+        } );
+    ( "faulty",
+      E.Runner.Faulty
+        {
+          name = "LESK-faulty";
+          cd = Jamming_channel.Channel.Strong_cd;
+          factory = Jamming_core.Lesk.station ~eps:0.5;
+          faults = small_faults;
+          monitor_checks = None;
+        } );
+  ]
+
+let sample_bytes s = Json.to_string (E.Runner.sample_to_json ~include_results:true s)
+
+let test_cached_hit_bit_identical () =
+  with_root (fun root ->
+      let st = Store.create ~fingerprint:"test" ~root () in
+      List.iter
+        (fun (what, engine) ->
+          let fresh = E.Runner.replicate ~engine ~reps:3 setup E.Specs.greedy in
+          let cold = T.create () in
+          let s1 =
+            E.Runner.replicate_cached ~telemetry:cold ~store:st ~engine ~reps:3 setup
+              E.Specs.greedy
+          in
+          let warm = T.create () in
+          let s2 =
+            E.Runner.replicate_cached ~telemetry:warm ~store:st ~engine ~reps:3 setup
+              E.Specs.greedy
+          in
+          check_true (what ^ ": cold compute matches uncached")
+            (sample_bytes fresh = sample_bytes s1);
+          check_true (what ^ ": warm hit bit-identical")
+            (sample_bytes fresh = sample_bytes s2);
+          check_int (what ^ ": cold missed") 1 (T.counter_value cold "store.misses");
+          check_int (what ^ ": cold wrote") 0 (T.counter_value cold "store.hits");
+          check_int (what ^ ": warm hit") 1 (T.counter_value warm "store.hits");
+          check_int (what ^ ": warm missed nothing") 0
+            (T.counter_value warm "store.misses");
+          (* Runner aggregation is the same whether the sample was
+             computed or decoded. *)
+          check_int (what ^ ": runs counted on hit")
+            (T.counter_value cold "runner.runs")
+            (T.counter_value warm "runner.runs");
+          check_int (what ^ ": slots counted on hit")
+            (T.counter_value cold "runner.slots")
+            (T.counter_value warm "runner.slots"))
+        engines)
+
+let test_cached_recovers_from_corruption () =
+  with_root (fun root ->
+      let st = Store.create ~fingerprint:"test" ~root () in
+      let engine = E.Runner.Uniform (E.Specs.lesk ~eps:0.5) in
+      let s1 = E.Runner.replicate_cached ~store:st ~engine ~reps:2 setup E.Specs.greedy in
+      let key =
+        E.Runner.cell_key ~engine ~adversary:E.Specs.greedy ~reps:2 ~base_seed:42 setup
+      in
+      corrupt_with "garbage" st key;
+      let tel = T.create () in
+      let s2 =
+        E.Runner.replicate_cached ~telemetry:tel ~store:st ~engine ~reps:2 setup
+          E.Specs.greedy
+      in
+      check_int "corrupt entry recomputed" 1 (T.counter_value tel "store.misses");
+      check_true "recompute bit-identical" (sample_bytes s1 = sample_bytes s2);
+      let tel2 = T.create () in
+      ignore
+        (E.Runner.replicate_cached ~telemetry:tel2 ~store:st ~engine ~reps:2 setup
+           E.Specs.greedy);
+      check_int "entry rewritten after corruption" 1 (T.counter_value tel2 "store.hits"))
+
+let test_cell_key_sensitivity () =
+  let engine = E.Runner.Uniform (E.Specs.lesk ~eps:0.5) in
+  let k ?(engine = engine) ?(adversary = E.Specs.greedy) ?(reps = 3) ?(base_seed = 42)
+      ?(setup = setup) () =
+    Key.hash ~schema:1 ~fingerprint:"fp"
+      (E.Runner.cell_key ~engine ~adversary ~reps ~base_seed setup)
+  in
+  let h0 = k () in
+  check_true "key is stable" (k () = h0);
+  List.iter
+    (fun (what, h) -> check_true (what ^ " changes the cell key") (h <> h0))
+    [
+      ("n", k ~setup:{ setup with E.Runner.n = 49 } ());
+      ("eps", k ~setup:{ setup with E.Runner.eps = 0.25 } ());
+      ("window", k ~setup:{ setup with E.Runner.window = 17 } ());
+      ("max_slots", k ~setup:{ setup with E.Runner.max_slots = 50_001 } ());
+      ("reps", k ~reps:4 ());
+      ("base_seed", k ~base_seed:43 ());
+      ("adversary", k ~adversary:E.Specs.no_jamming ());
+      ("engine", k ~engine:(E.Runner.Uniform (E.Specs.lesu ())) ());
+      ("engine kind", k ~engine:(List.assoc "exact" engines) ());
+      ("fault config", k ~engine:(List.assoc "faulty" engines) ());
+    ]
+
+let test_default_store_install () =
+  with_root (fun root ->
+      let st = Store.create ~fingerprint:"test" ~root () in
+      let engine = E.Runner.Uniform (E.Specs.lesk ~eps:0.5) in
+      E.Runner.with_store st (fun () ->
+          ignore (E.Runner.replicate ~engine ~reps:2 setup E.Specs.no_jamming));
+      check_int "replicate populated the default store" 1
+        (Store.disk_stats st).Store.entries;
+      (* Restored after the thunk: further runs bypass the store. *)
+      ignore (E.Runner.replicate ~engine ~reps:2 setup E.Specs.no_jamming);
+      check_int "store restored" 1 (Store.disk_stats st).Store.entries)
+
+let test_sample_of_json_roundtrip () =
+  let engine = E.Runner.Uniform (E.Specs.lesk ~eps:0.5) in
+  let sample = E.Runner.replicate ~engine ~reps:3 setup E.Specs.greedy in
+  (match E.Runner.sample_of_json (E.Runner.sample_to_json ~include_results:true sample) with
+  | Ok s -> check_true "sample decodes bit-identically" (sample_bytes sample = sample_bytes s)
+  | Error e -> Alcotest.failf "sample decode failed: %s" e);
+  (* Without the per-run results the digest is not reconstructible. *)
+  match E.Runner.sample_of_json (E.Runner.sample_to_json ~include_results:false sample) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "decoded a digest-only sample"
+
+let suite =
+  [
+    ("atomic write", `Quick, test_atomic_write);
+    ("key sensitivity", `Quick, test_key_sensitivity);
+    ("store round-trip", `Quick, test_store_roundtrip);
+    ("corruption is a miss", `Quick, test_corruption_is_a_miss);
+    ("fingerprint isolation and gc", `Quick, test_fingerprint_isolation_and_gc);
+    ("cached hit bit-identical (all engines)", `Quick, test_cached_hit_bit_identical);
+    ("cached recovers from corruption", `Quick, test_cached_recovers_from_corruption);
+    ("cell key sensitivity", `Quick, test_cell_key_sensitivity);
+    ("default store install/restore", `Quick, test_default_store_install);
+    ("sample json round-trip", `Quick, test_sample_of_json_roundtrip);
+  ]

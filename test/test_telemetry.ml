@@ -160,6 +160,146 @@ let test_sample_json () =
       | Some (Json.Int 64) -> ()
       | _ -> Alcotest.fail "setup.n missing"
 
+(* --- run-store codecs: the JSON decoders are exact inverses of the
+   writers, floats included (DESIGN.md §11 leans on this for
+   bit-identical cache hits). --- *)
+
+let test_float_image_exact () =
+  List.iter
+    (fun f ->
+      match Json.of_string (Json.to_string (Json.Float f)) with
+      | Ok (Json.Float f') -> check_true "float round-trips exactly" (f' = f)
+      | Ok (Json.Int i) -> check_true "integral image" (float_of_int i = f)
+      | Ok _ -> Alcotest.fail "float rendered as non-number"
+      | Error e -> Alcotest.failf "float image unparseable: %s" e)
+    [
+      0.1; 1.0 /. 3.0; Float.pi; 1e-300; 6.02214076e23; 123456789.123456789;
+      Float.succ 1.0; Float.pred 1.0; 2.0; 0.0;
+    ]
+
+let gen_tx_count =
+  QCheck.Gen.(
+    oneof
+      [
+        map (fun k -> Metrics.Exact k) (int_bound 100_000);
+        map (fun k -> Metrics.At_least k) (int_bound 100_000);
+      ])
+
+let test_tx_count_roundtrip =
+  qtest "tx_count json round-trip"
+    (QCheck.make ~print:Metrics.tx_count_to_string gen_tx_count)
+    (fun t ->
+      match Metrics.tx_count_of_json (Metrics.tx_count_to_json t) with
+      | Ok t' -> Metrics.equal_tx_count t t'
+      | Error e -> QCheck.Test.fail_reportf "decode failed: %s" e)
+
+let gen_result =
+  let open QCheck.Gen in
+  (* Transmissions stress the float image: ratios of large ints need the
+     full 17 significant digits to survive a text round-trip. *)
+  let transmissions =
+    oneof
+      [
+        map2
+          (fun a b -> float_of_int a /. float_of_int b)
+          (int_bound 1_000_000_000) (int_range 1 999_983);
+        map float_of_int (int_bound 1_000_000);
+      ]
+  in
+  let status = oneofl [ Station.Leader; Station.Non_leader; Station.Undecided ] in
+  let statuses =
+    oneof [ return [||]; map Array.of_list (list_size (int_range 1 48) status) ]
+  in
+  map
+    (fun ( (slots, completed, elected, leader),
+           (jammed_slots, nulls, singles, collisions),
+           (statuses, transmissions, max_station_transmissions) ) ->
+      {
+        Metrics.slots;
+        completed;
+        elected;
+        leader;
+        statuses;
+        jammed_slots;
+        nulls;
+        singles;
+        collisions;
+        transmissions;
+        max_station_transmissions;
+      })
+    (triple
+       (quad (int_bound 1_000_000) bool bool (opt (int_bound 4096)))
+       (quad (int_bound 100_000) (int_bound 100_000) (int_bound 100_000)
+          (int_bound 100_000))
+       (triple statuses transmissions (int_bound 1_000)))
+
+let test_result_roundtrip =
+  qtest "result json round-trip (via text)"
+    (QCheck.make ~print:(Format.asprintf "%a" Metrics.pp_result) gen_result)
+    (fun r ->
+      (* Through the writer AND the parser — exactly the store's path. *)
+      match Json.of_string (Json.to_string (Metrics.result_to_json r)) with
+      | Error e -> QCheck.Test.fail_reportf "unparseable: %s" e
+      | Ok j -> (
+          match Metrics.result_of_json j with
+          | Ok r' -> Metrics.equal_result r r'
+          | Error e -> QCheck.Test.fail_reportf "decode failed: %s" e))
+
+let test_result_decode_rejects_corruption () =
+  let r =
+    {
+      Metrics.slots = 9;
+      completed = true;
+      elected = true;
+      leader = Some 0;
+      statuses = [| Station.Leader; Station.Non_leader; Station.Undecided |];
+      jammed_slots = 1;
+      nulls = 3;
+      singles = 2;
+      collisions = 3;
+      transmissions = 5.5;
+      max_station_transmissions = 2;
+    }
+  in
+  let tamper f =
+    match Metrics.result_to_json r with
+    | Json.Obj fields -> Json.Obj (List.map f fields)
+    | _ -> assert false
+  in
+  let expect_error what j =
+    match Metrics.result_of_json j with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "decoder accepted %s" what
+  in
+  expect_error "a dropped field"
+    (match Metrics.result_to_json r with
+    | Json.Obj fields -> Json.Obj (List.remove_assoc "slots" fields)
+    | _ -> assert false);
+  expect_error "a mistyped field"
+    (tamper (function "slots", _ -> ("slots", Json.String "9") | kv -> kv));
+  expect_error "counts disagreeing with packed"
+    (tamper (function
+      | "statuses", Json.Obj s ->
+          ( "statuses",
+            Json.Obj
+              (List.map
+                 (function "leader", _ -> ("leader", Json.Int 2) | kv -> kv)
+                 s) )
+      | kv -> kv));
+  expect_error "a bad packed character"
+    (tamper (function
+      | "statuses", Json.Obj s ->
+          ( "statuses",
+            Json.Obj
+              (List.map
+                 (function "packed", _ -> ("packed", Json.String "LNX") | kv -> kv)
+                 s) )
+      | kv -> kv));
+  (* And the untampered record decodes back to the original. *)
+  match Metrics.result_of_json (Metrics.result_to_json r) with
+  | Ok r' -> check_true "clean record decodes" (Metrics.equal_result r r')
+  | Error e -> Alcotest.failf "clean record rejected: %s" e
+
 (* --- aggregation determinism: the telemetry a replicate produces is
    a pure function of the cell, not of the domain count. --- *)
 
@@ -204,6 +344,10 @@ let suite =
     ("json golden", `Quick, test_json_golden);
     ("json round-trip", `Quick, test_json_roundtrip);
     ("result json golden", `Quick, test_result_json_golden);
+    ("float image exact", `Quick, test_float_image_exact);
+    test_tx_count_roundtrip;
+    test_result_roundtrip;
+    ("result decode rejects corruption", `Quick, test_result_decode_rejects_corruption);
     ("sample json", `Quick, test_sample_json);
     ("jobs-independent aggregation", `Quick, test_jobs_independent_aggregation);
     ("replicate telemetry contents", `Quick, test_replicate_telemetry_contents);

@@ -147,6 +147,20 @@ let experiment_tests =
              (Core.Size_approx.run ~threshold:8 ~n:1024 ~rng
                 ~adversary:(Adversary.greedy ())
                 ~budget ~max_slots:200_000 ())));
+    Test.make ~name:"A7 churn-reelection-chain (adaptive killer, 4 kills, n=64)"
+      (staged (fun seed ->
+           let setup = { E.Runner.n = 64; eps = 0.5; window = 32; max_slots = 200_000 } in
+           ignore
+             (E.Runner.run_churn
+                ~engine:
+                  (E.Runner.Exact
+                     {
+                       name = "LESK";
+                       cd = Jamming_channel.Channel.Strong_cd;
+                       factory = Core.Lesk.station ~eps:0.5;
+                     })
+                ~churn:(Jamming_faults.Churn.Leader_killer { grace = 64; max_kills = 4 })
+                ~restart_after:800_000 setup E.Specs.greedy ~seed)));
   ]
 
 (* --- simulator hot-path microbenchmarks --- *)

@@ -7,6 +7,8 @@
 
 module E = Jamming_experiments
 module Metrics = Jamming_sim.Metrics
+module Dynamic = Jamming_sim.Dynamic
+module Churn = Jamming_faults.Churn
 module Store = Jamming_store.Store
 module Atomic_io = Jamming_store.Atomic_io
 
@@ -60,8 +62,94 @@ let adversaries ~eps =
     ("estimation-staller", E.Specs.estimation_staller);
   ]
 
+(* --churn grammar:
+     none
+     kill:GRACE:KILLS                        adaptive leader killer
+     rate:EVERY:P_JOIN:P_LEAVE:BURST:HORIZON rate- and burst-bounded churn
+     events:2+3,50-leader,80-member          explicit oblivious schedule
+   (event syntax matches Churn.event_to_string: AT+K joins K stations,
+   AT-leader / AT-member crash one). *)
+let parse_churn spec =
+  let num what conv s =
+    match conv s with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "--churn: %s %S is not a number" what s)
+  in
+  let int_ what s = num what int_of_string_opt s in
+  let float_ what s = num what float_of_string_opt s in
+  let ( let* ) = Result.bind in
+  let parse_event s =
+    match String.index_opt s '+' with
+    | Some i ->
+        let* at = int_ "slot" (String.sub s 0 i) in
+        let* k = int_ "join count" (String.sub s (i + 1) (String.length s - i - 1)) in
+        Ok { Churn.at; kind = Churn.Join k }
+    | None -> (
+        match String.index_opt s '-' with
+        | Some i -> (
+            let* at = int_ "slot" (String.sub s 0 i) in
+            match String.sub s (i + 1) (String.length s - i - 1) with
+            | "leader" -> Ok { Churn.at; kind = Churn.Leave Churn.Leader }
+            | "member" -> Ok { Churn.at; kind = Churn.Leave Churn.Member }
+            | v -> Error (Printf.sprintf "--churn: unknown victim %S (leader|member)" v))
+        | None -> Error (Printf.sprintf "--churn: malformed event %S" s))
+  in
+  match String.split_on_char ':' spec with
+  | [ "none" ] -> Ok Churn.none
+  | [ "kill"; g; k ] ->
+      let* grace = int_ "grace" g in
+      let* max_kills = int_ "kill count" k in
+      Ok (Churn.Leader_killer { grace; max_kills })
+  | [ "rate"; e; pj; pl; b; h ] ->
+      let* every = int_ "period" e in
+      let* p_join = float_ "join rate" pj in
+      let* p_leave = float_ "leave rate" pl in
+      let* max_burst = int_ "burst" b in
+      let* horizon = int_ "horizon" h in
+      Ok (Churn.Rate { every; p_join; p_leave; max_burst; horizon })
+  | "events" :: rest ->
+      let evs = String.split_on_char ',' (String.concat ":" rest) in
+      let* events =
+        List.fold_left
+          (fun acc s ->
+            let* acc = acc in
+            let* e = parse_event (String.trim s) in
+            Ok (e :: acc))
+          (Ok []) evs
+        |> Result.map List.rev
+      in
+      Ok (Churn.Oblivious events)
+  | _ ->
+      Error
+        (Printf.sprintf
+           "--churn: unknown spec %S (none | kill:G:K | rate:E:PJ:PL:B:H | events:...)" spec)
+
+let run_churned ~engine ~churn ~restart_after ~setup ~seed ~reps ~verbose ~json_out
+    adversary =
+  let sample =
+    E.Runner.replicate_churn ~base_seed:seed ~engine ~churn ?restart_after ~reps setup
+      adversary
+  in
+  if verbose then
+    Array.iteri
+      (fun i r -> Format.printf "run %2d: %a@." i Dynamic.pp_result r)
+      sample.E.Runner.c_results;
+  Format.printf
+    "@[<v>churn: %s@ elections completed (mean): %.2f@ leaderless slots (mean): %.1f@ \
+     max leaderless interval: %d@ healed: %s@]@."
+    sample.E.Runner.c_churn
+    (E.Runner.mean_elections_completed sample)
+    (E.Runner.mean_leaderless_slots sample)
+    (E.Runner.max_leaderless_interval sample)
+    (E.Table.fmt_pct (E.Runner.healed_rate sample));
+  match json_out with
+  | None -> ()
+  | Some path ->
+      Atomic_io.write_json ~path (E.Runner.churn_sample_to_json ~include_results:true sample);
+      Format.printf "JSON written: %s@." path
+
 let run protocol_name adversary_name n eps window max_slots seed reps weak_cd verbose trace
-    json_out cache no_cache resume cache_dir =
+    churn_spec restart_after json_out cache no_cache resume cache_dir =
   let fail fmt = Format.kasprintf (fun s -> `Error (false, s)) fmt in
   let adversary_lookup name =
     match String.index_opt name ':' with
@@ -81,6 +169,42 @@ let run protocol_name adversary_name n eps window max_slots seed reps weak_cd ve
       if weak_cd && protocol_name <> "lesk" && protocol_name <> "lesu" then
         fail "--weak-cd supports lesk (as LEWK) and lesu (as LEWU) only"
       else begin
+        match parse_churn churn_spec with
+        | Error e -> fail "%s" e
+        | Ok churn when (not (Churn.is_null churn)) || restart_after <> None -> (
+            (* Dynamic population: chained self-healing elections.  Runs
+               on the exact engine whatever the protocol. *)
+            let engine =
+              if weak_cd then
+                let factory =
+                  if protocol_name = "lesk" then Jamming_core.Lewk.station ~eps ()
+                  else Jamming_core.Lewu.station ()
+                in
+                E.Runner.Exact
+                  {
+                    name = protocol.E.Specs.p_name ^ "+Notification";
+                    cd = Jamming_channel.Channel.Weak_cd;
+                    factory;
+                  }
+              else E.Runner.Uniform protocol
+            in
+            let store =
+              if cache_enabled ~cache ~no_cache ~resume then
+                Some (Store.create ~root:cache_dir ())
+              else None
+            in
+            E.Runner.set_store store;
+            match
+              run_churned ~engine ~churn ~restart_after ~setup ~seed ~reps ~verbose
+                ~json_out adversary
+            with
+            | () ->
+                (match store with Some st -> report_store_stats st | None -> ());
+                `Ok ()
+            | exception Invalid_argument msg -> fail "%s" msg
+            | exception Jamming_sim.Monitor.Violation v ->
+                fail "monitor violation: %s" (Jamming_sim.Monitor.violation_to_string v))
+        | Ok _ ->
         let engine =
           if weak_cd then
             let factory =
@@ -161,6 +285,25 @@ let cmd =
       & info [ "trace" ] ~doc:"Also run one traced election and print its last $(docv) slots."
           ~docv:"SLOTS")
   in
+  let churn =
+    Arg.(
+      value & opt string "none"
+      & info [ "churn" ] ~docv:"SPEC"
+          ~doc:
+            "Run chained self-healing elections over a churning population.  $(docv) is \
+             $(b,none), $(b,kill:GRACE:KILLS) (crash each elected leader GRACE slots \
+             after it wins, KILLS times), $(b,rate:EVERY:P_JOIN:P_LEAVE:BURST:HORIZON) \
+             (seeded rate churn), or $(b,events:2+3,50-leader,...) (explicit \
+             schedule).")
+  in
+  let restart_after =
+    Arg.(
+      value & opt (some int) None
+      & info [ "restart-after" ] ~docv:"SLOTS"
+          ~doc:
+            "Abandon an election attempt that has not completed after $(docv) slots and \
+             re-elect with fresh incarnations (implies the dynamic driver).")
+  in
   let json_out =
     Arg.(
       value & opt (some string) None
@@ -195,7 +338,8 @@ let cmd =
     Term.(
       ret
         (const run $ protocol $ adversary $ n $ eps $ window $ max_slots $ seed $ reps
-        $ weak_cd $ verbose $ trace $ json_out $ cache $ no_cache $ resume $ cache_dir))
+        $ weak_cd $ verbose $ trace $ churn $ restart_after $ json_out $ cache $ no_cache
+        $ resume $ cache_dir))
   in
   Cmd.v
     (Cmd.info "lesim" ~doc:"Simulate jamming-resistant leader election (Klonowski-Pajak 2015)")

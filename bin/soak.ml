@@ -14,14 +14,20 @@
    Fault injection (CD misperception, crash-stop, transient sleep,
    late wake-up) is enabled by default; under injected faults the
    election guarantee is allowed to degrade, the engine-level
-   invariants are not.  A failing configuration is shrunk to a minimal
-   reproduction (halve n, truncate the slot cap, drop fault classes one
-   at a time) and a replayable report is written to results/.
+   invariants are not.  Churn is sampled by default too (--churn auto):
+   those iterations run the self-healing dynamic driver and addition-
+   ally check its accounting (leaderless intervals, population balance,
+   epochs vs attempts) plus the jam budget over the absolute slot axis,
+   gaps included.  A failing configuration is shrunk to a minimal
+   reproduction (halve n, truncate the slot cap, thin the churn
+   schedule, drop fault classes one at a time) and a replayable report
+   is written to results/.
 
    Exit code 0 iff every iteration held.
 
      dune exec bin/soak.exe -- --iterations 200 --seed 7
      dune exec bin/soak.exe -- --seed 7 --replay 143   # rerun one iteration
+     dune exec bin/soak.exe -- --churn kill-leader --mutate   # must fail
 *)
 
 module E = Jamming_experiments
@@ -31,9 +37,23 @@ module Key = Jamming_store.Key
 module Atomic_io = Jamming_store.Atomic_io
 module Metrics = Jamming_sim.Metrics
 module Monitor = Jamming_sim.Monitor
+module Observer = Jamming_sim.Observer
+module Dynamic = Jamming_sim.Dynamic
 module Channel = Jamming_channel.Channel
 module Budget = Jamming_adversary.Budget
 module Faults = Jamming_faults
+module Churn = Jamming_faults.Churn
+
+(* How churn is drawn per iteration.  [Auto] churns roughly half the
+   iterations; [Kill_leader] forces the adaptive killer every time (the
+   worst case, and the mode the CI smoke job runs). *)
+type churn_mode = Auto | Always | Kill_leader | Off
+
+let churn_mode_to_string = function
+  | Auto -> "auto"
+  | Always -> "always"
+  | Kill_leader -> "kill-leader"
+  | Off -> "off"
 
 type config = {
   iteration : int;
@@ -46,7 +66,13 @@ type config = {
   max_slots : int;
   adversary_ix : int;
   faults : Faults.Config.t;
+  churn : Churn.t;
+  restart_after : int option;
+  churn_mode : churn_mode;
+  mutate : bool;
 }
+
+let churned c = (not (Churn.is_null c.churn)) || c.restart_after <> None
 
 let adversaries =
   [|
@@ -60,7 +86,11 @@ let mode_name = function 0 -> "LESK" | 1 -> "LESU" | _ -> "LEWK"
 let pp_config ppf c =
   Format.fprintf ppf "%s n=%d eps=%.2f T=%d cap=%d adversary=%s seed=%d %a"
     (mode_name c.mode) c.n c.eps c.window c.max_slots
-    adversaries.(c.adversary_ix).E.Specs.a_name c.run_seed Faults.Config.pp c.faults
+    adversaries.(c.adversary_ix).E.Specs.a_name c.run_seed Faults.Config.pp c.faults;
+  if churned c then
+    Format.fprintf ppf " churn=%s restart=%s" (Churn.descriptor c.churn)
+      (match c.restart_after with None -> "none" | Some d -> string_of_int d);
+  if c.mutate then Format.fprintf ppf " mutate"
 
 let sample_faults rng =
   if Prng.bool rng ~p:0.5 then Faults.Config.none
@@ -83,7 +113,58 @@ let sample_faults rng =
       max_wake_delay = 1 + Prng.int rng ~bound:300;
     }
 
-let sample_config ~base_seed ~seed ~iteration ~with_faults =
+(* Churn is drawn from its own stream, so a churn-off soak draws exactly
+   the seed soak's configurations — and a zero-churn iteration under
+   [Auto] is bit-identical to what the same seed produced before churn
+   existed. *)
+let sample_churn ~mode ~window rng =
+  let active =
+    match mode with
+    | Off -> false
+    | Auto -> Prng.bool rng ~p:0.5
+    | Always | Kill_leader -> true
+  in
+  if not active then (Churn.none, None)
+  else
+    let kind = match mode with Kill_leader -> 2 | _ -> Prng.int rng ~bound:3 in
+    let churn =
+      match kind with
+      | 0 ->
+          let count = 1 + Prng.int rng ~bound:8 in
+          let events = ref [] and at = ref 0 in
+          for _ = 1 to count do
+            at := !at + 1 + Prng.int rng ~bound:2_000;
+            let kind =
+              match Prng.int rng ~bound:3 with
+              | 0 -> Churn.Join (1 + Prng.int rng ~bound:3)
+              | 1 -> Churn.Leave Churn.Member
+              | _ -> Churn.Leave Churn.Leader
+            in
+            events := { Churn.at = !at; kind } :: !events
+          done;
+          Churn.Oblivious (List.rev !events)
+      | 1 ->
+          Churn.Rate
+            {
+              every = 1 + Prng.int rng ~bound:2_000;
+              p_join = Prng.float rng;
+              p_leave = Prng.float rng;
+              max_burst = 1 + Prng.int rng ~bound:3;
+              horizon = 1 + Prng.int rng ~bound:60_000;
+            }
+      | _ ->
+          Churn.Leader_killer
+            {
+              grace = 1 + Prng.int rng ~bound:(8 * window);
+              max_kills = 1 + Prng.int rng ~bound:5;
+            }
+    in
+    let restart_after =
+      if Prng.bool rng ~p:0.5 then Some (1_024 * (1 + Prng.int rng ~bound:8)) else None
+    in
+    (churn, restart_after)
+
+let sample_config ~base_seed ~seed ~iteration ~with_faults ~churn_mode ~mutate =
   let rng = Prng.create ~seed in
   let eps = 0.2 +. (0.8 *. Prng.float rng) in
   let window = 1 + Prng.int rng ~bound:64 in
@@ -95,11 +176,105 @@ let sample_config ~base_seed ~seed ~iteration ~with_faults =
      moderate n and a tighter cap so capped runs stay cheap. *)
   let n = if faulty then 3 + Prng.int rng ~bound:38 else 3 + Prng.int rng ~bound:62 in
   let max_slots = if faulty then 150_000 else 2_000_000 in
+  let churn, restart_after =
+    let rng =
+      Prng.create ~seed:(Prng.seed_of_string (Printf.sprintf "%d/churn-config" seed))
+    in
+    sample_churn ~mode:churn_mode ~window rng
+  in
+  (* Churned runs also go through the exact engine; same cap discipline. *)
+  let max_slots =
+    if (not (Churn.is_null churn)) || restart_after <> None then Int.min max_slots 200_000
+    else max_slots
+  in
   { iteration; base_seed; run_seed = seed; mode; n; eps; window; max_slots;
-    adversary_ix; faults }
+    adversary_ix; faults; churn; restart_after; churn_mode; mutate }
+
+let engine_of c =
+  let cd, factory =
+    match c.mode with
+    | 0 -> (Channel.Strong_cd, Jamming_core.Lesk.station ~eps:c.eps)
+    | 1 -> (Channel.Strong_cd, Jamming_core.Lesu.station ())
+    | _ -> (Channel.Weak_cd, Jamming_core.Lewk.station ~eps:c.eps ())
+  in
+  if Faults.Config.is_null c.faults then
+    E.Runner.Exact { name = mode_name c.mode; cd; factory }
+  else
+    E.Runner.Faulty
+      { name = mode_name c.mode; cd; factory; faults = c.faults; monitor_checks = None }
+
+(* A churned iteration: the dynamic driver chains re-elections while the
+   online monitor spans the whole run; offline we re-check the executed
+   jam pattern and the dynamic result's own accounting. *)
+let run_churned_config c =
+  let setup = { E.Runner.n = c.n; eps = c.eps; window = c.window; max_slots = c.max_slots } in
+  let adversary = adversaries.(c.adversary_ix) in
+  let violations = ref [] in
+  let fail fmt = Format.kasprintf (fun d -> violations := d :: !violations) fmt in
+  let records = ref [] in
+  let observer =
+    Observer.make ~name:"soak-churn"
+      ~on_slot:(fun r ~leaders:_ -> records := r :: !records)
+      ()
+  in
+  let result =
+    try
+      Some
+        (E.Runner.run_churn ~observers:[ observer ] ~engine:(engine_of c) ~churn:c.churn
+           ?restart_after:c.restart_after setup adversary ~seed:c.run_seed)
+    with Monitor.Violation v ->
+      fail "monitor: %s" (Monitor.violation_to_string v);
+      None
+  in
+  let records = List.rev !records in
+  (* The engine only simulates election segments; the gaps between them
+     are fast-forwarded unjammed slots.  Rebuild the executed jam pattern
+     on the absolute slot axis before the offline budget check — checking
+     the simulated slots back to back would splice the two sides of a gap
+     into one fake window. *)
+  let total =
+    match result with
+    | Some r -> r.Dynamic.total_slots
+    | None -> List.fold_left (fun acc r -> Int.max acc (r.Metrics.slot + 1)) 0 records
+  in
+  let jam_pattern = Array.make (Int.max total 1) false in
+  List.iter (fun r -> if r.Metrics.jammed then jam_pattern.(r.Metrics.slot) <- true) records;
+  (match Budget.verify_bounded ~window:c.window ~eps:c.eps jam_pattern with
+  | None -> ()
+  | Some v ->
+      fail "executed jam pattern violates (T, 1-eps): %a" Budget.pp_window_violation v);
+  (match result with
+  | None -> ()
+  | Some r ->
+      if List.length records <> r.Dynamic.simulated_slots then
+        fail "simulated-slot accounting mismatch: %d slot records, %d simulated slots"
+          (List.length records) r.Dynamic.simulated_slots;
+      let interval_sum = List.fold_left ( + ) 0 r.Dynamic.leaderless_intervals in
+      if interval_sum <> r.Dynamic.leaderless_slots then
+        fail "leaderless accounting mismatch: intervals sum to %d, counted %d" interval_sum
+          r.Dynamic.leaderless_slots;
+      (* [arrivals] counts joiners when announced; those announced during
+         an election are only born at the next election boundary, so at
+         truncation the balance can exceed the live population by the
+         still-queued joiners — never the other way around. *)
+      if r.Dynamic.final_population > c.n + r.Dynamic.arrivals - r.Dynamic.departures then
+        fail "population accounting mismatch: %d live > %d + %d - %d announced"
+          r.Dynamic.final_population c.n r.Dynamic.arrivals r.Dynamic.departures;
+      if
+        List.length r.Dynamic.epochs
+        <> r.Dynamic.elections_completed + r.Dynamic.elections_failed
+      then
+        fail "epoch accounting mismatch: %d epochs, %d + %d attempts"
+          (List.length r.Dynamic.epochs) r.Dynamic.elections_completed
+          r.Dynamic.elections_failed;
+      (* --mutate: a deliberately broken invariant, to prove the harness
+         catches one and shrinks it to a minimal churn schedule. *)
+      if c.mutate && r.Dynamic.re_elections > 0 then
+        fail "mutation: run re-elected %d times (injected invariant)" r.Dynamic.re_elections);
+  (!violations, match result with Some r -> r.Dynamic.simulated_slots | None -> 0)
 
 (* Runs [c] and returns the invariant violations observed (empty = held). *)
-let run_config c =
+let run_static_config c =
   let setup = { E.Runner.n = c.n; eps = c.eps; window = c.window; max_slots = c.max_slots } in
   let adversary = adversaries.(c.adversary_ix) in
   let faulty = not (Faults.Config.is_null c.faults) in
@@ -151,8 +326,11 @@ let run_config c =
       end);
   (!violations, match result with Some r -> r.Metrics.slots | None -> 0)
 
-(* --- shrinking: halve n, truncate the cap, drop fault classes one at a
-   time; keep any variant that still fails; stop at a fixpoint. --- *)
+let run_config c = if churned c then run_churned_config c else run_static_config c
+
+(* --- shrinking: halve n, truncate the cap, thin the churn schedule,
+   drop fault classes one at a time; keep any variant that still fails;
+   stop at a fixpoint. --- *)
 
 let drop_faults c =
   let f = c.faults in
@@ -167,12 +345,45 @@ let drop_faults c =
       ("drop late wake-ups", { f with Faults.Config.p_late_wake = 0.0 });
     ]
 
+let shrink_churn c =
+  let drop =
+    if churned c then
+      [ ("drop churn", { c with churn = Churn.none; restart_after = None }) ]
+    else []
+  in
+  let thin =
+    match c.churn with
+    | Churn.Oblivious events when List.length events > 1 ->
+        let keep = List.length events / 2 in
+        [
+          ( "halve churn schedule",
+            { c with churn = Churn.Oblivious (List.filteri (fun i _ -> i < keep) events) } );
+        ]
+    | Churn.Rate r when r.horizon > 1 ->
+        [
+          ( "halve churn horizon",
+            { c with churn = Churn.Rate { r with horizon = r.horizon / 2 } } );
+        ]
+    | Churn.Leader_killer { grace; max_kills } when max_kills > 1 ->
+        [
+          ( "halve leader kills",
+            { c with churn = Churn.Leader_killer { grace; max_kills = max_kills / 2 } } );
+        ]
+    | _ -> []
+  in
+  let restart =
+    if c.restart_after <> None && not (Churn.is_null c.churn) then
+      [ ("drop restart deadline", { c with restart_after = None }) ]
+    else []
+  in
+  thin @ restart @ drop
+
 let shrink_candidates c =
   (if c.n > 3 then [ ("halve n", { c with n = Int.max 3 (c.n / 2) }) ] else [])
   @ (if c.max_slots > 2_000 then
        [ ("truncate slots", { c with max_slots = Int.max 2_000 (c.max_slots / 2) }) ]
      else [])
-  @ drop_faults c
+  @ shrink_churn c @ drop_faults c
 
 let shrink ~budget c0 =
   let attempts = ref 0 in
@@ -211,8 +422,12 @@ let write_report ~dir c violations =
   List.iter (fun d -> Format.fprintf ppf "violation: %s@." d) violations;
   Format.fprintf ppf "shrunk config (%d shrink re-runs): %a@." attempts pp_config shrunk;
   List.iter (fun d -> Format.fprintf ppf "shrunk violation: %s@." d) shrunk_violations;
-  Format.fprintf ppf "replay: dune exec bin/soak.exe -- --seed %d --replay %d@."
-    c.base_seed c.iteration;
+  Format.fprintf ppf "replay: dune exec bin/soak.exe -- --seed %d --replay %d%s%s@."
+    c.base_seed c.iteration
+    (match c.churn_mode with
+    | Auto -> ""
+    | m -> Printf.sprintf " --churn %s" (churn_mode_to_string m))
+    (if c.mutate then " --mutate" else "");
   Format.pp_print_flush ppf ();
   Atomic_io.write_string ~path (Buffer.contents buf);
   path
@@ -224,13 +439,15 @@ let iteration_seed ~seed ~iteration =
    pure function of the seeds, so only the outcome (violations, slots)
    is persisted; --resume then skips every iteration the interrupted
    run already finished. *)
-let iteration_key ~base_seed ~iteration ~with_faults =
+let iteration_key ~base_seed ~iteration ~with_faults ~churn_mode ~mutate =
   Key.v
     [
       ("kind", Key.S "soak");
       ("base_seed", Key.I base_seed);
       ("iteration", Key.I iteration);
       ("with_faults", Key.B with_faults);
+      ("churn_mode", Key.S (churn_mode_to_string churn_mode));
+      ("mutate", Key.B mutate);
     ]
 
 let iteration_value violations slots =
@@ -256,15 +473,15 @@ let iteration_of_json json =
       | _ -> None)
   | _ -> None
 
-let run_iteration ?store ~base_seed ~iteration ~with_faults () =
+let run_iteration ?store ~base_seed ~iteration ~with_faults ~churn_mode ~mutate () =
   let seed = iteration_seed ~seed:base_seed ~iteration in
-  let c = sample_config ~base_seed ~seed ~iteration ~with_faults in
+  let c = sample_config ~base_seed ~seed ~iteration ~with_faults ~churn_mode ~mutate in
   match store with
   | None ->
       let violations, slots = run_config c in
       (c, violations, slots)
   | Some st -> (
-      let key = iteration_key ~base_seed ~iteration ~with_faults in
+      let key = iteration_key ~base_seed ~iteration ~with_faults ~churn_mode ~mutate in
       match Store.find st key ~decode:iteration_of_json with
       | Some (violations, slots) -> (c, violations, slots)
       | None ->
@@ -304,14 +521,16 @@ let report_store_stats st =
   Format.eprintf "store: %a entries=%d disk_bytes=%d@." Store.pp_io_stats
     (Store.io_stats st) disk.Store.entries disk.Store.bytes
 
-let run iterations seed no_faults replay report_dir json_out cache no_cache resume
-    cache_dir =
+let run iterations seed no_faults churn_mode mutate replay report_dir json_out cache
+    no_cache resume cache_dir =
   let with_faults = not no_faults in
   match replay with
   | Some iteration ->
       (* A replay is a diagnostic re-execution — never served from the
          store. *)
-      let c, violations, slots = run_iteration ~base_seed:seed ~iteration ~with_faults () in
+      let c, violations, slots =
+        run_iteration ~base_seed:seed ~iteration ~with_faults ~churn_mode ~mutate ()
+      in
       Format.printf "replaying iteration %d: %a@." iteration pp_config c;
       Format.printf "%d slots simulated.@." slots;
       (match violations with
@@ -332,7 +551,7 @@ let run iterations seed no_faults replay report_dir json_out cache no_cache resu
       let total_slots = ref 0 in
       for iteration = 1 to iterations do
         let c, violations, slots =
-          run_iteration ?store ~base_seed:seed ~iteration ~with_faults ()
+          run_iteration ?store ~base_seed:seed ~iteration ~with_faults ~churn_mode ~mutate ()
         in
         total_slots := !total_slots + slots;
         if violations <> [] then failures := (c, violations) :: !failures;
@@ -375,6 +594,28 @@ let cmd =
   let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Base seed.") in
   let no_faults =
     Arg.(value & flag & info [ "no-faults" ] ~doc:"Disable fault injection (seed-soak behaviour).")
+  in
+  let churn_mode =
+    let modes =
+      Arg.enum
+        [ ("auto", Auto); ("always", Always); ("kill-leader", Kill_leader); ("off", Off) ]
+    in
+    Arg.(
+      value & opt modes Auto
+      & info [ "churn" ] ~docv:"MODE"
+          ~doc:
+            "Churn sampling: $(b,auto) churns roughly half the iterations, $(b,always) \
+             every iteration, $(b,kill-leader) forces the adaptive leader killer every \
+             iteration, $(b,off) disables churn (pre-churn soak behaviour).")
+  in
+  let mutate =
+    Arg.(
+      value & flag
+      & info [ "mutate" ]
+          ~doc:
+            "Mutation test: treat any re-election as an invariant violation.  Churned \
+             iterations are then expected to fail, proving the harness catches a broken \
+             invariant and shrinks it to a minimal replayable churn schedule.")
   in
   let replay =
     Arg.(value & opt (some int) None
@@ -421,7 +662,7 @@ let cmd =
     (Cmd.info "soak" ~doc:"Randomized invariant soak-testing of the whole pipeline")
     Term.(
       ret
-        (const run $ iterations $ seed $ no_faults $ replay $ report_dir $ json_out
-       $ cache $ no_cache $ resume $ cache_dir))
+        (const run $ iterations $ seed $ no_faults $ churn_mode $ mutate $ replay
+       $ report_dir $ json_out $ cache $ no_cache $ resume $ cache_dir))
 
 let () = exit (Cmd.eval cmd)

@@ -1,0 +1,4 @@
+(** A7 — leaderless downtime and re-election latency for chained LESK
+    elections under rate-bounded churn and adaptive leader killing. *)
+
+val experiment : Registry.t

@@ -24,6 +24,7 @@ let all =
     Exp_estimation_threshold.experiment;
     Exp_markov.experiment;
     Exp_fault_tolerance.experiment;
+    Exp_churn.experiment;
   ]
 
 let find key =

@@ -4,6 +4,7 @@ module Channel = Jamming_channel.Channel
 module Metrics = Jamming_sim.Metrics
 module Monitor = Jamming_sim.Monitor
 module Observer = Jamming_sim.Observer
+module Dynamic = Jamming_sim.Dynamic
 module Faults = Jamming_faults
 module Telemetry = Jamming_telemetry.Telemetry
 module Json = Jamming_telemetry.Json
@@ -430,3 +431,279 @@ let replicate_faulty ?jobs ?base_seed ?monitor_checks ~cd ~reps setup ~name ~fac
   replicate ?jobs ?base_seed
     ~engine:(Faulty { name; cd; factory; faults; monitor_checks })
     ~reps setup adversary
+
+(* --- churn cells: dynamic populations (DESIGN.md §12) --- *)
+
+(* Under churn every engine kind runs through the exact engine (the
+   O(1)-per-slot uniform path cannot represent a population that changes
+   mid-run), so a [Uniform] spec is adapted per station. *)
+let churn_engine_parts ~setup engine =
+  match engine with
+  | Uniform p ->
+      ( Channel.Strong_cd,
+        Jamming_station.Uniform.distributed
+          (p.Specs.p_make ~n:setup.n ~window:setup.window),
+        Faults.Config.none,
+        None )
+  | Exact { cd; factory; _ } -> (cd, factory, Faults.Config.none, None)
+  | Faulty { cd; factory; faults; monitor_checks; _ } ->
+      (cd, factory, faults, monitor_checks)
+
+let run_churn ?(observers = []) ~engine ~churn ?restart_after setup adversary ~seed =
+  validate setup;
+  Faults.Churn.validate churn;
+  (match restart_after with
+  | Some r when r < 1 -> invalid_arg "Runner.run_churn: restart_after must be >= 1"
+  | Some _ | None -> ());
+  if Faults.Churn.is_null churn && restart_after = None then
+    (* Bit-identical to the static cell by construction: no churn stream
+       is created and the underlying engine runs completely unchanged. *)
+    Dynamic.of_static (run ~observers ~engine setup adversary ~seed)
+  else begin
+    let cd, factory, faults_cfg, monitor_checks = churn_engine_parts ~setup engine in
+    Faults.Config.validate faults_cfg;
+    let budget = Budget.create ~window:setup.window ~eps:setup.eps in
+    (* Stream layout mirrors the Faulty engine exactly — station root,
+       plan stream, noise stream — plus two churn-only streams, so the
+       same seed with null churn reproduces the static run and adding
+       churn never perturbs station or adversary randomness. *)
+    let station_rng = Prng.create ~seed in
+    let plan_rng =
+      Prng.create ~seed:(Prng.seed_of_string (Printf.sprintf "%d/faults/plans" seed))
+    in
+    let spawn ~birth ~id =
+      let st = factory ~id ~rng:(Prng.split station_rng) in
+      (* Lifecycle faults are per-incarnation: each (re)spawned station
+         draws a fresh plan, shifted to its birth slot. *)
+      let plan = Faults.Config.sample_plan faults_cfg ~rng:plan_rng in
+      if Faults.Fault_plan.is_null plan then st
+      else Faults.Fault_plan.wrap (Faults.Fault_plan.shift plan ~by:birth) st
+    in
+    let schedule =
+      Faults.Churn.sample_schedule churn
+        ~rng:
+          (Prng.create
+             ~seed:(Prng.seed_of_string (Printf.sprintf "%d/churn/schedule" seed)))
+    in
+    let victim_rng =
+      Prng.create ~seed:(Prng.seed_of_string (Printf.sprintf "%d/churn/victims" seed))
+    in
+    let injection =
+      Faults.Injection.create ~noise:faults_cfg.Faults.Config.perception
+        ~rng:
+          (Prng.create
+             ~seed:(Prng.seed_of_string (Printf.sprintf "%d/faults/noise" seed)))
+    in
+    let checks =
+      match monitor_checks with
+      | Some c -> c
+      | None ->
+          if Faults.Config.is_null faults_cfg then Monitor.all_checks
+          else Monitor.safety_checks
+    in
+    let monitor = Monitor.create ~checks ~seed ~window:setup.window ~eps:setup.eps () in
+    let adv = make_adversary adversary setup ~seed in
+    Dynamic.run ?restart_after ~events:schedule ?kill:(Faults.Churn.kill_policy churn)
+      ~victim_rng ~faults:injection ~monitor ~observers ~cd ~adversary:adv ~budget
+      ~max_slots:setup.max_slots ~init:setup.n ~spawn ()
+  end
+
+type churn_sample = {
+  c_setup : setup;
+  c_protocol_name : string;
+  c_adversary_name : string;
+  c_churn : string;  (* Churn.descriptor *)
+  c_results : Dynamic.result array;
+}
+
+let churn_mean f cs =
+  let xs = Array.map (fun r -> float_of_int (f r)) cs.c_results in
+  Jamming_stats.Descriptive.mean xs
+
+let mean_elections_completed cs = churn_mean (fun r -> r.Dynamic.elections_completed) cs
+let mean_leaderless_slots cs = churn_mean (fun r -> r.Dynamic.leaderless_slots) cs
+
+let max_leaderless_interval cs =
+  Array.fold_left
+    (fun acc r -> List.fold_left Int.max acc r.Dynamic.leaderless_intervals)
+    0 cs.c_results
+
+let healed_rate cs =
+  (* A run "healed" when it ends with a live leader — or with nobody
+     left to lead. *)
+  let ok =
+    Array.fold_left
+      (fun acc r ->
+        if r.Dynamic.final_leader <> None || r.Dynamic.final_population = 0 then acc + 1
+        else acc)
+      0 cs.c_results
+  in
+  float_of_int ok /. float_of_int (Array.length cs.c_results)
+
+let churn_sample_to_json ?(include_results = false) cs =
+  Json.Obj
+    ([
+       ("protocol", Json.String cs.c_protocol_name);
+       ("adversary", Json.String cs.c_adversary_name);
+       ("churn", Json.String cs.c_churn);
+       ("setup", setup_to_json cs.c_setup);
+       ("reps", Json.Int (Array.length cs.c_results));
+       ("mean_elections", Json.Float (mean_elections_completed cs));
+       ("mean_leaderless_slots", Json.Float (mean_leaderless_slots cs));
+       ("max_leaderless_interval", Json.Int (max_leaderless_interval cs));
+       ("healed_rate", Json.Float (healed_rate cs));
+     ]
+    @
+    if include_results then
+      [
+        ( "results",
+          Json.List (Array.to_list (Array.map Dynamic.result_to_json cs.c_results)) );
+      ]
+    else [])
+
+let churn_sample_of_json j =
+  let str k = Option.bind (Json.member k j) Json.to_string_opt in
+  match
+    ( str "protocol",
+      str "adversary",
+      str "churn",
+      Json.member "setup" j,
+      Option.bind (Json.member "results" j) Json.to_list_opt )
+  with
+  | Some c_protocol_name, Some c_adversary_name, Some c_churn, Some setup_json, Some rs
+    -> (
+      match setup_of_json setup_json with
+      | Error _ as e -> e
+      | Ok c_setup -> (
+          let rec decode acc = function
+            | [] -> Ok (List.rev acc)
+            | r :: tl -> (
+                match Dynamic.result_of_json r with
+                | Ok r -> decode (r :: acc) tl
+                | Error _ as e -> e)
+          in
+          match decode [] rs with
+          | Error _ as e -> e
+          | Ok results -> (
+              let c_results = Array.of_list results in
+              match Option.bind (Json.member "reps" j) Json.to_int_opt with
+              | Some reps when reps <> Array.length c_results ->
+                  Error "churn sample: reps disagrees with the results array"
+              | Some _ | None ->
+                  Ok { c_setup; c_protocol_name; c_adversary_name; c_churn; c_results })))
+  | _ -> Error "churn sample: missing protocol/adversary/churn/setup/results"
+
+let churn_cell_key ~engine ~(adversary : Specs.adversary) ~churn ~restart_after ~reps
+    ~base_seed setup =
+  let engine_kind, cd =
+    match engine with
+    | Uniform _ -> ("uniform", Channel.Strong_cd)
+    | Exact { cd; _ } -> ("exact", cd)
+    | Faulty { cd; _ } -> ("faulty", cd)
+  in
+  Key.v
+    ([
+       ("kind", Key.S "churn");
+       ("engine", Key.S engine_kind);
+       ("protocol", Key.S (engine_name engine));
+       ("cd", Key.S (Channel.cd_model_to_string cd));
+       ("adversary", Key.S adversary.Specs.a_name);
+       ("n", Key.I setup.n);
+       ("eps", Key.F setup.eps);
+       ("window", Key.I setup.window);
+       ("max_slots", Key.I setup.max_slots);
+       ("reps", Key.I reps);
+       ("base_seed", Key.I base_seed);
+       ("churn", Key.S (Faults.Churn.descriptor churn));
+       (* [restart_after] is validated >= 1, so 0 injectively encodes
+          "no restart deadline". *)
+       ("restart_after", Key.I (Option.value restart_after ~default:0));
+     ]
+    @
+    match engine with
+    | Faulty { faults; _ } -> [ ("faults", Key.S (faults_descriptor faults)) ]
+    | Uniform _ | Exact _ -> [])
+
+let record_churn_sample tel (results : Dynamic.result array) =
+  let c name = Telemetry.counter tel ("runner.churn." ^ name) in
+  let runs = c "runs" and slots = c "slots" and elections = c "elections" in
+  let failures = c "failures" and re_elections = c "re_elections" in
+  let arrivals = c "arrivals" and departures = c "departures" in
+  let kills = c "leader_kills" and leaderless = c "leaderless" in
+  let per_run = Telemetry.histogram tel "runner.churn.leaderless_per_run" in
+  Array.iter
+    (fun (r : Dynamic.result) ->
+      Telemetry.incr runs;
+      Telemetry.add slots r.Dynamic.total_slots;
+      Telemetry.add elections r.Dynamic.elections_completed;
+      Telemetry.add failures r.Dynamic.elections_failed;
+      Telemetry.add re_elections r.Dynamic.re_elections;
+      Telemetry.add arrivals r.Dynamic.arrivals;
+      Telemetry.add departures r.Dynamic.departures;
+      Telemetry.add kills r.Dynamic.leader_kills;
+      Telemetry.add leaderless r.Dynamic.leaderless_slots;
+      Telemetry.observe per_run r.Dynamic.leaderless_slots)
+    results
+
+let replicate_churn_computed ?jobs ~base_seed ?telemetry ~engine ~churn ?restart_after
+    ~reps setup adversary =
+  let jobs = match jobs with Some j -> j | None -> !default_jobs in
+  let tel = match telemetry with Some t -> Some t | None -> !default_telemetry in
+  (* Per-rep seeds reuse the static cell's tag, so a null-churn cell
+     replays the exact seeds (hence results) of its static twin. *)
+  let tag = cell_tag ~engine ~adversary setup in
+  let wall =
+    match tel with Some t -> Some (Telemetry.timer t "runner.wall") | None -> None
+  in
+  (match wall with Some w -> Telemetry.start w | None -> ());
+  let results =
+    parallel_init ~jobs ~reps (fun rep ->
+        run_churn ~engine ~churn ?restart_after setup adversary
+          ~seed:(cell_seed ~base_seed ~tag ~rep))
+  in
+  (match wall with Some w -> Telemetry.stop w | None -> ());
+  (match tel with Some t -> record_churn_sample t results | None -> ());
+  {
+    c_setup = setup;
+    c_protocol_name = engine_name engine;
+    c_adversary_name = adversary.Specs.a_name;
+    c_churn = Faults.Churn.descriptor churn;
+    c_results = results;
+  }
+
+let replicate_churn ?jobs ?(base_seed = 42) ?telemetry ?store ~engine ~churn
+    ?restart_after ~reps setup adversary =
+  validate setup;
+  if reps < 1 then invalid_arg "Runner.replicate_churn: reps must be >= 1";
+  Faults.Churn.validate churn;
+  let store = match store with Some _ as s -> s | None -> !default_store in
+  match store with
+  | None ->
+      replicate_churn_computed ?jobs ~base_seed ?telemetry ~engine ~churn ?restart_after
+        ~reps setup adversary
+  | Some st -> (
+      let tel = match telemetry with Some t -> Some t | None -> !default_telemetry in
+      let key = churn_cell_key ~engine ~adversary ~churn ~restart_after ~reps ~base_seed setup in
+      let decode json =
+        match churn_sample_of_json json with
+        | Ok s
+          when s.c_setup = setup
+               && s.c_protocol_name = engine_name engine
+               && s.c_adversary_name = adversary.Specs.a_name
+               && s.c_churn = Faults.Churn.descriptor churn
+               && Array.length s.c_results = reps ->
+            Some s
+        | Ok _ | Error _ -> None
+      in
+      match Store.find ?telemetry:tel st key ~decode with
+      | Some sample ->
+          (match tel with Some t -> record_churn_sample t sample.c_results | None -> ());
+          sample
+      | None ->
+          let sample =
+            replicate_churn_computed ?jobs ~base_seed ?telemetry ~engine ~churn
+              ?restart_after ~reps setup adversary
+          in
+          Store.add ?telemetry:tel st key
+            (churn_sample_to_json ~include_results:true sample);
+          sample)

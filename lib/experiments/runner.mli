@@ -139,6 +139,90 @@ val sample_of_json : Jamming_telemetry.Json.t -> (sample, string) result
     derived digest fields are recomputed on demand.  [Error] on any
     missing or ill-typed field — the store treats that as a miss. *)
 
+(** {1 Churn cells: dynamic populations}
+
+    The same cell grammar, run through the self-healing
+    {!Jamming_sim.Dynamic} driver (DESIGN.md §12): the population starts
+    at [setup.n], churns under the given policy, and re-elects whenever
+    the leader dies or an attempt stalls.  Every engine kind runs on the
+    exact engine under churn (the O(1) uniform path cannot represent a
+    mid-run population change); a [Faulty] spec additionally applies its
+    per-incarnation lifecycle faults and perception noise.  Per-rep
+    seeds reuse the static cell's tag, so a null-churn cell replays the
+    exact seeds — and hence results — of its static twin. *)
+
+val run_churn :
+  ?observers:Jamming_sim.Observer.t list ->
+  engine:engine ->
+  churn:Jamming_faults.Churn.t ->
+  ?restart_after:int ->
+  setup ->
+  Specs.adversary ->
+  seed:int ->
+  Jamming_sim.Dynamic.result
+(** One dynamic run.  With null churn and no [restart_after] this is
+    exactly [run] wrapped by {!Jamming_sim.Dynamic.of_static} — no churn
+    stream is even created, so the result is bit-identical to the
+    static cell.  Otherwise the churn schedule, departure victims and
+    per-incarnation fault plans are drawn from dedicated streams
+    ([seed/churn/schedule], [seed/churn/victims], [seed/faults/plans])
+    so adding churn never perturbs station or adversary randomness.
+    A monitor spans the whole run ({!Jamming_sim.Monitor.all_checks}
+    when the spec has no perception/lifecycle faults, safety checks
+    otherwise); raises {!Jamming_sim.Monitor.Violation} on a broken
+    invariant. *)
+
+type churn_sample = {
+  c_setup : setup;
+  c_protocol_name : string;
+  c_adversary_name : string;
+  c_churn : string;  (** {!Jamming_faults.Churn.descriptor} *)
+  c_results : Jamming_sim.Dynamic.result array;
+}
+
+val replicate_churn :
+  ?jobs:int ->
+  ?base_seed:int ->
+  ?telemetry:Jamming_telemetry.Telemetry.t ->
+  ?store:Jamming_store.Store.t ->
+  engine:engine ->
+  churn:Jamming_faults.Churn.t ->
+  ?restart_after:int ->
+  reps:int ->
+  setup ->
+  Specs.adversary ->
+  churn_sample
+(** Replicated churn cell, parallel and store-cached exactly like
+    {!replicate_cached}: the cell key adds the churn descriptor and
+    restart deadline to the static key fields (see {!churn_cell_key}),
+    warm hits are bit-identical to cold computes, and telemetry lands
+    under ["runner.churn."]. *)
+
+val churn_cell_key :
+  engine:engine ->
+  adversary:Specs.adversary ->
+  churn:Jamming_faults.Churn.t ->
+  restart_after:int option ->
+  reps:int ->
+  base_seed:int ->
+  setup ->
+  Jamming_store.Key.t
+(** The store key {!replicate_churn} uses for a cell. *)
+
+val churn_sample_to_json :
+  ?include_results:bool -> churn_sample -> Jamming_telemetry.Json.t
+
+val churn_sample_of_json :
+  Jamming_telemetry.Json.t -> (churn_sample, string) result
+
+val mean_elections_completed : churn_sample -> float
+val mean_leaderless_slots : churn_sample -> float
+val max_leaderless_interval : churn_sample -> int
+
+val healed_rate : churn_sample -> float
+(** Fraction of runs ending with a live leader (or an empty
+    population). *)
+
 (** {1 Deprecated compatibility wrappers}
 
     Thin aliases for {!run}/{!replicate} with pre-observer signatures.

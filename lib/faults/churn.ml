@@ -1,0 +1,106 @@
+module Prng = Jamming_prng.Prng
+
+type victim = Member | Leader
+
+let victim_to_string = function Member -> "member" | Leader -> "leader"
+
+type kind = Join of int | Leave of victim
+
+type event = { at : int; kind : kind }
+
+type policy =
+  | Oblivious of event list
+  | Rate of {
+      every : int;
+      p_join : float;
+      p_leave : float;
+      max_burst : int;
+      horizon : int;
+    }
+  | Leader_killer of { grace : int; max_kills : int }
+
+type t = policy
+
+let none = Oblivious []
+
+let is_null = function
+  | Oblivious [] -> true
+  | Oblivious (_ :: _) -> false
+  | Rate { p_join; p_leave; _ } -> p_join = 0.0 && p_leave = 0.0
+  | Leader_killer { max_kills; _ } -> max_kills = 0
+
+let in_unit p = p >= 0.0 && p <= 1.0
+
+let validate = function
+  | Oblivious events ->
+      let rec check prev = function
+        | [] -> ()
+        | { at; kind } :: tl ->
+            if at < 0 then invalid_arg "Churn: event slots must be >= 0";
+            if at < prev then invalid_arg "Churn: oblivious events must be sorted by slot";
+            (match kind with
+            | Join k when k < 1 -> invalid_arg "Churn: joins must bring >= 1 station"
+            | Join _ | Leave _ -> ());
+            check at tl
+      in
+      check 0 events
+  | Rate { every; p_join; p_leave; max_burst; horizon } ->
+      if every < 1 then invalid_arg "Churn: rate period must be >= 1";
+      if not (in_unit p_join && in_unit p_leave) then
+        invalid_arg "Churn: rate probabilities must lie in [0, 1]";
+      if max_burst < 1 then invalid_arg "Churn: max_burst must be >= 1";
+      if horizon < 1 then invalid_arg "Churn: horizon must be >= 1"
+  | Leader_killer { grace; max_kills } ->
+      if grace < 0 then invalid_arg "Churn: grace must be >= 0";
+      if max_kills < 0 then invalid_arg "Churn: max_kills must be >= 0"
+
+(* The adaptive policy has no oblivious part: its kill events depend on
+   when elections complete, so the driver schedules them online via
+   [kill_policy]. *)
+let sample_schedule t ~rng =
+  validate t;
+  match t with
+  | Oblivious events -> events
+  | Leader_killer _ -> []
+  | Rate { every; p_join; p_leave; max_burst; horizon } ->
+      if p_join = 0.0 && p_leave = 0.0 then []
+      else begin
+        let events = ref [] in
+        let at = ref every in
+        while !at <= horizon do
+          (* One join draw then one leave draw per tick, in this fixed
+             order, so a (config, seed) pair replays the exact schedule. *)
+          if p_join > 0.0 && Prng.bool rng ~p:p_join then begin
+            let burst = 1 + Prng.int rng ~bound:max_burst in
+            events := { at = !at; kind = Join burst } :: !events
+          end;
+          if p_leave > 0.0 && Prng.bool rng ~p:p_leave then
+            events := { at = !at; kind = Leave Member } :: !events;
+          at := !at + every
+        done;
+        List.rev !events
+      end
+
+let kill_policy = function
+  | Leader_killer { grace; max_kills } when max_kills > 0 -> Some (grace, max_kills)
+  | Leader_killer _ | Oblivious _ | Rate _ -> None
+
+let event_to_string { at; kind } =
+  match kind with
+  | Join k -> Printf.sprintf "%d+%d" at k
+  | Leave v -> Printf.sprintf "%d-%s" at (victim_to_string v)
+
+(* Full-precision, injective rendering for store keys: two configs that
+   could ever run differently must have different descriptors, so floats
+   are rendered in hex (the same convention as Runner's fault
+   descriptor). *)
+let descriptor = function
+  | Oblivious events ->
+      Printf.sprintf "oblivious[%s]" (String.concat ";" (List.map event_to_string events))
+  | Rate { every; p_join; p_leave; max_burst; horizon } ->
+      Printf.sprintf "rate(every=%d,join=%h<=%d,leave=%h,horizon=%d)" every p_join
+        max_burst p_leave horizon
+  | Leader_killer { grace; max_kills } ->
+      Printf.sprintf "kill-leader(grace=%d,kills=%d)" grace max_kills
+
+let pp ppf t = Format.pp_print_string ppf (descriptor t)

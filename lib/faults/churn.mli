@@ -1,0 +1,76 @@
+(** Churn adversary: station arrivals and departures under rate- and
+    burst-bounded policies, following Augustine et al., {e Robust Leader
+    Election in a Fast-Changing World} (PAPERS.md).
+
+    A churn policy is pure data; {!sample_schedule} turns the oblivious
+    part into a concrete, sorted event list with an explicit generator,
+    so a (policy, seed) pair is a complete replayable description of a
+    churned run — the soak harness shrinks schedules and reports them
+    verbatim.  The adaptive {!Leader_killer} policy has no oblivious
+    part: the dynamic driver reads it through {!kill_policy} and crashes
+    each elected leader [grace] slots after its election completes.
+
+    Event semantics (enforced by {!Jamming_sim.Dynamic}):
+    - {b Join k} at slot [s]: [k] fresh stations are born at [s].  A
+      joiner defers to the next election boundary — it adopts a live
+      leader silently, or participates from the next (re-)election —
+      so an election in flight is never infiltrated mid-protocol.
+    - {b Leave Member} at slot [s]: a seeded-uniform live station
+      crash-stops at [s] (leaders included only via [Leave Leader]).
+    - {b Leave Leader} at slot [s]: the live leader crash-stops,
+      forcing a re-election; leaderless at that slot it degrades to
+      [Leave Member]. *)
+
+type victim = Member | Leader
+
+val victim_to_string : victim -> string
+
+type kind =
+  | Join of int  (** This many fresh stations arrive. *)
+  | Leave of victim  (** One station crash-stops. *)
+
+type event = { at : int; kind : kind }
+
+type policy =
+  | Oblivious of event list
+      (** An explicit schedule, sorted by slot (equal slots allowed;
+          applied in list order). *)
+  | Rate of {
+      every : int;  (** Churn ticks at slots [every, 2·every, …]. *)
+      p_join : float;  (** Per-tick probability of an arrival burst. *)
+      p_leave : float;  (** Per-tick probability of a departure. *)
+      max_burst : int;  (** Arrival burst size is uniform on [\[1, max_burst\]]. *)
+      horizon : int;  (** No churn after this slot. *)
+    }
+  | Leader_killer of { grace : int; max_kills : int }
+      (** Adaptive: crash each elected leader [grace] slots after its
+          election completes, at most [max_kills] times. *)
+
+type t = policy
+
+val none : t
+(** The empty oblivious schedule; {!is_null} holds. *)
+
+val is_null : t -> bool
+(** No arrival or departure can ever occur. *)
+
+val validate : t -> unit
+(** Raises [Invalid_argument] on negative slots, unsorted schedules,
+    empty joins, out-of-range rates or negative kill parameters. *)
+
+val sample_schedule : t -> rng:Jamming_prng.Prng.t -> event list
+(** The concrete sorted oblivious schedule.  [Oblivious] returns its
+    events; [Rate] draws per-tick events from [rng] (nothing when both
+    rates are zero); [Leader_killer] is entirely adaptive and returns
+    [[]]. *)
+
+val kill_policy : t -> (int * int) option
+(** [(grace, max_kills)] when the policy is an active leader-killer. *)
+
+val event_to_string : event -> string
+
+val descriptor : t -> string
+(** Injective full-precision rendering, for store cell keys: configs
+    that could run differently never share a descriptor. *)
+
+val pp : Format.formatter -> t -> unit

@@ -20,6 +20,17 @@ let validate plan =
       if a < 0 || b <= a then invalid_arg "Fault_plan: sleep intervals must be non-empty")
     plan.sleeps
 
+let shift plan ~by =
+  if by < 0 then invalid_arg "Fault_plan.shift: offset must be >= 0";
+  validate plan;
+  if by = 0 then plan
+  else
+    {
+      wake_slot = plan.wake_slot + by;
+      crash_slot = Option.map (fun c -> c + by) plan.crash_slot;
+      sleeps = List.map (fun (a, b) -> (a + by, b + by)) plan.sleeps;
+    }
+
 let dormant plan ~slot =
   slot < plan.wake_slot || List.exists (fun (a, b) -> slot >= a && slot < b) plan.sleeps
 

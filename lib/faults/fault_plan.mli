@@ -31,6 +31,12 @@ val validate : plan -> unit
 (** Raises [Invalid_argument] on a negative wake/crash slot or an empty
     or negative sleep interval. *)
 
+val shift : plan -> by:int -> plan
+(** [shift plan ~by] is [plan] with every slot reference (wake, crash,
+    sleeps) moved [by] slots later: a plan sampled in station-relative
+    slots becomes the absolute-slot plan of a station born at slot
+    [by].  Requires [by >= 0]; validates [plan]. *)
+
 val dormant : plan -> slot:int -> bool
 (** Whether the station is asleep (or not yet awake) at [slot].  Crash
     is not dormancy; see {!crashed}. *)

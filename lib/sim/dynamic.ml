@@ -1,0 +1,621 @@
+module Channel = Jamming_channel.Channel
+module Adversary = Jamming_adversary.Adversary
+module Budget = Jamming_adversary.Budget
+module Station = Jamming_station.Station
+module Prng = Jamming_prng.Prng
+module Churn = Jamming_faults.Churn
+module Injection = Jamming_faults.Injection
+module Json = Jamming_telemetry.Json
+
+type epoch = {
+  start_slot : int;
+  population : int;
+  attempt : Metrics.result;
+  leader : int option;
+}
+
+type result = {
+  total_slots : int;
+  simulated_slots : int;
+  elections_completed : int;
+  elections_failed : int;
+  re_elections : int;
+  arrivals : int;
+  departures : int;
+  leader_kills : int;
+  leaderless_slots : int;
+  leaderless_intervals : int list;
+  epochs : epoch list;
+  final_population : int;
+  final_leader : int option;
+}
+
+let empty_attempt =
+  {
+    Metrics.slots = 0;
+    completed = false;
+    elected = false;
+    leader = None;
+    statuses = [||];
+    jammed_slots = 0;
+    nulls = 0;
+    singles = 0;
+    collisions = 0;
+    transmissions = 0.0;
+    max_station_transmissions = 0;
+  }
+
+(* Merge two consecutive segments of one attempt.  Completion fields
+   come from the later segment; [max_station_transmissions] is the max
+   of per-segment maxima (a lower bound on the true per-incarnation
+   total, since segments do not track per-station ids). *)
+let merge_segments (a : Metrics.result) (b : Metrics.result) =
+  {
+    Metrics.slots = a.Metrics.slots + b.Metrics.slots;
+    completed = b.Metrics.completed;
+    elected = b.Metrics.elected;
+    leader = b.Metrics.leader;
+    statuses = b.Metrics.statuses;
+    jammed_slots = a.Metrics.jammed_slots + b.Metrics.jammed_slots;
+    nulls = a.Metrics.nulls + b.Metrics.nulls;
+    singles = a.Metrics.singles + b.Metrics.singles;
+    collisions = a.Metrics.collisions + b.Metrics.collisions;
+    transmissions = a.Metrics.transmissions +. b.Metrics.transmissions;
+    max_station_transmissions =
+      Int.max a.Metrics.max_station_transmissions b.Metrics.max_station_transmissions;
+  }
+
+let of_static (r : Metrics.result) =
+  let n = Array.length r.Metrics.statuses in
+  let ok = r.Metrics.elected in
+  {
+    total_slots = r.Metrics.slots;
+    simulated_slots = r.Metrics.slots;
+    elections_completed = (if ok then 1 else 0);
+    elections_failed = (if ok then 0 else 1);
+    re_elections = 0;
+    arrivals = 0;
+    departures = 0;
+    leader_kills = 0;
+    leaderless_slots = r.Metrics.slots;
+    leaderless_intervals = (if r.Metrics.slots > 0 then [ r.Metrics.slots ] else []);
+    epochs = [ { start_slot = 0; population = n; attempt = r; leader = r.Metrics.leader } ];
+    final_population = n;
+    final_leader = r.Metrics.leader;
+  }
+
+(* The driver's population state machine:
+   - [Electing]: an election attempt is in flight; every live station
+     has a running closure and the engine simulates them in segments
+     capped at the next churn event.
+   - [Stable]: an election completed; the leader and its followers are
+     pure bookkeeping (no closures run, the channel is idle) until the
+     next event.
+   - [Empty]: nobody is alive; time fast-forwards to the next arrival. *)
+type attempt_state = {
+  start : int;
+  att_population : int;
+  deadline : int option;
+  mutable gids : int array;
+  mutable stations : Station.t array;
+  mutable acc : Metrics.result option;
+}
+
+type mode =
+  | Empty
+  | Stable of { leader : int; others : int list }
+  | Electing of attempt_state
+
+let run ?restart_after ?(events = []) ?kill ?victim_rng ?faults ?monitor ?(observers = [])
+    ~cd ~adversary ~budget ~max_slots ~init ~spawn () =
+  if init < 0 then invalid_arg "Dynamic.run: init must be >= 0";
+  if max_slots < 0 then invalid_arg "Dynamic.run: max_slots must be >= 0";
+  (match restart_after with
+  | Some r when r < 1 -> invalid_arg "Dynamic.run: restart_after must be >= 1"
+  | Some _ | None -> ());
+  Churn.validate (Churn.Oblivious events);
+  (match kill with
+  | Some (grace, kills) when grace < 0 || kills < 0 ->
+      invalid_arg "Dynamic.run: kill grace and count must be >= 0"
+  | Some _ | None -> ());
+  let grace = match kill with Some (g, _) -> g | None -> 0 in
+  let kills_left = ref (match kill with Some (_, k) -> k | None -> 0) in
+  (* Per-segment observers: the monitor spans the whole run, so segment
+     results must not reach [check_result]; likewise user observers hear
+     [on_result] once, at the end, with the aggregate. *)
+  let neuter o = { o with Observer.on_result = (fun _ -> ()) } in
+  let seg_obs =
+    (match monitor with Some m -> [ Monitor.slot_observer m ] | None -> [])
+    @ List.map neuter observers
+  in
+  let violate ~slot ~check msg =
+    match monitor with
+    | Some m -> Monitor.report m ~slot ~check "%s" msg
+    | None -> raise (Monitor.Violation { Monitor.slot; check; seed = None; detail = msg })
+  in
+  (* --- run state --- *)
+  let now = ref 0 in
+  let simulated = ref 0 in
+  let mode = ref Empty in
+  let pending = ref events in
+  let pending_kill = ref None in
+  let pending_joins = ref init in
+  let next_id = ref 0 in
+  let born = ref 0 in
+  let completed_n = ref 0 and failed_n = ref 0 and re_elections = ref 0 in
+  let arrivals = ref 0 and departures = ref 0 and kills_done = ref 0 in
+  let epochs = ref [] in
+  let leaderless = ref 0 and intervals = ref [] in
+  let ll_open = ref None in
+  let agg_jams = ref 0 and agg_nulls = ref 0 and agg_singles = ref 0 in
+  let agg_collisions = ref 0 and agg_tx = ref 0.0 and agg_max_tx = ref 0 in
+  let open_ll () = if !ll_open = None then ll_open := Some !now in
+  let close_ll () =
+    match !ll_open with
+    | None -> ()
+    | Some since ->
+        ll_open := None;
+        let len = !now - since in
+        if len > 0 then begin
+          leaderless := !leaderless + len;
+          intervals := len :: !intervals
+        end
+  in
+  let fresh_gid () =
+    let g = !next_id in
+    incr next_id;
+    incr born;
+    g
+  in
+  (* Idle wall-clock: nobody transmits and the adversary is quiescent,
+     so each slot is an unjammed Null.  The budget still advances (its
+     headroom recovers, which favours the adversary later) and the
+     monitor's tallies stay coherent across the gap. *)
+  let gap_advance ~upto ~leaders =
+    let from = !now in
+    if upto > from then begin
+      for _ = 1 to upto - from do
+        Budget.advance budget ~jam:false
+      done;
+      (match monitor with
+      | Some m -> Monitor.skip_to m ~from ~upto ~leaders
+      | None -> ());
+      agg_nulls := !agg_nulls + (upto - from);
+      now := upto
+    end
+  in
+  let start_attempt ~members =
+    (match !mode with
+    | Stable { leader; _ } ->
+        violate ~slot:!now ~check:Monitor.Live_leader
+          (Printf.sprintf "election starting while leader %d is still live" leader)
+    | Empty | Electing _ -> ());
+    let joined = ref [] in
+    for _ = 1 to !pending_joins do
+      joined := fresh_gid () :: !joined
+    done;
+    pending_joins := 0;
+    let gids = members @ List.rev !joined in
+    if gids = [] then mode := Empty
+    else begin
+      open_ll ();
+      let birth = !now in
+      let gids = Array.of_list gids in
+      let n = Array.length gids in
+      (* Spawn in gid order with an explicit loop: the spawn callback
+         typically splits a shared random stream per station, so the
+         call order is part of the reproducibility contract. *)
+      let stations = ref [] in
+      for i = 0 to n - 1 do
+        stations := spawn ~birth ~id:gids.(i) :: !stations
+      done;
+      let stations = Array.of_list (List.rev !stations) in
+      mode :=
+        Electing
+          {
+            start = birth;
+            att_population = n;
+            deadline = Option.map (fun r -> birth + r) restart_after;
+            gids;
+            stations;
+            acc = None;
+          }
+    end
+  in
+  let record_epoch ~(e : int * int * Metrics.result) ~leader =
+    let start_slot, population, attempt = e in
+    epochs := { start_slot; population; attempt; leader } :: !epochs
+  in
+  let remove_index arr i =
+    let n = Array.length arr in
+    Array.append (Array.sub arr 0 i) (Array.sub arr (i + 1) (n - i - 1))
+  in
+  let pick_victim ~pool_size =
+    if pool_size = 1 then 0
+    else
+      match victim_rng with
+      | Some rng -> Prng.int rng ~bound:pool_size
+      | None ->
+          invalid_arg
+            "Dynamic.run: a departure must pick among several stations but no victim_rng \
+             was given"
+  in
+  (* Crash-stop one member of the in-flight attempt: it simply stops
+     being simulated, exactly as if it had crashed (its closure is
+     dropped; the remaining stations keep their order and streams). *)
+  let leave_electing e =
+    let n = Array.length e.gids in
+    if n > 0 then begin
+      let i = pick_victim ~pool_size:n in
+      e.gids <- remove_index e.gids i;
+      e.stations <- remove_index e.stations i;
+      incr departures;
+      if Array.length e.gids = 0 then begin
+        (* The attempt can never complete: everyone left. *)
+        incr failed_n;
+        record_epoch
+          ~e:(e.start, e.att_population, Option.value e.acc ~default:empty_attempt)
+          ~leader:None;
+        mode := Empty;
+        close_ll ()
+      end
+    end
+  in
+  let leader_died ~survivors =
+    incr departures;
+    pending_kill := None;
+    incr re_elections;
+    mode := Empty;
+    start_attempt ~members:survivors
+  in
+  let apply_event { Churn.at = _; kind } =
+    match kind with
+    | Churn.Join k -> (
+        arrivals := !arrivals + k;
+        match !mode with
+        | Stable s ->
+            (* Adopt the live leader silently: the joiners become
+               followers with no running closure. *)
+            let joined = ref [] in
+            for _ = 1 to k do
+              joined := fresh_gid () :: !joined
+            done;
+            mode := Stable { s with others = s.others @ List.rev !joined }
+        | Electing _ ->
+            (* Defer to the next election boundary: an election in
+               flight is never infiltrated mid-protocol. *)
+            pending_joins := !pending_joins + k
+        | Empty ->
+            pending_joins := !pending_joins + k;
+            start_attempt ~members:[])
+    | Churn.Leave victim -> (
+        match !mode, victim with
+        | Empty, _ -> ()
+        | Stable { leader; others }, Churn.Leader -> ignore leader; leader_died ~survivors:others
+        | Stable s, Churn.Member ->
+            (* Leaders leave only via [Leave Leader]. *)
+            let pool = Array.of_list s.others in
+            if Array.length pool > 0 then begin
+              let i = pick_victim ~pool_size:(Array.length pool) in
+              incr departures;
+              mode := Stable { s with others = Array.to_list (remove_index pool i) }
+            end
+        | Electing e, (Churn.Member | Churn.Leader) ->
+            (* Leaderless: [Leave Leader] degrades to a member leave. *)
+            leave_electing e)
+  in
+  let apply_kill () =
+    match !mode with
+    | Stable { leader; others } ->
+        ignore leader;
+        incr kills_done;
+        decr kills_left;
+        leader_died ~survivors:others
+    | Empty | Electing _ ->
+        (* The target died by other means before the kill landed. *)
+        ()
+  in
+  let apply_due_events () =
+    let continue = ref true in
+    while !continue do
+      match !pending with
+      | ev :: tl when ev.Churn.at <= !now ->
+          pending := tl;
+          apply_event ev
+      | _ -> (
+          match !pending_kill with
+          | Some s when s <= !now ->
+              pending_kill := None;
+              apply_kill ()
+          | Some _ | None -> continue := false)
+    done
+  in
+  let next_boundary () =
+    let evt = match !pending with ev :: _ -> Some ev.Churn.at | [] -> None in
+    match evt, !pending_kill with
+    | None, None -> None
+    | Some a, None | None, Some a -> Some a
+    | Some a, Some b -> Some (Int.min a b)
+  in
+  let finish_attempt_failed start population acc gids_list =
+    incr failed_n;
+    record_epoch ~e:(start, population, acc) ~leader:None;
+    (* Zero-slot failures (every incarnation born finished) would
+       otherwise restart forever at the same slot: burn one idle slot
+       so restarts are bounded by [max_slots]. *)
+    if acc.Metrics.slots = 0 && !now < max_slots then
+      gap_advance ~upto:(!now + 1) ~leaders:0;
+    mode := Empty;
+    start_attempt ~members:gids_list
+  in
+  let run_segment (e : attempt_state) =
+    let boundary =
+      let b = max_slots in
+      let b = match e.deadline with Some d -> Int.min b d | None -> b in
+      match !pending with ev :: _ -> Int.min b ev.Churn.at | [] -> b
+    in
+    let cap = boundary - !now in
+    let seg =
+      Engine.run ~start_slot:!now ?faults ~observers:seg_obs ~cd ~adversary ~budget
+        ~max_slots:cap ~stations:e.stations ()
+    in
+    now := !now + seg.Metrics.slots;
+    simulated := !simulated + seg.Metrics.slots;
+    agg_jams := !agg_jams + seg.Metrics.jammed_slots;
+    agg_nulls := !agg_nulls + seg.Metrics.nulls;
+    agg_singles := !agg_singles + seg.Metrics.singles;
+    agg_collisions := !agg_collisions + seg.Metrics.collisions;
+    agg_tx := !agg_tx +. seg.Metrics.transmissions;
+    agg_max_tx := Int.max !agg_max_tx seg.Metrics.max_station_transmissions;
+    let acc = match e.acc with None -> seg | Some a -> merge_segments a seg in
+    e.acc <- Some acc;
+    if seg.Metrics.completed then begin
+      if seg.Metrics.elected then begin
+        let li = match seg.Metrics.leader with Some i -> i | None -> assert false in
+        let leader_gid = e.gids.(li) in
+        incr completed_n;
+        record_epoch ~e:(e.start, e.att_population, acc) ~leader:(Some leader_gid);
+        close_ll ();
+        let others =
+          Array.to_list e.gids |> List.filter (fun g -> g <> leader_gid)
+        in
+        mode := Stable { leader = leader_gid; others };
+        if !kills_left > 0 then pending_kill := Some (!now + grace)
+      end
+      else
+        (* Terminated without a unique leader (everyone crashed
+           undecided, or a perception-noise split): self-heal with a
+           fresh election over the same members. *)
+        finish_attempt_failed e.start e.att_population acc (Array.to_list e.gids)
+    end
+  in
+  (* --- main loop --- *)
+  if init > 0 then start_attempt ~members:[];
+  let running = ref true in
+  while !running && !now < max_slots do
+    apply_due_events ();
+    if !now >= max_slots then running := false
+    else
+      match !mode with
+      | Empty -> (
+          match next_boundary () with
+          | Some b when b < max_slots -> gap_advance ~upto:b ~leaders:0
+          | Some _ | None -> running := false)
+      | Stable _ -> (
+          match next_boundary () with
+          | Some b when b < max_slots -> gap_advance ~upto:b ~leaders:1
+          | Some _ | None -> running := false)
+      | Electing e -> (
+          match e.deadline with
+          | Some d when !now >= d ->
+              (* Stalled past the restart deadline: give up on this
+                 attempt and re-elect with fresh incarnations. *)
+              finish_attempt_failed e.start e.att_population
+                (Option.value e.acc ~default:empty_attempt)
+                (Array.to_list e.gids)
+          | Some _ | None -> run_segment e)
+  done;
+  (* --- epilogue --- *)
+  (match !mode with
+  | Electing e -> (
+      (* Truncated by [max_slots]: an attempt that actually ran counts
+         as failed; one that never got a slot is not counted. *)
+      match e.acc with
+      | Some acc -> record_epoch ~e:(e.start, e.att_population, acc) ~leader:None; incr failed_n
+      | None -> ())
+  | Stable _ | Empty -> ());
+  close_ll ();
+  let final_leader, final_population =
+    match !mode with
+    | Empty -> (None, 0)
+    | Stable { leader; others } -> (Some leader, 1 + List.length others)
+    | Electing e -> (None, Array.length e.gids)
+  in
+  if final_population <> !born - !departures then
+    violate ~slot:!now ~check:Monitor.Population
+      (Printf.sprintf "live population %d but %d born - %d departed = %d" final_population
+         !born !departures (!born - !departures));
+  let synthetic =
+    {
+      Metrics.slots = !now;
+      completed = (match !mode with Electing _ -> false | Stable _ | Empty -> true);
+      elected = final_leader <> None;
+      leader = None;
+      statuses = [||];
+      jammed_slots = !agg_jams;
+      nulls = !agg_nulls;
+      singles = !agg_singles;
+      collisions = !agg_collisions;
+      transmissions = !agg_tx;
+      max_station_transmissions = !agg_max_tx;
+    }
+  in
+  (match monitor with Some m -> Monitor.check_result m synthetic | None -> ());
+  List.iter (fun o -> o.Observer.on_result synthetic) observers;
+  {
+    total_slots = !now;
+    simulated_slots = !simulated;
+    elections_completed = !completed_n;
+    elections_failed = !failed_n;
+    re_elections = !re_elections;
+    arrivals = !arrivals;
+    departures = !departures;
+    leader_kills = !kills_done;
+    leaderless_slots = !leaderless;
+    leaderless_intervals = List.rev !intervals;
+    epochs = List.rev !epochs;
+    final_population;
+    final_leader;
+  }
+
+(* --- comparison, JSON, pretty-printing --- *)
+
+let equal_epoch a b =
+  a.start_slot = b.start_slot && a.population = b.population && a.leader = b.leader
+  && Metrics.equal_result a.attempt b.attempt
+
+let equal_result a b =
+  a.total_slots = b.total_slots
+  && a.simulated_slots = b.simulated_slots
+  && a.elections_completed = b.elections_completed
+  && a.elections_failed = b.elections_failed
+  && a.re_elections = b.re_elections
+  && a.arrivals = b.arrivals && a.departures = b.departures
+  && a.leader_kills = b.leader_kills
+  && a.leaderless_slots = b.leaderless_slots
+  && a.leaderless_intervals = b.leaderless_intervals
+  && List.length a.epochs = List.length b.epochs
+  && List.for_all2 equal_epoch a.epochs b.epochs
+  && a.final_population = b.final_population
+  && a.final_leader = b.final_leader
+
+let epoch_to_json e =
+  Json.Obj
+    [
+      ("start_slot", Json.Int e.start_slot);
+      ("population", Json.Int e.population);
+      ("leader", match e.leader with Some g -> Json.Int g | None -> Json.Null);
+      ("attempt", Metrics.result_to_json e.attempt);
+    ]
+
+let result_to_json r =
+  Json.Obj
+    [
+      ("total_slots", Json.Int r.total_slots);
+      ("simulated_slots", Json.Int r.simulated_slots);
+      ("elections_completed", Json.Int r.elections_completed);
+      ("elections_failed", Json.Int r.elections_failed);
+      ("re_elections", Json.Int r.re_elections);
+      ("arrivals", Json.Int r.arrivals);
+      ("departures", Json.Int r.departures);
+      ("leader_kills", Json.Int r.leader_kills);
+      ("leaderless_slots", Json.Int r.leaderless_slots);
+      ("leaderless_intervals", Json.List (List.map (fun i -> Json.Int i) r.leaderless_intervals));
+      ("epochs", Json.List (List.map epoch_to_json r.epochs));
+      ("final_population", Json.Int r.final_population);
+      ("final_leader", match r.final_leader with Some g -> Json.Int g | None -> Json.Null);
+    ]
+
+let epoch_of_json j =
+  let ( let* ) = Result.bind in
+  let int name =
+    match Option.bind (Json.member name j) Json.to_int_opt with
+    | Some i -> Ok i
+    | None -> Error (Printf.sprintf "epoch: %S is not an int" name)
+  in
+  let* start_slot = int "start_slot" in
+  let* population = int "population" in
+  let* leader =
+    match Json.member "leader" j with
+    | Some Json.Null -> Ok None
+    | Some (Json.Int g) -> Ok (Some g)
+    | Some _ -> Error "epoch: \"leader\" is not null or an int"
+    | None -> Error "epoch: missing field \"leader\""
+  in
+  let* attempt =
+    match Json.member "attempt" j with
+    | Some a -> Metrics.result_of_json a
+    | None -> Error "epoch: missing field \"attempt\""
+  in
+  Ok { start_slot; population; attempt; leader }
+
+let result_of_json j =
+  let ( let* ) = Result.bind in
+  let int name =
+    match Option.bind (Json.member name j) Json.to_int_opt with
+    | Some i -> Ok i
+    | None -> Error (Printf.sprintf "dynamic result: %S is not an int" name)
+  in
+  let* total_slots = int "total_slots" in
+  let* simulated_slots = int "simulated_slots" in
+  let* elections_completed = int "elections_completed" in
+  let* elections_failed = int "elections_failed" in
+  let* re_elections = int "re_elections" in
+  let* arrivals = int "arrivals" in
+  let* departures = int "departures" in
+  let* leader_kills = int "leader_kills" in
+  let* leaderless_slots = int "leaderless_slots" in
+  let* leaderless_intervals =
+    match Option.bind (Json.member "leaderless_intervals" j) Json.to_list_opt with
+    | None -> Error "dynamic result: \"leaderless_intervals\" is not a list"
+    | Some items ->
+        List.fold_left
+          (fun acc item ->
+            let* acc = acc in
+            match Json.to_int_opt item with
+            | Some i -> Ok (i :: acc)
+            | None -> Error "dynamic result: leaderless interval is not an int")
+          (Ok []) items
+        |> Result.map List.rev
+  in
+  let* epochs =
+    match Option.bind (Json.member "epochs" j) Json.to_list_opt with
+    | None -> Error "dynamic result: \"epochs\" is not a list"
+    | Some items ->
+        List.fold_left
+          (fun acc item ->
+            let* acc = acc in
+            let* e = epoch_of_json item in
+            Ok (e :: acc))
+          (Ok []) items
+        |> Result.map List.rev
+  in
+  let* final_population = int "final_population" in
+  let* final_leader =
+    match Json.member "final_leader" j with
+    | Some Json.Null -> Ok None
+    | Some (Json.Int g) -> Ok (Some g)
+    | Some _ -> Error "dynamic result: \"final_leader\" is not null or an int"
+    | None -> Error "dynamic result: missing field \"final_leader\""
+  in
+  Ok
+    {
+      total_slots;
+      simulated_slots;
+      elections_completed;
+      elections_failed;
+      re_elections;
+      arrivals;
+      departures;
+      leader_kills;
+      leaderless_slots;
+      leaderless_intervals;
+      epochs;
+      final_population;
+      final_leader;
+    }
+
+let pp_result ppf r =
+  Format.fprintf ppf
+    "@[<v>slots: %d (%d simulated)@ elections: %d completed, %d failed, %d re-elections@ \
+     churn: +%d -%d (%d leader kills)@ leaderless: %d slots over %d intervals%s@ final: %d \
+     stations, leader %s@]"
+    r.total_slots r.simulated_slots r.elections_completed r.elections_failed r.re_elections
+    r.arrivals r.departures r.leader_kills r.leaderless_slots
+    (List.length r.leaderless_intervals)
+    (match r.leaderless_intervals with
+    | [] -> ""
+    | is ->
+        Printf.sprintf " (max %d)" (List.fold_left Int.max 0 is))
+    r.final_population
+    (match r.final_leader with Some g -> string_of_int g | None -> "none")

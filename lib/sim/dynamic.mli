@@ -1,0 +1,129 @@
+(** Self-healing leader election over a churning population.
+
+    The static engines elect one leader among a fixed station set; this
+    driver chains elections over a population that changes under a churn
+    adversary (à la Augustine et al., {e Robust Leader Election in a
+    Fast-Changing World}): stations arrive, stations crash-stop, and the
+    elected leader itself may be killed — whereupon the survivors (plus
+    any queued arrivals) re-elect from scratch.
+
+    {b Execution model.}  A run alternates between three regimes:
+    - {e electing} — an attempt is in flight.  Every live station has a
+      running protocol closure; the exact engine simulates them in
+      segments, each capped at the next churn event, so closures (and
+      protocol state) persist across events while departures simply stop
+      being simulated — exactly a crash-stop.
+    - {e stable} — an election completed.  The leader and its followers
+      are pure bookkeeping: the channel is idle, wall-clock slots
+      fast-forward to the next event as unjammed Nulls (the budget still
+      advances, so the adversary's headroom {e recovers} during calm —
+      a deliberate gift to the adversary), and arrivals adopt the live
+      leader silently.
+    - {e empty} — nobody is alive; time fast-forwards to the next join.
+
+    {b Self-healing.}  A fresh election starts whenever the leader dies
+    (oblivious [Leave Leader] or an adaptive kill), whenever an attempt
+    terminates without a unique leader, and — with [restart_after] —
+    whenever an attempt stalls past its deadline (e.g. every incarnation
+    crashed undecided).  Re-elections respawn {e fresh} protocol
+    closures for all live members via [spawn]; global station ids
+    persist across incarnations, and lifecycle faults sampled by [spawn]
+    are per-incarnation.
+
+    {b Slot accounting.}  Slot numbers are absolute across the whole
+    run: segments are chained with the engine's [start_slot], gaps fill
+    the space between, and one shared budget and one monitor span
+    everything.  A slot is {e leaderless} when at least one station is
+    live and no completed election's leader is; intervals also close
+    when the population empties or the run is truncated.
+
+    The result's [epochs] list one entry per attempt; [attempt] is the
+    per-attempt {!Metrics.result} merged across segments (for
+    single-segment runs, bit-identical to the static engine's result),
+    and [leader] is the elected station's {e global id} — unlike
+    [attempt.leader], which indexes the final segment's roster. *)
+
+type epoch = {
+  start_slot : int;  (** Absolute slot the attempt started at. *)
+  population : int;  (** Participants when the attempt started. *)
+  attempt : Metrics.result;  (** Merged across the attempt's segments. *)
+  leader : int option;  (** Global id of the winner, when properly elected. *)
+}
+
+type result = {
+  total_slots : int;  (** Wall-clock slots, including fast-forwarded gaps. *)
+  simulated_slots : int;  (** Slots the exact engine actually ran. *)
+  elections_completed : int;
+  elections_failed : int;  (** Attempts that stalled, emptied or split. *)
+  re_elections : int;  (** Attempts triggered by a leader's death. *)
+  arrivals : int;  (** Stations announced by [Join] events. *)
+  departures : int;  (** Crash-stops, including leader kills. *)
+  leader_kills : int;  (** Adaptive kills only (see [kill]). *)
+  leaderless_slots : int;
+  leaderless_intervals : int list;  (** Interval lengths, in run order. *)
+  epochs : epoch list;  (** One per attempt, in run order. *)
+  final_population : int;
+  final_leader : int option;  (** Global id. *)
+}
+
+val run :
+  ?restart_after:int ->
+  ?events:Jamming_faults.Churn.event list ->
+  ?kill:int * int ->
+  ?victim_rng:Jamming_prng.Prng.t ->
+  ?faults:Jamming_faults.Injection.t ->
+  ?monitor:Monitor.t ->
+  ?observers:Observer.t list ->
+  cd:Jamming_channel.Channel.cd_model ->
+  adversary:Jamming_adversary.Adversary.t ->
+  budget:Jamming_adversary.Budget.t ->
+  max_slots:int ->
+  init:int ->
+  spawn:(birth:int -> id:int -> Jamming_station.Station.t) ->
+  unit ->
+  result
+(** Runs elections over a churning population for up to [max_slots]
+    wall-clock slots (ending early once stable with no event left).
+
+    [init] stations (global ids [0 .. init-1]) participate in the
+    initial election starting at slot 0.  [spawn ~birth ~id] builds
+    station [id]'s fresh incarnation born at absolute slot [birth]; it
+    is called in increasing roster order, which is part of the
+    reproducibility contract when it splits a shared random stream.
+
+    [events] is the concrete oblivious churn schedule (sorted; see
+    {!Jamming_faults.Churn.sample_schedule}).  [kill = (grace,
+    max_kills)] activates the adaptive leader killer: each completed
+    election's leader crash-stops [grace] slots later, at most
+    [max_kills] times.  [victim_rng] picks [Leave Member] victims
+    uniformly among the eligible live stations; it is only consulted
+    when a pick is among two or more candidates (absent then, the run
+    raises [Invalid_argument]), so churn-free runs draw nothing from it.
+
+    [monitor] spans the whole run: segments feed it via
+    {!Monitor.slot_observer}, gaps via {!Monitor.skip_to}, and the
+    driver checks the aggregate tallies once at the end — plus the
+    dynamic invariants [Live_leader] (no election starts while a leader
+    is live) and [Population] (arrival/departure accounting stays
+    consistent).  [observers] hear every {e simulated} slot and one
+    final aggregate result (with empty [statuses]).
+
+    With no churn, no kill, no [restart_after] and a successful
+    election, the run is a single engine segment and the sole epoch's
+    [attempt] is bit-identical to {!Engine.run} under the same seeds. *)
+
+val of_static : Metrics.result -> result
+(** A static engine run, viewed as a one-epoch dynamic result (global
+    ids coincide with indices for the initial population).  The run's
+    slots all count as leaderless: completion is when leadership
+    begins.  A run that did not elect counts as one failed election. *)
+
+val equal_result : result -> result -> bool
+
+val result_to_json : result -> Jamming_telemetry.Json.t
+
+val result_of_json : Jamming_telemetry.Json.t -> (result, string) Result.t
+(** Defensive decode — malformed documents are [Error], never an
+    exception — so the run store can treat corrupt cells as misses. *)
+
+val pp_result : Format.formatter -> result -> unit

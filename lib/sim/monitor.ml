@@ -1,12 +1,19 @@
 module Channel = Jamming_channel.Channel
 module Station = Jamming_station.Station
 
-type check = Jam_budget | Slot_consistency | At_most_one_leader
+type check =
+  | Jam_budget
+  | Slot_consistency
+  | At_most_one_leader
+  | Live_leader
+  | Population
 
 let check_to_string = function
   | Jam_budget -> "jam-budget"
   | Slot_consistency -> "slot-consistency"
   | At_most_one_leader -> "at-most-one-leader"
+  | Live_leader -> "live-leader"
+  | Population -> "population"
 
 type checks = {
   jam_budget : bool;
@@ -157,6 +164,27 @@ let on_slot t ~record ~leaders =
   t.m <- t.m + 1;
   t.next_slot <- Some (record.Metrics.slot + 1)
 
+(* Idle slots of a dynamic run's stable interval: nobody transmits, the
+   adversary is quiescent, so each slot is an unjammed Null.  Feeding
+   them through [on_slot] keeps every tally (jam-budget prefixes,
+   slot-class counters, expected slot numbers) coherent across the gap,
+   so a monitor can span a whole multi-election dynamic run. *)
+let skip_to t ~from ~upto ~leaders =
+  if upto < from then invalid_arg "Monitor.skip_to: upto must be >= from";
+  (match t.next_slot with
+  | Some expected when expected <> from ->
+      fail t ~slot:from ~check:Slot_consistency
+        "skip_to from slot %d but the monitor expected slot %d" from expected
+  | Some _ | None -> ());
+  for slot = from to upto - 1 do
+    on_slot t
+      ~record:
+        { Metrics.slot; transmitters = Metrics.Exact 0; jammed = false; state = Channel.Null }
+      ~leaders
+  done
+
+let report t ~slot ~check fmt = fail t ~slot ~check fmt
+
 let check_result t (r : Metrics.result) =
   let final_slot = match t.next_slot with Some s -> s - 1 | None -> 0 in
   if t.checks.slot_consistency then begin
@@ -190,4 +218,15 @@ let observer t =
     needs_leaders = t.checks.at_most_one_leader;
     on_slot = (fun record ~leaders -> on_slot t ~record ~leaders);
     on_result = (fun result -> check_result t result);
+  }
+
+let slot_observer t =
+  {
+    (observer t) with
+    Observer.name = "monitor-slots";
+    (* A dynamic run spans several engine invocations; per-segment
+       results must not be mistaken for the whole run's totals.  The
+       driver aggregates across segments and calls [check_result]
+       itself, once. *)
+    on_result = (fun _ -> ());
   }

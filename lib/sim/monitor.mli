@@ -25,9 +25,27 @@
     perception faults the paper's election guarantee genuinely degrades
     (two stations may legitimately come to believe they won), so fault
     soaking runs with [at_most_one_leader = false] while the
-    engine-level invariants stay on. *)
+    engine-level invariants stay on.
 
-type check = Jam_budget | Slot_consistency | At_most_one_leader
+    {b Dynamic populations.}  One monitor can span a whole multi-election
+    dynamic run ({!Jamming_sim.Dynamic}): the driver feeds simulated
+    slots through {!slot_observer}, bridges fast-forwarded stable
+    intervals with {!skip_to}, and raises driver-level invariants
+    ({!Live_leader}: never two live leaders across epochs; {!Population}:
+    arrival/departure accounting stays consistent) through {!report}, so
+    churned violations carry the same replayable (seed, slot, check)
+    shape as static ones. *)
+
+type check =
+  | Jam_budget
+  | Slot_consistency
+  | At_most_one_leader
+  | Live_leader
+      (** Dynamic runs: a new election must never start, nor complete,
+          while a previous leader is still live. *)
+  | Population
+      (** Dynamic runs: arrival/departure bookkeeping broke (negative
+          population, event applied at a non-monotone slot, …). *)
 
 val check_to_string : check -> string
 
@@ -66,6 +84,19 @@ val on_slot : t -> record:Metrics.slot_record -> leaders:int -> unit
     status [Leader].  Raises {!Violation} on the first broken
     invariant. *)
 
+val skip_to : t -> from:int -> upto:int -> leaders:int -> unit
+(** Feed the idle slots [from, upto) of a fast-forwarded stable interval:
+    each is an unjammed [Null] with zero transmitters (nobody transmits,
+    the adversary is quiescent), keeping every tally — jam-budget
+    prefixes, slot-class counters, expected slot numbers — coherent
+    across the gap.  Requires [upto >= from]; raises {!Violation} on a
+    slot-number mismatch with the preceding segment. *)
+
+val report : t -> slot:int -> check:check -> ('a, Format.formatter, unit, 'b) format4 -> 'a
+(** Raise a {!Violation} for a driver-level invariant ({!Live_leader},
+    {!Population}) through this monitor, so it carries the run's replay
+    seed like every engine-level violation. *)
+
 val check_result : t -> Metrics.result -> unit
 (** End-of-run cross-check: the engine's aggregate counters
     (slots, nulls, singles, collisions, jammed) must equal the
@@ -79,5 +110,11 @@ val observer : t -> Observer.t
     per-slot leader scan when that invariant is being watched. This is
     the preferred way to attach a monitor; the engines' [?monitor]
     argument remains as a thin wrapper. *)
+
+val slot_observer : t -> Observer.t
+(** Like {!observer} but with [on_result] a no-op: a dynamic run spans
+    several engine invocations, and per-segment results must not be
+    mistaken for the whole run's totals.  The driver aggregates across
+    segments and calls {!check_result} itself, once. *)
 
 val slots_seen : t -> int

@@ -3,6 +3,7 @@ module Perception = Jamming_faults.Perception
 module Fault_plan = Jamming_faults.Fault_plan
 module Config = Jamming_faults.Config
 module Injection = Jamming_faults.Injection
+module Churn = Jamming_faults.Churn
 
 (* --- perception noise --- *)
 
@@ -264,6 +265,165 @@ let test_engine_zero_faults_bit_identical () =
   in
   check_true "bit-identical results" (go ~faulty:false = go ~faulty:true)
 
+(* --- plan shifting (dynamic re-spawns at arbitrary birth slots) --- *)
+
+let test_plan_shift () =
+  let plan = { Fault_plan.wake_slot = 3; crash_slot = Some 10; sleeps = [ (5, 7) ] } in
+  check_true "shift by 0 is the plan itself" (Fault_plan.shift plan ~by:0 == plan);
+  Alcotest.check_raises "negative offset"
+    (Invalid_argument "Fault_plan.shift: offset must be >= 0") (fun () ->
+      ignore (Fault_plan.shift plan ~by:(-1)));
+  let s = Fault_plan.shift plan ~by:100 in
+  Fault_plan.validate s;
+  check_int "wake shifted" 103 s.Fault_plan.wake_slot;
+  Alcotest.(check (option int)) "crash shifted" (Some 110) s.Fault_plan.crash_slot;
+  Alcotest.(check (list (pair int int))) "sleeps shifted" [ (105, 107) ] s.Fault_plan.sleeps;
+  (* The shifted plan behaves at [slot + by] exactly as the original at
+     [slot] — the property Dynamic relies on when re-spawning. *)
+  List.iter
+    (fun slot ->
+      check_true "dormant commutes with shift"
+        (Fault_plan.dormant plan ~slot = Fault_plan.dormant s ~slot:(slot + 100));
+      check_true "crashed commutes with shift"
+        (Fault_plan.crashed plan ~slot = Fault_plan.crashed s ~slot:(slot + 100)))
+    [ 0; 2; 3; 4; 5; 6; 7; 9; 10; 11 ]
+
+(* --- lifecycle edge cases: crash inside a sleep; wake beyond the cap --- *)
+
+let test_crash_inside_sleep () =
+  (* The crash slot falls inside a sleep interval: the latch must fire
+     during dormancy and win over the sleep's end — the station never
+     re-wakes at slot 8. *)
+  let decided = ref [] and observed = ref [] in
+  let s = recorder ~decided ~observed ~id:0 ~rng:(rng ()) in
+  let plan = { Fault_plan.wake_slot = 0; crash_slot = Some 4; sleeps = [ (2, 8) ] } in
+  Fault_plan.validate plan;
+  let w = Fault_plan.wrap plan s in
+  drive w 12;
+  Alcotest.(check (list int)) "inner protocol ran only before the sleep" [ 0; 1 ]
+    (List.sort compare !decided);
+  check_true "crash latched while dormant" (w.Station.finished ());
+  Alcotest.check status_testable "status frozen" Station.Undecided (w.Station.status ())
+
+let test_late_wake_beyond_cap () =
+  (* wake_slot beyond max_slots: the station sleeps through the whole
+     run, so the election can never complete — a well-defined truncated
+     result, not an error. *)
+  let stations =
+    Engine.make_stations ~n:1 ~rng:(rng ()) (fun ~id ~rng ->
+        Fault_plan.wrap
+          { Fault_plan.none with Fault_plan.wake_slot = 100 }
+          (listen_only ~id ~rng))
+  in
+  let r =
+    Engine.run ~cd:Channel.Strong_cd ~adversary:(Adversary.none ())
+      ~budget:(Budget.create ~window:4 ~eps:1.0)
+      ~max_slots:10 ~stations ()
+  in
+  check_int "ran to the cap" 10 r.Metrics.slots;
+  check_true "not completed" (not r.Metrics.completed);
+  check_true "not elected" (not r.Metrics.elected);
+  Alcotest.(check (option int)) "no leader" None r.Metrics.leader;
+  Alcotest.check status_testable "still undecided" Station.Undecided r.Metrics.statuses.(0)
+
+(* --- churn policies --- *)
+
+let test_churn_null_and_validation () =
+  check_true "none is null" (Churn.is_null Churn.none);
+  check_true "zero-rate Rate is null"
+    (Churn.is_null (Churn.Rate { every = 4; p_join = 0.0; p_leave = 0.0; max_burst = 3; horizon = 100 }));
+  check_true "zero-kill killer is null"
+    (Churn.is_null (Churn.Leader_killer { grace = 5; max_kills = 0 }));
+  check_true "events are not null"
+    (not (Churn.is_null (Churn.Oblivious [ { Churn.at = 3; kind = Churn.Join 1 } ])));
+  check_true "live killer is not null"
+    (not (Churn.is_null (Churn.Leader_killer { grace = 5; max_kills = 1 })));
+  Alcotest.check_raises "unsorted schedule"
+    (Invalid_argument "Churn: oblivious events must be sorted by slot") (fun () ->
+      Churn.validate
+        (Churn.Oblivious
+           [ { Churn.at = 5; kind = Churn.Join 1 }; { Churn.at = 3; kind = Churn.Leave Churn.Member } ]));
+  Alcotest.check_raises "negative slot" (Invalid_argument "Churn: event slots must be >= 0")
+    (fun () -> Churn.validate (Churn.Oblivious [ { Churn.at = -1; kind = Churn.Join 1 } ]));
+  Alcotest.check_raises "empty join" (Invalid_argument "Churn: joins must bring >= 1 station")
+    (fun () -> Churn.validate (Churn.Oblivious [ { Churn.at = 0; kind = Churn.Join 0 } ]));
+  Alcotest.check_raises "bad period" (Invalid_argument "Churn: rate period must be >= 1")
+    (fun () ->
+      Churn.validate (Churn.Rate { every = 0; p_join = 0.1; p_leave = 0.1; max_burst = 1; horizon = 10 }));
+  Alcotest.check_raises "bad probability"
+    (Invalid_argument "Churn: rate probabilities must lie in [0, 1]") (fun () ->
+      Churn.validate (Churn.Rate { every = 1; p_join = 1.5; p_leave = 0.0; max_burst = 1; horizon = 10 }));
+  Alcotest.check_raises "bad burst" (Invalid_argument "Churn: max_burst must be >= 1")
+    (fun () ->
+      Churn.validate (Churn.Rate { every = 1; p_join = 0.1; p_leave = 0.1; max_burst = 0; horizon = 10 }));
+  Alcotest.check_raises "bad kill count" (Invalid_argument "Churn: max_kills must be >= 0")
+    (fun () -> Churn.validate (Churn.Leader_killer { grace = 0; max_kills = -1 }))
+
+let test_churn_schedule_draws () =
+  (* Oblivious and adaptive policies, and zero-rate Rate, must not touch
+     the generator — the churn-stream independence guarantee. *)
+  let g = rng () and witness = rng () in
+  let evs = [ { Churn.at = 2; kind = Churn.Join 2 }; { Churn.at = 9; kind = Churn.Leave Churn.Leader } ] in
+  check_true "oblivious passes events through"
+    (Churn.sample_schedule (Churn.Oblivious evs) ~rng:g = evs);
+  check_true "killer has no oblivious part"
+    (Churn.sample_schedule (Churn.Leader_killer { grace = 2; max_kills = 3 }) ~rng:g = []);
+  check_true "zero-rate draws no events"
+    (Churn.sample_schedule
+       (Churn.Rate { every = 2; p_join = 0.0; p_leave = 0.0; max_burst = 4; horizon = 1000 })
+       ~rng:g
+    = []);
+  check_int "generator untouched"
+    (Prng.int witness ~bound:1_000_000)
+    (Prng.int g ~bound:1_000_000)
+
+let test_churn_rate_schedule () =
+  let policy = Churn.Rate { every = 5; p_join = 0.5; p_leave = 0.3; max_burst = 4; horizon = 200 } in
+  let sample seed = Churn.sample_schedule policy ~rng:(Prng.create ~seed) in
+  check_true "same seed, same schedule" (sample 11 = sample 11);
+  check_true "different seed, different schedule" (sample 11 <> sample 12);
+  let evs = sample 11 in
+  check_true "rates this high produce churn" (evs <> []);
+  let sorted = List.sort (fun a b -> compare a.Churn.at b.Churn.at) evs in
+  check_true "schedule comes out sorted" (evs = sorted);
+  Churn.validate (Churn.Oblivious evs);
+  List.iter
+    (fun { Churn.at; kind } ->
+      check_true "events land on ticks within the horizon"
+        (at >= 5 && at <= 200 && at mod 5 = 0);
+      match kind with
+      | Churn.Join k -> check_true "burst within [1, max_burst]" (k >= 1 && k <= 4)
+      | Churn.Leave v ->
+          check_true "rate departures target members" (v = Churn.Member))
+    evs
+
+let test_churn_kill_policy () =
+  Alcotest.(check (option (pair int int)))
+    "live killer exposes (grace, kills)" (Some (7, 2))
+    (Churn.kill_policy (Churn.Leader_killer { grace = 7; max_kills = 2 }));
+  Alcotest.(check (option (pair int int)))
+    "zero kills is inert" None
+    (Churn.kill_policy (Churn.Leader_killer { grace = 7; max_kills = 0 }));
+  Alcotest.(check (option (pair int int))) "oblivious has no killer" None
+    (Churn.kill_policy Churn.none)
+
+let test_churn_descriptor () =
+  Alcotest.(check string) "join event rendering" "5+3"
+    (Churn.event_to_string { Churn.at = 5; kind = Churn.Join 3 });
+  Alcotest.(check string) "leave event rendering" "7-leader"
+    (Churn.event_to_string { Churn.at = 7; kind = Churn.Leave Churn.Leader });
+  let rate p_join = Churn.Rate { every = 2; p_join; p_leave = 0.25; max_burst = 3; horizon = 50 } in
+  check_true "descriptor is stable"
+    (Churn.descriptor (rate 0.1) = Churn.descriptor (rate 0.1));
+  (* Full-precision floats: nearby rates never collide. *)
+  check_true "nearby rates distinguished"
+    (Churn.descriptor (rate 0.1) <> Churn.descriptor (rate (0.1 +. epsilon_float)));
+  check_true "policies distinguished"
+    (Churn.descriptor Churn.none
+     <> Churn.descriptor (Churn.Leader_killer { grace = 0; max_kills = 0 }));
+  check_true "pp is non-empty"
+    (String.length (Format.asprintf "%a" Churn.pp (rate 0.1)) > 0)
+
 let suite =
   [
     ("perception constructors", `Quick, test_perception_constructors);
@@ -283,4 +443,12 @@ let suite =
     ("wrap_stations length mismatch", `Quick, test_wrap_stations_length_mismatch);
     ("engine noise changes perception", `Quick, test_engine_noise_changes_perception);
     ("engine zero faults bit-identical", `Quick, test_engine_zero_faults_bit_identical);
+    ("plan shift", `Quick, test_plan_shift);
+    ("crash inside a sleep interval", `Quick, test_crash_inside_sleep);
+    ("late wake beyond the slot cap", `Quick, test_late_wake_beyond_cap);
+    ("churn null + validation", `Quick, test_churn_null_and_validation);
+    ("churn schedules draw only when needed", `Quick, test_churn_schedule_draws);
+    ("churn rate schedule", `Quick, test_churn_rate_schedule);
+    ("churn kill policy", `Quick, test_churn_kill_policy);
+    ("churn descriptor", `Quick, test_churn_descriptor);
   ]

@@ -9,6 +9,7 @@ let () =
       ("sim", Test_sim.suite);
       ("faults", Test_faults.suite);
       ("monitor", Test_monitor.suite);
+      ("dynamic", Test_dynamic.suite);
       ("lesk", Test_lesk.suite);
       ("lemmas", Test_lemmas.suite);
       ("markov", Test_markov.suite);

@@ -1,5 +1,6 @@
 open Test_util
 module Monitor = Jamming_sim.Monitor
+module Observer = Jamming_sim.Observer
 
 let record ?(transmitters = 0) ?(jammed = false) slot =
   let state = Channel.resolve ~transmitters ~jammed in
@@ -234,6 +235,105 @@ let test_engine_monitor_stricter_than_budget () =
               ~budget:(Budget.create ~window:4 ~eps:0.25)
               ~max_slots:100 ~stations ())))
 
+(* --- dynamic-population extensions: skip_to / report / slot_observer --- *)
+
+let test_skip_to_bridges_gap () =
+  let mon = Monitor.create ~window:4 ~eps:0.5 () in
+  feed mon (List.init 5 record);
+  Monitor.skip_to mon ~from:5 ~upto:20 ~leaders:1;
+  Monitor.on_slot mon ~record:(record 20) ~leaders:1;
+  check_int "gap slots tallied" 21 (Monitor.slots_seen mon);
+  (* The gap counted as unjammed Nulls: the aggregate cross-check agrees. *)
+  Monitor.check_result mon
+    {
+      Metrics.slots = 21;
+      completed = true;
+      elected = false;
+      leader = None;
+      statuses = [||];
+      jammed_slots = 0;
+      nulls = 21;
+      singles = 0;
+      collisions = 0;
+      transmissions = 0.0;
+      max_station_transmissions = 0;
+    };
+  (* Empty gaps are legal and feed nothing. *)
+  Monitor.skip_to mon ~from:21 ~upto:21 ~leaders:1;
+  check_int "empty gap is a no-op" 21 (Monitor.slots_seen mon)
+
+let test_skip_to_mismatch () =
+  let mon = Monitor.create ~window:4 ~eps:0.5 () in
+  Monitor.on_slot mon ~record:(record 0) ~leaders:0;
+  ignore
+    (expect_violation Monitor.Slot_consistency (fun () ->
+         Monitor.skip_to mon ~from:2 ~upto:5 ~leaders:0));
+  Alcotest.check_raises "upto < from rejected"
+    (Invalid_argument "Monitor.skip_to: upto must be >= from") (fun () ->
+      let m = Monitor.create ~window:4 ~eps:0.5 () in
+      Monitor.skip_to m ~from:3 ~upto:2 ~leaders:0)
+
+let test_skip_to_budget_coherent () =
+  (* Gap slots participate in jam-budget windows as unjammed slots: a
+     burst right after a long calm gap is fine (headroom recovered)... *)
+  let mon = Monitor.create ~window:4 ~eps:0.5 () in
+  feed mon [ record ~jammed:true 0; record ~jammed:true 1 ];
+  Monitor.skip_to mon ~from:2 ~upto:50 ~leaders:1;
+  feed mon [ record ~jammed:true 50; record ~jammed:true 51 ];
+  check_int "calm gap restores headroom" 52 (Monitor.slots_seen mon);
+  (* ...but a third consecutive jam still breaks the (4, 1/2) bound:
+     the window [49, 53) closed with 3 > 2 jams, proving the gap's
+     prefix sums stayed live across the fast-forward. *)
+  let v =
+    expect_violation Monitor.Jam_budget (fun () ->
+        Monitor.on_slot mon ~record:(record ~jammed:true 52) ~leaders:1)
+  in
+  check_int "flagged at the slot closing the window" 52 v.Monitor.slot
+
+let test_report_attaches_seed () =
+  let mon = Monitor.create ~seed:7 ~window:4 ~eps:0.5 () in
+  let v =
+    expect_violation Monitor.Live_leader (fun () ->
+        Monitor.report mon ~slot:11 ~check:Monitor.Live_leader
+          "election started with leader %d live" 3)
+  in
+  check_int "at the reported slot" 11 v.Monitor.slot;
+  Alcotest.(check (option int)) "replay seed attached" (Some 7) v.Monitor.seed;
+  check_true "formatted detail survives"
+    (v.Monitor.detail = "election started with leader 3 live");
+  check_true "population check has a name"
+    (Monitor.check_to_string Monitor.Population <> Monitor.check_to_string Monitor.Live_leader)
+
+let test_slot_observer_ignores_segment_results () =
+  let mon = Monitor.create ~window:4 ~eps:0.5 () in
+  let obs = Monitor.slot_observer mon in
+  obs.Observer.on_slot (record 0) ~leaders:1;
+  obs.Observer.on_slot (record 1) ~leaders:1;
+  check_int "slots flow through" 2 (Monitor.slots_seen mon);
+  let bogus_segment =
+    {
+      Metrics.slots = 999;
+      completed = false;
+      elected = false;
+      leader = None;
+      statuses = [||];
+      jammed_slots = 999;
+      nulls = 0;
+      singles = 0;
+      collisions = 0;
+      transmissions = 0.0;
+      max_station_transmissions = 0;
+    }
+  in
+  (* Per-segment totals must not be mistaken for run totals. *)
+  obs.Observer.on_result bogus_segment;
+  (* The plain observer would have flagged the same result. *)
+  ignore
+    (expect_violation Monitor.Slot_consistency (fun () ->
+         (Monitor.observer mon).Observer.on_result bogus_segment));
+  check_true "leader scan still requested when the check is armed"
+    (Monitor.slot_observer mon).Observer.needs_leaders
+
 let suite =
   [
     ("create validation", `Quick, test_create_validation);
@@ -250,4 +350,9 @@ let suite =
     ("engine catches seeded two-leader bug", `Quick, test_engine_catches_two_leaders);
     ("engine monitor agrees with enforcer", `Quick, test_engine_monitor_agrees_with_budget);
     ("engine monitor stricter than enforcer", `Quick, test_engine_monitor_stricter_than_budget);
+    ("skip_to bridges stable gaps", `Quick, test_skip_to_bridges_gap);
+    ("skip_to slot mismatch", `Quick, test_skip_to_mismatch);
+    ("skip_to jam-budget coherence", `Quick, test_skip_to_budget_coherent);
+    ("report attaches replay seed", `Quick, test_report_attaches_seed);
+    ("slot_observer ignores segment results", `Quick, test_slot_observer_ignores_segment_results);
   ]

@@ -277,6 +277,109 @@ let test_cell_key_sensitivity () =
       ("fault config", k ~engine:(List.assoc "faulty" engines) ());
     ]
 
+(* --- churn cells: key sensitivity and warm-hit bit-identity --- *)
+
+let churn_bytes s =
+  Json.to_string (E.Runner.churn_sample_to_json ~include_results:true s)
+
+let test_churn_cell_key_sensitivity () =
+  let engine = E.Runner.Uniform (E.Specs.lesk ~eps:0.5) in
+  let killer = Faults.Churn.Leader_killer { grace = 16; max_kills = 2 } in
+  let k ?(engine = engine) ?(adversary = E.Specs.greedy) ?(churn = killer)
+      ?(restart_after = None) ?(reps = 3) ?(base_seed = 42) ?(setup = setup) () =
+    Key.hash ~schema:1 ~fingerprint:"fp"
+      (E.Runner.churn_cell_key ~engine ~adversary ~churn ~restart_after ~reps ~base_seed
+         setup)
+  in
+  let h0 = k () in
+  check_true "key is stable" (k () = h0);
+  List.iter
+    (fun (what, h) -> check_true (what ^ " changes the churn cell key") (h <> h0))
+    [
+      ("churn policy kind", k ~churn:Faults.Churn.none ());
+      ("kill grace", k ~churn:(Faults.Churn.Leader_killer { grace = 17; max_kills = 2 }) ());
+      ("kill count", k ~churn:(Faults.Churn.Leader_killer { grace = 16; max_kills = 3 }) ());
+      ( "rate parameters",
+        k
+          ~churn:
+            (Faults.Churn.Rate
+               { every = 8; p_join = 0.25; p_leave = 0.25; max_burst = 2; horizon = 1000 })
+          () );
+      ("restart deadline", k ~restart_after:(Some 5_000) ());
+      ("n", k ~setup:{ setup with E.Runner.n = 49 } ());
+      ("base_seed", k ~base_seed:43 ());
+      ("adversary", k ~adversary:E.Specs.no_jamming ());
+      ("engine kind", k ~engine:(List.assoc "exact" engines) ());
+      ("fault config", k ~engine:(List.assoc "faulty" engines) ());
+    ];
+  (* A churn cell never collides with its static twin. *)
+  check_true "churn and static cells are distinct"
+    (k ~churn:Faults.Churn.none ()
+    <> Key.hash ~schema:1 ~fingerprint:"fp"
+         (E.Runner.cell_key ~engine ~adversary:E.Specs.greedy ~reps:3 ~base_seed:42 setup))
+
+let test_churn_cached_hit_bit_identical () =
+  with_root (fun root ->
+      let st = Store.create ~fingerprint:"test" ~root () in
+      let engine = E.Runner.Exact
+          {
+            name = "LESK-exact";
+            cd = Jamming_channel.Channel.Strong_cd;
+            factory = Jamming_core.Lesk.station ~eps:0.5;
+          }
+      in
+      let small = { setup with E.Runner.n = 12 } in
+      let churn = Faults.Churn.Leader_killer { grace = 32; max_kills = 1 } in
+      let fresh = E.Runner.replicate_churn ~engine ~churn ~reps:2 small E.Specs.no_jamming in
+      let cold = T.create () in
+      let s1 =
+        E.Runner.replicate_churn ~telemetry:cold ~store:st ~engine ~churn ~reps:2 small
+          E.Specs.no_jamming
+      in
+      let warm = T.create () in
+      let s2 =
+        E.Runner.replicate_churn ~telemetry:warm ~store:st ~engine ~churn ~reps:2 small
+          E.Specs.no_jamming
+      in
+      check_true "cold compute matches uncached" (churn_bytes fresh = churn_bytes s1);
+      check_true "warm hit bit-identical" (churn_bytes fresh = churn_bytes s2);
+      check_int "cold missed" 1 (T.counter_value cold "store.misses");
+      check_int "warm hit" 1 (T.counter_value warm "store.hits");
+      check_int "warm missed nothing" 0 (T.counter_value warm "store.misses");
+      check_int "runs counted on hit"
+        (T.counter_value cold "runner.churn.runs")
+        (T.counter_value warm "runner.churn.runs");
+      (* Corruption stays a miss, never an exception. *)
+      let key =
+        E.Runner.churn_cell_key ~engine ~adversary:E.Specs.no_jamming ~churn
+          ~restart_after:None ~reps:2 ~base_seed:42 small
+      in
+      corrupt_with "garbage" st key;
+      let tel = T.create () in
+      let s3 =
+        E.Runner.replicate_churn ~telemetry:tel ~store:st ~engine ~churn ~reps:2 small
+          E.Specs.no_jamming
+      in
+      check_int "corrupt entry recomputed" 1 (T.counter_value tel "store.misses");
+      check_true "recompute bit-identical" (churn_bytes fresh = churn_bytes s3))
+
+let test_churn_sample_json_roundtrip () =
+  let engine = E.Runner.Uniform (E.Specs.lesk ~eps:0.5) in
+  let s =
+    E.Runner.replicate_churn ~engine ~churn:Faults.Churn.none ~reps:2
+      { setup with E.Runner.n = 12 }
+      E.Specs.greedy
+  in
+  check_true "digests are in [0, reps]"
+    (E.Runner.healed_rate s >= 0.0 && E.Runner.healed_rate s <= 1.0
+    && E.Runner.mean_elections_completed s >= 0.0);
+  (match E.Runner.churn_sample_of_json (E.Runner.churn_sample_to_json ~include_results:true s) with
+  | Ok s' -> check_true "decodes bit-identically" (churn_bytes s = churn_bytes s')
+  | Error e -> Alcotest.failf "churn sample decode failed: %s" e);
+  match E.Runner.churn_sample_of_json (E.Runner.churn_sample_to_json ~include_results:false s) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "decoded a digest-only churn sample"
+
 let test_default_store_install () =
   with_root (fun root ->
       let st = Store.create ~fingerprint:"test" ~root () in
@@ -310,6 +413,9 @@ let suite =
     ("cached hit bit-identical (all engines)", `Quick, test_cached_hit_bit_identical);
     ("cached recovers from corruption", `Quick, test_cached_recovers_from_corruption);
     ("cell key sensitivity", `Quick, test_cell_key_sensitivity);
+    ("churn cell key sensitivity", `Quick, test_churn_cell_key_sensitivity);
+    ("churn cached hit bit-identical", `Quick, test_churn_cached_hit_bit_identical);
+    ("churn sample json round-trip", `Quick, test_churn_sample_json_roundtrip);
     ("default store install/restore", `Quick, test_default_store_install);
     ("sample json round-trip", `Quick, test_sample_of_json_roundtrip);
   ]

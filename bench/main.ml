@@ -25,7 +25,9 @@ module Core = Jamming_core
 let run_cell ?(n = 1024) ?(eps = 0.5) ?(window = 64) ?(max_slots = 2_000_000) protocol
     adversary seed =
   let setup = { E.Runner.n; eps; window; max_slots } in
-  ignore (E.Runner.run_once setup protocol adversary ~seed)
+  ignore (E.Runner.run ~engine:(E.Runner.Uniform protocol) setup adversary ~seed)
+
+let exact_engine ~name ~cd factory = E.Runner.Exact { name; cd; factory }
 
 let seed_counter = ref 0
 
@@ -60,9 +62,11 @@ let experiment_tests =
       (staged (fun seed ->
            let setup = { E.Runner.n = 32; eps = 0.5; window = 32; max_slots = 500_000 } in
            ignore
-             (E.Runner.run_exact_once ~cd:Jamming_channel.Channel.Weak_cd setup
-                ~factory:(Core.Lewk.station ~eps:0.5 ())
-                E.Specs.greedy ~seed)));
+             (E.Runner.run
+                ~engine:
+                  (exact_engine ~name:"LEWK" ~cd:Jamming_channel.Channel.Weak_cd
+                     (Core.Lewk.station ~eps:0.5 ()))
+                setup E.Specs.greedy ~seed)));
     Test.make ~name:"E8 vs-arss (one ARSS election, n=1024)"
       (staged (run_cell ~n:1024 E.Specs.arss E.Specs.greedy));
     Test.make ~name:"E9 adversary-ablation (LESK vs single-suppressor)"
@@ -76,7 +80,8 @@ let experiment_tests =
            let budget = Budget.create ~window:64 ~eps:0.5 in
            ignore
              (Jamming_sim.Uniform_engine.run
-                ~on_slot:(Core.Taxonomy.on_slot tracker)
+                ~observers:
+                  [ Jamming_sim.Observer.of_on_slot (Core.Taxonomy.on_slot tracker) ]
                 ~n:256 ~rng
                 ~protocol:(Core.Lesk.uniform ~eps:0.5 ())
                 ~adversary:(Adversary.greedy ())
@@ -87,9 +92,11 @@ let experiment_tests =
       (staged (fun seed ->
            let setup = { E.Runner.n = 64; eps = 0.5; window = 32; max_slots = 100_000 } in
            ignore
-             (E.Runner.run_exact_once ~cd:Jamming_channel.Channel.No_cd setup
-                ~factory:(Jamming_baselines.Nakano_olariu.station_sawtooth ())
-                E.Specs.greedy ~seed)));
+             (E.Runner.run
+                ~engine:
+                  (exact_engine ~name:"sawtooth" ~cd:Jamming_channel.Channel.No_cd
+                     (Jamming_baselines.Nakano_olariu.station_sawtooth ()))
+                setup E.Specs.greedy ~seed)));
     Test.make ~name:"E14 fair-use (10 chained elections, n=8)"
       (staged (fun seed ->
            let rng = Prng.create ~seed in
@@ -119,19 +126,25 @@ let experiment_tests =
            let replica = Core.Lesk.Logic.create ~eps:0.4 () in
            let setup = { E.Runner.n = 4096; eps = 0.4; window = 64; max_slots = 100_000 } in
            ignore
-             (E.Runner.run_once
-                ~on_slot:(fun r ->
-                  Core.Lesk.Logic.on_state replica r.Jamming_sim.Metrics.state)
-                setup (E.Specs.lesk ~eps:0.4) E.Specs.greedy ~seed)));
+             (E.Runner.run
+                ~observers:
+                  [
+                    Jamming_sim.Observer.of_on_slot (fun r ->
+                        Core.Lesk.Logic.on_state replica r.Jamming_sim.Metrics.state);
+                  ]
+                ~engine:(E.Runner.Uniform (E.Specs.lesk ~eps:0.4))
+                setup E.Specs.greedy ~seed)));
     Test.make ~name:"F2 time-distribution (one LESK n=1024 election)"
       (staged (run_cell ~n:1024 (E.Specs.lesk ~eps:0.5) E.Specs.greedy));
     Test.make ~name:"A1 engine-equivalence (one exact-engine LESK, n=64)"
       (staged (fun seed ->
            let setup = { E.Runner.n = 64; eps = 0.5; window = 32; max_slots = 200_000 } in
            ignore
-             (E.Runner.run_exact_once ~cd:Jamming_channel.Channel.Strong_cd setup
-                ~factory:(Core.Lesk.station ~eps:0.5)
-                E.Specs.greedy ~seed)));
+             (E.Runner.run
+                ~engine:
+                  (exact_engine ~name:"LESK-exact" ~cd:Jamming_channel.Channel.Strong_cd
+                     (Core.Lesk.station ~eps:0.5))
+                setup E.Specs.greedy ~seed)));
     Test.make ~name:"A2 lesk-step-ablation (a = 32/eps variant)"
       (staged (run_cell (E.Specs.lesk_with_a ~eps:0.5 ~a:64.0) E.Specs.greedy));
     Test.make ~name:"A3 lesu-calibration (c = 1 variant)"
@@ -371,7 +384,7 @@ let store_overhead_cell ~id ~name ~store ~reps =
   let slots = ref 0 in
   for base_seed = 1 to reps do
     let sample =
-      E.Runner.replicate_cached ~base_seed ~store ~engine ~reps:4 setup E.Specs.greedy
+      E.Runner.replicate ~base_seed ~store ~engine ~reps:4 setup E.Specs.greedy
     in
     slots := !slots + slots_of sample
   done;
@@ -411,6 +424,81 @@ let store_overhead_cells () =
         cw ww (cw /. ww) stats.Store.hits stats.Store.misses
   | _ -> ());
   [ cold; warm ]
+
+(* --- domain-pool speedup cells (P1, P2) ---
+
+   The identical replicate grid through Runner.run_cells at jobs=1 (P1)
+   and jobs=recommended (P2): P2/P1 slots-per-sec is the committed
+   parallel-speedup figure CI's BENCH_BASELINE diff tracks, and the two
+   passes must produce byte-identical sample JSON (the pool's
+   determinism contract).  The store is bypassed so both passes really
+   compute. *)
+
+let parallel_grid () =
+  List.concat_map
+    (fun n ->
+      List.map
+        (fun adversary ->
+          E.Runner.Cell.v ~base_seed:7
+            ~engine:(E.Runner.Uniform (E.Specs.lesk ~eps:0.5))
+            ~reps:48
+            { E.Runner.n; eps = 0.5; window = 64; max_slots = 2_000_000 }
+            adversary)
+        [ E.Specs.greedy; E.Specs.random_jam ~p:0.5 ])
+    [ 256; 4096 ]
+
+let parallel_cell ~id ~name ~jobs =
+  let pool = E.Runner.Pool.create ~jobs () in
+  let slots0 = Gauges.slots_simulated () and runs0 = Gauges.runs_completed () in
+  let t0 = Unix.gettimeofday () in
+  let outcomes = E.Runner.run_cells pool (parallel_grid ()) in
+  let wall = Unix.gettimeofday () -. t0 in
+  let slots = Gauges.slots_simulated () - slots0 in
+  let runs = Gauges.runs_completed () - runs0 in
+  let digest =
+    String.concat "\n"
+      (List.map
+         (function
+           | E.Runner.Sample s ->
+               Json.to_string (E.Runner.sample_to_json ~include_results:true s)
+           | E.Runner.Churned cs ->
+               Json.to_string (E.Runner.churn_sample_to_json ~include_results:true cs))
+         outcomes)
+  in
+  ( Json.Obj
+      [
+        ("id", Json.String id);
+        ("name", Json.String name);
+        ("jobs", Json.Int jobs);
+        ("wall_s", Json.Float wall);
+        ("slots", Json.Int slots);
+        ("runs", Json.Int runs);
+        ( "slots_per_sec",
+          if wall > 0.0 then Json.Float (float_of_int slots /. wall) else Json.Null );
+      ],
+    digest )
+
+let parallel_cells () =
+  let saved = !E.Runner.default_store in
+  E.Runner.set_store None;
+  Fun.protect
+    ~finally:(fun () -> E.Runner.default_store := saved)
+    (fun () ->
+      let jobs = E.Runner.recommended_jobs () in
+      let serial, d1 = parallel_cell ~id:"P1" ~name:"pool-sweep-jobs1" ~jobs:1 in
+      let parallel, dn =
+        parallel_cell ~id:"P2" ~name:"pool-sweep-jobsmax" ~jobs
+      in
+      if not (String.equal d1 dn) then
+        failwith "P-cells: jobs=1 and jobs=max sweeps are NOT byte-identical";
+      (match (cell_field serial "wall_s", cell_field parallel "wall_s") with
+      | Some w1, Some wn when wn > 0.0 ->
+          Printf.printf
+            "domain-pool sweep: jobs=1 %.3fs vs jobs=%d %.3fs (%.1fx); outputs \
+             byte-identical\n"
+            w1 jobs wn (w1 /. wn)
+      | _ -> ());
+      [ serial; parallel ])
 
 let scaling_cells () =
   let horizon = 2048 in
@@ -489,6 +577,8 @@ let () =
   let cells = cells @ scaling_cells () in
   Printf.printf "\n=== Run-store overhead (X4..X5) ===\n";
   let cells = cells @ store_overhead_cells () in
+  Printf.printf "\n=== Domain-pool speedup (P1..P2) ===\n";
+  let cells = cells @ parallel_cells () in
   let wall = Unix.gettimeofday () -. t0 in
   let total_slots = Gauges.slots_simulated () - slots0 in
   let date = iso_date () in

@@ -1,0 +1,119 @@
+(* cli — the flag vocabulary shared by lesim, sweep and soak.
+
+   One definition each for --jobs, --seed, --cache/--no-cache/--resume/
+   --cache-dir, --telemetry and --json-out, so the three binaries agree
+   on spelling, help text and environment story:
+
+     JAMMING_JOBS=N   overrides the detected domain count
+     JAMMING_CACHE=1  turns the run store on by default
+
+   Resolution rules (identical everywhere):
+     - --resume implies --cache (a resumed run is a cached run whose
+       completed cells hit);
+     - JAMMING_CACHE in {1, true, yes} flips the cache default on;
+     - --no-cache beats everything. *)
+
+module E = Jamming_experiments
+module Store = Jamming_store.Store
+open Cmdliner
+
+(* --- parallelism --- *)
+
+let jobs =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Run replications on $(docv) domains (0 or omitted = all available; \
+           JAMMING_JOBS overrides the detected count).")
+
+(* [install_jobs jobs] resolves --jobs against JAMMING_JOBS / the
+   machine and installs the result as the process default, so every
+   [Runner.Pool.create ()] picks it up.  Returns the resolved count. *)
+let install_jobs jobs =
+  let resolved =
+    match jobs with
+    | Some j when j >= 1 -> j
+    | Some _ | None -> E.Runner.recommended_jobs ()
+  in
+  E.Runner.default_jobs := resolved;
+  resolved
+
+(* --- seeding --- *)
+
+let seed ?(default = 42) () =
+  Arg.(
+    value & opt int default
+    & info [ "seed" ] ~docv:"SEED"
+        ~doc:"Base random seed; every cell's per-rep streams are split from it.")
+
+(* [install_seed seed] makes --seed the process-default base seed, so
+   cells built without an explicit [?base_seed] (the whole experiment
+   registry) are re-seeded in one place. *)
+let install_seed seed = E.Runner.default_base_seed := seed
+
+(* --- run store --- *)
+
+type cache_opts = { cache : bool; no_cache : bool; resume : bool; cache_dir : string }
+
+let cache_opts =
+  let cache =
+    Arg.(
+      value & flag
+      & info [ "cache" ]
+          ~doc:
+            "Persist every computed cell in the content-addressed run store and \
+             reuse persisted results (JAMMING_CACHE=1 enables this by default).")
+  in
+  let no_cache =
+    Arg.(
+      value & flag
+      & info [ "no-cache" ] ~doc:"Disable the run store even if JAMMING_CACHE is set.")
+  in
+  let resume =
+    Arg.(
+      value & flag
+      & info [ "resume" ]
+          ~doc:
+            "Resume an interrupted run: implies $(b,--cache), so cells completed by \
+             the previous run are loaded from the store instead of recomputed.")
+  in
+  let cache_dir =
+    Arg.(
+      value
+      & opt string "results/cache"
+      & info [ "cache-dir" ] ~docv:"DIR" ~doc:"Run store root (default results/cache).")
+  in
+  let pack cache no_cache resume cache_dir = { cache; no_cache; resume; cache_dir } in
+  Term.(const pack $ cache $ no_cache $ resume $ cache_dir)
+
+let cache_enabled { cache; no_cache; resume; cache_dir = _ } =
+  let env_default =
+    match Sys.getenv_opt "JAMMING_CACHE" with
+    | Some ("1" | "true" | "yes") -> true
+    | Some _ | None -> false
+  in
+  (cache || resume || env_default) && not no_cache
+
+(* The store the options ask for, or [None] when caching is off. *)
+let store_of opts =
+  if cache_enabled opts then Some (Store.create ~root:opts.cache_dir ()) else None
+
+(* Stats go to stderr so stdout (tables, reports) stays byte-identical
+   between cold and warm passes — CI diffs it. *)
+let report_store_stats st =
+  let disk = Store.disk_stats st in
+  Format.eprintf "store: %a entries=%d disk_bytes=%d@." Store.pp_io_stats
+    (Store.io_stats st) disk.Store.entries disk.Store.bytes
+
+(* --- output --- *)
+
+let telemetry =
+  Arg.(
+    value & flag
+    & info [ "telemetry" ]
+        ~doc:"Print a telemetry summary (counters, timers, histograms).")
+
+let json_out ~doc =
+  Arg.(value & opt (some string) None & info [ "json-out" ] ~docv:"FILE" ~doc)

@@ -9,24 +9,7 @@ module E = Jamming_experiments
 module Metrics = Jamming_sim.Metrics
 module Dynamic = Jamming_sim.Dynamic
 module Churn = Jamming_faults.Churn
-module Store = Jamming_store.Store
 module Atomic_io = Jamming_store.Atomic_io
-
-(* Same --cache / --no-cache / --resume resolution as sweep and soak:
-   --resume implies --cache, JAMMING_CACHE=1 flips the default,
-   --no-cache wins. *)
-let cache_enabled ~cache ~no_cache ~resume =
-  let env_default =
-    match Sys.getenv_opt "JAMMING_CACHE" with
-    | Some ("1" | "true" | "yes") -> true
-    | Some _ | None -> false
-  in
-  (cache || resume || env_default) && not no_cache
-
-let report_store_stats st =
-  let disk = Store.disk_stats st in
-  Format.eprintf "store: %a entries=%d disk_bytes=%d@." Store.pp_io_stats
-    (Store.io_stats st) disk.Store.entries disk.Store.bytes
 
 let protocols ~eps =
   [
@@ -148,8 +131,9 @@ let run_churned ~engine ~churn ~restart_after ~setup ~seed ~reps ~verbose ~json_
       Atomic_io.write_json ~path (E.Runner.churn_sample_to_json ~include_results:true sample);
       Format.printf "JSON written: %s@." path
 
-let run protocol_name adversary_name n eps window max_slots seed reps weak_cd verbose trace
-    churn_spec restart_after json_out cache no_cache resume cache_dir =
+let run protocol_name adversary_name n eps window max_slots seed reps jobs weak_cd verbose
+    trace churn_spec restart_after json_out cache_opts =
+  let (_ : int) = Cli.install_jobs jobs in
   let fail fmt = Format.kasprintf (fun s -> `Error (false, s)) fmt in
   let adversary_lookup name =
     match String.index_opt name ':' with
@@ -188,18 +172,14 @@ let run protocol_name adversary_name n eps window max_slots seed reps weak_cd ve
                   }
               else E.Runner.Uniform protocol
             in
-            let store =
-              if cache_enabled ~cache ~no_cache ~resume then
-                Some (Store.create ~root:cache_dir ())
-              else None
-            in
+            let store = Cli.store_of cache_opts in
             E.Runner.set_store store;
             match
               run_churned ~engine ~churn ~restart_after ~setup ~seed ~reps ~verbose
                 ~json_out adversary
             with
             | () ->
-                (match store with Some st -> report_store_stats st | None -> ());
+                (match store with Some st -> Cli.report_store_stats st | None -> ());
                 `Ok ()
             | exception Invalid_argument msg -> fail "%s" msg
             | exception Jamming_sim.Monitor.Violation v ->
@@ -219,11 +199,7 @@ let run protocol_name adversary_name n eps window max_slots seed reps weak_cd ve
               }
           else E.Runner.Uniform protocol
         in
-        let store =
-          if cache_enabled ~cache ~no_cache ~resume then
-            Some (Store.create ~root:cache_dir ())
-          else None
-        in
+        let store = Cli.store_of cache_opts in
         E.Runner.set_store store;
         let sample = E.Runner.replicate ~base_seed:seed ~engine ~reps setup adversary in
         if verbose then
@@ -242,7 +218,7 @@ let run protocol_name adversary_name n eps window max_slots seed reps weak_cd ve
             Atomic_io.write_json ~path
               (E.Runner.sample_to_json ~include_results:true sample);
             Format.printf "JSON written: %s@." path);
-        (match store with Some st -> report_store_stats st | None -> ());
+        (match store with Some st -> Cli.report_store_stats st | None -> ());
         if trace > 0 then begin
           (* One extra, separately seeded run with a slot trace attached
              as an observer. *)
@@ -273,7 +249,6 @@ let cmd =
   in
   let window = Arg.(value & opt int 64 & info [ "window"; "T" ] ~doc:"Adversary window T.") in
   let max_slots = Arg.(value & opt int 1_000_000 & info [ "max-slots" ] ~doc:"Slot cap.") in
-  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Base random seed.") in
   let reps = Arg.(value & opt int 1 & info [ "reps" ] ~doc:"Number of replications.") in
   let weak_cd =
     Arg.(value & flag & info [ "weak-cd" ] ~doc:"Run in weak-CD via Notification (exact engine).")
@@ -305,41 +280,14 @@ let cmd =
              re-elect with fresh incarnations (implies the dynamic driver).")
   in
   let json_out =
-    Arg.(
-      value & opt (some string) None
-      & info [ "json-out" ] ~docv:"FILE"
-          ~doc:"Write the sample (setup, per-run results, digests) as JSON to $(docv).")
-  in
-  let cache =
-    Arg.(
-      value & flag
-      & info [ "cache" ]
-          ~doc:
-            "Reuse persisted cell results from the content-addressed run store \
-             (JAMMING_CACHE=1 enables this by default).")
-  in
-  let no_cache =
-    Arg.(
-      value & flag
-      & info [ "no-cache" ] ~doc:"Disable the run store even if JAMMING_CACHE is set.")
-  in
-  let resume =
-    Arg.(
-      value & flag
-      & info [ "resume" ] ~doc:"Alias for $(b,--cache) (shared with sweep/soak).")
-  in
-  let cache_dir =
-    Arg.(
-      value
-      & opt string "results/cache"
-      & info [ "cache-dir" ] ~docv:"DIR" ~doc:"Run store root (default results/cache).")
+    Cli.json_out ~doc:"Write the sample (setup, per-run results, digests) as JSON to $(docv)."
   in
   let term =
     Term.(
       ret
-        (const run $ protocol $ adversary $ n $ eps $ window $ max_slots $ seed $ reps
-        $ weak_cd $ verbose $ trace $ churn $ restart_after $ json_out $ cache $ no_cache
-        $ resume $ cache_dir))
+        (const run $ protocol $ adversary $ n $ eps $ window $ max_slots $ Cli.seed ()
+       $ reps $ Cli.jobs $ weak_cd $ verbose $ trace $ churn $ restart_after $ json_out
+       $ Cli.cache_opts))
   in
   Cmd.v
     (Cmd.info "lesim" ~doc:"Simulate jamming-resistant leader election (Klonowski-Pajak 2015)")

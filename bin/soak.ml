@@ -282,27 +282,29 @@ let run_static_config c =
   let on_slot r = records := r :: !records in
   let violations = ref [] in
   let fail fmt = Format.kasprintf (fun d -> violations := d :: !violations) fmt in
+  let observers = [ Observer.of_on_slot on_slot ] in
   let result =
     try
-      let result =
+      let engine =
         if (not faulty) && c.mode < 2 then
           (* Fault-free uniform protocols keep the fast O(1)/slot path. *)
-          let protocol =
-            if c.mode = 0 then E.Specs.lesk ~eps:c.eps else E.Specs.lesu ()
-          in
-          Some (E.Runner.run_once ~on_slot setup protocol adversary ~seed:c.run_seed)
+          E.Runner.Uniform
+            (if c.mode = 0 then E.Specs.lesk ~eps:c.eps else E.Specs.lesu ())
         else
+          (* Even with null faults this goes through the Faulty spec: it
+             keeps the online monitor attached and the fault streams
+             split exactly as before. *)
           let cd, factory =
             match c.mode with
             | 0 -> (Channel.Strong_cd, Jamming_core.Lesk.station ~eps:c.eps)
             | 1 -> (Channel.Strong_cd, Jamming_core.Lesu.station ())
             | _ -> (Channel.Weak_cd, Jamming_core.Lewk.station ~eps:c.eps ())
           in
-          Some
-            (E.Runner.run_faulty_once ~on_slot ~cd setup ~factory ~faults:c.faults
-               adversary ~seed:c.run_seed)
+          E.Runner.Faulty
+            { name = mode_name c.mode; cd; factory; faults = c.faults;
+              monitor_checks = None }
       in
-      result
+      Some (E.Runner.run ~observers ~engine setup adversary ~seed:c.run_seed)
     with Monitor.Violation v ->
       fail "monitor: %s" (Monitor.violation_to_string v);
       None
@@ -508,21 +510,9 @@ let write_json ~path ~store ~iterations ~total_slots ~wall ~failures =
        @ match store with Some st -> [ ("store", Store.stats_json st) ] | None -> []));
   Format.printf "JSON written: %s@." path
 
-let cache_enabled ~cache ~no_cache ~resume =
-  let env_default =
-    match Sys.getenv_opt "JAMMING_CACHE" with
-    | Some ("1" | "true" | "yes") -> true
-    | Some _ | None -> false
-  in
-  (cache || resume || env_default) && not no_cache
-
-let report_store_stats st =
-  let disk = Store.disk_stats st in
-  Format.eprintf "store: %a entries=%d disk_bytes=%d@." Store.pp_io_stats
-    (Store.io_stats st) disk.Store.entries disk.Store.bytes
-
-let run iterations seed no_faults churn_mode mutate replay report_dir json_out cache
-    no_cache resume cache_dir =
+let run iterations seed jobs no_faults churn_mode mutate replay report_dir json_out
+    cache_opts =
+  let (_ : int) = Cli.install_jobs jobs in
   let with_faults = not no_faults in
   match replay with
   | Some iteration ->
@@ -541,11 +531,7 @@ let run iterations seed no_faults churn_mode mutate replay report_dir json_out c
           List.iter (fun d -> Format.printf "VIOLATION: %s@." d) vs;
           `Error (false, "replayed iteration violates invariants"))
   | None ->
-      let store =
-        if cache_enabled ~cache ~no_cache ~resume then
-          Some (Store.create ~root:cache_dir ())
-        else None
-      in
+      let store = Cli.store_of cache_opts in
       let t0 = Unix.gettimeofday () in
       let failures = ref [] in
       let total_slots = ref 0 in
@@ -569,7 +555,7 @@ let run iterations seed no_faults churn_mode mutate replay report_dir json_out c
       | Some path ->
           write_json ~path ~store ~iterations ~total_slots:!total_slots ~wall:dt
             ~failures:!failures);
-      (match store with Some st -> report_store_stats st | None -> ());
+      (match store with Some st -> Cli.report_store_stats st | None -> ());
       (match !failures with
       | [] ->
           Format.printf "all invariants held.@.";
@@ -591,7 +577,6 @@ let cmd =
   let iterations =
     Arg.(value & opt int 100 & info [ "iterations"; "n" ] ~doc:"Random elections to run.")
   in
-  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Base seed.") in
   let no_faults =
     Arg.(value & flag & info [ "no-faults" ] ~doc:"Disable fault injection (seed-soak behaviour).")
   in
@@ -627,42 +612,13 @@ let cmd =
          & info [ "report-dir" ] ~doc:"Directory for violation reports.")
   in
   let json_out =
-    Arg.(value & opt (some string) None
-         & info [ "json-out" ] ~docv:"FILE"
-             ~doc:"Write iterations, slots, wall time and violation count as JSON.")
-  in
-  let cache =
-    Arg.(
-      value & flag
-      & info [ "cache" ]
-          ~doc:
-            "Persist per-iteration outcomes in the content-addressed run store and \
-             reuse them (JAMMING_CACHE=1 enables this by default).")
-  in
-  let no_cache =
-    Arg.(
-      value & flag
-      & info [ "no-cache" ] ~doc:"Disable the run store even if JAMMING_CACHE is set.")
-  in
-  let resume =
-    Arg.(
-      value & flag
-      & info [ "resume" ]
-          ~doc:
-            "Resume an interrupted soak: implies $(b,--cache), so iterations completed \
-             by the previous run are loaded from the store instead of recomputed.")
-  in
-  let cache_dir =
-    Arg.(
-      value
-      & opt string "results/cache"
-      & info [ "cache-dir" ] ~docv:"DIR" ~doc:"Run store root (default results/cache).")
+    Cli.json_out ~doc:"Write iterations, slots, wall time and violation count as JSON."
   in
   Cmd.v
     (Cmd.info "soak" ~doc:"Randomized invariant soak-testing of the whole pipeline")
     Term.(
       ret
-        (const run $ iterations $ seed $ no_faults $ churn_mode $ mutate $ replay
-       $ report_dir $ json_out $ cache $ no_cache $ resume $ cache_dir))
+        (const run $ iterations $ Cli.seed ~default:1 () $ Cli.jobs $ no_faults
+       $ churn_mode $ mutate $ replay $ report_dir $ json_out $ Cli.cache_opts))
 
 let () = exit (Cmd.eval cmd)

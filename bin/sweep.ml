@@ -3,6 +3,15 @@
      dune exec bin/sweep.exe -- --list
      dune exec bin/sweep.exe -- E1 E9
      dune exec bin/sweep.exe -- --full all
+
+   A grid can be computed by many processes at once: each worker takes
+   one shard of the experiment list and warms the shared run store,
+   then a final --resume pass merges every cell from cache.
+
+     dune exec bin/sweep.exe -- --cache --shard 1/2 all &
+     dune exec bin/sweep.exe -- --cache --shard 2/2 all &
+     wait
+     dune exec bin/sweep.exe -- --resume all
 *)
 
 module E = Jamming_experiments
@@ -20,29 +29,46 @@ module Gauges = Jamming_sim.Gauges
 module Store = Jamming_store.Store
 module Atomic_io = Jamming_store.Atomic_io
 
-(* --cache / --no-cache / --resume resolution, shared by the three
-   CLIs: --resume implies --cache (a resumed sweep is just a cached
-   sweep whose completed cells hit), JAMMING_CACHE=1 turns caching on
-   by default, and --no-cache beats everything. *)
-let cache_enabled ~cache ~no_cache ~resume =
-  let env_default =
-    match Sys.getenv_opt "JAMMING_CACHE" with
-    | Some ("1" | "true" | "yes") -> true
-    | Some _ | None -> false
-  in
-  (cache || resume || env_default) && not no_cache
+(* --shard K/N: this process computes experiments K-1, K-1+N, ... of the
+   selected list (1-based K).  Used to split a sweep across processes
+   that share one run store. *)
+let parse_shard spec =
+  match String.split_on_char '/' spec with
+  | [ k; n ] -> (
+      match (int_of_string_opt k, int_of_string_opt n) with
+      | Some k, Some n when n >= 1 && k >= 1 && k <= n -> Ok (k, n)
+      | _ -> Error (Printf.sprintf "--shard: %S is not K/N with 1 <= K <= N" spec))
+  | _ -> Error (Printf.sprintf "--shard: %S is not of the form K/N" spec)
 
-(* Stats go to stderr so stdout (the experiment tables) stays
-   byte-identical between cold and warm passes — CI diffs it. *)
-let report_store_stats st =
-  let disk = Store.disk_stats st in
-  Format.eprintf "store: %a entries=%d disk_bytes=%d@." Store.pp_io_stats
-    (Store.io_stats st) disk.Store.entries disk.Store.bytes
+(* With --deterministic the JSON must be byte-identical across job
+   counts, machines AND cache states (a --resume merge vs an
+   uninterrupted run), so the store.* counters — which count hits and
+   misses, not simulation work — are filtered out of the telemetry. *)
+let drop_store_counters json =
+  match json with
+  | Json.Obj sections ->
+      Json.Obj
+        (List.map
+           (function
+             | "counters", Json.Obj cs ->
+                 ( "counters",
+                   Json.Obj
+                     (List.filter
+                        (fun (name, _) ->
+                          not (String.length name >= 6 && String.sub name 0 6 = "store."))
+                        cs) )
+             | section -> section)
+           sections)
+  | other -> other
 
 (* Runs one experiment under a fresh telemetry sink and returns its
    machine-readable digest.  Gauges deltas pick up slots simulated by
-   experiments that bypass Runner.replicate. *)
-let run_metered ~scale out e =
+   experiments that bypass Runner.replicate.  With [deterministic],
+   fields that vary with the machine or the cache state (wall time,
+   throughput, timers, gauge deltas — zero on a cache hit — and store
+   counters) are omitted so two runs of the same sweep are
+   byte-comparable. *)
+let run_metered ~scale ~deterministic out e =
   let tel = Telemetry.create () in
   let slots0 = Gauges.slots_simulated () and runs0 = Gauges.runs_completed () in
   E.Experiments.run_one ~telemetry:tel ~scale out e;
@@ -51,91 +77,104 @@ let run_metered ~scale out e =
   let wall = Telemetry.timer_seconds tel "experiment.wall" in
   ( tel,
     Json.Obj
-      [
-        ("id", Json.String e.E.Registry.id);
-        ("name", Json.String e.E.Registry.name);
-        ("wall_s", Json.Float wall);
-        ("slots", Json.Int slots);
-        ("runs", Json.Int runs);
-        ( "slots_per_sec",
-          if wall > 0.0 then Json.Float (float_of_int slots /. wall) else Json.Null );
-        ("telemetry", Telemetry.to_json tel);
-      ] )
+      ([
+         ("id", Json.String e.E.Registry.id);
+         ("name", Json.String e.E.Registry.name);
+       ]
+      @ (if deterministic then []
+         else
+           [
+             ("wall_s", Json.Float wall);
+             ( "slots_per_sec",
+               if wall > 0.0 then Json.Float (float_of_int slots /. wall) else Json.Null );
+             ("slots", Json.Int slots);
+             ("runs", Json.Int runs);
+           ])
+      @ [
+          ( "telemetry",
+            let t = Telemetry.to_json ~timers:(not deterministic) tel in
+            if deterministic then drop_store_counters t else t );
+        ]) )
 
-let run list full csv_dir jobs telemetry json_out cache no_cache resume cache_dir ids =
+let run list full csv_dir jobs seed telemetry json_out deterministic shard cache_opts ids
+    =
   if list then begin
     list_experiments ();
     `Ok ()
   end
   else begin
-    E.Runner.default_jobs :=
-      (match jobs with
-      | Some 0 | None -> E.Runner.recommended_jobs ()
-      | Some j -> j);
-    let store =
-      if cache_enabled ~cache ~no_cache ~resume then
-        Some (Store.create ~root:cache_dir ())
-      else None
-    in
-    E.Runner.set_store store;
-    let scale = if full then E.Registry.Full else E.Registry.Quick in
-    let ids = if ids = [] then [ "all" ] else ids in
-    let targets =
-      if List.exists (fun s -> String.lowercase_ascii s = "all") ids then
-        Some E.Experiments.all
-      else
-        let found = List.map E.Experiments.find ids in
-        if List.exists Option.is_none found then None
-        else Some (List.filter_map Fun.id found)
-    in
-    match targets with
-    | None -> `Error (false, "unknown experiment id; use --list to see them")
-    | Some targets ->
-        let out =
-          match csv_dir with
-          | Some dir -> E.Output.with_csv_dir ~dir Format.std_formatter
-          | None -> E.Output.to_formatter Format.std_formatter
+    let (_ : int) = Cli.install_jobs jobs in
+    Cli.install_seed seed;
+    match (match shard with None -> Ok (1, 1) | Some s -> parse_shard s) with
+    | Error e -> `Error (false, e)
+    | Ok (shard_k, shard_n) -> (
+        let store = Cli.store_of cache_opts in
+        E.Runner.set_store store;
+        let scale = if full then E.Registry.Full else E.Registry.Quick in
+        let ids = if ids = [] then [ "all" ] else ids in
+        let targets =
+          if List.exists (fun s -> String.lowercase_ascii s = "all") ids then
+            Some E.Experiments.all
+          else
+            let found = List.map E.Experiments.find ids in
+            if List.exists Option.is_none found then None
+            else Some (List.filter_map Fun.id found)
         in
-        let metered = telemetry || json_out <> None in
-        let cells =
-          if metered then
-            List.map
-              (fun e ->
-                let tel, cell = run_metered ~scale out e in
-                if telemetry then
-                  Format.printf "@.--- telemetry (%s) ---@.%a@." e.E.Registry.id
-                    Telemetry.pp tel;
-                cell)
-              targets
-          else begin
-            List.iter (E.Experiments.run_one ~scale out) targets;
-            []
-          end
-        in
-        (match json_out with
-        | None -> ()
-        | Some path ->
-            Atomic_io.write_json ~path
-              (Json.Obj
-                 ([
-                    ("schema", Json.String "jamming-election.sweep/1");
-                    ( "scale",
-                      Json.String (match scale with E.Registry.Full -> "full" | _ -> "quick") );
-                    ("jobs", Json.Int !E.Runner.default_jobs);
-                    ("experiments", Json.List cells);
-                  ]
-                 @
-                 match store with
-                 | Some st -> [ ("store", Store.stats_json st) ]
-                 | None -> []));
-            Format.printf "@.JSON written: %s@." path);
-        (match E.Output.csv_files_written out with
-        | [] -> ()
-        | files ->
-            Format.printf "@.CSV written:@.";
-            List.iter (Format.printf "  %s@.") (List.rev files));
-        (match store with Some st -> report_store_stats st | None -> ());
-        `Ok ()
+        match targets with
+        | None -> `Error (false, "unknown experiment id; use --list to see them")
+        | Some targets ->
+            let targets =
+              if shard_n = 1 then targets
+              else List.filteri (fun i _ -> i mod shard_n = shard_k - 1) targets
+            in
+            let out =
+              match csv_dir with
+              | Some dir -> E.Output.with_csv_dir ~dir Format.std_formatter
+              | None -> E.Output.to_formatter Format.std_formatter
+            in
+            let metered = telemetry || json_out <> None in
+            let cells =
+              if metered then
+                List.map
+                  (fun e ->
+                    let tel, cell = run_metered ~scale ~deterministic out e in
+                    if telemetry then
+                      Format.printf "@.--- telemetry (%s) ---@.%a@." e.E.Registry.id
+                        Telemetry.pp tel;
+                    cell)
+                  targets
+              else begin
+                List.iter (E.Experiments.run_one ~scale out) targets;
+                []
+              end
+            in
+            (match json_out with
+            | None -> ()
+            | Some path ->
+                Atomic_io.write_json ~path
+                  (Json.Obj
+                     ([
+                        ("schema", Json.String "jamming-election.sweep/1");
+                        ( "scale",
+                          Json.String
+                            (match scale with E.Registry.Full -> "full" | _ -> "quick") );
+                      ]
+                     @ (if deterministic then []
+                        else [ ("jobs", Json.Int !E.Runner.default_jobs) ])
+                     @ [ ("experiments", Json.List cells) ]
+                     @
+                     match store with
+                     | Some st when not deterministic ->
+                         [ ("store", Store.stats_json st) ]
+                     | Some _ | None -> []));
+                Format.printf "@.JSON written: %s@." path);
+            (match E.Output.csv_files_written out with
+            | [] -> ()
+            | files ->
+                Format.printf "@.CSV written:@.";
+                List.iter (Format.printf "  %s@.") (List.rev files));
+            (match store with Some st -> Cli.report_store_stats st | None -> ());
+            `Ok ())
   end
 
 open Cmdliner
@@ -152,61 +191,34 @@ let cmd =
       & opt (some string) None
       & info [ "csv" ] ~docv:"DIR" ~doc:"Also write every table as CSV into $(docv).")
   in
-  let jobs =
-    Arg.(
-      value
-      & opt (some int) None
-      & info [ "jobs"; "j" ] ~docv:"N"
-          ~doc:
-            "Run replications on $(docv) domains (0 or omitted = all available; \
-             JAMMING_JOBS overrides the detected count).")
-  in
-  let telemetry =
+  let deterministic =
     Arg.(
       value & flag
-      & info [ "telemetry" ]
-          ~doc:"Print a telemetry summary (counters, timers, histograms) per experiment.")
+      & info [ "deterministic" ]
+          ~doc:
+            "Omit machine-varying fields (wall times, throughput, timers, store and \
+             job counts) from $(b,--json-out), so outputs from different runs, job \
+             counts or machines are byte-comparable.")
   in
-  let json_out =
+  let shard =
     Arg.(
       value
       & opt (some string) None
-      & info [ "json-out" ] ~docv:"FILE"
-          ~doc:"Write per-experiment wall time, slots, slots/sec and telemetry as JSON.")
-  in
-  let cache =
-    Arg.(
-      value & flag
-      & info [ "cache" ]
+      & info [ "shard" ] ~docv:"K/N"
           ~doc:
-            "Cache every (engine, setup, adversary, reps, seed) cell in the \
-             content-addressed run store and reuse persisted results \
-             (JAMMING_CACHE=1 enables this by default).")
+            "Run only every Nth experiment starting at the Kth (1-based).  Launch N \
+             processes with $(b,--cache) and shards 1/N .. N/N against one cache \
+             directory, then merge with a final $(b,--resume) pass.")
   in
-  let no_cache =
-    Arg.(
-      value & flag
-      & info [ "no-cache" ] ~doc:"Disable the run store even if JAMMING_CACHE is set.")
-  in
-  let resume =
-    Arg.(
-      value & flag
-      & info [ "resume" ]
-          ~doc:
-            "Resume an interrupted sweep: implies $(b,--cache), so cells completed \
-             by the previous run are loaded from the store instead of recomputed.")
-  in
-  let cache_dir =
-    Arg.(
-      value
-      & opt string "results/cache"
-      & info [ "cache-dir" ] ~docv:"DIR" ~doc:"Run store root (default results/cache).")
+  let json_out =
+    Cli.json_out
+      ~doc:"Write per-experiment wall time, slots, slots/sec and telemetry as JSON."
   in
   Cmd.v
     (Cmd.info "sweep" ~doc:"Regenerate the paper-reproduction tables and figures")
     Term.(
       ret
-        (const run $ list $ full $ csv_dir $ jobs $ telemetry $ json_out $ cache
-       $ no_cache $ resume $ cache_dir $ ids))
+        (const run $ list $ full $ csv_dir $ Cli.jobs $ Cli.seed () $ Cli.telemetry
+       $ json_out $ deterministic $ shard $ Cli.cache_opts $ ids))
 
 let () = exit (Cmd.eval cmd)

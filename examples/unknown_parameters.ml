@@ -45,12 +45,15 @@ let () =
   let budget = Budget.create ~window ~eps in
   let result =
     Jamming_sim.Uniform_engine.run
-      ~on_slot:(fun r ->
-        let stage = Lesu.Logic.stage logic in
-        if stage <> !last_stage then begin
-          describe r.Metrics.slot stage;
-          last_stage := stage
-        end)
+      ~observers:
+        [
+          Jamming_sim.Observer.of_on_slot (fun r ->
+              let stage = Lesu.Logic.stage logic in
+              if stage <> !last_stage then begin
+                describe r.Metrics.slot stage;
+                last_stage := stage
+              end);
+        ]
       ~n ~rng ~protocol
       ~adversary:(Adversary.greedy ())
       ~budget ~max_slots:2_000_000 ()

@@ -36,7 +36,7 @@ let () =
   let trace = Jamming_sim.Trace.create ~capacity:96 in
   let result =
     Jamming_sim.Engine.run
-      ~on_slot:(Jamming_sim.Trace.record trace)
+      ~observers:[ Jamming_sim.Observer.of_on_slot (Jamming_sim.Trace.record trace) ]
       ~cd:Channel.Weak_cd
       ~adversary:(Adversary.greedy ())
       ~budget ~max_slots:1_000_000 ~stations ()

@@ -23,10 +23,15 @@ let run scale out =
       let setup = { Runner.n; eps; window; max_slots = 100_000 } in
       let fast = Runner.replicate ~engine:(Runner.Uniform (Specs.lesk ~eps)) ~reps setup Specs.greedy in
       let exact =
-        Runner.replicate_exact ~cd:Jamming_channel.Channel.Strong_cd ~reps setup
-          ~name:"LESK-exact"
-          ~factory:(Jamming_core.Lesk.station ~eps)
-          Specs.greedy
+        Runner.replicate
+          ~engine:
+            (Runner.Exact
+               {
+                 name = "LESK-exact";
+                 cd = Jamming_channel.Channel.Strong_cd;
+                 factory = Jamming_core.Lesk.station ~eps;
+               })
+          ~reps setup Specs.greedy
       in
       let fu = Runner.slots fast and ex = Runner.slots exact in
       let ks_p =
@@ -58,14 +63,28 @@ let run scale out =
   for i = 1 to zero_seeds do
     let seed = Jamming_prng.Prng.seed_of_string (Printf.sprintf "A1/zero-fault/%d" i) in
     let plain =
-      Runner.run_exact_once ~cd:Jamming_channel.Channel.Strong_cd setup
-        ~factory:(Jamming_core.Lesk.station ~eps)
-        Specs.greedy ~seed
+      Runner.run
+        ~engine:
+          (Runner.Exact
+             {
+               name = "LESK-exact";
+               cd = Jamming_channel.Channel.Strong_cd;
+               factory = Jamming_core.Lesk.station ~eps;
+             })
+        setup Specs.greedy ~seed
     in
     let faulty =
-      Runner.run_faulty_once ~cd:Jamming_channel.Channel.Strong_cd setup
-        ~factory:(Jamming_core.Lesk.station ~eps)
-        ~faults:Jamming_faults.Config.none Specs.greedy ~seed
+      Runner.run
+        ~engine:
+          (Runner.Faulty
+             {
+               name = "LESK-faulty";
+               cd = Jamming_channel.Channel.Strong_cd;
+               factory = Jamming_core.Lesk.station ~eps;
+               faults = Jamming_faults.Config.none;
+               monitor_checks = None;
+             })
+        setup Specs.greedy ~seed
     in
     if plain <> faulty then
       failwith
@@ -134,17 +153,31 @@ let run scale out =
   for i = 1 to oracle_seeds do
     let seed = Jamming_prng.Prng.seed_of_string (Printf.sprintf "A1/active-set/%d" i) in
     let exact =
-      Runner.run_exact_once ~cd:Jamming_channel.Channel.Strong_cd setup
-        ~factory:(Jamming_core.Lesk.station ~eps)
-        Specs.greedy ~seed
+      Runner.run
+        ~engine:
+          (Runner.Exact
+             {
+               name = "LESK-exact";
+               cd = Jamming_channel.Channel.Strong_cd;
+               factory = Jamming_core.Lesk.station ~eps;
+             })
+        setup Specs.greedy ~seed
     in
     if not (Jamming_sim.Metrics.equal_result exact (reference ~kind:`Exact ~seed)) then
       failwith
         (Printf.sprintf "A1: exact engine diverged from run_reference (seed %d)" seed);
     let faulty =
-      Runner.run_faulty_once ~cd:Jamming_channel.Channel.Strong_cd setup
-        ~factory:(Jamming_core.Lesk.station ~eps)
-        ~faults Specs.greedy ~seed
+      Runner.run
+        ~engine:
+          (Runner.Faulty
+             {
+               name = "LESK-faulty";
+               cd = Jamming_channel.Channel.Strong_cd;
+               factory = Jamming_core.Lesk.station ~eps;
+               faults;
+               monitor_checks = None;
+             })
+        setup Specs.greedy ~seed
     in
     if not (Jamming_sim.Metrics.equal_result faulty (reference ~kind:`Faulty ~seed)) then
       failwith

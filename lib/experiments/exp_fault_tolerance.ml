@@ -31,8 +31,11 @@ let sweep ~title ~label ~reps ~setup ~eps ~config_of rates out =
         List.concat_map
           (fun (name, cd, factory) ->
             let sample =
-              Runner.replicate_faulty ~cd ~reps setup ~name ~factory
-                ~faults:(config_of rate) Specs.greedy
+              Runner.replicate
+                ~engine:
+                  (Runner.Faulty
+                     { name; cd; factory; faults = config_of rate; monitor_checks = None })
+                ~reps setup Specs.greedy
             in
             let med = D.median (Array.map (fun r -> float_of_int r.Jamming_sim.Metrics.slots) sample.Runner.results) in
             [ Table.fmt_pct (Runner.success_rate sample); Table.fmt_float med ])

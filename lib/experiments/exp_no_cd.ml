@@ -17,7 +17,9 @@ let run_cell ~cd ~n ~eps ~window ~max_slots ~factory ~adversary ~seed =
   let budget = Budget.create ~window ~eps in
   let adv = adversary.Specs.a_make ~seed ~n ~eps ~window () in
   let result =
-    Jamming_sim.Engine.run ~on_slot ~cd ~adversary:adv ~budget ~max_slots ~stations ()
+    Jamming_sim.Engine.run
+      ~observers:[ Jamming_sim.Observer.of_on_slot on_slot ]
+      ~cd ~adversary:adv ~budget ~max_slots ~stations ()
   in
   (!first_single, result)
 

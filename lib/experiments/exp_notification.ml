@@ -29,14 +29,26 @@ let run scale out =
         (fun n ->
           let setup = { Runner.n; eps; window; max_slots = 300_000 } in
           let lewk =
-            Runner.replicate_exact ~cd:Channel.Weak_cd ~reps setup ~name:"LEWK"
-              ~factory:(Jamming_core.Lewk.station ~eps ())
-              adversary
+            Runner.replicate
+              ~engine:
+                (Runner.Exact
+                   {
+                     name = "LEWK";
+                     cd = Channel.Weak_cd;
+                     factory = Jamming_core.Lewk.station ~eps ();
+                   })
+              ~reps setup adversary
           in
           let lesk =
-            Runner.replicate_exact ~cd:Channel.Strong_cd ~reps setup ~name:"LESK"
-              ~factory:(Jamming_core.Lesk.station ~eps)
-              adversary
+            Runner.replicate
+              ~engine:
+                (Runner.Exact
+                   {
+                     name = "LESK";
+                     cd = Channel.Strong_cd;
+                     factory = Jamming_core.Lesk.station ~eps;
+                   })
+              ~reps setup adversary
           in
           let mw = Runner.median_slots lewk and mk = Runner.median_slots lesk in
           let overhead = mw /. Float.max 1.0 mk in

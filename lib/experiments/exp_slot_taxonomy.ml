@@ -38,7 +38,7 @@ let run scale out =
         let budget = Budget.create ~window ~eps in
         let (_ : Jamming_sim.Metrics.result) =
           Jamming_sim.Uniform_engine.run
-            ~on_slot:(Core.Taxonomy.on_slot tracker)
+            ~observers:[ Jamming_sim.Observer.of_on_slot (Core.Taxonomy.on_slot tracker) ]
             ~n ~rng
             ~protocol:(Core.Lesk.uniform ~eps ())
             ~adversary:(Jamming_adversary.Adversary.greedy ())

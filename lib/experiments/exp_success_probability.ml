@@ -37,10 +37,15 @@ let run scale out =
   Table.add_separator table;
   let setup = { Runner.n = 32; eps; window; max_slots = 300_000 } in
   let lewk =
-    Runner.replicate_exact ~cd:Jamming_channel.Channel.Weak_cd ~reps:reps_exact setup
-      ~name:"LEWK (weak-CD)"
-      ~factory:(Jamming_core.Lewk.station ~eps ())
-      Specs.greedy
+    Runner.replicate
+      ~engine:
+        (Runner.Exact
+           {
+             name = "LEWK (weak-CD)";
+             cd = Jamming_channel.Channel.Weak_cd;
+             factory = Jamming_core.Lewk.station ~eps ();
+           })
+      ~reps:reps_exact setup Specs.greedy
   in
   Table.add_row table
     [

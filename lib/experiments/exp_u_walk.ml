@@ -11,7 +11,12 @@ let u_trajectory ~n ~eps ~window ~adversary ~seed =
     Core.Lesk.Logic.on_state replica r.Jamming_sim.Metrics.state
   in
   let setup = { Runner.n; eps; window; max_slots = 100_000 } in
-  let result = Runner.run_once ~on_slot setup (Specs.lesk ~eps) adversary ~seed in
+  let result =
+    Runner.run
+      ~observers:[ Jamming_sim.Observer.of_on_slot on_slot ]
+      ~engine:(Runner.Uniform (Specs.lesk ~eps))
+      setup adversary ~seed
+  in
   (List.rev !points, result)
 
 let run scale ppf_out =

@@ -48,7 +48,7 @@ let make_adversary (adversary : Specs.adversary) setup ~seed =
   adversary.Specs.a_make ~seed:(seed lxor 0x5bd1e995) ~n:setup.n ~eps:setup.eps
     ~window:setup.window ()
 
-let run ?(observers = []) ?on_slot ~engine setup (adversary : Specs.adversary) ~seed =
+let run ?(observers = []) ~engine setup (adversary : Specs.adversary) ~seed =
   validate setup;
   let budget = Budget.create ~window:setup.window ~eps:setup.eps in
   match engine with
@@ -56,13 +56,13 @@ let run ?(observers = []) ?on_slot ~engine setup (adversary : Specs.adversary) ~
       let rng = Prng.create ~seed in
       let proto = protocol.Specs.p_make ~n:setup.n ~window:setup.window () in
       let adv = make_adversary adversary setup ~seed in
-      Jamming_sim.Uniform_engine.run ?on_slot ~observers ~n:setup.n ~rng ~protocol:proto
+      Jamming_sim.Uniform_engine.run ~observers ~n:setup.n ~rng ~protocol:proto
         ~adversary:adv ~budget ~max_slots:setup.max_slots ()
   | Exact { cd; factory; name = _ } ->
       let rng = Prng.create ~seed in
       let stations = Jamming_sim.Engine.make_stations ~n:setup.n ~rng factory in
       let adv = make_adversary adversary setup ~seed in
-      Jamming_sim.Engine.run ?on_slot ~observers ~cd ~adversary:adv ~budget
+      Jamming_sim.Engine.run ~observers ~cd ~adversary:adv ~budget
         ~max_slots:setup.max_slots ~stations ()
   | Faulty { cd; factory; faults; monitor_checks; name = _ } ->
       Faults.Config.validate faults;
@@ -93,21 +93,8 @@ let run ?(observers = []) ?on_slot ~engine setup (adversary : Specs.adversary) ~
       in
       let monitor = Monitor.create ~checks ~seed ~window:setup.window ~eps:setup.eps () in
       let adv = make_adversary adversary setup ~seed in
-      Jamming_sim.Engine.run ?on_slot ~observers ~faults:injection ~monitor ~cd
+      Jamming_sim.Engine.run ~observers ~faults:injection ~monitor ~cd
         ~adversary:adv ~budget ~max_slots:setup.max_slots ~stations ()
-
-(* --- deprecated single-run wrappers (kept so call sites compile) --- *)
-
-let run_once ?on_slot setup protocol adversary ~seed =
-  run ?on_slot ~engine:(Uniform protocol) setup adversary ~seed
-
-let run_exact_once ?on_slot ~cd setup ~factory adversary ~seed =
-  run ?on_slot ~engine:(Exact { name = "exact"; cd; factory }) setup adversary ~seed
-
-let run_faulty_once ?on_slot ?monitor_checks ~cd setup ~factory ~faults adversary ~seed =
-  run ?on_slot
-    ~engine:(Faulty { name = "faulty"; cd; factory; faults; monitor_checks })
-    setup adversary ~seed
 
 type sample = {
   setup : setup;
@@ -115,9 +102,6 @@ type sample = {
   adversary_name : string;
   results : Metrics.result array;
 }
-
-let cell_seed ~base_seed ~tag ~rep =
-  Prng.seed_of_string (Printf.sprintf "%d/%s/%d" base_seed tag rep)
 
 (* Seed tags must stay exactly as the pre-observer runner derived them,
    per engine kind, so every published table remains reproducible. *)
@@ -145,6 +129,12 @@ let recommended_jobs () =
 
 let default_jobs = ref 1
 
+(* Process default for [Cell.v]'s [?base_seed] — 42, the seed every
+   published table was produced with.  The CLIs' [--seed] rebinds it so
+   a whole sweep can be re-run under a fresh seed without threading an
+   argument through every experiment. *)
+let default_base_seed = ref 42
+
 (* Process-default telemetry sink, used when [?telemetry] is omitted —
    the same pattern as [default_jobs]: harnesses (bench, sweep) install
    a sink around a workload and experiment code stays oblivious. *)
@@ -156,30 +146,6 @@ let with_telemetry tel f =
   let previous = !default_telemetry in
   default_telemetry := Some tel;
   Fun.protect ~finally:(fun () -> default_telemetry := previous) f
-
-(* Fill [results] by applying [f] to every index, fanning the indices
-   out over [jobs] domains.  Replications are embarrassingly parallel:
-   each builds its own generator and mutable state and writes a distinct
-   slot, so the parallel run is bit-identical to the sequential one. *)
-let parallel_init ~jobs ~reps f =
-  if reps < 1 then invalid_arg "Runner.replicate: reps must be >= 1";
-  if jobs < 1 then invalid_arg "Runner.replicate: jobs must be >= 1";
-  if jobs = 1 || reps = 1 then Array.init reps f
-  else begin
-    let first = f 0 in
-    let results = Array.make reps first in
-    let jobs = Int.min jobs reps in
-    let worker j () =
-      let rep = ref (1 + j) in
-      while !rep < reps do
-        results.(!rep) <- f !rep;
-        rep := !rep + jobs
-      done
-    in
-    let domains = List.init jobs (fun j -> Domain.spawn (worker j)) in
-    List.iter Domain.join domains;
-    results
-  end
 
 (* Aggregate a finished replication into the sink.  Folding the result
    array in index order (on the calling domain, after the join) makes
@@ -203,28 +169,6 @@ let record_sample tel (results : Metrics.result array) =
       if Metrics.election_ok r then Telemetry.incr elected;
       Telemetry.observe per_run r.Metrics.slots)
     results
-
-(* The compute path: always simulates, never consults the store. *)
-let replicate_computed ?jobs ~base_seed ?telemetry ~engine ~reps setup adversary =
-  let jobs = match jobs with Some j -> j | None -> !default_jobs in
-  let tel = match telemetry with Some t -> Some t | None -> !default_telemetry in
-  let tag = cell_tag ~engine ~adversary setup in
-  let wall =
-    match tel with Some t -> Some (Telemetry.timer t "runner.wall") | None -> None
-  in
-  (match wall with Some w -> Telemetry.start w | None -> ());
-  let results =
-    parallel_init ~jobs ~reps (fun rep ->
-        run ~engine setup adversary ~seed:(cell_seed ~base_seed ~tag ~rep))
-  in
-  (match wall with Some w -> Telemetry.stop w | None -> ());
-  (match tel with Some t -> record_sample t results | None -> ());
-  {
-    setup;
-    protocol_name = engine_name engine;
-    adversary_name = adversary.Specs.a_name;
-    results;
-  }
 
 let slots sample =
   sample.results
@@ -380,57 +324,6 @@ let with_store st f =
   let previous = !default_store in
   default_store := Some st;
   Fun.protect ~finally:(fun () -> default_store := previous) f
-
-let replicate_cached ?jobs ?(base_seed = 42) ?telemetry ?store ~engine ~reps setup
-    adversary =
-  validate setup;
-  if reps < 1 then invalid_arg "Runner.replicate: reps must be >= 1";
-  let store = match store with Some _ as s -> s | None -> !default_store in
-  match store with
-  | None -> replicate_computed ?jobs ~base_seed ?telemetry ~engine ~reps setup adversary
-  | Some st -> (
-      let tel = match telemetry with Some t -> Some t | None -> !default_telemetry in
-      let key = cell_key ~engine ~adversary ~reps ~base_seed setup in
-      (* Decode defensively: a record that decodes but describes a
-         different cell than requested (possible only through tampering
-         or a hash collision) is a miss, not a wrong answer. *)
-      let decode json =
-        match sample_of_json json with
-        | Ok s
-          when s.setup = setup
-               && s.protocol_name = engine_name engine
-               && s.adversary_name = adversary.Specs.a_name
-               && Array.length s.results = reps ->
-            Some s
-        | Ok _ | Error _ -> None
-      in
-      match Store.find ?telemetry:tel st key ~decode with
-      | Some sample ->
-          (* Hit: the decoded sample is bit-identical to a fresh
-             compute (asserted by test), so aggregate the same
-             [runner.*] telemetry the compute path would. *)
-          (match tel with Some t -> record_sample t sample.results | None -> ());
-          sample
-      | None ->
-          let sample =
-            replicate_computed ?jobs ~base_seed ?telemetry ~engine ~reps setup adversary
-          in
-          Store.add ?telemetry:tel st key (sample_to_json ~include_results:true sample);
-          sample)
-
-let replicate ?jobs ?base_seed ?telemetry ~engine ~reps setup adversary =
-  replicate_cached ?jobs ?base_seed ?telemetry ~engine ~reps setup adversary
-
-(* --- deprecated replicated wrappers --- *)
-
-let replicate_exact ?jobs ?base_seed ~cd ~reps setup ~name ~factory adversary =
-  replicate ?jobs ?base_seed ~engine:(Exact { name; cd; factory }) ~reps setup adversary
-
-let replicate_faulty ?jobs ?base_seed ?monitor_checks ~cd ~reps setup ~name ~factory
-    ~faults adversary =
-  replicate ?jobs ?base_seed
-    ~engine:(Faulty { name; cd; factory; faults; monitor_checks })
-    ~reps setup adversary
 
 (* --- churn cells: dynamic populations (DESIGN.md §12) --- *)
 
@@ -645,65 +538,359 @@ let record_churn_sample tel (results : Dynamic.result array) =
       Telemetry.observe per_run r.Dynamic.leaderless_slots)
     results
 
-let replicate_churn_computed ?jobs ~base_seed ?telemetry ~engine ~churn ?restart_after
-    ~reps setup adversary =
-  let jobs = match jobs with Some j -> j | None -> !default_jobs in
-  let tel = match telemetry with Some t -> Some t | None -> !default_telemetry in
-  (* Per-rep seeds reuse the static cell's tag, so a null-churn cell
-     replays the exact seeds (hence results) of its static twin. *)
-  let tag = cell_tag ~engine ~adversary setup in
-  let wall =
-    match tel with Some t -> Some (Telemetry.timer t "runner.wall") | None -> None
-  in
-  (match wall with Some w -> Telemetry.start w | None -> ());
-  let results =
-    parallel_init ~jobs ~reps (fun rep ->
-        run_churn ~engine ~churn ?restart_after setup adversary
-          ~seed:(cell_seed ~base_seed ~tag ~rep))
-  in
-  (match wall with Some w -> Telemetry.stop w | None -> ());
-  (match tel with Some t -> record_churn_sample t results | None -> ());
-  {
-    c_setup = setup;
-    c_protocol_name = engine_name engine;
-    c_adversary_name = adversary.Specs.a_name;
-    c_churn = Faults.Churn.descriptor churn;
-    c_results = results;
+(* --- the Cell: one unit of scheduling, seeding, and caching --- *)
+
+module Cell = struct
+  type population =
+    | Static
+    | Churning of { churn : Faults.Churn.t; restart_after : int option }
+
+  type t = {
+    engine : engine;
+    setup : setup;
+    adversary : Specs.adversary;
+    population : population;
+    reps : int;
+    base_seed : int;
   }
 
-let replicate_churn ?jobs ?(base_seed = 42) ?telemetry ?store ~engine ~churn
-    ?restart_after ~reps setup adversary =
-  validate setup;
-  if reps < 1 then invalid_arg "Runner.replicate_churn: reps must be >= 1";
-  Faults.Churn.validate churn;
-  let store = match store with Some _ as s -> s | None -> !default_store in
-  match store with
-  | None ->
-      replicate_churn_computed ?jobs ~base_seed ?telemetry ~engine ~churn ?restart_after
-        ~reps setup adversary
-  | Some st -> (
-      let tel = match telemetry with Some t -> Some t | None -> !default_telemetry in
-      let key = churn_cell_key ~engine ~adversary ~churn ~restart_after ~reps ~base_seed setup in
+  let validate_cell c =
+    validate c.setup;
+    if c.reps < 1 then invalid_arg "Runner.Cell: reps must be >= 1";
+    match c.population with
+    | Static -> ()
+    | Churning { churn; restart_after } -> (
+        Faults.Churn.validate churn;
+        match restart_after with
+        | Some r when r < 1 -> invalid_arg "Runner.Cell: restart_after must be >= 1"
+        | Some _ | None -> ())
+
+  let v ?base_seed ?churn ?restart_after ~engine ~reps setup adversary =
+    let base_seed =
+      match base_seed with Some s -> s | None -> !default_base_seed
+    in
+    let population =
+      match (churn, restart_after) with
+      | None, None -> Static
+      | churn, restart_after ->
+          Churning
+            { churn = Option.value churn ~default:Faults.Churn.none; restart_after }
+    in
+    let c = { engine; setup; adversary; population; reps; base_seed } in
+    validate_cell c;
+    c
+
+  (* The static cell's tag, for every population: a null-churn cell
+     replays the exact seeds (hence results) of its static twin. *)
+  let tag c = cell_tag ~engine:c.engine ~adversary:c.adversary c.setup
+
+  let seed c ~rep = Prng.seed_stream ~base:c.base_seed ~tag:(tag c) rep
+
+  let key c =
+    match c.population with
+    | Static ->
+        cell_key ~engine:c.engine ~adversary:c.adversary ~reps:c.reps
+          ~base_seed:c.base_seed c.setup
+    | Churning { churn; restart_after } ->
+        churn_cell_key ~engine:c.engine ~adversary:c.adversary ~churn ~restart_after
+          ~reps:c.reps ~base_seed:c.base_seed c.setup
+
+  let pp ppf c =
+    Format.fprintf ppf "%s x %s [%a] reps=%d seed=%d" (engine_name c.engine)
+      c.adversary.Specs.a_name pp_setup c.setup c.reps c.base_seed;
+    match c.population with
+    | Static -> ()
+    | Churning { churn; restart_after } ->
+        Format.fprintf ppf " churn=%s" (Faults.Churn.descriptor churn);
+        (match restart_after with
+        | Some r -> Format.fprintf ppf " restart_after=%d" r
+        | None -> ())
+
+  let validate = validate_cell
+end
+
+type outcome = Sample of sample | Churned of churn_sample
+
+(* --- the work-stealing domain pool --- *)
+
+module Pool = struct
+  type t = { jobs : int }
+
+  let create ?jobs () =
+    let jobs = match jobs with Some j -> j | None -> !default_jobs in
+    if jobs < 1 then invalid_arg "Runner.Pool.create: jobs must be >= 1";
+    { jobs }
+
+  let jobs p = p.jobs
+end
+
+(* A cell in flight: every replication writes its own slot, so the
+   partitioning of reps over domains cannot affect the result. *)
+type slots =
+  | Static_slots of Metrics.result option array
+  | Churn_slots of Dynamic.result option array
+
+type pending = { p_cell : Cell.t; p_slots : slots }
+
+let make_pending (c : Cell.t) =
+  let slots =
+    match c.Cell.population with
+    | Cell.Static -> Static_slots (Array.make c.Cell.reps None)
+    | Cell.Churning _ -> Churn_slots (Array.make c.Cell.reps None)
+  in
+  { p_cell = c; p_slots = slots }
+
+let compute_rep pending rep =
+  let c = pending.p_cell in
+  let seed = Cell.seed c ~rep in
+  match (c.Cell.population, pending.p_slots) with
+  | Cell.Static, Static_slots slots ->
+      slots.(rep) <-
+        Some (run ~engine:c.Cell.engine c.Cell.setup c.Cell.adversary ~seed)
+  | Cell.Churning { churn; restart_after }, Churn_slots slots ->
+      slots.(rep) <-
+        Some
+          (run_churn ~engine:c.Cell.engine ~churn ?restart_after c.Cell.setup
+             c.Cell.adversary ~seed)
+  | Cell.Static, Churn_slots _ | Cell.Churning _, Static_slots _ -> assert false
+
+(* A task is a contiguous slice of one cell's replications.  The pool
+   steals at cell granularity; cells whose reps dwarf the fair share
+   are pre-split into slices so one giant cell cannot serialise the
+   tail of a sweep. *)
+type task = { t_pending : pending; t_lo : int; t_hi : int }
+
+let tasks_of_pending ~jobs pending =
+  let reps = pending.p_cell.Cell.reps in
+  (* Aim for ~4 slices per domain across the cell: small cells stay
+     whole (one steal moves the entire cell), big ones split. *)
+  let chunk = Int.max 1 ((reps + (4 * jobs) - 1) / (4 * jobs)) in
+  let rec slices lo acc =
+    if lo >= reps then List.rev acc
+    else
+      let hi = Int.min reps (lo + chunk) in
+      slices hi ({ t_pending = pending; t_lo = lo; t_hi = hi } :: acc)
+  in
+  slices 0 []
+
+let exec_task t =
+  for rep = t.t_lo to t.t_hi - 1 do
+    compute_rep t.t_pending rep
+  done
+
+(* One mutex-protected deque per worker over a fixed task array: the
+   owner pops the bottom, thieves take the top.  No task ever spawns
+   another, so "every deque empty" is a sound termination test — tasks
+   still in flight are owned by the domain executing them. *)
+type deque = {
+  d_tasks : task array;
+  mutable d_top : int;
+  mutable d_bottom : int;
+  d_lock : Mutex.t;
+}
+
+let deque_of_tasks tasks =
+  let arr = Array.of_list tasks in
+  { d_tasks = arr; d_top = 0; d_bottom = Array.length arr; d_lock = Mutex.create () }
+
+let with_lock m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+let deque_pop d =
+  with_lock d.d_lock (fun () ->
+      if d.d_top < d.d_bottom then begin
+        d.d_bottom <- d.d_bottom - 1;
+        Some d.d_tasks.(d.d_bottom)
+      end
+      else None)
+
+let deque_steal d =
+  with_lock d.d_lock (fun () ->
+      if d.d_top < d.d_bottom then begin
+        let t = d.d_tasks.(d.d_top) in
+        d.d_top <- d.d_top + 1;
+        Some t
+      end
+      else None)
+
+(* Run every task to completion on [jobs] domains (the caller is worker
+   0).  The first exception wins: it drains the pool (workers stop
+   taking tasks) and is re-raised on the caller with its backtrace. *)
+let run_tasks ~jobs tasks =
+  if jobs = 1 then List.iter exec_task tasks
+  else begin
+    let buckets = Array.make jobs [] in
+    List.iteri (fun i t -> buckets.(i mod jobs) <- t :: buckets.(i mod jobs)) tasks;
+    let deques = Array.map (fun b -> deque_of_tasks (List.rev b)) buckets in
+    let failed = Atomic.make false in
+    let fail_lock = Mutex.create () in
+    let failure = ref None in
+    let record_failure exn bt =
+      with_lock fail_lock (fun () ->
+          match !failure with
+          | None -> failure := Some (exn, bt)
+          | Some _ -> ());
+      Atomic.set failed true
+    in
+    let worker w () =
+      let rec steal i =
+        if i >= jobs then None
+        else
+          match deque_steal deques.((w + i) mod jobs) with
+          | Some _ as t -> t
+          | None -> steal (i + 1)
+      in
+      let rec loop () =
+        if not (Atomic.get failed) then
+          match
+            (match deque_pop deques.(w) with Some _ as t -> t | None -> steal 1)
+          with
+          | Some t ->
+              (try exec_task t
+               with exn -> record_failure exn (Printexc.get_raw_backtrace ()));
+              loop ()
+          | None -> ()
+      in
+      loop ()
+    in
+    let domains = List.init (jobs - 1) (fun i -> Domain.spawn (worker (i + 1))) in
+    worker 0 ();
+    List.iter Domain.join domains;
+    match !failure with
+    | Some (exn, bt) -> Printexc.raise_with_backtrace exn bt
+    | None -> ()
+  end
+
+let finish_pending pending =
+  let c = pending.p_cell in
+  let force = function Some r -> r | None -> assert false in
+  match (c.Cell.population, pending.p_slots) with
+  | Cell.Static, Static_slots slots ->
+      Sample
+        {
+          setup = c.Cell.setup;
+          protocol_name = engine_name c.Cell.engine;
+          adversary_name = c.Cell.adversary.Specs.a_name;
+          results = Array.map force slots;
+        }
+  | Cell.Churning { churn; _ }, Churn_slots slots ->
+      Churned
+        {
+          c_setup = c.Cell.setup;
+          c_protocol_name = engine_name c.Cell.engine;
+          c_adversary_name = c.Cell.adversary.Specs.a_name;
+          c_churn = Faults.Churn.descriptor churn;
+          c_results = Array.map force slots;
+        }
+  | Cell.Static, Churn_slots _ | Cell.Churning _, Static_slots _ -> assert false
+
+(* Decode defensively: a record that decodes but describes a different
+   cell than requested (possible only through tampering or a hash
+   collision) is a miss, not a wrong answer. *)
+let lookup_cell st ~telemetry (c : Cell.t) =
+  let key = Cell.key c in
+  match c.Cell.population with
+  | Cell.Static ->
+      let decode json =
+        match sample_of_json json with
+        | Ok s
+          when s.setup = c.Cell.setup
+               && s.protocol_name = engine_name c.Cell.engine
+               && s.adversary_name = c.Cell.adversary.Specs.a_name
+               && Array.length s.results = c.Cell.reps ->
+            Some (Sample s)
+        | Ok _ | Error _ -> None
+      in
+      Store.find ?telemetry st key ~decode
+  | Cell.Churning { churn; _ } ->
       let decode json =
         match churn_sample_of_json json with
         | Ok s
-          when s.c_setup = setup
-               && s.c_protocol_name = engine_name engine
-               && s.c_adversary_name = adversary.Specs.a_name
+          when s.c_setup = c.Cell.setup
+               && s.c_protocol_name = engine_name c.Cell.engine
+               && s.c_adversary_name = c.Cell.adversary.Specs.a_name
                && s.c_churn = Faults.Churn.descriptor churn
-               && Array.length s.c_results = reps ->
-            Some s
+               && Array.length s.c_results = c.Cell.reps ->
+            Some (Churned s)
         | Ok _ | Error _ -> None
       in
-      match Store.find ?telemetry:tel st key ~decode with
-      | Some sample ->
-          (match tel with Some t -> record_churn_sample t sample.c_results | None -> ());
-          sample
-      | None ->
-          let sample =
-            replicate_churn_computed ?jobs ~base_seed ?telemetry ~engine ~churn
-              ?restart_after ~reps setup adversary
-          in
-          Store.add ?telemetry:tel st key
-            (churn_sample_to_json ~include_results:true sample);
-          sample)
+      Store.find ?telemetry st key ~decode
+
+let outcome_to_json = function
+  | Sample s -> sample_to_json ~include_results:true s
+  | Churned cs -> churn_sample_to_json ~include_results:true cs
+
+let record_outcome tel = function
+  | Sample s -> record_sample tel s.results
+  | Churned cs -> record_churn_sample tel cs.c_results
+
+let run_cells ?telemetry ?store pool cells =
+  let jobs = Pool.jobs pool in
+  let tel = match telemetry with Some t -> Some t | None -> !default_telemetry in
+  let store = match store with Some _ as s -> s | None -> !default_store in
+  List.iter Cell.validate_cell cells;
+  (* Store lookups happen on the calling domain, in cell order, before
+     any compute — the store (plain files + atomic renames) stays
+     single-domain and lookup traffic is deterministic. *)
+  let entries =
+    List.map
+      (fun c ->
+        match store with
+        | None -> Either.Right (make_pending c)
+        | Some st -> (
+            match lookup_cell st ~telemetry:tel c with
+            | Some outcome -> Either.Left outcome
+            | None -> Either.Right (make_pending c)))
+      cells
+  in
+  let pendings = List.filter_map (function Either.Right p -> Some p | Either.Left _ -> None) entries in
+  (* Compute every miss on the pool.  Tasks are dealt round-robin and
+     then work-stolen; each replication writes a dedicated slot with a
+     seed derived only from (cell, rep), so the outcome is bit-identical
+     for every [jobs] — only the wall timer below varies. *)
+  (match pendings with
+  | [] -> ()
+  | _ :: _ ->
+      let tasks = List.concat_map (tasks_of_pending ~jobs) pendings in
+      let wall =
+        match tel with Some t -> Some (Telemetry.timer t "runner.wall") | None -> None
+      in
+      (match wall with Some w -> Telemetry.start w | None -> ());
+      Fun.protect
+        ~finally:(fun () -> match wall with Some w -> Telemetry.stop w | None -> ())
+        (fun () -> run_tasks ~jobs tasks));
+  (* Assemble in cell order: telemetry aggregation and store writes fold
+     on the calling domain, so the aggregate is independent of [jobs]. *)
+  List.map
+    (fun entry ->
+      let outcome =
+        match entry with
+        | Either.Left outcome -> outcome
+        | Either.Right pending ->
+            let outcome = finish_pending pending in
+            (match store with
+            | Some st ->
+                Store.add ?telemetry:tel st (Cell.key pending.p_cell)
+                  (outcome_to_json outcome)
+            | None -> ());
+            outcome
+      in
+      (match tel with Some t -> record_outcome t outcome | None -> ());
+      outcome)
+    entries
+
+(* --- the replicate shims: one cell on a private pool --- *)
+
+let replicate ?jobs ?base_seed ?telemetry ?store ~engine ~reps setup adversary =
+  let cell = Cell.v ?base_seed ~engine ~reps setup adversary in
+  match run_cells ?telemetry ?store (Pool.create ?jobs ()) [ cell ] with
+  | [ Sample s ] -> s
+  | _ -> assert false
+
+let replicate_churn ?jobs ?base_seed ?telemetry ?store ~engine ~churn ?restart_after
+    ~reps setup adversary =
+  let cell = Cell.v ?base_seed ~churn ?restart_after ~engine ~reps setup adversary in
+  match run_cells ?telemetry ?store (Pool.create ?jobs ()) [ cell ] with
+  | [ Churned cs ] -> cs
+  | _ -> assert false

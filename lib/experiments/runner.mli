@@ -1,17 +1,17 @@
 (** Replicated Monte-Carlo execution of (protocol × adversary × setup)
     cells — the workhorse behind every experiment and benchmark.
 
-    Seeds are derived deterministically from the cell description and
-    the replication index, so every table in EXPERIMENTS.md is exactly
-    reproducible.
+    The unit of scheduling, seeding, and caching is the {!Cell}: one
+    record packaging the engine spec, setup, adversary, population
+    dynamics, replication count and base seed.  {!run_cells} executes a
+    batch of cells on a work-stealing domain {!Pool}, consulting the
+    content-addressed run store underneath when one is installed;
+    {!replicate} and {!replicate_churn} are thin one-cell shims over it.
 
-    One pair of entry points covers all three execution modes: {!run}
-    and {!replicate} take an {!engine} spec saying {e how} to simulate
-    the cell (fast uniform engine, exact per-station engine, or exact
-    engine with fault injection + online monitor).  The historical
-    trios ([run_once]/[run_exact_once]/[run_faulty_once] and
-    [replicate_exact]/[replicate_faulty]) remain as thin deprecated
-    wrappers. *)
+    Seeds are derived deterministically from the cell description and
+    the replication index ({!Cell.seed}), so every table in
+    EXPERIMENTS.md is exactly reproducible and the outcome of a batch is
+    bit-identical for every [jobs] value — only wall timers vary. *)
 
 type setup = {
   n : int;  (** network size *)
@@ -61,47 +61,133 @@ type sample = {
   results : Jamming_sim.Metrics.result array;
 }
 
-val run :
-  ?observers:Jamming_sim.Observer.t list ->
-  ?on_slot:(Jamming_sim.Metrics.slot_record -> unit) ->
-  engine:engine ->
-  setup ->
-  Specs.adversary ->
-  seed:int ->
-  Jamming_sim.Metrics.result
-(** One election.  [observers] (e.g. {!Jamming_sim.Trace.observer},
-    {!Jamming_sim.Monitor.observer},
-    {!Jamming_sim.Observer.telemetry}) are passed straight to the
-    engine and never perturb the run.  [on_slot] is the deprecated
-    single-callback form. *)
+type churn_sample = {
+  c_setup : setup;
+  c_protocol_name : string;
+  c_adversary_name : string;
+  c_churn : string;  (** {!Jamming_faults.Churn.descriptor} *)
+  c_results : Jamming_sim.Dynamic.result array;
+}
+
+(** {1 Cells}
+
+    A cell is the unit of scheduling, seeding and caching: everything
+    needed to replicate one (engine × setup × adversary × population)
+    point of a sweep, [reps] times, under a deterministic seed
+    stream. *)
+
+module Cell : sig
+  type population =
+    | Static  (** fixed population of [setup.n] stations *)
+    | Churning of { churn : Jamming_faults.Churn.t; restart_after : int option }
+        (** dynamic population under the self-healing
+            {!Jamming_sim.Dynamic} driver (DESIGN.md §12) *)
+
+  type t = {
+    engine : engine;
+    setup : setup;
+    adversary : Specs.adversary;
+    population : population;
+    reps : int;
+    base_seed : int;
+  }
+
+  val v :
+    ?base_seed:int ->
+    ?churn:Jamming_faults.Churn.t ->
+    ?restart_after:int ->
+    engine:engine ->
+    reps:int ->
+    setup ->
+    Specs.adversary ->
+    t
+  (** Smart constructor; validates eagerly (see {!validate}).
+      [base_seed] defaults to [!]{!default_base_seed}.  Passing [churn]
+      and/or [restart_after] makes the population [Churning]; omitting
+      both makes it [Static].  (A cell built with [~churn:Churn.none]
+      and no restart deadline runs through the dynamic driver's
+      null-churn path, which is bit-identical to the static cell —
+      but it caches under the churn key and yields a {!churn_sample}.) *)
+
+  val validate : t -> unit
+  (** Raises [Invalid_argument] on a nonsensical cell ([reps] or
+      [restart_after] < 1, ill-formed setup or churn policy). *)
+
+  val tag : t -> string
+  (** The seed-stream tag — a function of engine, adversary and setup
+      only, shared by a churn cell and its static twin, and kept
+      byte-identical to the historical derivation so every published
+      table remains reproducible. *)
+
+  val seed : t -> rep:int -> int
+  (** Seed of the [rep]-th replication:
+      {!Jamming_prng.Prng.seed_stream}[ ~base:c.base_seed ~tag:(tag c) rep].
+      Depends only on the cell description and index — never on [jobs],
+      scheduling, or which process computes the rep. *)
+
+  val key : t -> Jamming_store.Key.t
+  (** The content-address under which {!run_cells} caches this cell
+      (static cells via {!cell_key}, churning ones via
+      {!churn_cell_key}). *)
+
+  val pp : Format.formatter -> t -> unit
+end
+
+type outcome = Sample of sample | Churned of churn_sample
+(** What a cell produces: [Static] populations yield [Sample],
+    [Churning] ones yield [Churned], positionally matching the input
+    cell list of {!run_cells}. *)
+
+(** {1 The work-stealing domain pool} *)
+
+module Pool : sig
+  type t
+
+  val create : ?jobs:int -> unit -> t
+  (** [jobs] (default [!]{!default_jobs}) is the number of OCaml 5
+      domains a {!run_cells} batch runs on, the caller included.
+      Domains are spawned per batch, so an idle pool holds no
+      resources. *)
+
+  val jobs : t -> int
+end
+
+val run_cells :
+  ?telemetry:Jamming_telemetry.Telemetry.t ->
+  ?store:Jamming_store.Store.t ->
+  Pool.t ->
+  Cell.t list ->
+  outcome list
+(** Execute a batch of cells, returning outcomes in input order.
+
+    {b Caching.}  With a store ([?store], else the process default
+    installed via {!set_store} / {!with_store}), every cell is looked
+    up by {!Cell.key} first — in cell order, on the calling domain —
+    and hits skip compute entirely; misses are computed and persisted
+    atomically.  Sharded sweeps exploit this: many processes compute
+    disjoint (or even overlapping) cell sets against one cache
+    directory, and a final resumed run assembles the full report from
+    hits alone.
+
+    {b Scheduling.}  Missed cells become tasks on a work-stealing
+    deque per domain: tasks are dealt round-robin, owners pop their own
+    bottom, idle domains steal from others' tops.  A cell whose [reps]
+    exceed the fair share is pre-split into replicate slices so one
+    giant cell cannot serialise the tail of a batch.
+
+    {b Determinism.}  Each replication derives its seed from
+    {!Cell.seed} alone and writes a dedicated result slot, so results
+    are bit-identical for every [jobs] value.  Telemetry ([?telemetry],
+    else the {!set_telemetry} default) is aggregated on the calling
+    domain in cell order after the join — counters and histograms under
+    [runner.] / [runner.churn.] / [store.] are [jobs]-independent;
+    only the [runner.wall] timer varies.
+
+    The first exception raised by a replication (e.g.
+    {!Jamming_sim.Monitor.Violation}) drains the pool and is re-raised
+    with its backtrace. *)
 
 val replicate :
-  ?jobs:int ->
-  ?base_seed:int ->
-  ?telemetry:Jamming_telemetry.Telemetry.t ->
-  engine:engine ->
-  reps:int ->
-  setup ->
-  Specs.adversary ->
-  sample
-(** [jobs] (default {!default_jobs}) runs the replications on that many
-    OCaml 5 domains.  Each replication is fully independent (own seed,
-    own protocol/adversary/budget state, disjoint result slot), so the
-    outcome is bit-identical to the sequential run — only faster.
-
-    [telemetry] (default: the sink installed with {!set_telemetry} /
-    {!with_telemetry}, if any) receives, under the ["runner."] prefix,
-    counters [runs]/[slots]/[jammed]/[null]/[single]/[collision]/
-    [completed]/[elected], histogram [slots_per_run], and wall timer
-    [wall].  Aggregation folds the finished result array in index order
-    on the calling domain, so counters and histograms are identical
-    whatever [jobs] is; only the timer varies run to run.
-
-    When a process-default store is installed ({!set_store} /
-    {!with_store}), [replicate] is {!replicate_cached} against it —
-    experiment code picks up caching without changing. *)
-
-val replicate_cached :
   ?jobs:int ->
   ?base_seed:int ->
   ?telemetry:Jamming_telemetry.Telemetry.t ->
@@ -111,45 +197,40 @@ val replicate_cached :
   setup ->
   Specs.adversary ->
   sample
-(** {!replicate} through the content-addressed run store (DESIGN.md
-    §11).  The cell key covers the engine kind and name, CD model,
-    adversary name, full setup, [reps], [base_seed], the fault
-    configuration (for [Faulty] engines), the store schema version, and
-    the code fingerprint.  On a hit the persisted sample is decoded —
-    bit-identical to a fresh compute, results included (asserted by
-    test) — and the usual [runner.*] telemetry is still aggregated; on
-    a miss (including a corrupt or stale entry) the cell is computed
-    and persisted atomically.  [store] defaults to the process-default
-    store; with neither, this is exactly {!replicate}.  Lookup and
-    persistence traffic lands in the telemetry sink under [store.hits]
-    / [store.misses] / [store.bytes_read] / [store.bytes_written]. *)
+(** One static cell on a private pool:
+    [run_cells (Pool.create ?jobs ()) [Cell.v ...]].  See {!run_cells}
+    for the caching, scheduling and determinism story. *)
 
-val cell_key :
+val replicate_churn :
+  ?jobs:int ->
+  ?base_seed:int ->
+  ?telemetry:Jamming_telemetry.Telemetry.t ->
+  ?store:Jamming_store.Store.t ->
   engine:engine ->
-  adversary:Specs.adversary ->
+  churn:Jamming_faults.Churn.t ->
+  ?restart_after:int ->
   reps:int ->
-  base_seed:int ->
   setup ->
-  Jamming_store.Key.t
-(** The store key {!replicate_cached} uses for a cell. *)
+  Specs.adversary ->
+  churn_sample
+(** One churning cell on a private pool.  Per-rep seeds reuse the
+    static cell's tag, so a null-churn cell replays the exact seeds —
+    and hence results — of its static twin. *)
 
-val sample_of_json : Jamming_telemetry.Json.t -> (sample, string) result
-(** Inverse of {!sample_to_json}[ ~include_results:true] on the fields
-    that constitute the sample (setup, names, per-run results); the
-    derived digest fields are recomputed on demand.  [Error] on any
-    missing or ill-typed field — the store treats that as a miss. *)
+(** {1 Single runs} *)
 
-(** {1 Churn cells: dynamic populations}
-
-    The same cell grammar, run through the self-healing
-    {!Jamming_sim.Dynamic} driver (DESIGN.md §12): the population starts
-    at [setup.n], churns under the given policy, and re-elects whenever
-    the leader dies or an attempt stalls.  Every engine kind runs on the
-    exact engine under churn (the O(1) uniform path cannot represent a
-    mid-run population change); a [Faulty] spec additionally applies its
-    per-incarnation lifecycle faults and perception noise.  Per-rep
-    seeds reuse the static cell's tag, so a null-churn cell replays the
-    exact seeds — and hence results — of its static twin. *)
+val run :
+  ?observers:Jamming_sim.Observer.t list ->
+  engine:engine ->
+  setup ->
+  Specs.adversary ->
+  seed:int ->
+  Jamming_sim.Metrics.result
+(** One election.  [observers] (e.g. {!Jamming_sim.Trace.observer},
+    {!Jamming_sim.Monitor.observer},
+    {!Jamming_sim.Observer.telemetry}) are passed straight to the
+    engine and never perturb the run.  Wrap a bare per-slot callback
+    with {!Jamming_sim.Observer.of_on_slot}. *)
 
 val run_churn :
   ?observers:Jamming_sim.Observer.t list ->
@@ -172,31 +253,20 @@ val run_churn :
     otherwise); raises {!Jamming_sim.Monitor.Violation} on a broken
     invariant. *)
 
-type churn_sample = {
-  c_setup : setup;
-  c_protocol_name : string;
-  c_adversary_name : string;
-  c_churn : string;  (** {!Jamming_faults.Churn.descriptor} *)
-  c_results : Jamming_sim.Dynamic.result array;
-}
+(** {1 Store keys and JSON codecs} *)
 
-val replicate_churn :
-  ?jobs:int ->
-  ?base_seed:int ->
-  ?telemetry:Jamming_telemetry.Telemetry.t ->
-  ?store:Jamming_store.Store.t ->
+val cell_key :
   engine:engine ->
-  churn:Jamming_faults.Churn.t ->
-  ?restart_after:int ->
+  adversary:Specs.adversary ->
   reps:int ->
+  base_seed:int ->
   setup ->
-  Specs.adversary ->
-  churn_sample
-(** Replicated churn cell, parallel and store-cached exactly like
-    {!replicate_cached}: the cell key adds the churn descriptor and
-    restart deadline to the static key fields (see {!churn_cell_key}),
-    warm hits are bit-identical to cold computes, and telemetry lands
-    under ["runner.churn."]. *)
+  Jamming_store.Key.t
+(** The store key of a static cell ({!Cell.key} on a [Static]
+    population).  Covers the engine kind and name, CD model, adversary
+    name, full setup, [reps], [base_seed], the fault configuration (for
+    [Faulty] engines), the store schema version, and the code
+    fingerprint. *)
 
 val churn_cell_key :
   engine:engine ->
@@ -207,13 +277,28 @@ val churn_cell_key :
   base_seed:int ->
   setup ->
   Jamming_store.Key.t
-(** The store key {!replicate_churn} uses for a cell. *)
+(** The store key of a churning cell: the static key fields plus the
+    churn descriptor and restart deadline. *)
+
+val sample_to_json : ?include_results:bool -> sample -> Jamming_telemetry.Json.t
+(** Machine-readable digest: protocol, adversary, setup, reps, total
+    slots, and the headline statistics; [~include_results:true] appends
+    every {!Jamming_sim.Metrics.result_to_json}.  Schema in DESIGN.md
+    §9. *)
+
+val sample_of_json : Jamming_telemetry.Json.t -> (sample, string) result
+(** Inverse of {!sample_to_json}[ ~include_results:true] on the fields
+    that constitute the sample (setup, names, per-run results); the
+    derived digest fields are recomputed on demand.  [Error] on any
+    missing or ill-typed field — the store treats that as a miss. *)
 
 val churn_sample_to_json :
   ?include_results:bool -> churn_sample -> Jamming_telemetry.Json.t
 
 val churn_sample_of_json :
   Jamming_telemetry.Json.t -> (churn_sample, string) result
+
+(** {1 Churn-sample digests} *)
 
 val mean_elections_completed : churn_sample -> float
 val mean_leaderless_slots : churn_sample -> float
@@ -223,65 +308,7 @@ val healed_rate : churn_sample -> float
 (** Fraction of runs ending with a live leader (or an empty
     population). *)
 
-(** {1 Deprecated compatibility wrappers}
-
-    Thin aliases for {!run}/{!replicate} with pre-observer signatures.
-    New code should build an {!engine} value instead. *)
-
-val run_once :
-  ?on_slot:(Jamming_sim.Metrics.slot_record -> unit) ->
-  setup -> Specs.protocol -> Specs.adversary -> seed:int -> Jamming_sim.Metrics.result
-(** @deprecated Use [run ~engine:(Uniform protocol)]. *)
-
-val run_exact_once :
-  ?on_slot:(Jamming_sim.Metrics.slot_record -> unit) ->
-  cd:Jamming_channel.Channel.cd_model ->
-  setup ->
-  factory:Jamming_station.Station.factory ->
-  Specs.adversary ->
-  seed:int ->
-  Jamming_sim.Metrics.result
-(** @deprecated Use [run ~engine:(Exact _)]. *)
-
-val run_faulty_once :
-  ?on_slot:(Jamming_sim.Metrics.slot_record -> unit) ->
-  ?monitor_checks:Jamming_sim.Monitor.checks ->
-  cd:Jamming_channel.Channel.cd_model ->
-  setup ->
-  factory:Jamming_station.Station.factory ->
-  faults:Jamming_faults.Config.t ->
-  Specs.adversary ->
-  seed:int ->
-  Jamming_sim.Metrics.result
-(** @deprecated Use [run ~engine:(Faulty _)]. *)
-
-val replicate_exact :
-  ?jobs:int ->
-  ?base_seed:int ->
-  cd:Jamming_channel.Channel.cd_model ->
-  reps:int ->
-  setup ->
-  name:string ->
-  factory:Jamming_station.Station.factory ->
-  Specs.adversary ->
-  sample
-(** @deprecated Use [replicate ~engine:(Exact _)]. *)
-
-val replicate_faulty :
-  ?jobs:int ->
-  ?base_seed:int ->
-  ?monitor_checks:Jamming_sim.Monitor.checks ->
-  cd:Jamming_channel.Channel.cd_model ->
-  reps:int ->
-  setup ->
-  name:string ->
-  factory:Jamming_station.Station.factory ->
-  faults:Jamming_faults.Config.t ->
-  Specs.adversary ->
-  sample
-(** @deprecated Use [replicate ~engine:(Faulty _)]. *)
-
-(** {1 Parallelism and telemetry defaults} *)
+(** {1 Process defaults: parallelism, seeding, telemetry, store} *)
 
 val recommended_jobs : unit -> int
 (** All available domains ([Domain.recommended_domain_count ()], at
@@ -291,12 +318,17 @@ val recommended_jobs : unit -> int
 
 val default_jobs : int ref
 (** The [jobs] value used when the argument is omitted (initially 1).
-    The sweep CLI sets it from [--jobs]; experiment code can then stay
+    The CLIs set it from [--jobs]; experiment code can then stay
     oblivious to parallelism. *)
+
+val default_base_seed : int ref
+(** The [base_seed] {!Cell.v} uses when the argument is omitted
+    (initially 42 — the seed of every published table).  The CLIs'
+    [--seed] rebinds it. *)
 
 val set_telemetry : Jamming_telemetry.Telemetry.t option -> unit
 (** Install (or clear) the process-default telemetry sink used by
-    {!replicate} when [?telemetry] is omitted. *)
+    {!run_cells} when [?telemetry] is omitted. *)
 
 val with_telemetry : Jamming_telemetry.Telemetry.t -> (unit -> 'a) -> 'a
 (** Run a thunk with the default sink set, restoring the previous sink
@@ -304,7 +336,7 @@ val with_telemetry : Jamming_telemetry.Telemetry.t -> (unit -> 'a) -> 'a
     experiment without the experiment knowing. *)
 
 val default_store : Jamming_store.Store.t option ref
-(** The store {!replicate} consults when no explicit [?store] is given
+(** The store {!run_cells} consults when no explicit [?store] is given
     (initially [None] — no caching). *)
 
 val set_store : Jamming_store.Store.t option -> unit
@@ -330,9 +362,3 @@ val median_slots : sample -> float
 
 val mean_energy_per_station : sample -> float
 val median_jammed_fraction : sample -> float
-
-val sample_to_json : ?include_results:bool -> sample -> Jamming_telemetry.Json.t
-(** Machine-readable digest: protocol, adversary, setup, reps, total
-    slots, and the headline statistics; [~include_results:true] appends
-    every {!Jamming_sim.Metrics.result_to_json}.  Schema in DESIGN.md
-    §9. *)

@@ -76,3 +76,5 @@ let seed_of_string s =
       h := !h *% 0x100000001b3L)
     s;
   Int64.to_int (!h >>% 1) land max_int
+
+let seed_stream ~base ~tag i = seed_of_string (Printf.sprintf "%d/%s/%d" base tag i)

@@ -37,3 +37,10 @@ val bool : t -> p:float -> bool
 
 val seed_of_string : string -> int
 (** Stable 63-bit hash of a string, for naming replication streams. *)
+
+val seed_stream : base:int -> tag:string -> int -> int
+(** [seed_stream ~base ~tag i] is the [i]-th seed of the named stream —
+    [seed_of_string (Printf.sprintf "%d/%s/%d" base tag i)] exactly, the
+    derivation every published table was produced with.  Splitting a
+    replication across domains or processes by index keeps each run's
+    seed (hence its result) independent of the partitioning. *)

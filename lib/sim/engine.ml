@@ -7,13 +7,11 @@ module Injection = Jamming_faults.Injection
 let make_stations ~n ~rng factory =
   Array.init n (fun id -> factory ~id ~rng:(Jamming_prng.Prng.split rng))
 
-(* The deprecated [?monitor] and [?on_slot] arguments are folded into
-   the observer list: monitor first, then the raw callback, then the
-   caller's observers — the notification order the pre-observer engine
-   used. *)
-let assemble_observers ?on_slot ?monitor observers =
-  let obs = match on_slot with None -> observers | Some f -> Observer.of_on_slot f :: observers in
-  let obs = match monitor with None -> obs | Some mon -> Monitor.observer mon :: obs in
+(* The [?monitor] argument is folded into the observer list, ahead of
+   the caller's observers — the notification order the pre-observer
+   engine used. *)
+let assemble_observers ?monitor observers =
+  let obs = match monitor with None -> observers | Some mon -> Monitor.observer mon :: observers in
   Array.of_list obs
 
 (* Shared epilogue: final statuses, leader identification, result
@@ -54,10 +52,10 @@ let build_result ~slot ~finished ~stations ~tx_counts ~jammed_slots ~nulls ~sing
   Array.iter (fun o -> o.Observer.on_result result) obs;
   result
 
-let run ?on_slot ?(start_slot = 0) ?faults ?monitor ?(observers = []) ~cd ~adversary
+let run ?(start_slot = 0) ?faults ?monitor ?(observers = []) ~cd ~adversary
     ~budget ~max_slots ~stations () =
   let n = Array.length stations in
-  let obs = assemble_observers ?on_slot ?monitor observers in
+  let obs = assemble_observers ?monitor observers in
   let observed = Array.length obs > 0 in
   let needs_leaders = Array.exists (fun o -> o.Observer.needs_leaders) obs in
   let actions = Array.make n Station.Listen in
@@ -175,10 +173,10 @@ let run ?on_slot ?(start_slot = 0) ?faults ?monitor ?(observers = []) ~cd ~adver
 (* The pre-active-set engine, kept verbatim as the differential-testing
    oracle: every loop is a full O(n) scan and the leader count is a
    fresh scan per slot.  [run] must stay bit-identical to this path. *)
-let run_reference ?on_slot ?(start_slot = 0) ?faults ?monitor ?(observers = []) ~cd
+let run_reference ?(start_slot = 0) ?faults ?monitor ?(observers = []) ~cd
     ~adversary ~budget ~max_slots ~stations () =
   let n = Array.length stations in
-  let obs = assemble_observers ?on_slot ?monitor observers in
+  let obs = assemble_observers ?monitor observers in
   let observed = Array.length obs > 0 in
   let needs_leaders = Array.exists (fun o -> o.Observer.needs_leaders) obs in
   let actions = Array.make n Station.Listen in

@@ -18,7 +18,6 @@
     contract for the shipped protocols. *)
 
 val run :
-  ?on_slot:(Metrics.slot_record -> unit) ->
   ?start_slot:int ->
   ?faults:Jamming_faults.Injection.t ->
   ?monitor:Monitor.t ->
@@ -57,18 +56,16 @@ val run :
     bit-identical.  With no observers the engine skips building slot
     records altogether.
 
-    [monitor] and [on_slot] are deprecated conveniences, kept so
-    existing call sites compile: they are folded into the observer
-    list as [Monitor.observer mon] and {!Observer.of_on_slot}
-    respectively (notified in that order, before [observers]).  Prefer
-    passing observers.
+    [monitor] is a convenience: it is folded into the observer list as
+    [Monitor.observer mon], notified before [observers].  A bare
+    per-slot callback belongs in [observers], wrapped with
+    {!Observer.of_on_slot}.
 
     The result reports [leader = Some _] exactly when [elected]: a run
     cut off at [max_slots] reports no leader even if one station stands
     in status [Leader] at the cut-off (its election never completed). *)
 
 val run_reference :
-  ?on_slot:(Metrics.slot_record -> unit) ->
   ?start_slot:int ->
   ?faults:Jamming_faults.Injection.t ->
   ?monitor:Monitor.t ->

@@ -5,15 +5,10 @@ module Uniform = Jamming_station.Uniform
 module Sample = Jamming_prng.Sample
 module Prng = Jamming_prng.Prng
 
-let run ?on_slot ?(start_slot = 0) ?(observers = []) ~n ~rng ~protocol ~adversary ~budget
+let run ?(start_slot = 0) ?(observers = []) ~n ~rng ~protocol ~adversary ~budget
     ~max_slots () =
   if n < 1 then invalid_arg "Uniform_engine.run: need n >= 1";
-  let obs =
-    Array.of_list
-      (match on_slot with
-      | None -> observers
-      | Some f -> Observer.of_on_slot f :: observers)
-  in
+  let obs = Array.of_list observers in
   let observed = Array.length obs > 0 in
   let jammed_slots = ref 0 in
   let nulls = ref 0 and singles = ref 0 and collisions = ref 0 in

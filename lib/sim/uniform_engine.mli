@@ -7,7 +7,6 @@
     cross-validates it at small [n] (see test suite E-ablation). *)
 
 val run :
-  ?on_slot:(Metrics.slot_record -> unit) ->
   ?start_slot:int ->
   ?observers:Observer.t list ->
   n:int ->
@@ -30,5 +29,5 @@ val run :
     count is always reported as [-1] (unknown) — a {!Monitor} attached
     here checks everything except at-most-one-leader.  Observers never
     touch the random stream: results are bit-identical with or without
-    them.  [on_slot] is the deprecated single-callback form, folded in
-    ahead of [observers] via {!Observer.of_on_slot}. *)
+    them.  A bare per-slot callback belongs in [observers], wrapped
+    with {!Observer.of_on_slot}. *)

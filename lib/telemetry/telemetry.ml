@@ -198,6 +198,81 @@ let to_json ?(timers = true) t =
      :: (if timers then [ ("timers", Json.Obj timer_fields) ] else [])
     @ [ ("histograms", Json.Obj histograms) ])
 
+let of_json json =
+  let t = create () in
+  let obj k =
+    match Json.member k json with Some (Json.Obj fields) -> Some fields | _ -> None
+  in
+  let decode_counters fields =
+    List.fold_left
+      (fun acc (name, v) ->
+        match acc with
+        | Error _ as e -> e
+        | Ok () -> (
+            match Json.to_int_opt v with
+            | Some n ->
+                add (counter t name) n;
+                Ok ()
+            | None -> Error (Printf.sprintf "telemetry: counter %S is not an int" name)))
+      (Ok ()) fields
+  in
+  let decode_timers fields =
+    List.fold_left
+      (fun acc (name, v) ->
+        match acc with
+        | Error _ as e -> e
+        | Ok () -> (
+            match
+              ( Option.bind (Json.member "seconds" v) Json.to_float_opt,
+                Option.bind (Json.member "spans" v) Json.to_int_opt )
+            with
+            | Some seconds, Some spans ->
+                let tm = timer t name in
+                tm.total_s <- seconds;
+                tm.spans <- spans;
+                Ok ()
+            | _ -> Error (Printf.sprintf "telemetry: timer %S is malformed" name)))
+      (Ok ()) fields
+  in
+  let decode_histograms fields =
+    List.fold_left
+      (fun acc (name, v) ->
+        match acc with
+        | Error _ as e -> e
+        | Ok () -> (
+            let int k = Option.bind (Json.member k v) Json.to_int_opt in
+            match
+              (int "count", int "sum", Option.bind (Json.member "log2_bins" v) Json.to_list_opt)
+            with
+            | Some count, Some sum, Some bins -> (
+                let h = histogram t name in
+                h.h_count <- count;
+                h.h_sum <- sum;
+                (match int "min" with Some m -> h.h_min <- m | None -> ());
+                (match int "max" with Some m -> h.h_max <- m | None -> ());
+                let rec fill = function
+                  | [] -> Ok ()
+                  | Json.List [ Json.Int i; Json.Int k ] :: tl
+                    when i >= 0 && i < hist_bins ->
+                      h.bins.(i) <- k;
+                      fill tl
+                  | _ ->
+                      Error
+                        (Printf.sprintf "telemetry: histogram %S has a malformed bin" name)
+                in
+                fill bins)
+            | _ -> Error (Printf.sprintf "telemetry: histogram %S is malformed" name)))
+      (Ok ()) fields
+  in
+  let ( let* ) r f = match r with Error _ as e -> e | Ok () -> f () in
+  match obj "counters" with
+  | None -> Error "telemetry: missing counters object"
+  | Some counters ->
+      let* () = decode_counters counters in
+      let* () = decode_timers (Option.value (obj "timers") ~default:[]) in
+      let* () = decode_histograms (Option.value (obj "histograms") ~default:[]) in
+      Ok t
+
 let pp ppf t =
   Format.fprintf ppf "@[<v>";
   List.iter

@@ -87,5 +87,12 @@ val to_json : ?timers:bool -> t -> Json.t
     sorted. [~timers:false] omits the timers section — the
     deterministic subset, used by the [jobs]-independence tests. *)
 
+val of_json : Json.t -> (t, string) result
+(** Inverse of {!to_json}: rebuild an enabled sink from a snapshot.
+    A round trip through JSON preserves every counter, timer total and
+    span count, and histogram exactly, so snapshots from sharded
+    processes can be {!merge}d into one report ([merge] is commutative
+    on the integer metrics).  [Error] on any malformed section. *)
+
 val pp : Format.formatter -> t -> unit
 (** Human-readable multi-line summary (sorted by name). *)

@@ -78,8 +78,9 @@ let test_runner_validation () =
   Alcotest.check_raises "bad eps" (Invalid_argument "Runner: eps must lie in (0, 1]")
     (fun () ->
       ignore
-        (E.Runner.run_once { setup with E.Runner.eps = 0.0 } (E.Specs.lesk ~eps:0.5)
-           E.Specs.greedy ~seed:1))
+        (E.Runner.run
+           ~engine:(E.Runner.Uniform (E.Specs.lesk ~eps:0.5))
+           { setup with E.Runner.eps = 0.0 } E.Specs.greedy ~seed:1))
 
 let test_registry_complete () =
   check_int "25 experiments registered" 25 (List.length E.Experiments.all);
@@ -125,9 +126,15 @@ let test_parallel_replication_identical () =
 let test_parallel_exact_identical () =
   let setup = { E.Runner.n = 16; eps = 0.5; window = 32; max_slots = 100_000 } in
   let run jobs =
-    E.Runner.replicate_exact ~jobs ~cd:Channel.Strong_cd ~reps:10 setup ~name:"lesk"
-      ~factory:(Jamming_core.Lesk.station ~eps:0.5)
-      E.Specs.greedy
+    E.Runner.replicate ~jobs
+      ~engine:
+        (E.Runner.Exact
+           {
+             name = "lesk";
+             cd = Channel.Strong_cd;
+             factory = Jamming_core.Lesk.station ~eps:0.5;
+           })
+      ~reps:10 setup E.Specs.greedy
   in
   let seq = run 1 and par = run 3 in
   Array.iteri
@@ -209,7 +216,9 @@ let test_standard_adversary_zoo () =
   (* Instantiate each against a short LESK run to prove they are live. *)
   List.iter
     (fun a ->
-      let r = E.Runner.run_once setup (E.Specs.lesk ~eps:0.5) a ~seed:3 in
+      let r =
+        E.Runner.run ~engine:(E.Runner.Uniform (E.Specs.lesk ~eps:0.5)) setup a ~seed:3
+      in
       check_true (a.E.Specs.a_name ^ " run completes") r.Metrics.completed)
     zoo
 

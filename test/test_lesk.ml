@@ -111,7 +111,9 @@ let test_station_u_synchronized () =
   let stations = Engine.make_stations ~n:8 ~rng (Lesk.station ~eps) in
   let budget = Budget.create ~window:16 ~eps in
   let result =
-    Engine.run ~on_slot:record ~cd:Channel.Strong_cd
+    Engine.run
+      ~observers:[ Jamming_sim.Observer.of_on_slot record ]
+      ~cd:Channel.Strong_cd
       ~adversary:(Adversary.greedy ())
       ~budget ~max_slots:100_000 ~stations ()
   in
@@ -136,7 +138,7 @@ let run_lesk_with_taxonomy ~seed ~n ~eps ~adversary =
   let budget = Budget.create ~window:32 ~eps in
   let result =
     Uniform_engine.run
-      ~on_slot:(Taxonomy.on_slot tracker)
+      ~observers:[ Jamming_sim.Observer.of_on_slot (Taxonomy.on_slot tracker) ]
       ~n ~rng
       ~protocol:(Lesk.uniform ~eps ())
       ~adversary:(adversary ()) ~budget ~max_slots:500_000 ()

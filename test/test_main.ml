@@ -26,4 +26,5 @@ let () =
       ("fair-use", Test_fair_use.suite);
       ("extensions", Test_extensions.suite);
       ("experiments", Test_experiments.suite);
+      ("pool", Test_pool.suite);
     ]

@@ -118,8 +118,11 @@ let test_no_cd_never_completes () =
   let budget = Budget.create ~window:16 ~eps:0.5 in
   let result =
     Engine.run
-      ~on_slot:(fun r ->
-        if Channel.equal_state r.Metrics.state Channel.Single then incr singles)
+      ~observers:
+        [
+          Jamming_sim.Observer.of_on_slot (fun r ->
+              if Channel.equal_state r.Metrics.state Channel.Single then incr singles);
+        ]
       ~cd:Channel.No_cd ~adversary:(Adversary.none ()) ~budget ~max_slots:20_000 ~stations ()
   in
   check_true "selection succeeded (a Single occurred)" (!singles > 0);

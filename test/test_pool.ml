@@ -1,0 +1,269 @@
+(* The work-stealing domain pool behind Runner.run_cells.
+
+   The contract under test: for any cell list, any [jobs] produces
+   bit-identical results AND bit-identical telemetry snapshots (wall
+   timers aside) — per-rep seeds depend only on (cell, rep), reps land
+   in dedicated slots, and telemetry is folded in cell order on the
+   calling domain.  Plus the sharded-sweep story: processes that warm
+   one store shard by shard merge, via --resume, into exactly the bytes
+   an uninterrupted run produces. *)
+
+open Test_util
+module E = Jamming_experiments
+module T = Jamming_telemetry.Telemetry
+module Json = Jamming_telemetry.Json
+module Store = Jamming_store.Store
+
+let setup = { E.Runner.n = 24; eps = 0.5; window = 16; max_slots = 50_000 }
+
+let small_faults =
+  {
+    Jamming_faults.Config.perception = Jamming_faults.Perception.uniform ~p:0.05;
+    p_crash = 0.02;
+    crash_horizon = 1_000;
+    p_sleep = 0.0;
+    sleep_horizon = 1;
+    max_sleep = 1;
+    p_late_wake = 0.0;
+    max_wake_delay = 1;
+  }
+
+let engines =
+  [
+    ("uniform", E.Runner.Uniform (E.Specs.lesk ~eps:0.5));
+    ( "exact",
+      E.Runner.Exact
+        {
+          name = "LESK-exact";
+          cd = Channel.Strong_cd;
+          factory = Jamming_core.Lesk.station ~eps:0.5;
+        } );
+    ( "faulty",
+      E.Runner.Faulty
+        {
+          name = "LESK-faulty";
+          cd = Channel.Strong_cd;
+          factory = Jamming_core.Lesk.station ~eps:0.5;
+          faults = small_faults;
+          monitor_checks = None;
+        } );
+  ]
+
+(* One grid of static cells per engine: two adversaries x two reps
+   counts, reps > 4*jobs for some cells so oversized cells split. *)
+let static_cells engine =
+  List.concat_map
+    (fun adversary ->
+      [
+        E.Runner.Cell.v ~base_seed:7 ~engine ~reps:9 setup adversary;
+        E.Runner.Cell.v ~base_seed:11 ~engine ~reps:2 setup adversary;
+      ])
+    [ E.Specs.greedy; E.Specs.no_jamming ]
+
+let churn_cells engine =
+  [
+    E.Runner.Cell.v ~base_seed:7
+      ~churn:(Jamming_faults.Churn.Leader_killer { grace = 64; max_kills = 2 })
+      ~engine ~reps:3
+      { setup with E.Runner.max_slots = 20_000 }
+      E.Specs.greedy;
+  ]
+
+let outcome_bytes = function
+  | E.Runner.Sample s -> Json.to_string (E.Runner.sample_to_json ~include_results:true s)
+  | E.Runner.Churned cs ->
+      Json.to_string (E.Runner.churn_sample_to_json ~include_results:true cs)
+
+let snapshot tel = Json.to_string (T.to_json ~timers:false tel)
+
+(* Runs [cells] at the given job count under a fresh telemetry sink and
+   returns (result bytes, telemetry bytes). *)
+let run_at ~jobs cells =
+  let tel = T.create () in
+  let outcomes = E.Runner.run_cells ~telemetry:tel (E.Runner.Pool.create ~jobs ()) cells in
+  (String.concat "\n" (List.map outcome_bytes outcomes), snapshot tel)
+
+let check_jobs_invariant what cells =
+  let r1, t1 = run_at ~jobs:1 cells in
+  List.iter
+    (fun jobs ->
+      let r, t = run_at ~jobs cells in
+      check_true (Printf.sprintf "%s: results identical at jobs=%d" what jobs) (r1 = r);
+      check_true (Printf.sprintf "%s: telemetry identical at jobs=%d" what jobs) (t1 = t))
+    [ 2; 7 ]
+
+let test_static_jobs_invariance () =
+  List.iter (fun (what, engine) -> check_jobs_invariant what (static_cells engine)) engines
+
+let test_churn_jobs_invariance () =
+  List.iter
+    (fun (what, engine) ->
+      check_jobs_invariant (what ^ "-churn") (churn_cells engine))
+    engines
+
+let test_mixed_cells_preserve_order () =
+  (* Static and churned cells interleaved: outcomes come back in cell
+     order with the right constructor, at any job count. *)
+  let engine = E.Runner.Uniform (E.Specs.lesk ~eps:0.5) in
+  let cells =
+    [
+      List.nth (static_cells engine) 0;
+      List.nth (churn_cells engine) 0;
+      List.nth (static_cells engine) 1;
+    ]
+  in
+  let shapes jobs =
+    E.Runner.run_cells (E.Runner.Pool.create ~jobs ()) cells
+    |> List.map (function E.Runner.Sample _ -> "s" | E.Runner.Churned _ -> "c")
+  in
+  Alcotest.(check (list string)) "shapes in cell order" [ "s"; "c"; "s" ] (shapes 1);
+  Alcotest.(check (list string)) "same at jobs=5" [ "s"; "c"; "s" ] (shapes 5)
+
+let prop_jobs_invariance_random_setups =
+  qtest ~count:8 "random (n, eps, T, seed) cells are jobs-invariant"
+    QCheck.(quad (int_range 3 32) (float_range 0.3 1.0) (int_range 1 32) small_int)
+    (fun (n, eps, window, seed) ->
+      let setup = { E.Runner.n; eps; window; max_slots = 50_000 } in
+      let cells =
+        List.map
+          (fun (_, engine) ->
+            E.Runner.Cell.v ~base_seed:seed ~engine ~reps:7 setup E.Specs.greedy)
+          engines
+      in
+      let r1, t1 = run_at ~jobs:1 cells in
+      let r7, t7 = run_at ~jobs:7 cells in
+      r1 = r7 && t1 = t7)
+
+let test_pool_validation () =
+  Alcotest.check_raises "jobs 0" (Invalid_argument "Runner.Pool.create: jobs must be >= 1")
+    (fun () -> ignore (E.Runner.Pool.create ~jobs:0 ()));
+  check_int "pool reports its size" 3 (E.Runner.Pool.jobs (E.Runner.Pool.create ~jobs:3 ()))
+
+let test_cell_validation () =
+  let engine = E.Runner.Uniform (E.Specs.lesk ~eps:0.5) in
+  Alcotest.check_raises "reps 0" (Invalid_argument "Runner.Cell: reps must be >= 1")
+    (fun () -> ignore (E.Runner.Cell.v ~engine ~reps:0 setup E.Specs.greedy));
+  Alcotest.check_raises "bad eps" (Invalid_argument "Runner: eps must lie in (0, 1]")
+    (fun () ->
+      ignore
+        (E.Runner.Cell.v ~engine ~reps:1
+           { setup with E.Runner.eps = 1.5 }
+           E.Specs.greedy))
+
+let test_cell_seed_matches_historical_stream () =
+  (* The per-rep seed derivation is frozen: base/tag/rep through
+     seed_of_string, exactly what every published table used. *)
+  let engine = E.Runner.Uniform (E.Specs.lesk ~eps:0.5) in
+  let c = E.Runner.Cell.v ~base_seed:42 ~engine ~reps:3 setup E.Specs.greedy in
+  let expected rep =
+    Jamming_prng.Prng.seed_of_string
+      (Printf.sprintf "42/%s/%d" (E.Runner.Cell.tag c) rep)
+  in
+  List.iter
+    (fun rep -> check_int "frozen seed stream" (expected rep) (E.Runner.Cell.seed c ~rep))
+    [ 0; 1; 2 ]
+
+let test_worker_exceptions_propagate () =
+  (* A factory that blows up inside a worker domain: run_cells must
+     re-raise on the calling domain, at any job count. *)
+  let engine =
+    E.Runner.Exact
+      { name = "boom"; cd = Channel.Strong_cd; factory = (fun ~id:_ ~rng:_ -> failwith "boom") }
+  in
+  let cells = [ E.Runner.Cell.v ~engine ~reps:6 setup E.Specs.greedy ] in
+  List.iter
+    (fun jobs ->
+      Alcotest.check_raises
+        (Printf.sprintf "exception surfaces at jobs=%d" jobs)
+        (Failure "boom")
+        (fun () -> ignore (E.Runner.run_cells (E.Runner.Pool.create ~jobs ()) cells)))
+    [ 1; 4 ]
+
+let with_root f =
+  let root =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "pool-test-%d-%d" (Unix.getpid ()) (Random.bits ()))
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      ignore (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote root))))
+    (fun () -> f root)
+
+let test_sharded_store_resume_merge () =
+  (* Two "processes" (store handles) each warm their shard of a grid;
+     a resumed pass over the whole grid serves every cell from the
+     store and must produce byte-for-byte the uninterrupted output. *)
+  with_root (fun root ->
+      let engine = E.Runner.Exact
+          {
+            name = "LESK-exact";
+            cd = Channel.Strong_cd;
+            factory = Jamming_core.Lesk.station ~eps:0.5;
+          }
+      in
+      let cells = static_cells engine @ churn_cells engine in
+      let shard k =
+        List.filteri (fun i _ -> i mod 2 = k) cells
+      in
+      let uninterrupted, _ = run_at ~jobs:2 cells in
+      (* Shard workers: separate store handles against one root, as two
+         concurrent sweep processes would hold. *)
+      List.iter
+        (fun k ->
+          let st = Store.create ~fingerprint:"pool-test" ~root () in
+          ignore
+            (E.Runner.run_cells ~store:st (E.Runner.Pool.create ~jobs:2 ()) (shard k)))
+        [ 0; 1 ];
+      (* The resumed merge: every cell hits. *)
+      let st = Store.create ~fingerprint:"pool-test" ~root () in
+      let tel = T.create () in
+      let outcomes =
+        E.Runner.run_cells ~telemetry:tel ~store:st (E.Runner.Pool.create ~jobs:2 ()) cells
+      in
+      let merged = String.concat "\n" (List.map outcome_bytes outcomes) in
+      check_true "merged bytes equal uninterrupted bytes" (uninterrupted = merged);
+      check_int "every cell served from the store" (List.length cells)
+        (T.counter_value tel "store.hits");
+      check_int "nothing recomputed" 0 (T.counter_value tel "store.misses"))
+
+let test_telemetry_snapshot_merge_roundtrip () =
+  (* Sharded processes report telemetry as JSON; the parent decodes and
+     merges.  Decode o to_json must be lossless and merge must
+     reassemble exactly the single-process snapshot. *)
+  let engine = E.Runner.Uniform (E.Specs.lesk ~eps:0.5) in
+  let cells = static_cells engine in
+  let whole = T.create () in
+  ignore (E.Runner.run_cells ~telemetry:whole (E.Runner.Pool.create ~jobs:1 ()) cells);
+  let parts =
+    List.map
+      (fun k ->
+        let tel = T.create () in
+        ignore
+          (E.Runner.run_cells ~telemetry:tel (E.Runner.Pool.create ~jobs:1 ())
+             (List.filteri (fun i _ -> i mod 2 = k) cells));
+        T.to_json tel)
+      [ 0; 1 ]
+  in
+  let merged = T.create () in
+  List.iter
+    (fun json ->
+      match T.of_json json with
+      | Ok tel -> T.merge ~into:merged tel
+      | Error e -> Alcotest.failf "snapshot did not decode: %s" e)
+    parts;
+  check_true "merged shard snapshots equal the whole-run snapshot"
+    (snapshot whole = snapshot merged)
+
+let suite =
+  [
+    ("pool validation", `Quick, test_pool_validation);
+    ("cell validation", `Quick, test_cell_validation);
+    ("cell seed stream frozen", `Quick, test_cell_seed_matches_historical_stream);
+    ("static cells jobs-invariant", `Quick, test_static_jobs_invariance);
+    ("churn cells jobs-invariant", `Quick, test_churn_jobs_invariance);
+    ("mixed cells keep order", `Quick, test_mixed_cells_preserve_order);
+    prop_jobs_invariance_random_setups;
+    ("worker exceptions propagate", `Quick, test_worker_exceptions_propagate);
+    ("sharded store resume merge", `Quick, test_sharded_store_resume_merge);
+    ("telemetry snapshot merge roundtrip", `Quick, test_telemetry_snapshot_merge_roundtrip);
+  ]

@@ -31,7 +31,8 @@ let test_exact_engine_states () =
   let budget = Budget.create ~window:4 ~eps:1.0 in
   let result =
     Engine.run
-      ~on_slot:(fun r -> states := r.Metrics.state :: !states)
+      ~observers:
+        [ Jamming_sim.Observer.of_on_slot (fun r -> states := r.Metrics.state :: !states) ]
       ~cd:Channel.Strong_cd ~adversary:(Adversary.none ()) ~budget ~max_slots:100 ~stations ()
   in
   Alcotest.(check (list state_testable))
@@ -78,7 +79,11 @@ let test_jam_turns_single_into_collision () =
   let budget = Budget.create ~window:4 ~eps:0.5 in
   let result =
     Engine.run
-      ~on_slot:(fun r -> states := (r.Metrics.jammed, r.Metrics.state) :: !states)
+      ~observers:
+        [
+          Jamming_sim.Observer.of_on_slot (fun r ->
+              states := (r.Metrics.jammed, r.Metrics.state) :: !states);
+        ]
       ~cd:Channel.Strong_cd
       ~adversary:(Adversary.greedy ())
       ~budget ~max_slots:100 ~stations ()
@@ -307,7 +312,7 @@ let test_uniform_engine_many_is_lower_bound () =
   let records0 = ref [] in
   let (_ : Metrics.result) =
     Uniform_engine.run
-      ~on_slot:(fun r -> records0 := r :: !records0)
+      ~observers:[ Observer.of_on_slot (fun r -> records0 := r :: !records0) ]
       ~n:8 ~rng:g ~protocol:(constant_p 0.0 ()) ~adversary:(Adversary.none ()) ~budget
       ~max_slots:3 ()
   in

@@ -157,7 +157,7 @@ let test_fingerprint_isolation_and_gc () =
       check_int "clear removes everything" 1 removed.Store.entries;
       check_int "store empty after clear" 0 (Store.disk_stats new_gen).Store.entries)
 
-(* --- replicate_cached: hits are bit-identical to a fresh compute --- *)
+(* --- replicate through a store: hits are bit-identical to a fresh compute --- *)
 
 let setup = { E.Runner.n = 48; eps = 0.5; window = 16; max_slots = 50_000 }
 
@@ -204,12 +204,12 @@ let test_cached_hit_bit_identical () =
           let fresh = E.Runner.replicate ~engine ~reps:3 setup E.Specs.greedy in
           let cold = T.create () in
           let s1 =
-            E.Runner.replicate_cached ~telemetry:cold ~store:st ~engine ~reps:3 setup
+            E.Runner.replicate ~telemetry:cold ~store:st ~engine ~reps:3 setup
               E.Specs.greedy
           in
           let warm = T.create () in
           let s2 =
-            E.Runner.replicate_cached ~telemetry:warm ~store:st ~engine ~reps:3 setup
+            E.Runner.replicate ~telemetry:warm ~store:st ~engine ~reps:3 setup
               E.Specs.greedy
           in
           check_true (what ^ ": cold compute matches uncached")
@@ -235,21 +235,21 @@ let test_cached_recovers_from_corruption () =
   with_root (fun root ->
       let st = Store.create ~fingerprint:"test" ~root () in
       let engine = E.Runner.Uniform (E.Specs.lesk ~eps:0.5) in
-      let s1 = E.Runner.replicate_cached ~store:st ~engine ~reps:2 setup E.Specs.greedy in
+      let s1 = E.Runner.replicate ~store:st ~engine ~reps:2 setup E.Specs.greedy in
       let key =
         E.Runner.cell_key ~engine ~adversary:E.Specs.greedy ~reps:2 ~base_seed:42 setup
       in
       corrupt_with "garbage" st key;
       let tel = T.create () in
       let s2 =
-        E.Runner.replicate_cached ~telemetry:tel ~store:st ~engine ~reps:2 setup
+        E.Runner.replicate ~telemetry:tel ~store:st ~engine ~reps:2 setup
           E.Specs.greedy
       in
       check_int "corrupt entry recomputed" 1 (T.counter_value tel "store.misses");
       check_true "recompute bit-identical" (sample_bytes s1 = sample_bytes s2);
       let tel2 = T.create () in
       ignore
-        (E.Runner.replicate_cached ~telemetry:tel2 ~store:st ~engine ~reps:2 setup
+        (E.Runner.replicate ~telemetry:tel2 ~store:st ~engine ~reps:2 setup
            E.Specs.greedy);
       check_int "entry rewritten after corruption" 1 (T.counter_value tel2 "store.hits"))
 

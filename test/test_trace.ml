@@ -47,7 +47,9 @@ let test_engine_integration () =
   let rng = rng () in
   let budget = Budget.create ~window:32 ~eps:0.5 in
   let result =
-    Uniform_engine.run ~on_slot:(Trace.record t) ~n:64 ~rng
+    Uniform_engine.run
+      ~observers:[ Jamming_sim.Observer.of_on_slot (Trace.record t) ]
+      ~n:64 ~rng
       ~protocol:(Jamming_core.Lesk.uniform ~eps:0.5 ())
       ~adversary:(Adversary.greedy ()) ~budget ~max_slots:100_000 ()
   in

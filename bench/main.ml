@@ -174,6 +174,15 @@ let experiment_tests =
                      })
                 ~churn:(Jamming_faults.Churn.Leader_killer { grace = 64; max_kills = 4 })
                 ~restart_after:800_000 setup E.Specs.greedy ~seed)));
+    Test.make ~name:"A8 aggregate-equivalence (one aggregate n=1e8 election)"
+      (staged (fun seed ->
+           let setup =
+             { E.Runner.n = 100_000_000; eps = 0.5; window = 64; max_slots = 200_000 }
+           in
+           ignore
+             (E.Runner.run
+                ~engine:(E.Runner.aggregate_lesk ~eps:0.5 ())
+                setup E.Specs.greedy ~seed)));
   ]
 
 (* --- simulator hot-path microbenchmarks --- *)
@@ -500,6 +509,58 @@ let parallel_cells () =
       | _ -> ());
       [ serial; parallel ])
 
+(* --- aggregate-engine population-scale cells (G1, G2) ---
+
+   LESK on the class-population counting engine at n = 10^7 and 10^9
+   under the greedy jammer: a slot costs one binomial draw (plus the
+   budget/adversary bookkeeping) whatever n is, so the two cells'
+   slots/sec must stay within ~2x of each other.  That flatness — and
+   the absolute throughput — is what the BENCH_BASELINE diff watches.
+   The store is bypassed so the cells really compute. *)
+
+let aggregate_cell ~id ~name ~n ~reps =
+  let setup = { E.Runner.n; eps = 0.5; window = 64; max_slots = 200_000 } in
+  let engine = E.Runner.aggregate_lesk ~eps:0.5 () in
+  let slots0 = Gauges.slots_simulated () and runs0 = Gauges.runs_completed () in
+  let t0 = Unix.gettimeofday () in
+  let sample = E.Runner.replicate ~engine ~reps setup E.Specs.greedy in
+  let wall = Unix.gettimeofday () -. t0 in
+  if not (E.Runner.all_completed sample) then
+    failwith (Printf.sprintf "%s: an aggregate election hit the slot cap" id);
+  let slots = Gauges.slots_simulated () - slots0 in
+  let runs = Gauges.runs_completed () - runs0 in
+  Json.Obj
+    [
+      ("id", Json.String id);
+      ("name", Json.String name);
+      ("wall_s", Json.Float wall);
+      ("slots", Json.Int slots);
+      ("runs", Json.Int runs);
+      ( "slots_per_sec",
+        if wall > 0.0 then Json.Float (float_of_int slots /. wall) else Json.Null );
+    ]
+
+let aggregate_cells () =
+  let saved = !E.Runner.default_store in
+  E.Runner.set_store None;
+  Fun.protect
+    ~finally:(fun () -> E.Runner.default_store := saved)
+    (fun () ->
+      let g1 =
+        aggregate_cell ~id:"G1" ~name:"aggregate-lesk-n1e7" ~n:10_000_000 ~reps:100
+      in
+      let g2 =
+        aggregate_cell ~id:"G2" ~name:"aggregate-lesk-n1e9" ~n:1_000_000_000 ~reps:100
+      in
+      (match (cell_field g1 "slots_per_sec", cell_field g2 "slots_per_sec") with
+      | Some a, Some b when b > 0.0 ->
+          Printf.printf
+            "aggregate engine: n=1e7 %.3g slots/s vs n=1e9 %.3g slots/s (ratio %.2fx — \
+             slot cost is n-independent)\n"
+            a b (a /. b)
+      | _ -> ());
+      [ g1; g2 ])
+
 let scaling_cells () =
   let horizon = 2048 in
   let cells =
@@ -579,6 +640,8 @@ let () =
   let cells = cells @ store_overhead_cells () in
   Printf.printf "\n=== Domain-pool speedup (P1..P2) ===\n";
   let cells = cells @ parallel_cells () in
+  Printf.printf "\n=== Aggregate-engine population scale (G1..G2) ===\n";
+  let cells = cells @ aggregate_cells () in
   let wall = Unix.gettimeofday () -. t0 in
   let total_slots = Gauges.slots_simulated () - slots0 in
   let date = iso_date () in

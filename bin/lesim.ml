@@ -131,8 +131,8 @@ let run_churned ~engine ~churn ~restart_after ~setup ~seed ~reps ~verbose ~json_
       Atomic_io.write_json ~path (E.Runner.churn_sample_to_json ~include_results:true sample);
       Format.printf "JSON written: %s@." path
 
-let run protocol_name adversary_name n eps window max_slots seed reps jobs weak_cd verbose
-    trace churn_spec restart_after json_out cache_opts =
+let run protocol_name adversary_name n eps window max_slots seed reps jobs engine_name
+    weak_cd verbose trace churn_spec restart_after json_out cache_opts =
   let (_ : int) = Cli.install_jobs jobs in
   let fail fmt = Format.kasprintf (fun s -> `Error (false, s)) fmt in
   let adversary_lookup name =
@@ -150,28 +150,77 @@ let run protocol_name adversary_name n eps window max_slots seed reps jobs weak_
       let setup = { E.Runner.n; eps; window; max_slots } in
       Format.printf "protocol %s vs adversary %s, %a, %d rep(s)@." protocol.E.Specs.p_name
         adversary.E.Specs.a_name E.Runner.pp_setup setup reps;
+      (* --engine: which simulation core executes the slots.
+           auto      — uniform (trichotomy sampling), or the exact engine
+                       behind Notification when --weak-cd is given;
+           uniform   — force the trichotomy-sampling engine;
+           exact     — force the per-station O(n)/slot engine;
+           aggregate — the class-population counting engine: O(#classes)
+                       per slot, so n = 10^9 is fine on one core. *)
+      let weak_engine () =
+        let factory =
+          if protocol_name = "lesk" then Jamming_core.Lewk.station ~eps ()
+          else Jamming_core.Lewu.station ()
+        in
+        E.Runner.Exact
+          {
+            name = protocol.E.Specs.p_name ^ "+Notification";
+            cd = Jamming_channel.Channel.Weak_cd;
+            factory;
+          }
+      in
+      let choose_engine () =
+        match engine_name with
+        | "auto" -> Ok (if weak_cd then weak_engine () else E.Runner.Uniform protocol)
+        | "uniform" ->
+            if weak_cd then
+              Error "--engine uniform conflicts with --weak-cd (Notification runs on the exact engine)"
+            else Ok (E.Runner.Uniform protocol)
+        | "exact" -> (
+            if weak_cd then Ok (weak_engine ())
+            else
+              match protocol_name with
+              | "lesk" ->
+                  Ok
+                    (E.Runner.Exact
+                       {
+                         name = "LESK-exact";
+                         cd = Jamming_channel.Channel.Strong_cd;
+                         factory = Jamming_core.Lesk.station ~eps;
+                       })
+              | "lesu" ->
+                  Ok
+                    (E.Runner.Exact
+                       {
+                         name = "LESU-exact";
+                         cd = Jamming_channel.Channel.Strong_cd;
+                         factory = Jamming_core.Lesu.station ();
+                       })
+              | _ -> Error "--engine exact supports lesk and lesu only")
+        | "aggregate" ->
+            if weak_cd then Error "--engine aggregate is strong-CD only (drop --weak-cd)"
+            else (
+              match protocol_name with
+              | "lesk" -> Ok (E.Runner.aggregate_lesk ~eps ())
+              | "lesu" -> Ok (E.Runner.aggregate_lesu ())
+              | _ -> Error "--engine aggregate supports lesk and lesu only")
+        | other ->
+            Error
+              (Printf.sprintf "unknown engine %S (try: auto, uniform, exact, aggregate)"
+                 other)
+      in
       if weak_cd && protocol_name <> "lesk" && protocol_name <> "lesu" then
         fail "--weak-cd supports lesk (as LEWK) and lesu (as LEWU) only"
       else begin
-        match parse_churn churn_spec with
-        | Error e -> fail "%s" e
-        | Ok churn when (not (Churn.is_null churn)) || restart_after <> None -> (
-            (* Dynamic population: chained self-healing elections.  Runs
-               on the exact engine whatever the protocol. *)
-            let engine =
-              if weak_cd then
-                let factory =
-                  if protocol_name = "lesk" then Jamming_core.Lewk.station ~eps ()
-                  else Jamming_core.Lewu.station ()
-                in
-                E.Runner.Exact
-                  {
-                    name = protocol.E.Specs.p_name ^ "+Notification";
-                    cd = Jamming_channel.Channel.Weak_cd;
-                    factory;
-                  }
-              else E.Runner.Uniform protocol
-            in
+        match parse_churn churn_spec, choose_engine () with
+        | Error e, _ | _, Error e -> fail "%s" e
+        | Ok churn, Ok engine when (not (Churn.is_null churn)) || restart_after <> None -> (
+            (* Dynamic population: chained self-healing elections. *)
+            if engine_name = "aggregate" then
+              fail
+                "the aggregate engine does not support --churn/--restart-after \
+                 (population counts lose station identity)"
+            else
             let store = Cli.store_of cache_opts in
             E.Runner.set_store store;
             match
@@ -184,21 +233,7 @@ let run protocol_name adversary_name n eps window max_slots seed reps jobs weak_
             | exception Invalid_argument msg -> fail "%s" msg
             | exception Jamming_sim.Monitor.Violation v ->
                 fail "monitor violation: %s" (Jamming_sim.Monitor.violation_to_string v))
-        | Ok _ ->
-        let engine =
-          if weak_cd then
-            let factory =
-              if protocol_name = "lesk" then Jamming_core.Lewk.station ~eps ()
-              else Jamming_core.Lewu.station ()
-            in
-            E.Runner.Exact
-              {
-                name = protocol.E.Specs.p_name ^ "+Notification";
-                cd = Jamming_channel.Channel.Weak_cd;
-                factory;
-              }
-          else E.Runner.Uniform protocol
-        in
+        | Ok _, Ok engine ->
         let store = Cli.store_of cache_opts in
         E.Runner.set_store store;
         let sample = E.Runner.replicate ~base_seed:seed ~engine ~reps setup adversary in
@@ -243,13 +278,46 @@ let cmd =
   let adversary =
     Arg.(value & opt string "greedy" & info [ "adversary"; "a" ] ~doc:"Jamming strategy.")
   in
-  let n = Arg.(value & opt int 1024 & info [ "n"; "stations" ] ~doc:"Number of stations.") in
+  (* Accepts plain ints and scientific notation ("1e8", "2.5e6") so
+     population-scale runs don't need nine zeros typed out. *)
+  let population_conv =
+    let parse s =
+      match int_of_string_opt s with
+      | Some v -> Ok v
+      | None -> (
+          match float_of_string_opt s with
+          | Some f
+            when Float.is_finite f && f >= 1.0 && f <= 1e18
+                 && Float.equal (Float.round f) f ->
+              Ok (int_of_float f)
+          | Some _ | None ->
+              Error (`Msg (Printf.sprintf "invalid station count %S (try 4096 or 1e8)" s)))
+    in
+    Arg.conv (parse, Format.pp_print_int)
+  in
+  let n =
+    Arg.(
+      value
+      & opt population_conv 1024
+      & info [ "n"; "stations" ] ~docv:"N"
+          ~doc:"Number of stations; scientific notation is accepted (e.g. $(b,1e8)).")
+  in
   let eps =
     Arg.(value & opt float 0.5 & info [ "eps" ] ~doc:"Adversary tolerance (0 < eps <= 1).")
   in
   let window = Arg.(value & opt int 64 & info [ "window"; "T" ] ~doc:"Adversary window T.") in
   let max_slots = Arg.(value & opt int 1_000_000 & info [ "max-slots" ] ~doc:"Slot cap.") in
   let reps = Arg.(value & opt int 1 & info [ "reps" ] ~doc:"Number of replications.") in
+  let engine =
+    Arg.(
+      value
+      & opt string "auto"
+      & info [ "engine" ] ~docv:"ENGINE"
+          ~doc:
+            "Simulation engine: $(b,auto) (uniform, or exact behind --weak-cd), \
+             $(b,uniform), $(b,exact), or $(b,aggregate) — the class-population \
+             counting engine (lesk/lesu, strong-CD) that scales to n = 1e9.")
+  in
   let weak_cd =
     Arg.(value & flag & info [ "weak-cd" ] ~doc:"Run in weak-CD via Notification (exact engine).")
   in
@@ -286,8 +354,8 @@ let cmd =
     Term.(
       ret
         (const run $ protocol $ adversary $ n $ eps $ window $ max_slots $ Cli.seed ()
-       $ reps $ Cli.jobs $ weak_cd $ verbose $ trace $ churn $ restart_after $ json_out
-       $ Cli.cache_opts))
+       $ reps $ Cli.jobs $ engine $ weak_cd $ verbose $ trace $ churn $ restart_after
+       $ json_out $ Cli.cache_opts))
   in
   Cmd.v
     (Cmd.info "lesim" ~doc:"Simulate jamming-resistant leader election (Klonowski-Pajak 2015)")

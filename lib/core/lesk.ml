@@ -39,6 +39,30 @@ let uniform ?a ~eps () =
 
 let station ~eps = Uniform.distributed (uniform ~eps)
 
+(* The same state machine as [Logic], written as a pure transition on
+   the estimate [u] so the aggregate engine can drive a whole
+   population through one description.  Float updates mirror
+   [Logic.on_state] operation for operation, so a trajectory of channel
+   states produces bit-identical [u] values (asserted in the tests). *)
+let aggregate ?a ~eps () =
+  if not (config_valid ~eps) then invalid_arg "Lesk.aggregate: eps must lie in (0, 1]";
+  let a = match a with Some v -> v | None -> 8.0 /. eps in
+  if not (a >= 1.0) then invalid_arg "Lesk.aggregate: a must be >= 1";
+  Jamming_sim.Aggregate.Packed
+    {
+      Jamming_sim.Aggregate.name = Printf.sprintf "LESK(eps=%.3g)" eps;
+      init = 0.0;
+      tx_prob = (fun u -> Float.exp2 (-.u));
+      step =
+        (fun u state ->
+          match state with
+          | Channel.Null ->
+              Jamming_sim.Aggregate.Continue (Float.max (u -. 1.0) 0.0)
+          | Channel.Collision -> Continue (u +. (1.0 /. a))
+          | Channel.Single -> Elected);
+      compare = Float.compare;
+    }
+
 let expected_time_bound ~eps ~n ~window =
   let log2n = Float.max 1.0 (Float.log2 (float_of_int (Int.max 2 n))) in
   (* The theorem is stated for eps < 1; clamp the log(1/eps) factor away

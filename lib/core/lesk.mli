@@ -53,6 +53,11 @@ val station : eps:float -> Jamming_station.Station.factory
 (** LESK as a distributed per-station protocol for the exact engine
     (strong-CD leadership semantics). *)
 
+val aggregate : ?a:float -> eps:float -> unit -> Jamming_sim.Aggregate.packed
+(** LESK as a pure protocol description for the population-counting
+    {!Jamming_sim.Aggregate} engine: state is the estimate [u], updates
+    mirror {!Logic.on_state} bit for bit.  [a] as in {!Logic.create}. *)
+
 val expected_time_bound : eps:float -> n:int -> window:int -> float
 (** The Theorem 2.6 shape [max{T, log n / (ε³ log₂(1/ε))}] (no hidden
     constant), used by experiments to normalise measured times. *)

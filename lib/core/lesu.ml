@@ -115,6 +115,62 @@ let uniform ?config () () =
 
 let station ?config () = Uniform.distributed (uniform ?config ())
 
+(* [Logic] rewritten as a pure transition for the aggregate engine.
+   States carry everything [Logic]'s mutable machine does — estimation
+   progress, or the current LESK phase with its estimate [u] — and
+   every float update mirrors the mutable code operation for operation,
+   so a trajectory of channel states produces identical tx_prob values
+   (asserted in the tests). *)
+type pure_state =
+  | Pure_est of { round : int; slots_left : int; nulls : int }
+  | Pure_elect of { t0 : float; i : int; j : int; remaining : int; u : float }
+
+let aggregate ?(config = default_config) () =
+  if not (config.c > 0.0) then invalid_arg "Lesu.aggregate: c must be positive";
+  if config.threshold < 1 then
+    invalid_arg "Lesu.aggregate: threshold must be >= 1";
+  let fresh_phase ~t0 ~i ~j =
+    Pure_elect { t0; i; j; remaining = phase_duration ~t0 ~i ~j; u = 0.0 }
+  in
+  let step st state =
+    match st, state with
+    | _, Channel.Single -> Jamming_sim.Aggregate.Elected
+    | Pure_est { round; slots_left; nulls }, (Channel.Null | Channel.Collision) ->
+        let nulls = if state = Channel.Null then nulls + 1 else nulls in
+        let slots_left = slots_left - 1 in
+        if slots_left > 0 then
+          Jamming_sim.Aggregate.Continue (Pure_est { round; slots_left; nulls })
+        else if nulls >= config.threshold then
+          let t0 = config.c *. Float.exp2 (float_of_int (1 + round)) in
+          Continue (fresh_phase ~t0 ~i:1 ~j:1)
+        else
+          Continue
+            (Pure_est { round = round + 1; slots_left = 1 lsl (round + 1); nulls = 0 })
+    | Pure_elect { t0; i; j; remaining; u }, (Channel.Null | Channel.Collision) ->
+        let u =
+          match state with
+          | Channel.Null -> Float.max (u -. 1.0) 0.0
+          | _ -> u +. (1.0 /. (8.0 /. eps_guess j))
+        in
+        let remaining = remaining - 1 in
+        if remaining > 0 then Continue (Pure_elect { t0; i; j; remaining; u })
+        else
+          let i, j = if j >= i then (i + 1, 1) else (i, j + 1) in
+          Continue (fresh_phase ~t0 ~i ~j)
+  in
+  let tx_prob = function
+    | Pure_est { round; _ } -> Float.exp2 (-.Float.exp2 (float_of_int round))
+    | Pure_elect { u; _ } -> Float.exp2 (-.u)
+  in
+  Jamming_sim.Aggregate.Packed
+    {
+      Jamming_sim.Aggregate.name = "LESU";
+      init = Pure_est { round = 1; slots_left = 2; nulls = 0 };
+      tx_prob;
+      step;
+      compare = Stdlib.compare;
+    }
+
 let expected_time_bound ~eps ~n ~window =
   let log2 x = Float.log2 (Float.max 2.0 x) in
   let nf = float_of_int (Int.max 2 n) and tf = float_of_int (Int.max 1 window) in

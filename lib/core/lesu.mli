@@ -43,6 +43,12 @@ end
 val uniform : ?config:config -> unit -> Jamming_station.Uniform.factory
 val station : ?config:config -> unit -> Jamming_station.Station.factory
 
+val aggregate : ?config:config -> unit -> Jamming_sim.Aggregate.packed
+(** LESU as a pure protocol description for the population-counting
+    {!Jamming_sim.Aggregate} engine.  The state carries the estimation
+    progress or the current LESK phase; transitions mirror
+    {!Logic.on_state} bit for bit. *)
+
 val eps_guess : int -> float
 (** [eps_guess j = 2^{−j/3}], the tolerance sequence. *)
 

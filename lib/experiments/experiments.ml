@@ -25,6 +25,7 @@ let all =
     Exp_markov.experiment;
     Exp_fault_tolerance.experiment;
     Exp_churn.experiment;
+    Exp_aggregate_equivalence.experiment;
   ]
 
 let find key =

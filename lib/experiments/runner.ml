@@ -38,11 +38,23 @@ type engine =
       faults : Faults.Config.t;
       monitor_checks : Monitor.checks option;
     }
+  | Aggregate of {
+      name : string;
+      cd : Channel.cd_model;
+      proto : Jamming_sim.Aggregate.packed;
+    }
 
 let engine_name = function
   | Uniform p -> p.Specs.p_name
   | Exact { name; _ } -> name
   | Faulty { name; _ } -> name
+  | Aggregate { name; _ } -> name
+
+let aggregate_of ?(cd = Channel.Strong_cd) proto =
+  Aggregate { name = Jamming_sim.Aggregate.name proto; cd; proto }
+
+let aggregate_lesk ?a ~eps () = aggregate_of (Jamming_core.Lesk.aggregate ?a ~eps ())
+let aggregate_lesu ?config () = aggregate_of (Jamming_core.Lesu.aggregate ?config ())
 
 let make_adversary (adversary : Specs.adversary) setup ~seed =
   adversary.Specs.a_make ~seed:(seed lxor 0x5bd1e995) ~n:setup.n ~eps:setup.eps
@@ -95,6 +107,11 @@ let run ?(observers = []) ~engine setup (adversary : Specs.adversary) ~seed =
       let adv = make_adversary adversary setup ~seed in
       Jamming_sim.Engine.run ~observers ~faults:injection ~monitor ~cd
         ~adversary:adv ~budget ~max_slots:setup.max_slots ~stations ()
+  | Aggregate { cd; proto = Jamming_sim.Aggregate.Packed protocol; name = _ } ->
+      let rng = Prng.create ~seed in
+      let adv = make_adversary adversary setup ~seed in
+      Jamming_sim.Aggregate.run ~observers ~cd ~rng ~n:setup.n ~protocol
+        ~adversary:adv ~budget ~max_slots:setup.max_slots ()
 
 type sample = {
   setup : setup;
@@ -116,6 +133,9 @@ let cell_tag ~engine ~(adversary : Specs.adversary) setup =
   | Faulty { name; _ } ->
       Printf.sprintf "faulty|%s|%s|%d|%f|%d" name adversary.Specs.a_name setup.n setup.eps
         setup.window
+  | Aggregate { name; _ } ->
+      Printf.sprintf "aggregate|%s|%s|%d|%f|%d" name adversary.Specs.a_name setup.n
+        setup.eps setup.window
 
 let recommended_jobs () =
   let from_env =
@@ -295,6 +315,7 @@ let cell_key ~engine ~(adversary : Specs.adversary) ~reps ~base_seed setup =
     | Uniform _ -> ("uniform", Channel.Strong_cd)
     | Exact { cd; _ } -> ("exact", cd)
     | Faulty { cd; _ } -> ("faulty", cd)
+    | Aggregate { cd; _ } -> ("aggregate", cd)
   in
   Key.v
     ([
@@ -312,7 +333,7 @@ let cell_key ~engine ~(adversary : Specs.adversary) ~reps ~base_seed setup =
     @
     match engine with
     | Faulty { faults; _ } -> [ ("faults", Key.S (faults_descriptor faults)) ]
-    | Uniform _ | Exact _ -> [])
+    | Uniform _ | Exact _ | Aggregate _ -> [])
 
 (* Process-default store, same pattern as [default_telemetry]: the
    CLIs install one under --cache and experiment code stays oblivious. *)
@@ -341,6 +362,10 @@ let churn_engine_parts ~setup engine =
   | Exact { cd; factory; _ } -> (cd, factory, Faults.Config.none, None)
   | Faulty { cd; factory; faults; monitor_checks; _ } ->
       (cd, factory, faults, monitor_checks)
+  | Aggregate _ ->
+      (* Class counts cannot express per-station lifecycle events, and
+         nothing keeps a churned population in lockstep phases. *)
+      invalid_arg "Runner: the aggregate engine does not support churn"
 
 let run_churn ?(observers = []) ~engine ~churn ?restart_after setup adversary ~seed =
   validate setup;
@@ -493,6 +518,7 @@ let churn_cell_key ~engine ~(adversary : Specs.adversary) ~churn ~restart_after 
     | Uniform _ -> ("uniform", Channel.Strong_cd)
     | Exact { cd; _ } -> ("exact", cd)
     | Faulty { cd; _ } -> ("faulty", cd)
+    | Aggregate _ -> invalid_arg "Runner: the aggregate engine does not support churn"
   in
   Key.v
     ([
@@ -515,7 +541,7 @@ let churn_cell_key ~engine ~(adversary : Specs.adversary) ~churn ~restart_after 
     @
     match engine with
     | Faulty { faults; _ } -> [ ("faults", Key.S (faults_descriptor faults)) ]
-    | Uniform _ | Exact _ -> [])
+    | Uniform _ | Exact _ | Aggregate _ -> [])
 
 let record_churn_sample tel (results : Dynamic.result array) =
   let c name = Telemetry.counter tel ("runner.churn." ^ name) in
@@ -560,6 +586,10 @@ module Cell = struct
     match c.population with
     | Static -> ()
     | Churning { churn; restart_after } -> (
+        (match c.engine with
+        | Aggregate _ ->
+            invalid_arg "Runner.Cell: the aggregate engine does not support churn"
+        | Uniform _ | Exact _ | Faulty _ -> ());
         Faults.Churn.validate churn;
         match restart_after with
         | Some r when r < 1 -> invalid_arg "Runner.Cell: restart_after must be >= 1"

@@ -51,8 +51,30 @@ type engine =
           with null faults reproduces the fault-free run exactly.
           Raises {!Jamming_sim.Monitor.Violation} on a broken
           invariant. *)
+  | Aggregate of {
+      name : string;
+      cd : Jamming_channel.Channel.cd_model;
+      proto : Jamming_sim.Aggregate.packed;
+    }
+      (** Population-counting {!Jamming_sim.Aggregate} engine:
+          O(#classes) per slot independent of n, for uniform-phase
+          protocols at n = 10⁷–10⁹.  Distributionally equivalent to
+          [Exact] but with per-class binomial draws instead of
+          per-station streams, so agreement is KS-tested, not bitwise.
+          Does not support churn. *)
 
 val engine_name : engine -> string
+
+val aggregate_of :
+  ?cd:Jamming_channel.Channel.cd_model -> Jamming_sim.Aggregate.packed -> engine
+(** Wrap a pure protocol description as an [Aggregate] engine spec
+    named after the protocol ([cd] defaults to [Strong_cd]). *)
+
+val aggregate_lesk : ?a:float -> eps:float -> unit -> engine
+(** {!Jamming_core.Lesk.aggregate} as an engine spec. *)
+
+val aggregate_lesu : ?config:Jamming_core.Lesu.config -> unit -> engine
+(** {!Jamming_core.Lesu.aggregate} as an engine spec. *)
 
 type sample = {
   setup : setup;

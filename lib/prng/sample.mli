@@ -43,10 +43,18 @@ val geometric_of_u : p:float -> float -> int
     generator. *)
 
 val binomial : Prng.t -> n:int -> p:float -> int
-(** Binomial([n], [p]) variate.  Exact (Bernoulli sum or inversion) for
-    small [n] or small [n·p]; for large [n·p] a normal approximation with
-    continuity correction is used (documented trade-off: only energy
-    accounting uses that regime). *)
+(** Binomial([n], [p]) variate, exact in every regime.  [p > 0.5]
+    reflects to [n - binomial ~p:(1 - p)] through the normal dispatch;
+    then a Bernoulli sum for [n <= 256], sequential inversion for
+    [n·p <= 30], and Hörmann's BTRS transformed rejection beyond.  All
+    three branches sample the exact distribution — in particular the
+    tails P(X = 0) and P(X = 1) that the aggregate engine's slot
+    trichotomy hinges on — at O(1) expected cost for large [n]. *)
+
+val log_binomial_pmf : n:int -> p:float -> k:int -> float
+(** log P(Binomial(n, p) = k), computed via a Stirling-series
+    [log k!] accurate to ~1e-11.  [-inf] outside the support.  Exposed
+    as the golden reference for sampler chi-square/KS tests. *)
 
 val gaussian : Prng.t -> mean:float -> stddev:float -> float
 (** Normal variate via the polar (Marsaglia) method. *)

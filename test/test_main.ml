@@ -27,4 +27,5 @@ let () =
       ("extensions", Test_extensions.suite);
       ("experiments", Test_experiments.suite);
       ("pool", Test_pool.suite);
+      ("aggregate", Test_aggregate.suite);
     ]

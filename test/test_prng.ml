@@ -178,6 +178,173 @@ let test_binomial_edges () =
   check_int "p=1 gives n" 100 (Sample.binomial g ~n:100 ~p:1.0);
   check_int "n=0 gives 0" 0 (Sample.binomial g ~n:0 ~p:0.5)
 
+let test_binomial_reflection () =
+  (* p > 1/2 reflects through the normal dispatch: a draw at n = 10^9
+     must be instantaneous (the old path summed 10^9 Bernoullis) and
+     land in the bulk of the distribution. *)
+  let g = rng () in
+  for _ = 1 to 100 do
+    let v = Sample.binomial g ~n:1_000_000_000 ~p:0.75 in
+    (* mean 7.5e8, sd ~ 1.37e4; +-6 sd. *)
+    check_true "n=1e9, p=0.75 draw in the bulk"
+      (v > 749_900_000 && v < 750_100_000)
+  done;
+  (* And the reflected distribution is the right one: X ~ B(n, 0.8)
+     must match n - Y with Y ~ B(n, 0.2). *)
+  let n = 2_000 and reps = 4_000 in
+  let direct =
+    Array.init reps (fun _ -> float_of_int (Sample.binomial g ~n ~p:0.8))
+  in
+  let reflected =
+    Array.init reps (fun _ -> float_of_int (n - Sample.binomial g ~n ~p:0.2))
+  in
+  let module Ks = Jamming_stats.Ks in
+  let p =
+    Ks.p_value ~n1:reps ~n2:reps ~d:(Ks.statistic direct reflected)
+  in
+  check_true (Printf.sprintf "B(2000, 0.8) =d= 2000 - B(2000, 0.2) (KS p = %g)" p)
+    (p > 1e-4)
+
+(* Exact binomial CDF below [k], from the log-pmf golden. *)
+let cdf_below ~n ~p k =
+  let acc = ref 0.0 in
+  for i = 0 to k do
+    acc := !acc +. Float.exp (Sample.log_binomial_pmf ~n ~p ~k:i)
+  done;
+  !acc
+
+let test_binomial_btrs_chi_square () =
+  (* The rejection sampler (np > 30, n > 256) against the exact pmf:
+     chi-square over every bin with expected count >= 5, tails pooled.
+     Deterministic seed; df ~ 45, so 100 is far beyond any plausible
+     statistic unless the sampler is biased. *)
+  let g = rng ~seed:2026 () in
+  let n = 1_000 and p = 0.035 in
+  let reps = 200_000 in
+  let counts = Array.make (n + 1) 0 in
+  for _ = 1 to reps do
+    let v = Sample.binomial g ~n ~p in
+    counts.(v) <- counts.(v) + 1
+  done;
+  let rf = float_of_int reps in
+  (* Central bins with expected >= 5. *)
+  let lo = ref 0 and hi = ref n in
+  let expected k = rf *. Float.exp (Sample.log_binomial_pmf ~n ~p ~k) in
+  while expected !lo < 5.0 do incr lo done;
+  while expected !hi < 5.0 do decr hi done;
+  let chi2 = ref 0.0 in
+  let observed_tail_lo = ref 0 and observed_tail_hi = ref 0 in
+  for k = 0 to !lo - 1 do
+    observed_tail_lo := !observed_tail_lo + counts.(k)
+  done;
+  for k = !hi + 1 to n do
+    observed_tail_hi := !observed_tail_hi + counts.(k)
+  done;
+  let add_bin observed expected =
+    let d = float_of_int observed -. expected in
+    chi2 := !chi2 +. (d *. d /. expected)
+  in
+  for k = !lo to !hi do
+    add_bin counts.(k) (expected k)
+  done;
+  add_bin !observed_tail_lo (rf *. cdf_below ~n ~p (!lo - 1));
+  add_bin !observed_tail_hi (rf *. (1.0 -. cdf_below ~n ~p !hi));
+  let df = !hi - !lo + 2 in
+  check_true
+    (Printf.sprintf "BTRS chi-square %.1f over %d bins" !chi2 df)
+    (!chi2 < 100.0)
+
+let test_binomial_skewness () =
+  (* The discriminator against the old Gaussian-approximation branch: a
+     normal draw has skewness 0, the true B(1000, 0.0305) has
+     (1-2p)/sqrt(npq) ~ 0.173.  Empirical stderr at 200k reps is
+     ~ sqrt(6/R) = 0.0055, so +-0.03 is a > 5 sigma gate that the
+     Gaussian fails by ~ 30 sigma. *)
+  let g = rng ~seed:77 () in
+  let n = 1_000 and p = 0.0305 in
+  let reps = 200_000 in
+  let draws = Array.init reps (fun _ -> float_of_int (Sample.binomial g ~n ~p)) in
+  let rf = float_of_int reps in
+  let mean = Array.fold_left ( +. ) 0.0 draws /. rf in
+  let m2 = ref 0.0 and m3 = ref 0.0 in
+  Array.iter
+    (fun v ->
+      let d = v -. mean in
+      m2 := !m2 +. (d *. d);
+      m3 := !m3 +. (d *. d *. d))
+    draws;
+  let m2 = !m2 /. rf and m3 = !m3 /. rf in
+  let skew = m3 /. (m2 ** 1.5) in
+  let q = 1.0 -. p in
+  let exact = (1.0 -. (2.0 *. p)) /. Float.sqrt (float_of_int n *. p *. q) in
+  check_float_eps 0.03 "empirical skewness matches exact binomial" exact skew
+
+let test_binomial_tail_across_sum_boundary () =
+  (* P(X <= 1) at np ~ 1.2 is ~ 0.66 — measurable — straddling the
+     n <= 256 (Bernoulli sum) / n > 256 (inversion) dispatch edge. *)
+  let g = rng ~seed:11 () in
+  List.iter
+    (fun n ->
+      let p = 1.2 /. float_of_int n in
+      let reps = 50_000 in
+      let le_one = ref 0 in
+      for _ = 1 to reps do
+        if Sample.binomial g ~n ~p <= 1 then incr le_one
+      done;
+      let expected = Sample.p_zero ~n ~p +. Sample.p_one ~n ~p in
+      check_float_eps 0.01
+        (Printf.sprintf "P(X <= 1) at n=%d" n)
+        expected
+        (float_of_int !le_one /. float_of_int reps))
+    [ 255; 256; 257; 300 ]
+
+let test_binomial_tail_across_btrs_boundary () =
+  (* Same idea at the np = 30 inversion/BTRS edge: P(X <= 20) ~ 0.036
+     either side; a lower-tail defect in the rejection sampler shows
+     here. *)
+  let g = rng ~seed:12 () in
+  List.iter
+    (fun np ->
+      let n = 4_096 in
+      let p = np /. float_of_int n in
+      let reps = 100_000 in
+      let le = ref 0 in
+      for _ = 1 to reps do
+        if Sample.binomial g ~n ~p <= 20 then incr le
+      done;
+      let expected = cdf_below ~n ~p 20 in
+      check_float_eps 0.005
+        (Printf.sprintf "P(X <= 20) at np=%.1f" np)
+        expected
+        (float_of_int !le /. float_of_int reps))
+    [ 29.5; 30.5 ]
+
+let test_log_binomial_pmf () =
+  (* Spot values against directly computed binomial mass. *)
+  check_float_eps 1e-12 "pmf(2; 4, 0.5)" (Float.log 0.375)
+    (Sample.log_binomial_pmf ~n:4 ~p:0.5 ~k:2);
+  check_float_eps 1e-9 "pmf(0; 10, 0.1)" (10.0 *. Float.log 0.9)
+    (Sample.log_binomial_pmf ~n:10 ~p:0.1 ~k:0);
+  check_float_eps 1e-9 "pmf(10; 10, 0.3)" (10.0 *. Float.log 0.3)
+    (Sample.log_binomial_pmf ~n:10 ~p:0.3 ~k:10);
+  check_true "out of support is -inf"
+    (Sample.log_binomial_pmf ~n:10 ~p:0.3 ~k:11 = Float.neg_infinity
+    && Sample.log_binomial_pmf ~n:10 ~p:0.3 ~k:(-1) = Float.neg_infinity);
+  (* Mass sums to 1 in a BTRS-regime case. *)
+  let sum = ref 0.0 in
+  for k = 0 to 1_000 do
+    sum := !sum +. Float.exp (Sample.log_binomial_pmf ~n:1_000 ~p:0.035 ~k)
+  done;
+  check_float_eps 1e-9 "pmf sums to 1" 1.0 !sum
+
+let prop_binomial_in_range =
+  qtest ~count:300 "binomial draws stay in [0, n] in every regime"
+    QCheck.(triple (int_range 0 2_000_000) (float_range 0.0 1.0) small_int)
+    (fun (n, p, seed) ->
+      let g = Prng.create ~seed in
+      let v = Sample.binomial g ~n ~p in
+      v >= 0 && v <= n)
+
 let test_geometric_mean () =
   let g = rng () in
   let p = 0.25 in
@@ -295,6 +462,13 @@ let suite =
     ("trichotomy vs bernoulli sum", `Slow, test_trichotomy_vs_bernoulli_sum);
     ("binomial moments", `Slow, test_binomial_moments);
     ("binomial edges", `Quick, test_binomial_edges);
+    ("binomial reflection", `Slow, test_binomial_reflection);
+    ("binomial BTRS chi-square", `Slow, test_binomial_btrs_chi_square);
+    ("binomial skewness", `Slow, test_binomial_skewness);
+    ("binomial tail across sum boundary", `Slow, test_binomial_tail_across_sum_boundary);
+    ("binomial tail across BTRS boundary", `Slow, test_binomial_tail_across_btrs_boundary);
+    ("log binomial pmf", `Quick, test_log_binomial_pmf);
+    prop_binomial_in_range;
     ("geometric mean", `Slow, test_geometric_mean);
     ("geometric tail clamped", `Quick, test_geometric_tail_clamped);
     ("exponential mean", `Slow, test_exponential_mean);

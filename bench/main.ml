@@ -9,7 +9,9 @@
    Quick scale; set BENCH_FULL=1 for the EXPERIMENTS.md parameters.  Each
    experiment is metered (wall time, slots simulated, slots/sec) and the
    whole run is written to BENCH_<ISO-date>.json; set BENCH_BASELINE to a
-   previous BENCH_*.json to print a non-blocking slots/sec diff.
+   previous BENCH_*.json to diff slots/sec per cell — the diff GATES the
+   run (exit 1 when any cell falls below half its baseline throughput)
+   unless BENCH_GATE=off.
 
    Run with:  dune exec bench/main.exe *)
 
@@ -58,15 +60,12 @@ let experiment_tests =
                 ~budget ~max_slots:200_000 ())));
     Test.make ~name:"E6 lesu-scaling (one n=8192 LESU election)"
       (staged (run_cell ~n:8192 (E.Specs.lesu ()) E.Specs.greedy));
-    Test.make ~name:"E7 notification-overhead (one weak-CD LEWK election, n=32)"
+    Test.make ~name:"E7 notification-overhead (one pooled weak-CD LEWK election, n=32)"
       (staged (fun seed ->
            let setup = { E.Runner.n = 32; eps = 0.5; window = 32; max_slots = 500_000 } in
            ignore
-             (E.Runner.run
-                ~engine:
-                  (exact_engine ~name:"LEWK" ~cd:Jamming_channel.Channel.Weak_cd
-                     (Core.Lewk.station ~eps:0.5 ()))
-                setup E.Specs.greedy ~seed)));
+             (E.Runner.run ~engine:(E.Runner.pooled_lewk ~eps:0.5 ()) setup E.Specs.greedy
+                ~seed)));
     Test.make ~name:"E8 vs-arss (one ARSS election, n=1024)"
       (staged (run_cell ~n:1024 E.Specs.arss E.Specs.greedy));
     Test.make ~name:"E9 adversary-ablation (LESK vs single-suppressor)"
@@ -271,8 +270,33 @@ let iso_date () =
 let cell_field json field =
   Option.bind (Json.member field json) Json.to_float_opt
 
-(* Non-blocking comparison against a previous BENCH_*.json: prints the
-   slots/sec ratio per experiment and never fails the run. *)
+(* Gating comparison against a previous BENCH_*.json: prints the
+   slots/sec ratio per cell and FAILS the run (exit 1) when any cell
+   falls below [gate_threshold] of its baseline throughput.  Set
+   BENCH_GATE=off (or 0/no/false) to downgrade the gate to
+   informational — the escape hatch CI documents for known-noisy
+   runners and intentional slowdowns that land with a regenerated
+   baseline.  Offending cells are listed on stdout and, when
+   GITHUB_STEP_SUMMARY is set, appended to the job summary. *)
+let gate_threshold = 0.5
+
+let gate_enabled () =
+  match Sys.getenv_opt "BENCH_GATE" with
+  | Some ("off" | "0" | "no" | "false") -> false
+  | Some _ | None -> true
+
+let append_step_summary lines =
+  match Sys.getenv_opt "GITHUB_STEP_SUMMARY" with
+  | None -> ()
+  | Some path ->
+      let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+      List.iter
+        (fun l ->
+          output_string oc l;
+          output_char oc '\n')
+        lines;
+      close_out oc
+
 let diff_against_baseline ~path cells =
   match Json.read_file ~path with
   | Error msg -> Printf.printf "baseline %s unreadable (%s); skipping diff\n" path msg
@@ -287,7 +311,10 @@ let diff_against_baseline ~path cells =
           (fun c -> Option.bind (Json.member "id" c) Json.to_string_opt = Some id)
           baseline_cells
       in
-      Printf.printf "\n--- slots/sec vs baseline %s (informational) ---\n" path;
+      let offenders = ref [] in
+      Printf.printf "\n--- slots/sec vs baseline %s (gate: < %.0f%%%s fails) ---\n" path
+        (gate_threshold *. 100.0)
+        (if gate_enabled () then "" else "; BENCH_GATE=off, informational");
       List.iter
         (fun cell ->
           match Option.bind (Json.member "id" cell) Json.to_string_opt with
@@ -298,11 +325,47 @@ let diff_against_baseline ~path cells =
                   Option.bind (lookup id) (fun b -> cell_field b "slots_per_sec") )
               with
               | Some now, Some before when before > 0.0 ->
-                  Printf.printf "  %-4s %+7.1f%%  (%.3g -> %.3g slots/s)\n" id
+                  let regressed = now < gate_threshold *. before in
+                  Printf.printf "  %-4s %+7.1f%%  (%.3g -> %.3g slots/s)%s\n" id
                     ((now /. before -. 1.0) *. 100.0)
                     before now
+                    (if regressed then "  << below gate" else "");
+                  if regressed then offenders := (id, before, now) :: !offenders
               | _ -> Printf.printf "  %-4s (no baseline entry)\n" id))
-        cells
+        cells;
+      match List.rev !offenders with
+      | [] -> ()
+      | offs ->
+          Printf.printf "\nbench gate: %d cell(s) below %.0f%% of baseline slots/sec:\n"
+            (List.length offs)
+            (gate_threshold *. 100.0);
+          List.iter
+            (fun (id, before, now) ->
+              Printf.printf "  %-4s %.3g -> %.3g slots/s (%.2fx)\n" id before now
+                (now /. before))
+            offs;
+          append_step_summary
+            ([
+               "## Bench gate: slots/sec regressions";
+               "";
+               Printf.sprintf
+                 "Cells below %.0f%% of `%s` (escape hatch: rerun with \
+                  `BENCH_GATE=off`, or land a regenerated baseline):"
+                 (gate_threshold *. 100.0) path;
+               "";
+               "| cell | baseline slots/s | now slots/s | ratio |";
+               "| --- | --- | --- | --- |";
+             ]
+            @ List.map
+                (fun (id, before, now) ->
+                  Printf.sprintf "| %s | %.3g | %.3g | %.2fx |" id before now
+                    (now /. before))
+                offs);
+          if gate_enabled () then begin
+            Printf.printf "bench gate FAILED (BENCH_GATE=off bypasses)\n";
+            exit 1
+          end
+          else Printf.printf "bench gate bypassed (BENCH_GATE=off)\n"
 
 (* --- exact-engine large-n scaling cells (X1..X3) ---
 
@@ -561,6 +624,74 @@ let aggregate_cells () =
       | _ -> ());
       [ g1; g2 ])
 
+(* --- weak-CD notification-path cells (X6, X7) ---
+
+   The flat-pool engine behind the weak-CD protocols (DESIGN.md §15).
+   X6 runs the same pooled LEWK cell twice — once on the pool, once on
+   the closure oracle it replaced — asserts the two samples are
+   bit-identical, and prints the speedup; X6R (the closure side) stays
+   in the report so the baseline diff keeps tracking the old path too.
+   X7 is the pool alone at n = 10^4, the population the closure engine
+   was too slow to bench.  The store is bypassed so every cell really
+   computes. *)
+
+let notification_cell ~id ~name ~engine ~n ~reps =
+  let setup = { E.Runner.n; eps = 0.5; window = 64; max_slots = 2_000_000 } in
+  let slots0 = Gauges.slots_simulated () and runs0 = Gauges.runs_completed () in
+  let t0 = Unix.gettimeofday () in
+  let sample = E.Runner.replicate ~engine ~reps setup E.Specs.greedy in
+  let wall = Unix.gettimeofday () -. t0 in
+  if not (E.Runner.all_completed sample) then
+    failwith (Printf.sprintf "%s: a weak-CD election hit the slot cap" id);
+  let slots = Gauges.slots_simulated () - slots0 in
+  let runs = Gauges.runs_completed () - runs0 in
+  ( Json.Obj
+      [
+        ("id", Json.String id);
+        ("name", Json.String name);
+        ("wall_s", Json.Float wall);
+        ("slots", Json.Int slots);
+        ("runs", Json.Int runs);
+        ( "slots_per_sec",
+          if wall > 0.0 then Json.Float (float_of_int slots /. wall) else Json.Null );
+      ],
+    sample )
+
+let weak_cd_cells () =
+  let saved = !E.Runner.default_store in
+  E.Runner.set_store None;
+  Fun.protect
+    ~finally:(fun () -> E.Runner.default_store := saved)
+    (fun () ->
+      let x6, pooled =
+        notification_cell ~id:"X6" ~name:"pooled-lewk-n1e3"
+          ~engine:(E.Runner.pooled_lewk ~eps:0.5 ())
+          ~n:1_000 ~reps:20
+      in
+      let x6r, closure =
+        notification_cell ~id:"X6R" ~name:"closure-lewk-n1e3"
+          ~engine:
+            (exact_engine ~name:"LEWK" ~cd:Jamming_channel.Channel.Weak_cd
+               (Core.Lewk.station ~eps:0.5 ()))
+          ~n:1_000 ~reps:20
+      in
+      (* The pooled spec shares the Exact seed tags, so the two samples
+         must be equal result for result — the bench-level oracle. *)
+      if pooled <> closure then
+        failwith "X6: pooled LEWK sample diverged from the closure oracle";
+      (match (cell_field x6 "slots_per_sec", cell_field x6r "slots_per_sec") with
+      | Some p, Some c when c > 0.0 ->
+          Printf.printf
+            "weak-CD notification path (n=10^3 LEWK): pool %.3g slots/s vs closure %.3g \
+             slots/s (%.1fx); samples bit-identical\n"
+            p c (p /. c)
+      | _ -> ());
+      let x7, _ =
+        notification_cell ~id:"X7" ~name:"pooled-lewu-n1e4"
+          ~engine:(E.Runner.pooled_lewu ()) ~n:10_000 ~reps:50
+      in
+      [ x6; x6r; x7 ])
+
 let scaling_cells () =
   let horizon = 2048 in
   let cells =
@@ -642,6 +773,8 @@ let () =
   let cells = cells @ parallel_cells () in
   Printf.printf "\n=== Aggregate-engine population scale (G1..G2) ===\n";
   let cells = cells @ aggregate_cells () in
+  Printf.printf "\n=== Weak-CD notification path (X6..X7) ===\n";
+  let cells = cells @ weak_cd_cells () in
   let wall = Unix.gettimeofday () -. t0 in
   let total_slots = Gauges.slots_simulated () - slots0 in
   let date = iso_date () in

@@ -151,23 +151,30 @@ let run protocol_name adversary_name n eps window max_slots seed reps jobs engin
       Format.printf "protocol %s vs adversary %s, %a, %d rep(s)@." protocol.E.Specs.p_name
         adversary.E.Specs.a_name E.Runner.pp_setup setup reps;
       (* --engine: which simulation core executes the slots.
-           auto      — uniform (trichotomy sampling), or the exact engine
-                       behind Notification when --weak-cd is given;
+           auto      — uniform (trichotomy sampling), or the flat-pool
+                       notification engine when --weak-cd is given;
            uniform   — force the trichotomy-sampling engine;
-           exact     — force the per-station O(n)/slot engine;
+           exact     — force the per-station O(n)/slot engine (behind
+                       --weak-cd: the closure notification oracle, kept
+                       for differential debugging — bit-identical to
+                       auto's pool, just slower);
            aggregate — the class-population counting engine: O(#classes)
                        per slot, so n = 10^9 is fine on one core. *)
+      let weak_name = protocol.E.Specs.p_name ^ "+Notification" in
       let weak_engine () =
+        let pool =
+          if protocol_name = "lesk" then Jamming_core.Lewk.pool ~eps ()
+          else Jamming_core.Lewu.pool ()
+        in
+        E.Runner.Pooled { name = weak_name; cd = Jamming_channel.Channel.Weak_cd; pool }
+      in
+      let weak_closure_engine () =
         let factory =
           if protocol_name = "lesk" then Jamming_core.Lewk.station ~eps ()
           else Jamming_core.Lewu.station ()
         in
         E.Runner.Exact
-          {
-            name = protocol.E.Specs.p_name ^ "+Notification";
-            cd = Jamming_channel.Channel.Weak_cd;
-            factory;
-          }
+          { name = weak_name; cd = Jamming_channel.Channel.Weak_cd; factory }
       in
       let choose_engine () =
         match engine_name with
@@ -177,7 +184,7 @@ let run protocol_name adversary_name n eps window max_slots seed reps jobs engin
               Error "--engine uniform conflicts with --weak-cd (Notification runs on the exact engine)"
             else Ok (E.Runner.Uniform protocol)
         | "exact" -> (
-            if weak_cd then Ok (weak_engine ())
+            if weak_cd then Ok (weak_closure_engine ())
             else
               match protocol_name with
               | "lesk" ->

@@ -26,6 +26,67 @@ let classify slot =
     else C3 { generation; offset = offset - (2 * size) }
   end
 
+(* Non-allocating classification for the hot path.  A cursor caches the
+   generation bracket of the last located slot; walking slots forward is
+   amortized O(1) per slot (the while loop advances the bracket at most
+   once per generation boundary), and a backward jump restarts from
+   generation 1.  [classify] above stays the allocating reference. *)
+
+type cursor = {
+  mutable c_kind : int; (* 0 = idle, 1 = C1, 2 = C2, 3 = C3 *)
+  mutable c_gen : int;
+  mutable c_off : int;
+  mutable c_start : int; (* generation_start c_gen *)
+  mutable c_size : int; (* generation_size c_gen *)
+}
+
+let kind_idle = 0
+let kind_c1 = 1
+let kind_c2 = 2
+let kind_c3 = 3
+let cursor () = { c_kind = 0; c_gen = 1; c_off = 0; c_start = 3; c_size = 2 }
+
+let locate c slot =
+  if slot < 0 then invalid_arg "Intervals.locate: negative slot";
+  if slot < 3 then c.c_kind <- kind_idle
+  else begin
+    if slot < c.c_start then begin
+      (* Backward jump: restart the bracket walk from generation 1. *)
+      c.c_gen <- 1;
+      c.c_start <- 3;
+      c.c_size <- 2
+    end;
+    while slot >= c.c_start + (3 * c.c_size) do
+      c.c_gen <- c.c_gen + 1;
+      c.c_start <- c.c_start + (3 * c.c_size);
+      c.c_size <- c.c_size * 2
+    done;
+    let off = slot - c.c_start in
+    if off < c.c_size then begin
+      c.c_kind <- kind_c1;
+      c.c_off <- off
+    end
+    else if off < 2 * c.c_size then begin
+      c.c_kind <- kind_c2;
+      c.c_off <- off - c.c_size
+    end
+    else begin
+      c.c_kind <- kind_c3;
+      c.c_off <- off - (2 * c.c_size)
+    end
+  end
+
+let kind c = c.c_kind
+let generation c = c.c_gen
+let offset c = c.c_off
+
+let to_class c =
+  match c.c_kind with
+  | 0 -> Idle
+  | 1 -> C1 { generation = c.c_gen; offset = c.c_off }
+  | 2 -> C2 { generation = c.c_gen; offset = c.c_off }
+  | _ -> C3 { generation = c.c_gen; offset = c.c_off }
+
 let pp ppf = function
   | Idle -> Format.pp_print_string ppf "idle"
   | C1 { generation; offset } -> Format.fprintf ppf "C1[%d]+%d" generation offset

@@ -27,3 +27,45 @@ val generation_size : int -> int
 (** [2^i], the size of each of the three intervals of generation [i]. *)
 
 val pp : Format.formatter -> slot_class -> unit
+
+(** {1 Non-allocating cursor}
+
+    The hot simulation path classifies every slot once per slot for a
+    whole population; [classify] allocates a record per call and
+    re-derives the generation bracket by recursion.  A [cursor] caches
+    the bracket of the last located slot: walking slots forward is
+    amortized O(1) and allocation-free, and the kind/generation/offset
+    of the located slot are read back through int accessors.
+    [to_class] bridges back to [slot_class] for tests; the cursor is
+    property-tested identical to [classify] over sequential and random
+    slot walks. *)
+
+type cursor
+
+val cursor : unit -> cursor
+(** A fresh cursor, positioned nowhere; call [locate] before reading. *)
+
+val locate : cursor -> int -> unit
+(** [locate c slot] points [c] at [slot] (≥ 0).  Amortized O(1) when
+    slots are visited in non-decreasing order; a backward jump costs
+    O(log slot). *)
+
+val kind : cursor -> int
+(** Class of the located slot: one of {!kind_idle}, {!kind_c1},
+    {!kind_c2}, {!kind_c3}. *)
+
+val generation : cursor -> int
+(** Generation of the located slot.  Meaningless when [kind] is
+    {!kind_idle}. *)
+
+val offset : cursor -> int
+(** Offset within the located interval.  Meaningless when [kind] is
+    {!kind_idle}. *)
+
+val kind_idle : int
+val kind_c1 : int
+val kind_c2 : int
+val kind_c3 : int
+
+val to_class : cursor -> slot_class
+(** The located slot as a [slot_class] (allocates; for tests). *)

@@ -63,6 +63,63 @@ let aggregate ?a ~eps () =
       compare = Float.compare;
     }
 
+(* [Logic] in population form for [Notification.pool]: the estimate [u]
+   of every station in one float array.  Float updates mirror
+   [Logic.on_state] operation for operation; the transmission
+   probability is cached per station and recomputed — with the same
+   [Float.exp2 (-.u)] expression [Logic.tx_prob] uses — only when [u]
+   changes, so the cached value stays bit-identical to what the closure
+   instance would compute fresh (skipping the recompute when the update
+   left [u] unchanged, e.g. Null at u = 0, is sound for the same
+   reason).  The [elected] flag is not tracked: [sub_of_uniform]
+   discards it and [Logic.tx_prob] never reads it, so it is
+   unobservable through the Notification transformation. *)
+let flat_sub ?a ~eps () =
+  if not (config_valid ~eps) then invalid_arg "Lesk.flat_sub: eps must lie in (0, 1]";
+  let a = match a with Some v -> v | None -> 8.0 /. eps in
+  if not (a >= 1.0) then invalid_arg "Lesk.flat_sub: a must be >= 1";
+  {
+    Notification.fs_name = Printf.sprintf "LESK(eps=%.3g)" eps;
+    fs_make =
+      (fun ~n ->
+        let u = Array.make n 0.0 in
+        let p = Array.make n 1.0 in
+        (* Station estimates move in lockstep except around Singles, so
+           one memo entry serves nearly every station on a jammed slot;
+           [exp2] is pure, so the memoized float is the bit the closure
+           path would have computed. *)
+        let memo_u = ref Float.nan and memo_p = ref 0.0 in
+        let exp2m v =
+          if v = !memo_u then !memo_p
+          else begin
+            let r = Float.exp2 (-.v) in
+            memo_u := v;
+            memo_p := r;
+            r
+          end
+        in
+        {
+          Notification.sp_reset =
+            (fun i ->
+              u.(i) <- 0.0;
+              p.(i) <- exp2m 0.0);
+          sp_tx_prob = (fun i -> p.(i));
+          sp_on_state =
+            (fun i state ->
+              match state with
+              | Channel.Null ->
+                  let u' = Float.max (u.(i) -. 1.0) 0.0 in
+                  if u' <> u.(i) then begin
+                    u.(i) <- u';
+                    p.(i) <- exp2m u'
+                  end
+              | Channel.Collision ->
+                  u.(i) <- u.(i) +. (1.0 /. a);
+                  p.(i) <- exp2m u.(i)
+              | Channel.Single -> ());
+        });
+  }
+
 let expected_time_bound ~eps ~n ~window =
   let log2n = Float.max 1.0 (Float.log2 (float_of_int (Int.max 2 n))) in
   (* The theorem is stated for eps < 1; clamp the log(1/eps) factor away

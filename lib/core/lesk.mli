@@ -58,6 +58,13 @@ val aggregate : ?a:float -> eps:float -> unit -> Jamming_sim.Aggregate.packed
     {!Jamming_sim.Aggregate} engine: state is the estimate [u], updates
     mirror {!Logic.on_state} bit for bit.  [a] as in {!Logic.create}. *)
 
+val flat_sub : ?a:float -> eps:float -> unit -> Notification.flat_sub
+(** LESK as a population sub-algorithm for {!Notification.pool}: every
+    station's estimate [u] in one float array, updates mirroring
+    {!Logic.on_state} bit for bit, transmission probabilities cached
+    per station and recomputed (same [2^−u] expression) only when [u]
+    changes.  [a] as in {!Logic.create}. *)
+
 val expected_time_bound : eps:float -> n:int -> window:int -> float
 (** The Theorem 2.6 shape [max{T, log n / (ε³ log₂(1/ε))}] (no hidden
     constant), used by experiments to normalise measured times. *)

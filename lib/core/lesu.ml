@@ -171,6 +171,132 @@ let aggregate ?(config = default_config) () =
       compare = Stdlib.compare;
     }
 
+(* [Logic] in population form for [Notification.pool]: stage codes and
+   estimation/election progress in flat arrays.  Every float update
+   mirrors the mutable machine ([Estimation.Logic] + [Logic]) operation
+   for operation; the per-station transmission probability is cached
+   and recomputed — with the exact expressions [tx_prob] uses — only
+   when the underlying state changes, so it stays bit-identical to a
+   fresh closure computation.  As in [Lesk.flat_sub] the [elected]
+   flag is unobservable through [sub_of_uniform]; reaching it maps to
+   the frozen stage 2 (tx_prob 0, no further updates), exactly
+   [Logic]'s Finished. *)
+let flat_sub ?(config = default_config) () =
+  if not (config.c > 0.0) then invalid_arg "Lesu.flat_sub: c must be positive";
+  if config.threshold < 1 then invalid_arg "Lesu.flat_sub: threshold must be >= 1";
+  {
+    Notification.fs_name = "LESU";
+    fs_make =
+      (fun ~n ->
+        (* 0 = estimating, 1 = electing, 2 = finished *)
+        let stage = Array.make n 0 in
+        let round = Array.make n 1 in
+        let slots_left = Array.make n 2 in
+        let nulls = Array.make n 0 in
+        let t0 = Array.make n 0.0 in
+        let el_i = Array.make n 1 in
+        let el_j = Array.make n 1 in
+        let remaining = Array.make n 0 in
+        let a = Array.make n 1.0 in
+        let u = Array.make n 0.0 in
+        let p = Array.make n 0.0 in
+        (* Stations move in lockstep except around Singles, so single-
+           entry memos serve nearly the whole population on the hot
+           updates; exp2 is pure, so memoized floats are bit-identical
+           to fresh computation. *)
+        let memo_r = ref (-1) and memo_rp = ref 0.0 in
+        let est_p r =
+          if r = !memo_r then !memo_rp
+          else begin
+            let v = Float.exp2 (-.Float.exp2 (float_of_int r)) in
+            memo_r := r;
+            memo_rp := v;
+            v
+          end
+        in
+        let memo_u = ref Float.nan and memo_up = ref 0.0 in
+        let exp2m v =
+          if v = !memo_u then !memo_up
+          else begin
+            let r = Float.exp2 (-.v) in
+            memo_u := v;
+            memo_up := r;
+            r
+          end
+        in
+        let fresh_phase s ~i ~j =
+          el_i.(s) <- i;
+          el_j.(s) <- j;
+          (* = [Lesk.Logic.create ~eps:(eps_guess j) ()]'s default [a] *)
+          a.(s) <- 8.0 /. eps_guess j;
+          remaining.(s) <- phase_duration ~t0:t0.(s) ~i ~j;
+          u.(s) <- 0.0;
+          p.(s) <- exp2m 0.0
+        in
+        let start_electing s =
+          t0.(s) <- config.c *. Float.exp2 (float_of_int (1 + round.(s)));
+          stage.(s) <- 1;
+          fresh_phase s ~i:1 ~j:1
+        in
+        let on_state s state =
+          match stage.(s) with
+          | 2 -> ()
+          | 0 -> (
+              match state with
+              | Channel.Single ->
+                  stage.(s) <- 2;
+                  p.(s) <- 0.0
+              | Channel.Null | Channel.Collision ->
+                  (match state with
+                  | Channel.Null -> nulls.(s) <- nulls.(s) + 1
+                  | _ -> ());
+                  slots_left.(s) <- slots_left.(s) - 1;
+                  if slots_left.(s) = 0 then
+                    if nulls.(s) >= config.threshold then start_electing s
+                    else begin
+                      round.(s) <- round.(s) + 1;
+                      slots_left.(s) <- 1 lsl round.(s);
+                      nulls.(s) <- 0;
+                      p.(s) <- est_p round.(s)
+                    end)
+          | _ -> (
+              match state with
+              | Channel.Single ->
+                  stage.(s) <- 2;
+                  p.(s) <- 0.0
+              | Channel.Null | Channel.Collision ->
+                  (match state with
+                  | Channel.Null ->
+                      let u' = Float.max (u.(s) -. 1.0) 0.0 in
+                      if u' <> u.(s) then begin
+                        u.(s) <- u';
+                        p.(s) <- exp2m u'
+                      end
+                  | _ ->
+                      u.(s) <- u.(s) +. (1.0 /. a.(s));
+                      p.(s) <- exp2m u.(s));
+                  remaining.(s) <- remaining.(s) - 1;
+                  if remaining.(s) <= 0 then begin
+                    let i, j =
+                      if el_j.(s) >= el_i.(s) then (el_i.(s) + 1, 1)
+                      else (el_i.(s), el_j.(s) + 1)
+                    in
+                    fresh_phase s ~i ~j
+                  end)
+        in
+        {
+          Notification.sp_reset =
+            (fun s ->
+              stage.(s) <- 0;
+              round.(s) <- 1;
+              slots_left.(s) <- 2;
+              nulls.(s) <- 0;
+              p.(s) <- est_p 1);
+          sp_tx_prob = (fun s -> p.(s));
+          sp_on_state = on_state;
+        });
+  }
+
 let expected_time_bound ~eps ~n ~window =
   let log2 x = Float.log2 (Float.max 2.0 x) in
   let nf = float_of_int (Int.max 2 n) and tf = float_of_int (Int.max 1 window) in

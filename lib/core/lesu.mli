@@ -49,6 +49,13 @@ val aggregate : ?config:config -> unit -> Jamming_sim.Aggregate.packed
     progress or the current LESK phase; transitions mirror
     {!Logic.on_state} bit for bit. *)
 
+val flat_sub : ?config:config -> unit -> Notification.flat_sub
+(** LESU as a population sub-algorithm for {!Notification.pool}: stage
+    codes and estimation/election progress in flat arrays, transitions
+    mirroring {!Logic.on_state} bit for bit, transmission probabilities
+    cached per station and recomputed with the exact {!Logic.tx_prob}
+    expressions only when the state changes. *)
+
 val eps_guess : int -> float
 (** [eps_guess j = 2^{−j/3}], the tolerance sequence. *)
 

@@ -1,2 +1,4 @@
 let station ?on_phase ~eps () =
   Notification.station ?on_phase (Notification.sub_of_uniform (Lesk.uniform ~eps))
+
+let pool ?on_phase ~eps () = Notification.pool ?on_phase (Lesk.flat_sub ~eps ())

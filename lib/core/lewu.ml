@@ -1,2 +1,4 @@
 let station ?on_phase ?config () =
   Notification.station ?on_phase (Notification.sub_of_uniform (Lesu.uniform ?config ()))
+
+let pool ?on_phase ?config () = Notification.pool ?on_phase (Lesu.flat_sub ?config ())

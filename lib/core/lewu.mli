@@ -8,3 +8,12 @@ val station :
   ?config:Lesu.config ->
   unit ->
   Jamming_station.Station.factory
+
+val pool :
+  ?on_phase:(id:int -> slot:int -> Notification.phase -> unit) ->
+  ?config:Lesu.config ->
+  unit ->
+  Jamming_station.Station.pool_factory
+(** LEWU in flat-pool form for [Engine.run_pool]: {!Notification.pool}
+    over {!Lesu.flat_sub}.  Bit-identical to {!station} driven by
+    [Engine.run] on the same seed (asserted in test_notification.ml). *)

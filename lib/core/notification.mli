@@ -54,4 +54,52 @@ val station :
   Jamming_station.Station.factory
 (** Wrap [A] into a full weak-CD leader-election station.  [on_phase] is
     called at every phase transition (used by the example traces and the
-    tests). *)
+    tests).
+
+    This closure-per-station path is kept as the {e differential
+    oracle} for {!pool} (the way [Engine.run_reference] backs
+    [Engine.run]): the pool must reproduce it bit for bit — same
+    random-stream split points, same draw counts, same transition slots
+    — for every seed, fault plan and observer combination.  Production
+    weak-CD call sites should use {!pool}. *)
+
+(** {1 Flat station pool}
+
+    The vectorized form of the transformation: one {!subpool} holds the
+    sub-algorithm state of all [n] stations in flat arrays, and
+    {!pool} adds the Notification phase machine on top — phase codes
+    and generation tags in int arrays, one slot classification per slot
+    (not per station per call site), one dense active set so finished
+    stations cost nothing.  Stream compatibility with the closure path
+    is part of the contract: station [i]'s generator is split off the
+    run generator in id order, and a sub-instance's stream is split off
+    the station's generator exactly when the closure path would call
+    [sub_factory]. *)
+
+(** Sub-algorithm state for a whole population.  [sp_reset i] restarts
+    station [i]'s instance (the closure path's "fresh [sub]");
+    [sp_tx_prob i] is its current transmission probability — it must
+    equal, bit for bit, what the closure instance's [tx_prob] would
+    return, including after [sp_on_state] updates; [sp_on_state i st]
+    feeds it one perceived state. *)
+type subpool = {
+  sp_reset : int -> unit;
+  sp_tx_prob : int -> float;
+  sp_on_state : int -> Jamming_channel.Channel.state -> unit;
+}
+
+type flat_sub = {
+  fs_name : string;
+  fs_make : n:int -> subpool;
+}
+(** A sub-algorithm [A] in population form; the counterpart of
+    {!sub_factory}. *)
+
+val pool :
+  ?on_phase:(id:int -> slot:int -> phase -> unit) ->
+  flat_sub ->
+  Jamming_station.Station.pool_factory
+(** [pool fsub ~n ~rng] is the population that [n] closure stations
+    built from [station fsub' ~rng] would be, state in flat arrays.
+    Drive it with [Engine.run_pool].  [on_phase] fires at the same
+    (id, slot, phase) points as the closure path's. *)

@@ -43,18 +43,36 @@ type engine =
       cd : Channel.cd_model;
       proto : Jamming_sim.Aggregate.packed;
     }
+  | Pooled of {
+      name : string;
+      cd : Channel.cd_model;
+      pool : Jamming_station.Station.pool_factory;
+    }
 
 let engine_name = function
   | Uniform p -> p.Specs.p_name
   | Exact { name; _ } -> name
   | Faulty { name; _ } -> name
   | Aggregate { name; _ } -> name
+  | Pooled { name; _ } -> name
 
 let aggregate_of ?(cd = Channel.Strong_cd) proto =
   Aggregate { name = Jamming_sim.Aggregate.name proto; cd; proto }
 
 let aggregate_lesk ?a ~eps () = aggregate_of (Jamming_core.Lesk.aggregate ?a ~eps ())
 let aggregate_lesu ?config () = aggregate_of (Jamming_core.Lesu.aggregate ?config ())
+
+(* The weak-CD notification protocols in flat-pool form (DESIGN.md §15).
+   A pooled spec is the drop-in fast path for the corresponding Exact
+   spec: it shares the Exact seed tags and cache keys below, which is
+   sound because the pooled engine is bit-identical to the closure
+   engine on every stream (asserted in test_notification.ml and the E7
+   oracle check). *)
+let pooled_lewk ?(eps = 0.5) () =
+  Pooled { name = "LEWK"; cd = Channel.Weak_cd; pool = Jamming_core.Lewk.pool ~eps () }
+
+let pooled_lewu ?config () =
+  Pooled { name = "LEWU"; cd = Channel.Weak_cd; pool = Jamming_core.Lewu.pool ?config () }
 
 let make_adversary (adversary : Specs.adversary) setup ~seed =
   adversary.Specs.a_make ~seed:(seed lxor 0x5bd1e995) ~n:setup.n ~eps:setup.eps
@@ -112,6 +130,12 @@ let run ?(observers = []) ~engine setup (adversary : Specs.adversary) ~seed =
       let adv = make_adversary adversary setup ~seed in
       Jamming_sim.Aggregate.run ~observers ~cd ~rng ~n:setup.n ~protocol
         ~adversary:adv ~budget ~max_slots:setup.max_slots ()
+  | Pooled { cd; pool; name = _ } ->
+      let rng = Prng.create ~seed in
+      let pool = pool ~n:setup.n ~rng in
+      let adv = make_adversary adversary setup ~seed in
+      Jamming_sim.Engine.run_pool ~observers ~cd ~adversary:adv ~budget
+        ~max_slots:setup.max_slots ~pool ()
 
 type sample = {
   setup : setup;
@@ -136,6 +160,11 @@ let cell_tag ~engine ~(adversary : Specs.adversary) setup =
   | Aggregate { name; _ } ->
       Printf.sprintf "aggregate|%s|%s|%d|%f|%d" name adversary.Specs.a_name setup.n
         setup.eps setup.window
+  (* A pooled cell IS the corresponding exact cell, faster: per-rep
+     seeds (and hence results) are shared with the closure engine. *)
+  | Pooled { name; _ } ->
+      Printf.sprintf "exact|%s|%s|%d|%f|%d" name adversary.Specs.a_name setup.n setup.eps
+        setup.window
 
 let recommended_jobs () =
   let from_env =
@@ -316,6 +345,9 @@ let cell_key ~engine ~(adversary : Specs.adversary) ~reps ~base_seed setup =
     | Exact { cd; _ } -> ("exact", cd)
     | Faulty { cd; _ } -> ("faulty", cd)
     | Aggregate { cd; _ } -> ("aggregate", cd)
+    (* Shares the exact kind: warm cache entries serve either engine,
+       soundly, because the two are bit-identical per seed. *)
+    | Pooled { cd; _ } -> ("exact", cd)
   in
   Key.v
     ([
@@ -333,7 +365,7 @@ let cell_key ~engine ~(adversary : Specs.adversary) ~reps ~base_seed setup =
     @
     match engine with
     | Faulty { faults; _ } -> [ ("faults", Key.S (faults_descriptor faults)) ]
-    | Uniform _ | Exact _ | Aggregate _ -> [])
+    | Uniform _ | Exact _ | Aggregate _ | Pooled _ -> [])
 
 (* Process-default store, same pattern as [default_telemetry]: the
    CLIs install one under --cache and experiment code stays oblivious. *)
@@ -366,6 +398,10 @@ let churn_engine_parts ~setup engine =
       (* Class counts cannot express per-station lifecycle events, and
          nothing keeps a churned population in lockstep phases. *)
       invalid_arg "Runner: the aggregate engine does not support churn"
+  | Pooled _ ->
+      (* The dynamic driver composes per-station factories; re-run the
+         closure engine (bit-identical) for churned weak-CD populations. *)
+      invalid_arg "Runner: the pooled engine does not support churn"
 
 let run_churn ?(observers = []) ~engine ~churn ?restart_after setup adversary ~seed =
   validate setup;
@@ -519,6 +555,7 @@ let churn_cell_key ~engine ~(adversary : Specs.adversary) ~churn ~restart_after 
     | Exact { cd; _ } -> ("exact", cd)
     | Faulty { cd; _ } -> ("faulty", cd)
     | Aggregate _ -> invalid_arg "Runner: the aggregate engine does not support churn"
+    | Pooled _ -> invalid_arg "Runner: the pooled engine does not support churn"
   in
   Key.v
     ([
@@ -541,7 +578,7 @@ let churn_cell_key ~engine ~(adversary : Specs.adversary) ~churn ~restart_after 
     @
     match engine with
     | Faulty { faults; _ } -> [ ("faults", Key.S (faults_descriptor faults)) ]
-    | Uniform _ | Exact _ | Aggregate _ -> [])
+    | Uniform _ | Exact _ | Aggregate _ | Pooled _ -> [])
 
 let record_churn_sample tel (results : Dynamic.result array) =
   let c name = Telemetry.counter tel ("runner.churn." ^ name) in
@@ -589,6 +626,8 @@ module Cell = struct
         (match c.engine with
         | Aggregate _ ->
             invalid_arg "Runner.Cell: the aggregate engine does not support churn"
+        | Pooled _ ->
+            invalid_arg "Runner.Cell: the pooled engine does not support churn"
         | Uniform _ | Exact _ | Faulty _ -> ());
         Faults.Churn.validate churn;
         match restart_after with

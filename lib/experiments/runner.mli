@@ -62,6 +62,18 @@ type engine =
           [Exact] but with per-class binomial draws instead of
           per-station streams, so agreement is KS-tested, not bitwise.
           Does not support churn. *)
+  | Pooled of {
+      name : string;
+      cd : Jamming_channel.Channel.cd_model;
+      pool : Jamming_station.Station.pool_factory;
+    }
+      (** Flat struct-of-arrays {!Jamming_sim.Engine.run_pool} over a
+          {!Jamming_station.Station.pool} (DESIGN.md §15) — the fast
+          path for weak-CD notification protocols.  Bit-identical to
+          the [Exact] closure engine per seed (asserted in tests and in
+          E7's oracle check), so it deliberately shares the [Exact]
+          seed tags and cache keys: a pooled cell {e is} the exact
+          cell, faster.  Does not support churn. *)
 
 val engine_name : engine -> string
 
@@ -75,6 +87,14 @@ val aggregate_lesk : ?a:float -> eps:float -> unit -> engine
 
 val aggregate_lesu : ?config:Jamming_core.Lesu.config -> unit -> engine
 (** {!Jamming_core.Lesu.aggregate} as an engine spec. *)
+
+val pooled_lewk : ?eps:float -> unit -> engine
+(** {!Jamming_core.Lewk.pool} as a [Pooled] engine spec named ["LEWK"]
+    ([eps] defaults to 0.5), so it shares seeds, published tables and
+    cache entries with the Exact LEWK spec of the same [eps]. *)
+
+val pooled_lewu : ?config:Jamming_core.Lesu.config -> unit -> engine
+(** {!Jamming_core.Lewu.pool} as a [Pooled] engine spec. *)
 
 type sample = {
   setup : setup;

@@ -1,7 +1,16 @@
-(* xoshiro256** with SplitMix64 seeding (Blackman & Vigna).  All state is
-   Int64 to get identical streams on 32- and 64-bit platforms. *)
+(* xoshiro256** with SplitMix64 seeding (Blackman & Vigna).  The four
+   64-bit state words live in a 32-byte [Bytes.t] rather than mutable
+   Int64 record fields: loads and stores through the %caml_bytes_*64u
+   primitives stay unboxed in the generated code, so a [bits64] step
+   allocates nothing where the record representation boxed every field
+   write.  The stream is bit-identical to the record version — same
+   arithmetic, same word order — and, as before, identical on 32- and
+   64-bit platforms because all values are Int64. *)
 
-type t = { mutable s0 : int64; mutable s1 : int64; mutable s2 : int64; mutable s3 : int64 }
+type t = Bytes.t
+
+external unsafe_get_64 : Bytes.t -> int -> int64 = "%caml_bytes_get64u"
+external unsafe_set_64 : Bytes.t -> int -> int64 -> unit = "%caml_bytes_set64u"
 
 let ( +% ) = Int64.add
 let ( *% ) = Int64.mul
@@ -16,40 +25,45 @@ let splitmix64_next state =
   let z = (z ^% (z >>% 27)) *% 0x94D049BB133111EBL in
   z ^% (z >>% 31)
 
-let create ~seed =
-  let state = ref (Int64.of_int seed) in
-  let s0 = splitmix64_next state in
-  let s1 = splitmix64_next state in
-  let s2 = splitmix64_next state in
-  let s3 = splitmix64_next state in
-  { s0; s1; s2; s3 }
+let of_splitmix state =
+  let g = Bytes.create 32 in
+  unsafe_set_64 g 0 (splitmix64_next state);
+  unsafe_set_64 g 8 (splitmix64_next state);
+  unsafe_set_64 g 16 (splitmix64_next state);
+  unsafe_set_64 g 24 (splitmix64_next state);
+  g
 
-let copy g = { s0 = g.s0; s1 = g.s1; s2 = g.s2; s3 = g.s3 }
+let create ~seed = of_splitmix (ref (Int64.of_int seed))
 
-let rotl x k = Int64.logor (x <<% k) (x >>% (64 - k))
+let copy = Bytes.copy
 
-let bits64 g =
-  let result = rotl (g.s1 *% 5L) 7 *% 9L in
-  let t = g.s1 <<% 17 in
-  g.s2 <- g.s2 ^% g.s0;
-  g.s3 <- g.s3 ^% g.s1;
-  g.s1 <- g.s1 ^% g.s2;
-  g.s0 <- g.s0 ^% g.s3;
-  g.s2 <- g.s2 ^% t;
-  g.s3 <- rotl g.s3 45;
+let[@inline] rotl x k = Int64.logor (x <<% k) (x >>% (64 - k))
+
+let[@inline] bits64 g =
+  let s0 = unsafe_get_64 g 0 in
+  let s1 = unsafe_get_64 g 8 in
+  let s2 = unsafe_get_64 g 16 in
+  let s3 = unsafe_get_64 g 24 in
+  let result = rotl (s1 *% 5L) 7 *% 9L in
+  let t = s1 <<% 17 in
+  let s2 = s2 ^% s0 in
+  let s3 = s3 ^% s1 in
+  let s1 = s1 ^% s2 in
+  let s0 = s0 ^% s3 in
+  let s2 = s2 ^% t in
+  let s3 = rotl s3 45 in
+  unsafe_set_64 g 0 s0;
+  unsafe_set_64 g 8 s1;
+  unsafe_set_64 g 16 s2;
+  unsafe_set_64 g 24 s3;
   result
 
 let split g =
   (* Reseed a child through SplitMix64 so that short cycles between parent
      and child streams are broken even for adjacent outputs. *)
-  let state = ref (bits64 g) in
-  let s0 = splitmix64_next state in
-  let s1 = splitmix64_next state in
-  let s2 = splitmix64_next state in
-  let s3 = splitmix64_next state in
-  { s0; s1; s2; s3 }
+  of_splitmix (ref (bits64 g))
 
-let float g = Int64.to_float (bits64 g >>% 11) *. 0x1p-53
+let[@inline] float g = Int64.to_float (bits64 g >>% 11) *. 0x1p-53
 
 let int g ~bound =
   if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
@@ -65,7 +79,7 @@ let int g ~bound =
   in
   draw ()
 
-let bool g ~p = if p >= 1.0 then true else if p <= 0.0 then false else float g < p
+let[@inline] bool g ~p = if p >= 1.0 then true else if p <= 0.0 then false else float g < p
 
 let seed_of_string s =
   (* FNV-1a folded to 63 bits; stable across runs unlike Hashtbl.hash. *)

@@ -3,6 +3,7 @@ module Adversary = Jamming_adversary.Adversary
 module Budget = Jamming_adversary.Budget
 module Station = Jamming_station.Station
 module Injection = Jamming_faults.Injection
+module Fault_plan = Jamming_faults.Fault_plan
 
 let make_stations ~n ~rng factory =
   Array.init n (fun id -> factory ~id ~rng:(Jamming_prng.Prng.split rng))
@@ -19,9 +20,8 @@ let assemble_observers ?monitor observers =
    the election actually completed with a unique leader; a run cut off
    at [max_slots] reports [leader = None] even if one station happens
    to stand in status Leader. *)
-let build_result ~slot ~finished ~stations ~tx_counts ~jammed_slots ~nulls ~singles
+let finalize ~slot ~finished ~statuses ~tx_counts ~jammed_slots ~nulls ~singles
     ~collisions obs =
-  let statuses = Array.map (fun s -> s.Station.status ()) stations in
   let leader = ref None in
   Array.iteri
     (fun i st -> if Station.equal_status st Station.Leader then leader := Some i)
@@ -51,6 +51,12 @@ let build_result ~slot ~finished ~stations ~tx_counts ~jammed_slots ~nulls ~sing
   Gauges.note_run ~slots:slot;
   Array.iter (fun o -> o.Observer.on_result result) obs;
   result
+
+let build_result ~slot ~finished ~stations ~tx_counts ~jammed_slots ~nulls ~singles
+    ~collisions obs =
+  let statuses = Array.map (fun s -> s.Station.status ()) stations in
+  finalize ~slot ~finished ~statuses ~tx_counts ~jammed_slots ~nulls ~singles
+    ~collisions obs
 
 let run ?(start_slot = 0) ?faults ?monitor ?(observers = []) ~cd ~adversary
     ~budget ~max_slots ~stations () =
@@ -244,5 +250,142 @@ let run_reference ?(start_slot = 0) ?faults ?monitor ?(observers = []) ~cd
     finished := all_finished ()
   done;
   build_result ~slot:!slot ~finished:!finished ~stations ~tx_counts
+    ~jammed_slots:!jammed_slots ~nulls:!nulls ~singles:!singles ~collisions:!collisions
+    obs
+
+(* Vectorized engine over a {!Station.pool}.  Protocol state lives in
+   flat arrays inside the pool; per slot the fault-free path makes two
+   batch calls instead of O(active) closure invocations, and perception
+   is computed once per slot (one state for transmitters, one for
+   listeners) instead of once per station.  With lifecycle plans or
+   active sensing noise the engine falls back to a per-station loop
+   that reproduces, draw for draw, what [run] does over
+   [Fault_plan.wrap]ped closure stations: the crash latch is set during
+   the decide pass, dormant stations listen but still burn a sensing
+   draw, and dead or finished stations draw nothing. *)
+let run_pool ?(start_slot = 0) ?faults ?plans ?monitor ?(observers = []) ~cd ~adversary
+    ~budget ~max_slots ~pool () =
+  let n = pool.Station.pool_size in
+  let obs = assemble_observers ?monitor observers in
+  let observed = Array.length obs > 0 in
+  let needs_leaders = Array.exists (fun o -> o.Observer.needs_leaders) obs in
+  let actions = Array.make n Station.Listen in
+  let tx_counts = Array.make n 0 in
+  let jammed_slots = ref 0 in
+  let nulls = ref 0 and singles = ref 0 and collisions = ref 0 in
+  let noise =
+    match faults with Some f when Injection.active f -> Some f | Some _ | None -> None
+  in
+  let plans =
+    match plans with
+    | Some ps when Array.exists (fun p -> not (Fault_plan.is_null p)) ps ->
+        if Array.length ps <> n then
+          invalid_arg "Engine.run_pool: plans length must equal pool size";
+        Array.iter Fault_plan.validate ps;
+        Some ps
+    | Some _ | None -> None
+  in
+  let slot = ref 0 in
+  let finished = ref (pool.Station.pool_all_finished ()) in
+  let observe_slot ~t ~jam ~state ~transmitters =
+    adversary.Adversary.notify ~slot:t ~jammed:jam ~state;
+    if observed then begin
+      let record =
+        { Metrics.slot = t; transmitters = Metrics.Exact transmitters; jammed = jam; state }
+      in
+      let leaders = if needs_leaders then pool.Station.pool_leaders () else -1 in
+      Array.iter (fun o -> o.Observer.on_slot record ~leaders) obs
+    end
+  in
+  (match (plans, noise) with
+  | None, None ->
+      (* Fast batch path: the pool iterates its own dense active set. *)
+      while (not !finished) && !slot < max_slots do
+        let t = start_slot + !slot in
+        let can_jam = Budget.can_jam budget in
+        let jam = can_jam && adversary.Adversary.wants_jam ~slot:t ~can_jam in
+        Budget.advance budget ~jam;
+        pool.Station.pool_begin_slot ~slot:t;
+        let transmitters = pool.Station.pool_decide_all ~slot:t ~actions ~tx_counts in
+        let state = Channel.resolve ~transmitters ~jammed:jam in
+        if jam then incr jammed_slots;
+        (match state with
+        | Channel.Null -> incr nulls
+        | Channel.Single -> incr singles
+        | Channel.Collision -> incr collisions);
+        let tx = Channel.perceive cd state ~transmitted:true in
+        let rx = Channel.perceive cd state ~transmitted:false in
+        pool.Station.pool_observe_all ~slot:t ~actions ~tx ~rx;
+        observe_slot ~t ~jam ~state ~transmitters;
+        incr slot;
+        finished := pool.Station.pool_all_finished ()
+      done
+  | _ ->
+      (* Faulty path: engine-owned active set + crash latch, mirroring
+         [run] over wrapped stations so noise draws line up exactly. *)
+      let dead = Array.make n false in
+      let active = Array.make n 0 in
+      let n_active = ref 0 in
+      for i = 0 to n - 1 do
+        if not (pool.Station.pool_finished i) then begin
+          active.(!n_active) <- i;
+          incr n_active
+        end
+      done;
+      let dormant i ~t =
+        match plans with Some ps -> Fault_plan.dormant ps.(i) ~slot:t | None -> false
+      in
+      while !n_active > 0 && !slot < max_slots do
+        let t = start_slot + !slot in
+        let can_jam = Budget.can_jam budget in
+        let jam = can_jam && adversary.Adversary.wants_jam ~slot:t ~can_jam in
+        Budget.advance budget ~jam;
+        pool.Station.pool_begin_slot ~slot:t;
+        let transmitters = ref 0 in
+        for k = 0 to !n_active - 1 do
+          let i = active.(k) in
+          (match plans with
+          | Some ps -> if Fault_plan.crashed ps.(i) ~slot:t then dead.(i) <- true
+          | None -> ());
+          let a =
+            if dead.(i) || dormant i ~t then Station.Listen
+            else pool.Station.pool_decide ~slot:t i
+          in
+          actions.(i) <- a;
+          if Station.equal_action a Station.Transmit then begin
+            incr transmitters;
+            tx_counts.(i) <- tx_counts.(i) + 1
+          end
+        done;
+        let state = Channel.resolve ~transmitters:!transmitters ~jammed:jam in
+        if jam then incr jammed_slots;
+        (match state with
+        | Channel.Null -> incr nulls
+        | Channel.Single -> incr singles
+        | Channel.Collision -> incr collisions);
+        let kept = ref 0 in
+        for k = 0 to !n_active - 1 do
+          let i = active.(k) in
+          if not (dead.(i) || pool.Station.pool_finished i) then begin
+            let transmitted = Station.equal_action actions.(i) Station.Transmit in
+            let sensed =
+              match noise with None -> state | Some inj -> Injection.sense inj state
+            in
+            let perceived = Channel.perceive cd sensed ~transmitted in
+            if not (dormant i ~t) then
+              pool.Station.pool_observe ~slot:t ~perceived ~transmitted i
+          end;
+          if not (dead.(i) || pool.Station.pool_finished i) then begin
+            active.(!kept) <- i;
+            incr kept
+          end
+        done;
+        n_active := !kept;
+        observe_slot ~t ~jam ~state ~transmitters:!transmitters;
+        incr slot
+      done;
+      finished := !n_active = 0);
+  let statuses = Array.init n pool.Station.pool_status in
+  finalize ~slot:!slot ~finished:!finished ~statuses ~tx_counts
     ~jammed_slots:!jammed_slots ~nulls:!nulls ~singles:!singles ~collisions:!collisions
     obs

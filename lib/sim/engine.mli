@@ -85,6 +85,38 @@ val run_reference :
     Tests and the bench reference path use it; production call sites
     must use {!run}. *)
 
+val run_pool :
+  ?start_slot:int ->
+  ?faults:Jamming_faults.Injection.t ->
+  ?plans:Jamming_faults.Fault_plan.plan array ->
+  ?monitor:Monitor.t ->
+  ?observers:Observer.t list ->
+  cd:Jamming_channel.Channel.cd_model ->
+  adversary:Jamming_adversary.Adversary.t ->
+  budget:Jamming_adversary.Budget.t ->
+  max_slots:int ->
+  pool:Jamming_station.Station.pool ->
+  unit ->
+  Metrics.result
+(** The vectorized engine: one {!Jamming_station.Station.pool} holds
+    the whole population in flat arrays, and a fault-free slot is two
+    batch calls (decide-all, observe-all) with the perceived state
+    computed once per slot for transmitters and once for listeners —
+    not once per station.  Semantics are those of {!run} over the
+    equivalent closure stations: same slot ordering, same observer
+    records, same result, and (for the shipped pools) bit-identical
+    random streams, asserted in [test_notification.ml].
+
+    [plans] carries station lifecycle faults (crash/sleep/late wake-up)
+    that the closure path would install with
+    {!Jamming_faults.Fault_plan.wrap}; here the engine applies the
+    gating itself, because wrapping is a closure-level device.  With
+    [plans] or active [faults] noise the engine switches to a
+    per-station loop that reproduces the closure path's sensing-draw
+    order exactly (dormant stations draw, dead and finished ones do
+    not).  The batch path and the per-station path never mix within a
+    run. *)
+
 val make_stations :
   n:int -> rng:Jamming_prng.Prng.t -> Jamming_station.Station.factory ->
   Jamming_station.Station.t array

@@ -92,9 +92,39 @@ let prop_classify_consistent =
             + (2 * Intervals.generation_size generation)
             + offset)
 
+let test_cursor_sequential () =
+  (* The hot-path cursor must agree with [classify] on a sequential slot
+     walk — the pattern the pool engine drives it with. *)
+  let c = Intervals.cursor () in
+  for slot = 0 to 50_000 do
+    Intervals.locate c slot;
+    if Intervals.to_class c <> Intervals.classify slot then
+      Alcotest.failf "cursor diverges from classify at slot %d" slot
+  done
+
+let prop_cursor_random_jumps =
+  qtest ~count:300 "cursor ≡ classify under arbitrary jump sequences"
+    QCheck.(list_of_size Gen.(1 -- 60) (int_range 0 5_000_000))
+    (fun slots ->
+      let c = Intervals.cursor () in
+      List.for_all
+        (fun slot ->
+          Intervals.locate c slot;
+          Intervals.to_class c = Intervals.classify slot)
+        slots)
+
+let test_cursor_negative_rejected () =
+  let c = Intervals.cursor () in
+  Alcotest.check_raises "negative slot"
+    (Invalid_argument "Intervals.locate: negative slot")
+    (fun () -> Intervals.locate c (-1))
+
 let suite =
   [
     ("slots 0-2 are idle", `Quick, test_idle_slots);
+    ("cursor tracks classify sequentially", `Quick, test_cursor_sequential);
+    prop_cursor_random_jumps;
+    ("cursor rejects negative slots", `Quick, test_cursor_negative_rejected);
     ("negative slots rejected", `Quick, test_negative_rejected);
     ("first generation layout", `Quick, test_first_generation);
     ("paper formulas", `Quick, test_paper_formulas);

@@ -160,6 +160,184 @@ let test_overhead_constant_factor () =
      practical constant bigger at tiny n, so the envelope is generous. *)
   check_true (Printf.sprintf "overhead %.1fx bounded" r) (r < 64.0)
 
+(* --- flat pool vs closure oracle ------------------------------------ *)
+
+module Observer = Jamming_sim.Observer
+module Config = Jamming_faults.Config
+module Perception = Jamming_faults.Perception
+module Injection = Jamming_faults.Injection
+module Fault_plan = Jamming_faults.Fault_plan
+module Lesk = Jamming_core.Lesk
+module Lesu = Jamming_core.Lesu
+
+type protocol = P_lewk | P_lewu
+
+(* One run through either path, everything rebuilt from the seed —
+   stations/pool, adversary, budget, fault plans, sensing noise — with
+   a needs_leaders observer logging every slot record and the phase
+   callback logging every transition.  The pool must reproduce the
+   closure path bit for bit: same result, same slot records and leader
+   counts, same (id, slot, phase) transitions. *)
+let identity_run which ~protocol ~seed ~n ~plans_spec ~noisy ~adversary ~max_slots =
+  let transitions = ref [] in
+  let on_phase ~id ~slot ph = transitions := (id, slot, ph) :: !transitions in
+  let log = ref [] in
+  let recording =
+    Observer.make ~name:"rec" ~needs_leaders:true
+      ~on_slot:(fun r ~leaders ->
+        log :=
+          (r.Metrics.slot, r.Metrics.transmitters, r.Metrics.jammed, r.Metrics.state, leaders)
+          :: !log)
+      ()
+  in
+  let plans =
+    match plans_spec with
+    | `None -> None
+    | `Fixed plans -> Some plans
+    | `Sampled ->
+        let cfg =
+          {
+            Config.perception = Perception.uniform ~p:0.15;
+            p_crash = 0.25;
+            crash_horizon = 400;
+            p_sleep = 0.3;
+            sleep_horizon = 300;
+            max_sleep = 60;
+            p_late_wake = 0.3;
+            max_wake_delay = 12;
+          }
+        in
+        Some (Config.sample_plans cfg ~rng:(Prng.create ~seed:(seed lxor 0x9e3779b9)) ~n)
+  in
+  let faults =
+    if not noisy then None
+    else
+      Some
+        (Injection.create ~noise:(Perception.uniform ~p:0.15)
+           ~rng:(Prng.create ~seed:(seed lxor 0x85ebca6b)))
+  in
+  let g = Prng.create ~seed in
+  let budget = Budget.create ~window:16 ~eps:0.5 in
+  let adversary = adversary () in
+  let result =
+    match which with
+    | `Closure ->
+        let factory =
+          match protocol with
+          | P_lewk -> Lewk.station ~on_phase ~eps:0.5 ()
+          | P_lewu -> Lewu.station ~on_phase ()
+        in
+        let stations = Engine.make_stations ~n ~rng:g factory in
+        let stations =
+          match plans with None -> stations | Some ps -> Config.wrap_stations ps stations
+        in
+        Engine.run ?faults ~observers:[ recording ] ~cd:Channel.Weak_cd ~adversary ~budget
+          ~max_slots ~stations ()
+    | `Pool ->
+        let pf =
+          match protocol with
+          | P_lewk -> Lewk.pool ~on_phase ~eps:0.5 ()
+          | P_lewu -> Lewu.pool ~on_phase ()
+        in
+        let pool = pf ~n ~rng:g in
+        Engine.run_pool ?plans ?faults ~observers:[ recording ] ~cd:Channel.Weak_cd
+          ~adversary ~budget ~max_slots ~pool ()
+  in
+  (result, List.rev !log, List.rev !transitions)
+
+let identity_holds ~protocol ~seed ~n ~plans_spec ~noisy ~adversary ~max_slots =
+  let a = identity_run `Closure ~protocol ~seed ~n ~plans_spec ~noisy ~adversary ~max_slots in
+  let b = identity_run `Pool ~protocol ~seed ~n ~plans_spec ~noisy ~adversary ~max_slots in
+  a = b
+
+let prop_pool_matches_closure_lewk =
+  qtest ~count:40 "LEWK flat pool ≡ closure oracle (seeds × faults × n)"
+    QCheck.(
+      quad small_int (oneofl [ 1; 2; 17; 256 ]) bool bool)
+    (fun (seed, n, faulty, jam) ->
+      let adversary = if jam then Adversary.greedy else Adversary.none in
+      let max_slots = if n >= 256 then 4_000 else 20_000 in
+      (* [faulty] turns on lifecycle plans; sensing noise additionally
+         covers the noise-only slow path on a third of the clean seeds. *)
+      identity_holds ~protocol:P_lewk ~seed ~n
+        ~plans_spec:(if faulty then `Sampled else `None)
+        ~noisy:(faulty || seed mod 3 = 0)
+        ~adversary ~max_slots)
+
+let prop_pool_matches_closure_lewu =
+  qtest ~count:12 "LEWU flat pool ≡ closure oracle"
+    QCheck.(triple small_int (oneofl [ 1; 2; 17 ]) bool)
+    (fun (seed, n, faulty) ->
+      identity_holds ~protocol:P_lewu ~seed ~n
+        ~plans_spec:(if faulty then `Sampled else `None)
+        ~noisy:faulty ~adversary:Adversary.greedy ~max_slots:10_000)
+
+let test_staggered_join_sits_out () =
+  (* Station 0 wakes at slot 4.  Slot 3 opened C1 of generation 1, so it
+     joins that interval at offset ≠ 0 and must sit it out — no sub
+     instance, no stream split, no draws — until a fresh interval
+     starts.  The sit-out is pinned by bit-identity with the closure
+     oracle (whose [sub_for] returns None off-offset), and the run must
+     still elect. *)
+  let plans =
+    Array.init 6 (fun i ->
+        if i = 0 then { Fault_plan.none with Fault_plan.wake_slot = 4 }
+        else Fault_plan.none)
+  in
+  List.iter
+    (fun seed ->
+      let (ra, la, ta) =
+        identity_run `Closure ~protocol:P_lewk ~seed ~n:6 ~plans_spec:(`Fixed plans)
+          ~noisy:false ~adversary:Adversary.none ~max_slots:50_000
+      in
+      let (rb, lb, tb) =
+        identity_run `Pool ~protocol:P_lewk ~seed ~n:6 ~plans_spec:(`Fixed plans)
+          ~noisy:false ~adversary:Adversary.none ~max_slots:50_000
+      in
+      check_true "staggered join: pool ≡ closure" ((ra, la, ta) = (rb, lb, tb));
+      check_true "staggered join: still elects" (Metrics.election_ok rb);
+      (* The latecomer's first transition happens after it re-joined on a
+         fresh interval boundary (generation 2 starts at slot 9). *)
+      List.iter
+        (fun (id, slot, _) -> if id = 0 then check_true "latecomer transitions late" (slot >= 9))
+        tb)
+    [ 1; 2; 3; 4; 5 ]
+
+let bits = Int64.bits_of_float
+
+let prop_lesk_flat_matches_logic =
+  qtest ~count:150 "Lesk.flat_sub ≡ Lesk.Logic (bitwise tx_prob)"
+    QCheck.(
+      pair (float_range 0.25 1.0)
+        (list_of_size Gen.(0 -- 200) (oneofl [ Channel.Null; Channel.Collision; Channel.Single ])))
+    (fun (eps, states) ->
+      let logic = Lesk.Logic.create ~eps () in
+      let sp = (Lesk.flat_sub ~eps ()).Notification.fs_make ~n:3 in
+      sp.Notification.sp_reset 1;
+      List.for_all
+        (fun st ->
+          let before = bits (sp.Notification.sp_tx_prob 1) = bits (Lesk.Logic.tx_prob logic) in
+          Lesk.Logic.on_state logic st;
+          sp.Notification.sp_on_state 1 st;
+          before && bits (sp.Notification.sp_tx_prob 1) = bits (Lesk.Logic.tx_prob logic))
+        states)
+
+let prop_lesu_flat_matches_logic =
+  qtest ~count:150 "Lesu.flat_sub ≡ Lesu.Logic (bitwise tx_prob)"
+    QCheck.(
+      list_of_size Gen.(0 -- 300) (oneofl [ Channel.Null; Channel.Collision; Channel.Single ]))
+    (fun states ->
+      let logic = Lesu.Logic.create () in
+      let sp = (Lesu.flat_sub ()).Notification.fs_make ~n:2 in
+      sp.Notification.sp_reset 0;
+      List.for_all
+        (fun st ->
+          let before = bits (sp.Notification.sp_tx_prob 0) = bits (Lesu.Logic.tx_prob logic) in
+          Lesu.Logic.on_state logic st;
+          sp.Notification.sp_on_state 0 st;
+          before && bits (sp.Notification.sp_tx_prob 0) = bits (Lesu.Logic.tx_prob logic))
+        states)
+
 let suite =
   [
     ("weak-CD election across n", `Quick, test_basic_weak_cd_election);
@@ -174,4 +352,9 @@ let suite =
     ("no-CD never completes (open problem)", `Quick, test_no_cd_never_completes);
     prop_random_configs_elect_one_leader;
     ("constant-factor overhead", `Slow, test_overhead_constant_factor);
+    prop_pool_matches_closure_lewk;
+    prop_pool_matches_closure_lewu;
+    ("staggered generation join sits out", `Quick, test_staggered_join_sits_out);
+    prop_lesk_flat_matches_logic;
+    prop_lesu_flat_matches_logic;
   ]

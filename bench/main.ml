@@ -5,7 +5,7 @@
    experiment's cell — plus microbenchmarks of the simulator's hot
    primitives.
 
-   Part 2: regenerates every table and figure (E1..E16, F1, F2, A1..A6) at
+   Part 2: regenerates every table and figure (E1..E17, F1, F2, A1..A9) at
    Quick scale; set BENCH_FULL=1 for the EXPERIMENTS.md parameters.  Each
    experiment is metered (wall time, slots simulated, slots/sec) and the
    whole run is written to BENCH_<ISO-date>.json; set BENCH_BASELINE to a
@@ -182,6 +182,22 @@ let experiment_tests =
              (E.Runner.run
                 ~engine:(E.Runner.aggregate_lesk ~eps:0.5 ())
                 setup E.Specs.greedy ~seed)));
+    Test.make ~name:"A9 awake-scaling (one metered pooled LMR election, n=1e4)"
+      (staged (fun seed ->
+           let setup =
+             { E.Runner.n = 10_000; eps = 0.5; window = 64; max_slots = 200_000 }
+           in
+           ignore
+             (E.Runner.run ~energy:true ~engine:(E.Runner.pooled_lmr ()) setup
+                E.Specs.no_jamming ~seed)));
+    Test.make ~name:"E17 energy-jamming (one metered LMR election vs greedy, n=4096)"
+      (staged (fun seed ->
+           let setup =
+             { E.Runner.n = 4096; eps = 0.5; window = 64; max_slots = 200_000 }
+           in
+           ignore
+             (E.Runner.run ~energy:true ~engine:(E.Runner.pooled_lmr ()) setup
+                E.Specs.greedy ~seed)));
   ]
 
 (* --- simulator hot-path microbenchmarks --- *)
@@ -692,6 +708,70 @@ let weak_cd_cells () =
       in
       [ x6; x6r; x7 ])
 
+(* --- energy metering cells (M1..M3) ---
+
+   M1 and M2 are the identical exact-engine LESK cell unmetered and
+   metered: their slots/sec ratio is the whole-run cost of the
+   Energy.Meter (a couple of array writes per event, so expected within
+   noise of 1x).  M3 is the LMR election at n = 10^5 with metering on —
+   the log-logarithmic awake-time protocol exercising the pool's sleep
+   absorption at population scale.  The store is bypassed so every cell
+   really computes. *)
+
+let energy_cell ~id ~name ~engine ~energy ~n ~reps =
+  let setup = { E.Runner.n; eps = 0.5; window = 64; max_slots = 2_000_000 } in
+  let slots0 = Gauges.slots_simulated () and runs0 = Gauges.runs_completed () in
+  let t0 = Unix.gettimeofday () in
+  let sample = E.Runner.replicate ~energy ~engine ~reps setup E.Specs.greedy in
+  let wall = Unix.gettimeofday () -. t0 in
+  if not (E.Runner.all_completed sample) then
+    failwith (Printf.sprintf "%s: an election hit the slot cap" id);
+  if energy && Float.is_nan (E.Runner.median_awake_slots sample) then
+    failwith (Printf.sprintf "%s: metered sample lost its energy blocks" id);
+  let slots = Gauges.slots_simulated () - slots0 in
+  let runs = Gauges.runs_completed () - runs0 in
+  Json.Obj
+    [
+      ("id", Json.String id);
+      ("name", Json.String name);
+      ("wall_s", Json.Float wall);
+      ("slots", Json.Int slots);
+      ("runs", Json.Int runs);
+      ( "slots_per_sec",
+        if wall > 0.0 then Json.Float (float_of_int slots /. wall) else Json.Null );
+    ]
+
+let energy_cells () =
+  let saved = !E.Runner.default_store in
+  E.Runner.set_store None;
+  Fun.protect
+    ~finally:(fun () -> E.Runner.default_store := saved)
+    (fun () ->
+      let lesk =
+        exact_engine ~name:"LESK-exact" ~cd:Jamming_channel.Channel.Strong_cd
+          (Core.Lesk.station ~eps:0.5)
+      in
+      let m1 =
+        energy_cell ~id:"M1" ~name:"exact-lesk-n4096-unmetered" ~engine:lesk
+          ~energy:false ~n:4096 ~reps:12
+      in
+      let m2 =
+        energy_cell ~id:"M2" ~name:"exact-lesk-n4096-metered" ~engine:lesk
+          ~energy:true ~n:4096 ~reps:12
+      in
+      (match (cell_field m1 "slots_per_sec", cell_field m2 "slots_per_sec") with
+      | Some off, Some on_ when on_ > 0.0 ->
+          Printf.printf
+            "energy metering overhead (n=4096 exact LESK): unmetered %.3g slots/s vs \
+             metered %.3g slots/s (%.2fx)\n"
+            off on_ (off /. on_)
+      | _ -> ());
+      let m3 =
+        energy_cell ~id:"M3" ~name:"pooled-lmr-n1e5-metered"
+          ~engine:(E.Runner.pooled_lmr ()) ~energy:true ~n:100_000 ~reps:12
+      in
+      [ m1; m2; m3 ])
+
 let scaling_cells () =
   let horizon = 2048 in
   let cells =
@@ -775,6 +855,8 @@ let () =
   let cells = cells @ aggregate_cells () in
   Printf.printf "\n=== Weak-CD notification path (X6..X7) ===\n";
   let cells = cells @ weak_cd_cells () in
+  Printf.printf "\n=== Energy metering (M1..M3) ===\n";
+  let cells = cells @ energy_cells () in
   let wall = Unix.gettimeofday () -. t0 in
   let total_slots = Gauges.slots_simulated () - slots0 in
   let date = iso_date () in

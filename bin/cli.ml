@@ -1,8 +1,8 @@
 (* cli — the flag vocabulary shared by lesim, sweep and soak.
 
    One definition each for --jobs, --seed, --cache/--no-cache/--resume/
-   --cache-dir, --telemetry and --json-out, so the three binaries agree
-   on spelling, help text and environment story:
+   --cache-dir, --telemetry, --energy and --json-out, so the three
+   binaries agree on spelling, help text and environment story:
 
      JAMMING_JOBS=N   overrides the detected domain count
      JAMMING_CACHE=1  turns the run store on by default
@@ -106,6 +106,23 @@ let report_store_stats st =
   let disk = Store.disk_stats st in
   Format.eprintf "store: %a entries=%d disk_bytes=%d@." Store.pp_io_stats
     (Store.io_stats st) disk.Store.entries disk.Store.bytes
+
+(* --- energy metering --- *)
+
+let energy =
+  Arg.(
+    value & flag
+    & info [ "energy" ]
+        ~doc:
+          "Meter per-station energy: every static cell's runs carry an \
+           awake/tx/listen/sleep summary, folded into telemetry and \
+           $(b,--json-out).  Metering never touches a random stream, so \
+           results are otherwise unchanged; churning cells are never metered.")
+
+(* [install_energy energy] makes --energy the process default, so cells
+   built without an explicit [?energy] (the whole experiment registry)
+   are metered in one place. *)
+let install_energy energy = E.Runner.default_energy := energy
 
 (* --- output --- *)
 

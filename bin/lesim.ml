@@ -132,7 +132,7 @@ let run_churned ~engine ~churn ~restart_after ~setup ~seed ~reps ~verbose ~json_
       Format.printf "JSON written: %s@." path
 
 let run protocol_name adversary_name n eps window max_slots seed reps jobs engine_name
-    weak_cd verbose trace churn_spec restart_after json_out cache_opts =
+    weak_cd energy verbose trace churn_spec restart_after json_out cache_opts =
   let (_ : int) = Cli.install_jobs jobs in
   let fail fmt = Format.kasprintf (fun s -> `Error (false, s)) fmt in
   let adversary_lookup name =
@@ -148,7 +148,10 @@ let run protocol_name adversary_name n eps window max_slots seed reps jobs engin
                  (String.concat ", " (List.map fst (adversaries ~eps)))
   | Some protocol, Some adversary ->
       let setup = { E.Runner.n; eps; window; max_slots } in
-      Format.printf "protocol %s vs adversary %s, %a, %d rep(s)@." protocol.E.Specs.p_name
+      let shown_protocol =
+        if engine_name = "lmr" then Jamming_core.Lmr.name else protocol.E.Specs.p_name
+      in
+      Format.printf "protocol %s vs adversary %s, %a, %d rep(s)@." shown_protocol
         adversary.E.Specs.a_name E.Runner.pp_setup setup reps;
       (* --engine: which simulation core executes the slots.
            auto      — uniform (trichotomy sampling), or the flat-pool
@@ -159,7 +162,10 @@ let run protocol_name adversary_name n eps window max_slots seed reps jobs engin
                        for differential debugging — bit-identical to
                        auto's pool, just slower);
            aggregate — the class-population counting engine: O(#classes)
-                       per slot, so n = 10^9 is fine on one core. *)
+                       per slot, so n = 10^9 is fine on one core;
+           lmr       — swap the protocol itself for the known-n
+                       log-logarithmic awake-time election (LMR); pairs
+                       naturally with --energy. *)
       let weak_name = protocol.E.Specs.p_name ^ "+Notification" in
       let weak_engine () =
         let pool =
@@ -211,10 +217,13 @@ let run protocol_name adversary_name n eps window max_slots seed reps jobs engin
               | "lesk" -> Ok (E.Runner.aggregate_lesk ~eps ())
               | "lesu" -> Ok (E.Runner.aggregate_lesu ())
               | _ -> Error "--engine aggregate supports lesk and lesu only")
+        | "lmr" ->
+            if weak_cd then Error "--engine lmr is strong-CD only (drop --weak-cd)"
+            else Ok (E.Runner.pooled_lmr ())
         | other ->
             Error
-              (Printf.sprintf "unknown engine %S (try: auto, uniform, exact, aggregate)"
-                 other)
+              (Printf.sprintf
+                 "unknown engine %S (try: auto, uniform, exact, aggregate, lmr)" other)
       in
       if weak_cd && protocol_name <> "lesk" && protocol_name <> "lesu" then
         fail "--weak-cd supports lesk (as LEWK) and lesu (as LEWU) only"
@@ -227,6 +236,13 @@ let run protocol_name adversary_name n eps window max_slots seed reps jobs engin
               fail
                 "the aggregate engine does not support --churn/--restart-after \
                  (population counts lose station identity)"
+            else if engine_name = "lmr" then
+              fail
+                "--engine lmr does not support --churn/--restart-after (LMR stations \
+                 synchronize on a shared cycle clock)"
+            else if energy then
+              fail "--energy does not support --churn/--restart-after (awake slots \
+                    cannot be attributed across incarnations)"
             else
             let store = Cli.store_of cache_opts in
             E.Runner.set_store store;
@@ -243,7 +259,9 @@ let run protocol_name adversary_name n eps window max_slots seed reps jobs engin
         | Ok _, Ok engine ->
         let store = Cli.store_of cache_opts in
         E.Runner.set_store store;
-        let sample = E.Runner.replicate ~base_seed:seed ~engine ~reps setup adversary in
+        let sample =
+          E.Runner.replicate ~base_seed:seed ~energy ~engine ~reps setup adversary
+        in
         if verbose then
           Array.iteri
             (fun i r -> Format.printf "run %2d: %a@." i Metrics.pp_result r)
@@ -254,6 +272,9 @@ let run protocol_name adversary_name n eps window max_slots seed reps jobs engin
           Jamming_stats.Descriptive.pp_summary s
           (E.Table.fmt_pct (E.Runner.success_rate sample))
           (E.Runner.median_jammed_fraction sample);
+        if energy then
+          Format.printf "median awake slots: %.1f@."
+            (E.Runner.median_awake_slots sample);
         (match json_out with
         | None -> ()
         | Some path ->
@@ -322,8 +343,10 @@ let cmd =
       & info [ "engine" ] ~docv:"ENGINE"
           ~doc:
             "Simulation engine: $(b,auto) (uniform, or exact behind --weak-cd), \
-             $(b,uniform), $(b,exact), or $(b,aggregate) — the class-population \
-             counting engine (lesk/lesu, strong-CD) that scales to n = 1e9.")
+             $(b,uniform), $(b,exact), $(b,aggregate) — the class-population \
+             counting engine (lesk/lesu, strong-CD) that scales to n = 1e9 — or \
+             $(b,lmr), which swaps in the known-n LMR election with \
+             log-logarithmic awake time (strong-CD; pairs with $(b,--energy)).")
   in
   let weak_cd =
     Arg.(value & flag & info [ "weak-cd" ] ~doc:"Run in weak-CD via Notification (exact engine).")
@@ -361,8 +384,8 @@ let cmd =
     Term.(
       ret
         (const run $ protocol $ adversary $ n $ eps $ window $ max_slots $ Cli.seed ()
-       $ reps $ Cli.jobs $ engine $ weak_cd $ verbose $ trace $ churn $ restart_after
-       $ json_out $ Cli.cache_opts))
+       $ reps $ Cli.jobs $ engine $ weak_cd $ Cli.energy $ verbose $ trace $ churn
+       $ restart_after $ json_out $ Cli.cache_opts))
   in
   Cmd.v
     (Cmd.info "lesim" ~doc:"Simulate jamming-resistant leader election (Klonowski-Pajak 2015)")

@@ -96,8 +96,8 @@ let run_metered ~scale ~deterministic out e =
             if deterministic then drop_store_counters t else t );
         ]) )
 
-let run list full csv_dir jobs seed telemetry json_out deterministic shard cache_opts ids
-    =
+let run list full csv_dir jobs seed energy telemetry json_out deterministic shard
+    cache_opts ids =
   if list then begin
     list_experiments ();
     `Ok ()
@@ -105,6 +105,11 @@ let run list full csv_dir jobs seed telemetry json_out deterministic shard cache
   else begin
     let (_ : int) = Cli.install_jobs jobs in
     Cli.install_seed seed;
+    (* --energy meters every static cell the registry builds; the
+       runner.energy.* counters and histograms it feeds flow into
+       --json-out through the per-experiment telemetry section (written
+       atomically like everything else on that path). *)
+    Cli.install_energy energy;
     match (match shard with None -> Ok (1, 1) | Some s -> parse_shard s) with
     | Error e -> `Error (false, e)
     | Ok (shard_k, shard_n) -> (
@@ -218,7 +223,7 @@ let cmd =
     (Cmd.info "sweep" ~doc:"Regenerate the paper-reproduction tables and figures")
     Term.(
       ret
-        (const run $ list $ full $ csv_dir $ Cli.jobs $ Cli.seed () $ Cli.telemetry
-       $ json_out $ deterministic $ shard $ Cli.cache_opts $ ids))
+        (const run $ list $ full $ csv_dir $ Cli.jobs $ Cli.seed () $ Cli.energy
+       $ Cli.telemetry $ json_out $ deterministic $ shard $ Cli.cache_opts $ ids))
 
 let () = exit (Cmd.eval cmd)

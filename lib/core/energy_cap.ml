@@ -1,40 +1,34 @@
 module Station = Jamming_station.Station
+module Energy = Jamming_energy.Energy
 
-let station ~cap factory ~id ~rng =
+let station ~cap ~meter factory =
   if cap < 0 then invalid_arg "Energy_cap.station: cap must be >= 0";
-  let inner = factory ~id ~rng in
-  let spent = ref 0 in
-  {
-    inner with
-    Station.decide =
-      (fun ~slot ->
-        match inner.Station.decide ~slot with
-        | Station.Transmit when !spent >= cap -> Station.Listen
-        | Station.Transmit ->
-            incr spent;
-            Station.Transmit
-        | Station.Listen -> Station.Listen);
-  }
-
-type outcome = { result : Jamming_sim.Metrics.result; exhausted : int }
-
-let run_lesk ~cap ~n ~eps ~rng ~adversary ~budget ~max_slots () =
-  let spent = Array.make n 0 in
-  let counting ~id ~rng =
-    let inner = station ~cap (Lesk.station ~eps) ~id ~rng in
+  fun ~id ~rng ->
+    let inner = factory ~id ~rng in
     {
       inner with
       Station.decide =
         (fun ~slot ->
-          let a = inner.Station.decide ~slot in
-          if Station.equal_action a Station.Transmit then spent.(id) <- spent.(id) + 1;
-          a);
+          match inner.Station.decide ~slot with
+          (* The meter counts every transmission the engine lets
+             through, so the live read below sees exactly the slots
+             this wrapper allowed on earlier slots. *)
+          | Station.Transmit when Energy.Meter.tx meter id >= cap -> Station.Listen
+          | (Station.Transmit | Station.Listen | Station.Sleep _) as a -> a);
     }
-  in
-  let stations = Jamming_sim.Engine.make_stations ~n ~rng counting in
+
+type outcome = { result : Jamming_sim.Metrics.result; exhausted : int }
+
+let run_lesk ~cap ~n ~eps ~rng ~adversary ~budget ~max_slots () =
+  let meter = Energy.Meter.create ~n in
+  let capped = station ~cap ~meter (Lesk.station ~eps) in
+  let stations = Jamming_sim.Engine.make_stations ~n ~rng capped in
   let result =
-    Jamming_sim.Engine.run ~cd:Jamming_channel.Channel.Strong_cd ~adversary ~budget
-      ~max_slots ~stations ()
+    Jamming_sim.Engine.run ~meter ~cd:Jamming_channel.Channel.Strong_cd ~adversary
+      ~budget ~max_slots ~stations ()
   in
-  let exhausted = Array.fold_left (fun acc s -> if s >= cap then acc + 1 else acc) 0 spent in
-  { result; exhausted }
+  let exhausted = ref 0 in
+  for i = 0 to n - 1 do
+    if Energy.Meter.tx meter i >= cap then incr exhausted
+  done;
+  { result; exhausted = !exhausted }

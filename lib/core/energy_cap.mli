@@ -14,8 +14,18 @@
     so this runs on the exact engine. *)
 
 val station :
-  cap:int -> Jamming_station.Station.factory -> Jamming_station.Station.factory
-(** Wrap a station factory; requires [cap ≥ 0]. *)
+  cap:int ->
+  meter:Jamming_energy.Energy.Meter.t ->
+  Jamming_station.Station.factory ->
+  Jamming_station.Station.factory
+(** Wrap a station factory: once the meter has counted [cap]
+    transmissions for a station, its further [Transmit] decisions are
+    downgraded to [Listen] (protocol state keeps evolving).  The cap is
+    a predicate over [Energy.Meter.tx] — the engine the stations run on
+    must be metering into the same [meter], which is what keeps the
+    wrapper free of private counting.  Raises [Invalid_argument]
+    {e immediately} when [cap < 0] (not when the factory is first
+    applied). *)
 
 type outcome = {
   result : Jamming_sim.Metrics.result;

@@ -193,12 +193,18 @@ let pool ?on_phase (fsub : flat_sub) : Station.pool_factory =
      skip the scan entirely.  (Only the batch path skips: the faulty
      per-station path must keep its sensing draws aligned.) *)
   let n_a1 = ref n in
+  (* Energy bookkeeping: notification stations never sleep, so station
+     [i] is awake from the first slot the pool sees until it finishes
+     (inclusive of the finishing slot). *)
+  let first_slot = ref min_int in
+  let finish_at = Array.make n max_int in
   (* Slot classification, computed once per slot for the population. *)
   let cur = Intervals.cursor () in
   let cur_kind = ref Intervals.kind_idle in
   let cur_gen = ref 0 in
   let cur_off = ref 0 in
   let begin_slot ~slot =
+    if !first_slot = min_int then first_slot := slot;
     Intervals.locate cur slot;
     cur_kind := Intervals.kind cur;
     cur_gen := Intervals.generation cur;
@@ -209,7 +215,10 @@ let pool ?on_phase (fsub : flat_sub) : Station.pool_factory =
     if old = ph_a1 then decr n_a1;
     if old = ph_announcing then decr n_leaders;
     if next = ph_announcing || next = ph_done_leader then incr n_leaders;
-    if next >= ph_done_leader then incr n_done;
+    if next >= ph_done_leader then begin
+      incr n_done;
+      finish_at.(i) <- slot
+    end;
     phase.(i) <- next;
     sub_gen.(i) <- -1;
     match on_phase with None -> () | Some f -> f ~id:i ~slot (phase_of_code next)
@@ -287,7 +296,7 @@ let pool ?on_phase (fsub : flat_sub) : Station.pool_factory =
         | Station.Transmit ->
             incr txs;
             tx_counts.(i) <- tx_counts.(i) + 1
-        | Station.Listen -> ()
+        | Station.Listen | Station.Sleep _ -> ()
       done;
       !txs
     end
@@ -299,7 +308,9 @@ let pool ?on_phase (fsub : flat_sub) : Station.pool_factory =
       for k = 0 to !n_active - 1 do
         let i = active.(k) in
         let transmitted =
-          match actions.(i) with Station.Transmit -> true | Station.Listen -> false
+          match actions.(i) with
+          | Station.Transmit -> true
+          | Station.Listen | Station.Sleep _ -> false
         in
         let perceived = if transmitted then tx else rx in
         observe_i ~slot ~perceived ~transmitted i;
@@ -328,4 +339,14 @@ let pool ?on_phase (fsub : flat_sub) : Station.pool_factory =
     pool_finished = (fun i -> phase.(i) >= ph_done_leader);
     pool_all_finished = (fun () -> !n_done = n);
     pool_leaders = (fun () -> !n_leaders);
+    pool_awake =
+      Some
+        (fun ~until i ->
+          if !first_slot = min_int then 0
+          else
+            let stop =
+              if finish_at.(i) = max_int then until
+              else Int.min until (finish_at.(i) + 1)
+            in
+            Int.max 0 (stop - !first_slot));
   }

@@ -1,0 +1,4 @@
+(** A9 — median awake slots per station vs n: LMR's log-logarithmic
+    awake time against LESK's awake-for-the-whole-election baseline. *)
+
+val experiment : Registry.t

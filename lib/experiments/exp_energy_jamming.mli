@@ -1,0 +1,4 @@
+(** E17 — energy under jamming: per-station awake slots for LMR vs LESK
+    across the E9 adversary zoo. *)
+
+val experiment : Registry.t

@@ -26,6 +26,8 @@ let all =
     Exp_fault_tolerance.experiment;
     Exp_churn.experiment;
     Exp_aggregate_equivalence.experiment;
+    Exp_awake_scaling.experiment;
+    Exp_energy_jamming.experiment;
   ]
 
 let find key =

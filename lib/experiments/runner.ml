@@ -74,25 +74,43 @@ let pooled_lewk ?(eps = 0.5) () =
 let pooled_lewu ?config () =
   Pooled { name = "LEWU"; cd = Channel.Weak_cd; pool = Jamming_core.Lewu.pool ?config () }
 
+(* LMR (lib/core/lmr.ml): the log-logarithmic awake-time election.
+   The closure factory needs the population size up front (the level
+   cap is a function of n), so [exact_lmr] takes [n] and the caller
+   must pass the same value in the setup. *)
+let exact_lmr ~n =
+  Exact { name = Jamming_core.Lmr.name; cd = Channel.Strong_cd;
+          factory = Jamming_core.Lmr.station ~n }
+
+let pooled_lmr () =
+  Pooled { name = Jamming_core.Lmr.name; cd = Channel.Strong_cd;
+           pool = Jamming_core.Lmr.pool }
+
 let make_adversary (adversary : Specs.adversary) setup ~seed =
   adversary.Specs.a_make ~seed:(seed lxor 0x5bd1e995) ~n:setup.n ~eps:setup.eps
     ~window:setup.window ()
 
-let run ?(observers = []) ~engine setup (adversary : Specs.adversary) ~seed =
+let run ?(observers = []) ?(energy = false) ~engine setup (adversary : Specs.adversary)
+    ~seed =
   validate setup;
   let budget = Budget.create ~window:setup.window ~eps:setup.eps in
+  (* Metering never touches a random stream, so the result (energy
+     block aside) is bit-identical with or without it. *)
+  let meter () =
+    if energy then Some (Jamming_energy.Energy.Meter.create ~n:setup.n) else None
+  in
   match engine with
   | Uniform protocol ->
       let rng = Prng.create ~seed in
       let proto = protocol.Specs.p_make ~n:setup.n ~window:setup.window () in
       let adv = make_adversary adversary setup ~seed in
-      Jamming_sim.Uniform_engine.run ~observers ~n:setup.n ~rng ~protocol:proto
+      Jamming_sim.Uniform_engine.run ~energy ~observers ~n:setup.n ~rng ~protocol:proto
         ~adversary:adv ~budget ~max_slots:setup.max_slots ()
   | Exact { cd; factory; name = _ } ->
       let rng = Prng.create ~seed in
       let stations = Jamming_sim.Engine.make_stations ~n:setup.n ~rng factory in
       let adv = make_adversary adversary setup ~seed in
-      Jamming_sim.Engine.run ~observers ~cd ~adversary:adv ~budget
+      Jamming_sim.Engine.run ?meter:(meter ()) ~observers ~cd ~adversary:adv ~budget
         ~max_slots:setup.max_slots ~stations ()
   | Faulty { cd; factory; faults; monitor_checks; name = _ } ->
       Faults.Config.validate faults;
@@ -123,18 +141,18 @@ let run ?(observers = []) ~engine setup (adversary : Specs.adversary) ~seed =
       in
       let monitor = Monitor.create ~checks ~seed ~window:setup.window ~eps:setup.eps () in
       let adv = make_adversary adversary setup ~seed in
-      Jamming_sim.Engine.run ~observers ~faults:injection ~monitor ~cd
+      Jamming_sim.Engine.run ?meter:(meter ()) ~observers ~faults:injection ~monitor ~cd
         ~adversary:adv ~budget ~max_slots:setup.max_slots ~stations ()
   | Aggregate { cd; proto = Jamming_sim.Aggregate.Packed protocol; name = _ } ->
       let rng = Prng.create ~seed in
       let adv = make_adversary adversary setup ~seed in
-      Jamming_sim.Aggregate.run ~observers ~cd ~rng ~n:setup.n ~protocol
+      Jamming_sim.Aggregate.run ~energy ~observers ~cd ~rng ~n:setup.n ~protocol
         ~adversary:adv ~budget ~max_slots:setup.max_slots ()
   | Pooled { cd; pool; name = _ } ->
       let rng = Prng.create ~seed in
       let pool = pool ~n:setup.n ~rng in
       let adv = make_adversary adversary setup ~seed in
-      Jamming_sim.Engine.run_pool ~observers ~cd ~adversary:adv ~budget
+      Jamming_sim.Engine.run_pool ?meter:(meter ()) ~observers ~cd ~adversary:adv ~budget
         ~max_slots:setup.max_slots ~pool ()
 
 type sample = {
@@ -184,6 +202,12 @@ let default_jobs = ref 1
    argument through every experiment. *)
 let default_base_seed = ref 42
 
+(* Process default for [Cell.v]'s [?energy] — the CLIs' [--energy]
+   flips it so a whole sweep meters every (static) cell it builds.
+   Only static cells pick the default up: churn cells cannot be metered
+   and must keep working under a blanket --energy. *)
+let default_energy = ref false
+
 (* Process-default telemetry sink, used when [?telemetry] is omitted —
    the same pattern as [default_jobs]: harnesses (bench, sweep) install
    a sink around a workload and experiment code stays oblivious. *)
@@ -216,7 +240,10 @@ let record_sample tel (results : Metrics.result array) =
       Telemetry.add collisions r.Metrics.collisions;
       if r.Metrics.completed then Telemetry.incr completed;
       if Metrics.election_ok r then Telemetry.incr elected;
-      Telemetry.observe per_run r.Metrics.slots)
+      Telemetry.observe per_run r.Metrics.slots;
+      match r.Metrics.energy with
+      | Some s -> Jamming_energy.Energy.observe_summary tel ~prefix:"runner.energy" s
+      | None -> ())
     results
 
 let slots sample =
@@ -243,6 +270,19 @@ let mean_energy_per_station sample =
       sample.results
   in
   Jamming_stats.Descriptive.mean xs
+
+(* Median over runs of the per-run median awake slots — the A9 growth
+   metric.  Only metered runs contribute; nan when there are none. *)
+let median_awake_slots sample =
+  let xs =
+    sample.results |> Array.to_list
+    |> List.filter_map (fun (r : Metrics.result) ->
+           Option.map
+             (fun (s : Jamming_energy.Energy.summary) -> s.Jamming_energy.Energy.median_awake)
+             r.Metrics.energy)
+    |> Array.of_list
+  in
+  if Array.length xs = 0 then Float.nan else Jamming_stats.Descriptive.median xs
 
 let median_jammed_fraction sample =
   let xs =
@@ -279,6 +319,10 @@ let sample_to_json ?(include_results = false) sample =
        ("mean_energy_per_station", Json.Float (mean_energy_per_station sample));
        ("median_jammed_fraction", Json.Float (median_jammed_fraction sample));
      ]
+    (* Appended only for metered samples: unmetered digests stay
+       byte-identical to the pre-energy schema. *)
+    @ (let med = median_awake_slots sample in
+       if Float.is_nan med then [] else [ ("median_awake", Json.Float med) ])
     @
     if include_results then
       [
@@ -338,7 +382,8 @@ let faults_descriptor (f : Faults.Config.t) =
     f.Faults.Config.sleep_horizon f.Faults.Config.max_sleep f.Faults.Config.p_late_wake
     f.Faults.Config.max_wake_delay
 
-let cell_key ~engine ~(adversary : Specs.adversary) ~reps ~base_seed setup =
+let cell_key ?(energy = false) ~engine ~(adversary : Specs.adversary) ~reps ~base_seed
+    setup =
   let kind, cd =
     match engine with
     | Uniform _ -> ("uniform", Channel.Strong_cd)
@@ -362,6 +407,9 @@ let cell_key ~engine ~(adversary : Specs.adversary) ~reps ~base_seed setup =
        ("reps", Key.I reps);
        ("base_seed", Key.I base_seed);
      ]
+    (* Appended only when metering is on, so every pre-energy cache
+       entry keeps its address byte-for-byte. *)
+    @ (if energy then [ ("energy", Key.B true) ] else [])
     @
     match engine with
     | Faulty { faults; _ } -> [ ("faults", Key.S (faults_descriptor faults)) ]
@@ -615,6 +663,7 @@ module Cell = struct
     population : population;
     reps : int;
     base_seed : int;
+    energy : bool;
   }
 
   let validate_cell c =
@@ -623,6 +672,10 @@ module Cell = struct
     match c.population with
     | Static -> ()
     | Churning { churn; restart_after } -> (
+        if c.energy then
+          (* Segments cannot attribute awake slots across incarnations
+             of a station id, so a churn-run energy block would lie. *)
+          invalid_arg "Runner.Cell: energy accounting does not support churn";
         (match c.engine with
         | Aggregate _ ->
             invalid_arg "Runner.Cell: the aggregate engine does not support churn"
@@ -634,7 +687,8 @@ module Cell = struct
         | Some r when r < 1 -> invalid_arg "Runner.Cell: restart_after must be >= 1"
         | Some _ | None -> ())
 
-  let v ?base_seed ?churn ?restart_after ~engine ~reps setup adversary =
+  let v ?base_seed ?churn ?restart_after ?energy ~engine ~reps setup adversary
+      =
     let base_seed =
       match base_seed with Some s -> s | None -> !default_base_seed
     in
@@ -645,7 +699,12 @@ module Cell = struct
           Churning
             { churn = Option.value churn ~default:Faults.Churn.none; restart_after }
     in
-    let c = { engine; setup; adversary; population; reps; base_seed } in
+    let energy =
+      match energy with
+      | Some e -> e
+      | None -> !default_energy && population = Static
+    in
+    let c = { engine; setup; adversary; population; reps; base_seed; energy } in
     validate_cell c;
     c
 
@@ -658,7 +717,7 @@ module Cell = struct
   let key c =
     match c.population with
     | Static ->
-        cell_key ~engine:c.engine ~adversary:c.adversary ~reps:c.reps
+        cell_key ~energy:c.energy ~engine:c.engine ~adversary:c.adversary ~reps:c.reps
           ~base_seed:c.base_seed c.setup
     | Churning { churn; restart_after } ->
         churn_cell_key ~engine:c.engine ~adversary:c.adversary ~churn ~restart_after
@@ -667,6 +726,7 @@ module Cell = struct
   let pp ppf c =
     Format.fprintf ppf "%s x %s [%a] reps=%d seed=%d" (engine_name c.engine)
       c.adversary.Specs.a_name pp_setup c.setup c.reps c.base_seed;
+    if c.energy then Format.fprintf ppf " energy";
     match c.population with
     | Static -> ()
     | Churning { churn; restart_after } ->
@@ -715,7 +775,9 @@ let compute_rep pending rep =
   match (c.Cell.population, pending.p_slots) with
   | Cell.Static, Static_slots slots ->
       slots.(rep) <-
-        Some (run ~engine:c.Cell.engine c.Cell.setup c.Cell.adversary ~seed)
+        Some
+          (run ~energy:c.Cell.energy ~engine:c.Cell.engine c.Cell.setup c.Cell.adversary
+             ~seed)
   | Cell.Churning { churn; restart_after }, Churn_slots slots ->
       slots.(rep) <-
         Some
@@ -867,7 +929,9 @@ let lookup_cell st ~telemetry (c : Cell.t) =
           when s.setup = c.Cell.setup
                && s.protocol_name = engine_name c.Cell.engine
                && s.adversary_name = c.Cell.adversary.Specs.a_name
-               && Array.length s.results = c.Cell.reps ->
+               && Array.length s.results = c.Cell.reps
+               && ((not c.Cell.energy)
+                  || Array.for_all (fun r -> r.Metrics.energy <> None) s.results) ->
             Some (Sample s)
         | Ok _ | Error _ -> None
       in
@@ -951,8 +1015,8 @@ let run_cells ?telemetry ?store pool cells =
 
 (* --- the replicate shims: one cell on a private pool --- *)
 
-let replicate ?jobs ?base_seed ?telemetry ?store ~engine ~reps setup adversary =
-  let cell = Cell.v ?base_seed ~engine ~reps setup adversary in
+let replicate ?jobs ?base_seed ?telemetry ?store ?energy ~engine ~reps setup adversary =
+  let cell = Cell.v ?base_seed ?energy ~engine ~reps setup adversary in
   match run_cells ?telemetry ?store (Pool.create ?jobs ()) [ cell ] with
   | [ Sample s ] -> s
   | _ -> assert false

@@ -96,6 +96,17 @@ val pooled_lewk : ?eps:float -> unit -> engine
 val pooled_lewu : ?config:Jamming_core.Lesu.config -> unit -> engine
 (** {!Jamming_core.Lewu.pool} as a [Pooled] engine spec. *)
 
+val exact_lmr : n:int -> engine
+(** {!Jamming_core.Lmr.station} as an [Exact] strong-CD spec named
+    ["LMR"].  LMR stations need the population size up front, so [n]
+    must equal the [setup.n] the cell runs with. *)
+
+val pooled_lmr : unit -> engine
+(** {!Jamming_core.Lmr.pool} as a [Pooled] spec sharing the ["LMR"]
+    name — and hence seed tags and cache keys — with {!exact_lmr},
+    which is sound because the pool is bit-identical to the closure
+    stations per seed ([test_lmr.ml]). *)
+
 type sample = {
   setup : setup;
   protocol_name : string;
@@ -132,12 +143,14 @@ module Cell : sig
     population : population;
     reps : int;
     base_seed : int;
+    energy : bool;  (** meter every run (DESIGN.md §16) *)
   }
 
   val v :
     ?base_seed:int ->
     ?churn:Jamming_faults.Churn.t ->
     ?restart_after:int ->
+    ?energy:bool ->
     engine:engine ->
     reps:int ->
     setup ->
@@ -149,11 +162,20 @@ module Cell : sig
       both makes it [Static].  (A cell built with [~churn:Churn.none]
       and no restart deadline runs through the dynamic driver's
       null-churn path, which is bit-identical to the static cell —
-      but it caches under the churn key and yields a {!churn_sample}.) *)
+      but it caches under the churn key and yields a {!churn_sample}.)
+
+      [energy] (default [!]{!default_energy} for static cells, [false]
+      for churning ones) attaches a per-run
+      {!Jamming_sim.Metrics.result.energy} block.  Metering never
+      touches a random stream — the run is otherwise bit-identical and
+      the seed {!tag} is unchanged — but metered cells cache under a
+      distinct {!key} (their records carry the extra block).  Energy
+      and churn are mutually exclusive. *)
 
   val validate : t -> unit
   (** Raises [Invalid_argument] on a nonsensical cell ([reps] or
-      [restart_after] < 1, ill-formed setup or churn policy). *)
+      [restart_after] < 1, ill-formed setup or churn policy, energy
+      combined with churn). *)
 
   val tag : t -> string
   (** The seed-stream tag — a function of engine, adversary and setup
@@ -234,6 +256,7 @@ val replicate :
   ?base_seed:int ->
   ?telemetry:Jamming_telemetry.Telemetry.t ->
   ?store:Jamming_store.Store.t ->
+  ?energy:bool ->
   engine:engine ->
   reps:int ->
   setup ->
@@ -263,6 +286,7 @@ val replicate_churn :
 
 val run :
   ?observers:Jamming_sim.Observer.t list ->
+  ?energy:bool ->
   engine:engine ->
   setup ->
   Specs.adversary ->
@@ -272,7 +296,12 @@ val run :
     {!Jamming_sim.Monitor.observer},
     {!Jamming_sim.Observer.telemetry}) are passed straight to the
     engine and never perturb the run.  Wrap a bare per-slot callback
-    with {!Jamming_sim.Observer.of_on_slot}. *)
+    with {!Jamming_sim.Observer.of_on_slot}.
+
+    [energy] attaches the {!Jamming_sim.Metrics.result.energy} block:
+    a meter on the exact/faulty/pooled engines, the synthesized O(1)
+    summaries on the uniform and aggregate engines.  Never perturbs
+    the run. *)
 
 val run_churn :
   ?observers:Jamming_sim.Observer.t list ->
@@ -298,6 +327,7 @@ val run_churn :
 (** {1 Store keys and JSON codecs} *)
 
 val cell_key :
+  ?energy:bool ->
   engine:engine ->
   adversary:Specs.adversary ->
   reps:int ->
@@ -308,7 +338,8 @@ val cell_key :
     population).  Covers the engine kind and name, CD model, adversary
     name, full setup, [reps], [base_seed], the fault configuration (for
     [Faulty] engines), the store schema version, and the code
-    fingerprint. *)
+    fingerprint.  [energy] (default false) appends an extra component
+    only when true, so pre-energy keys are byte-stable. *)
 
 val churn_cell_key :
   engine:engine ->
@@ -368,6 +399,13 @@ val default_base_seed : int ref
     (initially 42 — the seed of every published table).  The CLIs'
     [--seed] rebinds it. *)
 
+val default_energy : bool ref
+(** The [energy] value {!Cell.v} gives {e static} cells when the
+    argument is omitted (initially false).  The CLIs' [--energy] flips
+    it so a whole sweep is metered without threading an argument
+    through every experiment; churning cells ignore the default, since
+    they cannot be metered. *)
+
 val set_telemetry : Jamming_telemetry.Telemetry.t option -> unit
 (** Install (or clear) the process-default telemetry sink used by
     {!run_cells} when [?telemetry] is omitted. *)
@@ -404,3 +442,10 @@ val median_slots : sample -> float
 
 val mean_energy_per_station : sample -> float
 val median_jammed_fraction : sample -> float
+
+val median_awake_slots : sample -> float
+(** Median over runs of the per-run {e median awake slots} — the A9
+    growth metric (≈ c·log log n for LMR, ≈ election time for the
+    always-on paper protocols).  Only metered runs contribute; [nan]
+    when the sample has none (the digest JSON then omits the
+    ["median_awake"] member, keeping unmetered digests byte-stable). *)

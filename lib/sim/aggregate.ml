@@ -33,9 +33,14 @@ let normalise compare classes =
   in
   fuse [] sorted
 
-let run (type c) ?(start_slot = 0) ?(observers = []) ?(cd = Channel.Strong_cd)
-    ~rng ~n ~(protocol : c protocol) ~adversary ~budget ~max_slots () =
+let run (type c) ?(start_slot = 0) ?(energy = false) ?(observers = [])
+    ?(cd = Channel.Strong_cd) ~rng ~n ~(protocol : c protocol) ~adversary ~budget
+    ~max_slots () =
   if n < 1 then invalid_arg "Aggregate.run: need n >= 1";
+  (* Energy bookkeeping: one [(awake, count)] group per retirement
+     event — a class elected at relative slot [r] was awake for the
+     [r + 1] slots it participated in. O(#events), independent of n. *)
+  let retired = ref [] in
   let obs = Array.of_list observers in
   let observed = Array.length obs > 0 in
   let jammed_slots = ref 0 in
@@ -84,6 +89,7 @@ let run (type c) ?(start_slot = 0) ?(observers = []) ?(cd = Channel.Strong_cd)
         | Continue s' -> next := (s', count) :: !next
         | Elected ->
             population := !population - count;
+            if energy then retired := (!slot + 1, count) :: !retired;
             if transmitted then begin
               (* Stations are exchangeable, so when exactly one station
                  elects itself as transmitter its identity is uniform
@@ -123,6 +129,12 @@ let run (type c) ?(start_slot = 0) ?(observers = []) ?(cd = Channel.Strong_cd)
       collisions = !collisions;
       transmissions = !transmissions;
       max_station_transmissions = 0;
+      energy =
+        (if energy then
+           Some
+             (Jamming_energy.Energy.of_groups ~n ~slots:!slot ~tx_total:!transmissions
+                ~groups:((!slot, !population) :: !retired))
+         else None);
     }
   in
   Gauges.note_run ~slots:!slot;

@@ -56,6 +56,7 @@ val name : packed -> string
 
 val run :
   ?start_slot:int ->
+  ?energy:bool ->
   ?observers:Observer.t list ->
   ?cd:Jamming_channel.Channel.cd_model ->
   rng:Jamming_prng.Prng.t ->
@@ -70,4 +71,10 @@ val run :
     terminates or [max_slots] is reached.  [completed] means the whole
     population terminated; [elected] additionally requires exactly one
     leader.  Observers see exact transmitter counts
-    ([Metrics.Exact total]) and true leader counts every slot. *)
+    ([Metrics.Exact total]) and true leader counts every slot.
+
+    [energy] attaches an [Energy.summary] to the result, built from
+    one [(awake, count)] group per class-retirement event — cost
+    independent of [n], and bit-exact against the exact engine's meter
+    for the shipped protocols (stations retire in whole classes and
+    never sleep).  The random streams are untouched either way. *)

@@ -43,6 +43,7 @@ let empty_attempt =
     collisions = 0;
     transmissions = 0.0;
     max_station_transmissions = 0;
+    energy = None;
   }
 
 (* Merge two consecutive segments of one attempt.  Completion fields
@@ -63,6 +64,9 @@ let merge_segments (a : Metrics.result) (b : Metrics.result) =
     transmissions = a.Metrics.transmissions +. b.Metrics.transmissions;
     max_station_transmissions =
       Int.max a.Metrics.max_station_transmissions b.Metrics.max_station_transmissions;
+    (* Churn runs are not metered: segments cannot attribute awake slots
+       across incarnations (Runner rejects energy + churn). *)
+    energy = None;
   }
 
 let of_static (r : Metrics.result) =
@@ -448,6 +452,7 @@ let run ?restart_after ?(events = []) ?kill ?victim_rng ?faults ?monitor ?(obser
       collisions = !agg_collisions;
       transmissions = !agg_tx;
       max_station_transmissions = !agg_max_tx;
+      energy = None;
     }
   in
   (match monitor with Some m -> Monitor.check_result m synthetic | None -> ());

@@ -4,6 +4,7 @@ module Budget = Jamming_adversary.Budget
 module Station = Jamming_station.Station
 module Injection = Jamming_faults.Injection
 module Fault_plan = Jamming_faults.Fault_plan
+module Energy = Jamming_energy.Energy
 
 let make_stations ~n ~rng factory =
   Array.init n (fun id -> factory ~id ~rng:(Jamming_prng.Prng.split rng))
@@ -21,7 +22,7 @@ let assemble_observers ?monitor observers =
    at [max_slots] reports [leader = None] even if one station happens
    to stand in status Leader. *)
 let finalize ~slot ~finished ~statuses ~tx_counts ~jammed_slots ~nulls ~singles
-    ~collisions obs =
+    ~collisions ~energy obs =
   let leader = ref None in
   Array.iteri
     (fun i st -> if Station.equal_status st Station.Leader then leader := Some i)
@@ -46,6 +47,7 @@ let finalize ~slot ~finished ~statuses ~tx_counts ~jammed_slots ~nulls ~singles
       collisions;
       transmissions = float_of_int transmissions;
       max_station_transmissions = Array.fold_left Int.max 0 tx_counts;
+      energy;
     }
   in
   Gauges.note_run ~slots:slot;
@@ -53,14 +55,21 @@ let finalize ~slot ~finished ~statuses ~tx_counts ~jammed_slots ~nulls ~singles
   result
 
 let build_result ~slot ~finished ~stations ~tx_counts ~jammed_slots ~nulls ~singles
-    ~collisions obs =
+    ~collisions ~energy obs =
   let statuses = Array.map (fun s -> s.Station.status ()) stations in
   finalize ~slot ~finished ~statuses ~tx_counts ~jammed_slots ~nulls ~singles
-    ~collisions obs
+    ~collisions ~energy obs
 
-let run ?(start_slot = 0) ?faults ?monitor ?(observers = []) ~cd ~adversary
+let check_meter ?meter ~n where =
+  match meter with
+  | Some m when Energy.Meter.n m <> n ->
+      invalid_arg (Printf.sprintf "%s: meter size %d <> population %d" where (Energy.Meter.n m) n)
+  | Some _ | None -> ()
+
+let run ?(start_slot = 0) ?faults ?meter ?monitor ?(observers = []) ~cd ~adversary
     ~budget ~max_slots ~stations () =
   let n = Array.length stations in
+  check_meter ?meter ~n "Engine.run";
   let obs = assemble_observers ?monitor observers in
   let observed = Array.length obs > 0 in
   let needs_leaders = Array.exists (fun o -> o.Observer.needs_leaders) obs in
@@ -71,6 +80,12 @@ let run ?(start_slot = 0) ?faults ?monitor ?(observers = []) ~cd ~adversary
   let noise =
     match faults with Some f when Injection.active f -> Some f | Some _ | None -> None
   in
+  (* Absolute slot (exclusive) each station sleeps until; [min_int]
+     when awake.  A sleeping station is skipped entirely — no decide,
+     no observe, no sensing draw — so with no [Sleep] actions this
+     array never fires a branch and the engine is bit-identical to the
+     pre-sleep code. *)
+  let wake_abs = Array.make n min_int in
   (* Active set: indices of the stations whose [finished] was last seen
      false, kept in increasing station order.  Compaction is
      order-preserving (never swap-remove): [Injection.sense] draws
@@ -84,6 +99,7 @@ let run ?(start_slot = 0) ?faults ?monitor ?(observers = []) ~cd ~adversary
       active.(!n_active) <- i;
       incr n_active
     end
+    else match meter with Some m -> Energy.Meter.note_finish m i ~from:0 | None -> ()
   done;
   (* Incremental leader count: once a station leaves the active set no
      decide/observe call ever reaches it again, so its status is frozen
@@ -106,20 +122,29 @@ let run ?(start_slot = 0) ?faults ?monitor ?(observers = []) ~cd ~adversary
     let can_jam = Budget.can_jam budget in
     let jam = can_jam && adversary.Adversary.wants_jam ~slot:t ~can_jam in
     Budget.advance budget ~jam;
-    (* 2. Live stations act. *)
+    (* 2. Live stations act (sleepers are skipped without a draw). *)
     let transmitters = ref 0 in
     for k = 0 to !n_active - 1 do
       let i = active.(k) in
       let s = stations.(i) in
-      if s.Station.finished () then actions.(i) <- Station.Listen
-      else begin
-        let a = s.Station.decide ~slot:t in
-        actions.(i) <- a;
-        if Station.equal_action a Station.Transmit then begin
-          incr transmitters;
-          tx_counts.(i) <- tx_counts.(i) + 1
-        end
-      end
+      if s.Station.finished () || wake_abs.(i) > t then actions.(i) <- Station.Listen
+      else
+        match s.Station.decide ~slot:t with
+        | Station.Transmit ->
+            actions.(i) <- Station.Transmit;
+            incr transmitters;
+            tx_counts.(i) <- tx_counts.(i) + 1;
+            (match meter with Some m -> Energy.Meter.note_tx m i | None -> ())
+        | Station.Listen -> actions.(i) <- Station.Listen
+        | Station.Sleep until ->
+            if until <= t then
+              invalid_arg "Engine.run: Sleep must target a slot after the current one";
+            wake_abs.(i) <- until;
+            actions.(i) <- Station.Listen;
+            (match meter with
+            | Some m ->
+                Energy.Meter.note_sleep m i ~from:!slot ~until:(until - start_slot)
+            | None -> ())
     done;
     (* 3. Resolve and deliver feedback.  Sensing noise, when injected,
        perturbs each live station's view of the true state independently
@@ -140,7 +165,8 @@ let run ?(start_slot = 0) ?faults ?monitor ?(observers = []) ~cd ~adversary
     for k = 0 to !n_active - 1 do
       let i = active.(k) in
       let s = stations.(i) in
-      if not (s.Station.finished ()) then begin
+      let asleep = wake_abs.(i) > t in
+      if (not asleep) && not (s.Station.finished ()) then begin
         let transmitted = Station.equal_action actions.(i) Station.Transmit in
         let sensed =
           match noise with None -> state | Some inj -> Injection.sense inj state
@@ -160,6 +186,10 @@ let run ?(start_slot = 0) ?faults ?monitor ?(observers = []) ~cd ~adversary
         active.(!kept) <- i;
         incr kept
       end
+      else
+        match meter with
+        | Some m -> Energy.Meter.note_finish m i ~from:(!slot + 1)
+        | None -> ()
     done;
     n_active := !kept;
     adversary.Adversary.notify ~slot:t ~jammed:jam ~state;
@@ -172,16 +202,20 @@ let run ?(start_slot = 0) ?faults ?monitor ?(observers = []) ~cd ~adversary
     end;
     incr slot
   done;
+  let energy =
+    match meter with Some m -> Some (Energy.Meter.summarize m ~slots:!slot) | None -> None
+  in
   build_result ~slot:!slot ~finished:(!n_active = 0) ~stations ~tx_counts
     ~jammed_slots:!jammed_slots ~nulls:!nulls ~singles:!singles ~collisions:!collisions
-    obs
+    ~energy obs
 
 (* The pre-active-set engine, kept verbatim as the differential-testing
    oracle: every loop is a full O(n) scan and the leader count is a
    fresh scan per slot.  [run] must stay bit-identical to this path. *)
-let run_reference ?(start_slot = 0) ?faults ?monitor ?(observers = []) ~cd
+let run_reference ?(start_slot = 0) ?faults ?meter ?monitor ?(observers = []) ~cd
     ~adversary ~budget ~max_slots ~stations () =
   let n = Array.length stations in
+  check_meter ?meter ~n "Engine.run_reference";
   let obs = assemble_observers ?monitor observers in
   let observed = Array.length obs > 0 in
   let needs_leaders = Array.exists (fun o -> o.Observer.needs_leaders) obs in
@@ -193,8 +227,24 @@ let run_reference ?(start_slot = 0) ?faults ?monitor ?(observers = []) ~cd
   let noise =
     match faults with Some f when Injection.active f -> Some f | Some _ | None -> None
   in
+  let wake_abs = Array.make n min_int in
+  (* Meter bookkeeping: note each station's termination once, at the
+     same relative slot the active-set engine's compaction would. *)
+  let noted = (match meter with Some _ -> Array.make n false | None -> [||]) in
+  let note_done_from rel =
+    match meter with
+    | Some m ->
+        for i = 0 to n - 1 do
+          if (not noted.(i)) && stations.(i).Station.finished () then begin
+            noted.(i) <- true;
+            Energy.Meter.note_finish m i ~from:rel
+          end
+        done
+    | None -> ()
+  in
   let slot = ref 0 in
   let finished = ref (all_finished ()) in
+  note_done_from 0;
   while (not !finished) && !slot < max_slots do
     let t = start_slot + !slot in
     let can_jam = Budget.can_jam budget in
@@ -202,15 +252,26 @@ let run_reference ?(start_slot = 0) ?faults ?monitor ?(observers = []) ~cd
     Budget.advance budget ~jam;
     let transmitters = ref 0 in
     for i = 0 to n - 1 do
-      if stations.(i).Station.finished () then actions.(i) <- Station.Listen
-      else begin
-        let a = stations.(i).Station.decide ~slot:t in
-        actions.(i) <- a;
-        if Station.equal_action a Station.Transmit then begin
-          incr transmitters;
-          tx_counts.(i) <- tx_counts.(i) + 1
-        end
-      end
+      if stations.(i).Station.finished () || wake_abs.(i) > t then
+        actions.(i) <- Station.Listen
+      else
+        match stations.(i).Station.decide ~slot:t with
+        | Station.Transmit ->
+            actions.(i) <- Station.Transmit;
+            incr transmitters;
+            tx_counts.(i) <- tx_counts.(i) + 1;
+            (match meter with Some m -> Energy.Meter.note_tx m i | None -> ())
+        | Station.Listen -> actions.(i) <- Station.Listen
+        | Station.Sleep until ->
+            if until <= t then
+              invalid_arg
+                "Engine.run_reference: Sleep must target a slot after the current one";
+            wake_abs.(i) <- until;
+            actions.(i) <- Station.Listen;
+            (match meter with
+            | Some m ->
+                Energy.Meter.note_sleep m i ~from:!slot ~until:(until - start_slot)
+            | None -> ())
     done;
     let state = Channel.resolve ~transmitters:!transmitters ~jammed:jam in
     if jam then incr jammed_slots;
@@ -219,7 +280,7 @@ let run_reference ?(start_slot = 0) ?faults ?monitor ?(observers = []) ~cd
     | Channel.Single -> incr singles
     | Channel.Collision -> incr collisions);
     for i = 0 to n - 1 do
-      if not (stations.(i).Station.finished ()) then begin
+      if wake_abs.(i) <= t && not (stations.(i).Station.finished ()) then begin
         let transmitted = Station.equal_action actions.(i) Station.Transmit in
         let sensed =
           match noise with None -> state | Some inj -> Injection.sense inj state
@@ -228,6 +289,7 @@ let run_reference ?(start_slot = 0) ?faults ?monitor ?(observers = []) ~cd
         stations.(i).Station.observe ~slot:t ~perceived ~transmitted
       end
     done;
+    note_done_from (!slot + 1);
     adversary.Adversary.notify ~slot:t ~jammed:jam ~state;
     if observed then begin
       let record =
@@ -249,9 +311,12 @@ let run_reference ?(start_slot = 0) ?faults ?monitor ?(observers = []) ~cd
     incr slot;
     finished := all_finished ()
   done;
+  let energy =
+    match meter with Some m -> Some (Energy.Meter.summarize m ~slots:!slot) | None -> None
+  in
   build_result ~slot:!slot ~finished:!finished ~stations ~tx_counts
     ~jammed_slots:!jammed_slots ~nulls:!nulls ~singles:!singles ~collisions:!collisions
-    obs
+    ~energy obs
 
 (* Vectorized engine over a {!Station.pool}.  Protocol state lives in
    flat arrays inside the pool; per slot the fault-free path makes two
@@ -263,9 +328,10 @@ let run_reference ?(start_slot = 0) ?faults ?monitor ?(observers = []) ~cd
    [Fault_plan.wrap]ped closure stations: the crash latch is set during
    the decide pass, dormant stations listen but still burn a sensing
    draw, and dead or finished stations draw nothing. *)
-let run_pool ?(start_slot = 0) ?faults ?plans ?monitor ?(observers = []) ~cd ~adversary
-    ~budget ~max_slots ~pool () =
+let run_pool ?(start_slot = 0) ?faults ?plans ?meter ?monitor ?(observers = []) ~cd
+    ~adversary ~budget ~max_slots ~pool () =
   let n = pool.Station.pool_size in
+  check_meter ?meter ~n "Engine.run_pool";
   let obs = assemble_observers ?monitor observers in
   let observed = Array.length obs > 0 in
   let needs_leaders = Array.exists (fun o -> o.Observer.needs_leaders) obs in
@@ -297,9 +363,17 @@ let run_pool ?(start_slot = 0) ?faults ?plans ?monitor ?(observers = []) ~cd ~ad
       Array.iter (fun o -> o.Observer.on_slot record ~leaders) obs
     end
   in
+  let batch = plans = None && noise = None in
   (match (plans, noise) with
   | None, None ->
-      (* Fast batch path: the pool iterates its own dense active set. *)
+      (* Fast batch path: the pool iterates its own dense active set.
+         Sleep is managed inside the pool (no [Sleep] action ever
+         reaches the engine), so metered batch runs read per-station
+         awake counts back from the pool instead of meter events. *)
+      (match (meter, pool.Station.pool_awake) with
+      | Some _, None ->
+          invalid_arg "Engine.run_pool: pool does not track awake slots (pool_awake = None)"
+      | _ -> ());
       while (not !finished) && !slot < max_slots do
         let t = start_slot + !slot in
         let can_jam = Budget.can_jam budget in
@@ -324,6 +398,7 @@ let run_pool ?(start_slot = 0) ?faults ?plans ?monitor ?(observers = []) ~cd ~ad
       (* Faulty path: engine-owned active set + crash latch, mirroring
          [run] over wrapped stations so noise draws line up exactly. *)
       let dead = Array.make n false in
+      let wake_abs = Array.make n min_int in
       let active = Array.make n 0 in
       let n_active = ref 0 in
       for i = 0 to n - 1 do
@@ -331,6 +406,8 @@ let run_pool ?(start_slot = 0) ?faults ?plans ?monitor ?(observers = []) ~cd ~ad
           active.(!n_active) <- i;
           incr n_active
         end
+        else
+          match meter with Some m -> Energy.Meter.note_finish m i ~from:0 | None -> ()
       done;
       let dormant i ~t =
         match plans with Some ps -> Fault_plan.dormant ps.(i) ~slot:t | None -> false
@@ -344,17 +421,34 @@ let run_pool ?(start_slot = 0) ?faults ?plans ?monitor ?(observers = []) ~cd ~ad
         let transmitters = ref 0 in
         for k = 0 to !n_active - 1 do
           let i = active.(k) in
-          (match plans with
-          | Some ps -> if Fault_plan.crashed ps.(i) ~slot:t then dead.(i) <- true
-          | None -> ());
-          let a =
-            if dead.(i) || dormant i ~t then Station.Listen
-            else pool.Station.pool_decide ~slot:t i
-          in
-          actions.(i) <- a;
-          if Station.equal_action a Station.Transmit then begin
-            incr transmitters;
-            tx_counts.(i) <- tx_counts.(i) + 1
+          (* A sleeping station is untouched: in [run] over wrapped
+             closures the crash latch only advances inside decide or
+             observe, neither of which a sleeper receives. *)
+          if wake_abs.(i) > t then actions.(i) <- Station.Listen
+          else begin
+            (match plans with
+            | Some ps -> if Fault_plan.crashed ps.(i) ~slot:t then dead.(i) <- true
+            | None -> ());
+            if dead.(i) || dormant i ~t then actions.(i) <- Station.Listen
+            else
+              match pool.Station.pool_decide ~slot:t i with
+              | Station.Transmit ->
+                  actions.(i) <- Station.Transmit;
+                  incr transmitters;
+                  tx_counts.(i) <- tx_counts.(i) + 1;
+                  (match meter with Some m -> Energy.Meter.note_tx m i | None -> ())
+              | Station.Listen -> actions.(i) <- Station.Listen
+              | Station.Sleep until ->
+                  if until <= t then
+                    invalid_arg
+                      "Engine.run_pool: Sleep must target a slot after the current one";
+                  wake_abs.(i) <- until;
+                  actions.(i) <- Station.Listen;
+                  (match meter with
+                  | Some m ->
+                      Energy.Meter.note_sleep m i ~from:!slot
+                        ~until:(until - start_slot)
+                  | None -> ())
           end
         done;
         let state = Channel.resolve ~transmitters:!transmitters ~jammed:jam in
@@ -366,7 +460,8 @@ let run_pool ?(start_slot = 0) ?faults ?plans ?monitor ?(observers = []) ~cd ~ad
         let kept = ref 0 in
         for k = 0 to !n_active - 1 do
           let i = active.(k) in
-          if not (dead.(i) || pool.Station.pool_finished i) then begin
+          let asleep = wake_abs.(i) > t in
+          if (not asleep) && not (dead.(i) || pool.Station.pool_finished i) then begin
             let transmitted = Station.equal_action actions.(i) Station.Transmit in
             let sensed =
               match noise with None -> state | Some inj -> Injection.sense inj state
@@ -379,6 +474,10 @@ let run_pool ?(start_slot = 0) ?faults ?plans ?monitor ?(observers = []) ~cd ~ad
             active.(!kept) <- i;
             incr kept
           end
+          else
+            match meter with
+            | Some m -> Energy.Meter.note_finish m i ~from:(!slot + 1)
+            | None -> ()
         done;
         n_active := !kept;
         observe_slot ~t ~jam ~state ~transmitters:!transmitters;
@@ -386,6 +485,20 @@ let run_pool ?(start_slot = 0) ?faults ?plans ?monitor ?(observers = []) ~cd ~ad
       done;
       finished := !n_active = 0);
   let statuses = Array.init n pool.Station.pool_status in
+  let energy =
+    match meter with
+    | None -> None
+    | Some m ->
+        if batch then
+          match pool.Station.pool_awake with
+          | Some awake ->
+              Some
+                (Energy.of_per_station ~n ~slots:!slot
+                   ~tx:(fun i -> tx_counts.(i))
+                   ~awake:(fun i -> awake ~until:(start_slot + !slot) i))
+          | None -> None (* unreachable: rejected before the batch loop *)
+        else Some (Energy.Meter.summarize m ~slots:!slot)
+  in
   finalize ~slot:!slot ~finished:!finished ~statuses ~tx_counts
     ~jammed_slots:!jammed_slots ~nulls:!nulls ~singles:!singles ~collisions:!collisions
-    obs
+    ~energy obs

@@ -20,6 +20,7 @@
 val run :
   ?start_slot:int ->
   ?faults:Jamming_faults.Injection.t ->
+  ?meter:Jamming_energy.Energy.Meter.t ->
   ?monitor:Monitor.t ->
   ?observers:Observer.t list ->
   cd:Jamming_channel.Channel.cd_model ->
@@ -61,6 +62,16 @@ val run :
     per-slot callback belongs in [observers], wrapped with
     {!Observer.of_on_slot}.
 
+    [meter] turns on energy accounting (DESIGN.md §16): the engine
+    reports transmissions, sleep intervals and terminations into the
+    meter (O(1) per event, never touching any random stream) and
+    attaches [Energy.summarize meter ~slots] to the result as
+    [result.energy].  A station may return [Sleep until] from [decide]:
+    it is then skipped — no decide, no observe, no sensing draw — until
+    absolute slot [until].  Metering off and no sleeping stations leave
+    the run bit-identical to the pre-energy engine (QCheck-asserted in
+    [test_energy.ml]).
+
     The result reports [leader = Some _] exactly when [elected]: a run
     cut off at [max_slots] reports no leader even if one station stands
     in status [Leader] at the cut-off (its election never completed). *)
@@ -68,6 +79,7 @@ val run :
 val run_reference :
   ?start_slot:int ->
   ?faults:Jamming_faults.Injection.t ->
+  ?meter:Jamming_energy.Energy.Meter.t ->
   ?monitor:Monitor.t ->
   ?observers:Observer.t list ->
   cd:Jamming_channel.Channel.cd_model ->
@@ -89,6 +101,7 @@ val run_pool :
   ?start_slot:int ->
   ?faults:Jamming_faults.Injection.t ->
   ?plans:Jamming_faults.Fault_plan.plan array ->
+  ?meter:Jamming_energy.Energy.Meter.t ->
   ?monitor:Monitor.t ->
   ?observers:Observer.t list ->
   cd:Jamming_channel.Channel.cd_model ->
@@ -115,7 +128,14 @@ val run_pool :
     per-station loop that reproduces the closure path's sensing-draw
     order exactly (dormant stations draw, dead and finished ones do
     not).  The batch path and the per-station path never mix within a
-    run. *)
+    run.
+
+    [meter] behaves as in {!run} on the per-station path.  On the batch
+    path pools manage sleep internally, so the engine instead reads
+    per-station awake counts back through [pool.pool_awake] (rejecting
+    pools that do not provide it) and transmission counts from its own
+    [tx_counts]; the resulting [result.energy] block is identical to
+    what metering the equivalent closure stations produces. *)
 
 val make_stations :
   n:int -> rng:Jamming_prng.Prng.t -> Jamming_station.Station.factory ->

@@ -47,6 +47,7 @@ type result = {
   collisions : int;
   transmissions : float;
   max_station_transmissions : int;
+  energy : Jamming_energy.Energy.summary option;
 }
 
 let election_ok r =
@@ -73,6 +74,7 @@ let equal_result a b =
   && a.nulls = b.nulls && a.singles = b.singles && a.collisions = b.collisions
   && a.transmissions = b.transmissions
   && a.max_station_transmissions = b.max_station_transmissions
+  && Option.equal Jamming_energy.Energy.equal_summary a.energy b.energy
 
 let status_to_char = function
   | Station.Leader -> 'L'
@@ -95,8 +97,8 @@ let result_to_json r =
       | Station.Undecided -> incr undecided)
     r.statuses;
   Json.Obj
-    [
-      ("slots", Json.Int r.slots);
+    ([
+       ("slots", Json.Int r.slots);
       ("completed", Json.Bool r.completed);
       ("elected", Json.Bool r.elected);
       ("leader", match r.leader with Some i -> Json.Int i | None -> Json.Null);
@@ -120,6 +122,12 @@ let result_to_json r =
       ("transmissions", Json.Float r.transmissions);
       ("max_station_transmissions", Json.Int r.max_station_transmissions);
     ]
+    @
+    (* Appended only when present, so unmetered records keep their
+       historical byte-exact rendering. *)
+    match r.energy with
+    | None -> []
+    | Some s -> [ ("energy", Jamming_energy.Energy.summary_to_json s) ])
 
 let result_of_json j =
   let ( let* ) = Result.bind in
@@ -197,6 +205,16 @@ let result_of_json j =
     | None -> Error "result: \"transmissions\" is not a number"
   in
   let* max_station_transmissions = int "max_station_transmissions" in
+  (* Absent means "run was not metered" — records written before the
+     energy block existed must keep decoding. *)
+  let* energy =
+    match Json.member "energy" j with
+    | None -> Ok None
+    | Some v -> (
+        match Jamming_energy.Energy.summary_of_json v with
+        | Ok s -> Ok (Some s)
+        | Error e -> Error ("result: " ^ e))
+  in
   Ok
     {
       slots;
@@ -210,6 +228,7 @@ let result_of_json j =
       collisions;
       transmissions;
       max_station_transmissions;
+      energy;
     }
 
 let pp_result ppf r =

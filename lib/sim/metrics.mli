@@ -53,6 +53,12 @@ type result = {
           [Σ n·p] (uniform engine) *)
   max_station_transmissions : int;
       (** exact engine only; 0 for the uniform engine *)
+  energy : Jamming_energy.Energy.summary option;
+      (** per-station awake/tx/listen/sleep accounting; [Some] only
+          when the run was metered (engine [?meter] / [--energy]).
+          Serialized as an optional ["energy"] member so unmetered
+          records keep their historical JSON byte for byte and old
+          records still decode. *)
 }
 
 val election_ok : result -> bool

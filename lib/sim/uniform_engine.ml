@@ -5,8 +5,8 @@ module Uniform = Jamming_station.Uniform
 module Sample = Jamming_prng.Sample
 module Prng = Jamming_prng.Prng
 
-let run ?(start_slot = 0) ?(observers = []) ~n ~rng ~protocol ~adversary ~budget
-    ~max_slots () =
+let run ?(start_slot = 0) ?(energy = false) ?(observers = []) ~n ~rng ~protocol
+    ~adversary ~budget ~max_slots () =
   if n < 1 then invalid_arg "Uniform_engine.run: need n >= 1";
   let obs = Array.of_list observers in
   let observed = Array.length obs > 0 in
@@ -66,6 +66,13 @@ let run ?(start_slot = 0) ?(observers = []) ~n ~rng ~protocol ~adversary ~budget
       collisions = !collisions;
       transmissions = !transmissions;
       max_station_transmissions = 0;
+      (* Uniform protocols never sleep: every station is awake for the
+         whole run, and the transmission total is the accumulated
+         expectation, so the summary is O(1) to synthesize. *)
+      energy =
+        (if energy then
+           Some (Jamming_energy.Energy.all_awake ~n ~slots:!slot ~tx_total:!transmissions)
+         else None);
     }
   in
   Gauges.note_run ~slots:!slot;

@@ -8,6 +8,7 @@
 
 val run :
   ?start_slot:int ->
+  ?energy:bool ->
   ?observers:Observer.t list ->
   n:int ->
   rng:Jamming_prng.Prng.t ->
@@ -30,4 +31,9 @@ val run :
     here checks everything except at-most-one-leader.  Observers never
     touch the random stream: results are bit-identical with or without
     them.  A bare per-slot callback belongs in [observers], wrapped
-    with {!Observer.of_on_slot}. *)
+    with {!Observer.of_on_slot}.
+
+    [energy] attaches an O(1) synthesized [Energy.summary]: uniform
+    stations never sleep, so all [n] are awake every slot and
+    [tx_total] is the expectation the engine already accumulates.  The
+    random stream is untouched either way. *)

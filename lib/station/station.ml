@@ -1,13 +1,15 @@
-type action = Transmit | Listen
+type action = Transmit | Listen | Sleep of int
 
 let equal_action a b =
   match a, b with
   | Transmit, Transmit | Listen, Listen -> true
-  | (Transmit | Listen), _ -> false
+  | Sleep u, Sleep v -> u = v
+  | (Transmit | Listen | Sleep _), _ -> false
 
 let pp_action ppf = function
   | Transmit -> Format.pp_print_string ppf "Transmit"
   | Listen -> Format.pp_print_string ppf "Listen"
+  | Sleep until -> Format.fprintf ppf "Sleep(until=%d)" until
 
 type status = Undecided | Leader | Non_leader
 
@@ -52,6 +54,7 @@ type pool = {
   pool_finished : int -> bool;
   pool_all_finished : unit -> bool;
   pool_leaders : unit -> int;
+  pool_awake : (until:int -> int -> int) option;
 }
 
 type pool_factory = n:int -> rng:Jamming_prng.Prng.t -> pool

@@ -6,7 +6,17 @@
     the collision-detection model and for whether this station
     transmitted, see {!Jamming_channel.Channel.perceive}). *)
 
-type action = Transmit | Listen
+type action =
+  | Transmit
+  | Listen
+  | Sleep of int
+      (** [Sleep until] powers the radio down for the slots
+          [[slot, until)]: the station neither transmits nor listens at
+          the current slot, is skipped by the engine — no [decide], no
+          [observe], no draw from any stream — until the absolute slot
+          [until], and is woken with a [decide] call at [until].
+          Requires [until > slot]; the engine rejects sleeps into the
+          past.  See DESIGN.md §16. *)
 
 val equal_action : action -> action -> bool
 val pp_action : Format.formatter -> action -> unit
@@ -93,6 +103,15 @@ type pool = {
   pool_finished : int -> bool;
   pool_all_finished : unit -> bool;
   pool_leaders : unit -> int;
+  pool_awake : (until:int -> int -> int) option;
+      (** [pool_awake ~until i] is the number of slots station [i] was
+          awake (decided [Transmit] or [Listen]) over absolute slots
+          [[first, until)], where [first] is the first slot the pool
+          saw.  Pools manage sleep internally on the batch path — the
+          engine never sees a [Sleep] action there — so energy metering
+          of a batch run reads awake counts from the pool.  [None]
+          means the pool does not track them and the run cannot be
+          metered on the batch path. *)
 }
 
 type pool_factory = n:int -> rng:Jamming_prng.Prng.t -> pool

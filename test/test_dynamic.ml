@@ -302,6 +302,7 @@ let test_of_static_shape () =
       collisions = 2;
       transmissions = 5.0;
       max_station_transmissions = 3;
+      energy = None;
     }
   in
   let d = Dynamic.of_static elected in

@@ -1,0 +1,58 @@
+(* Energy_cap edge cases (ISSUE 10 satellites): a negative cap is
+   rejected eagerly — before any station is built — and cap = 0 turns
+   the whole population into pure listeners, who can never produce the
+   Single a leader election needs. *)
+
+open Test_util
+module Core = Jamming_core
+module Energy = Jamming_energy.Energy
+
+let test_negative_cap_rejected_eagerly () =
+  let meter = Energy.Meter.create ~n:4 in
+  Alcotest.check_raises "cap = -1"
+    (Invalid_argument "Energy_cap.station: cap must be >= 0") (fun () ->
+      ignore
+        (Core.Energy_cap.station ~cap:(-1) ~meter (Core.Lesk.station ~eps:0.5)
+          : Station.factory));
+  Alcotest.check_raises "cap = min_int"
+    (Invalid_argument "Energy_cap.station: cap must be >= 0") (fun () ->
+      ignore
+        (Core.Energy_cap.station ~cap:min_int ~meter (Core.Lesk.station ~eps:0.5)
+          : Station.factory))
+
+let run_capped ~seed ~cap ~n =
+  let rng = Prng.create ~seed in
+  let budget = Budget.create ~window:32 ~eps:0.5 in
+  Core.Energy_cap.run_lesk ~cap ~n ~eps:0.5 ~rng
+    ~adversary:(Adversary.none ())
+    ~budget ~max_slots:5_000 ()
+
+let test_cap_zero_never_elects () =
+  for seed = 1 to 10 do
+    let o = run_capped ~seed ~cap:0 ~n:32 in
+    check_true
+      (Printf.sprintf "seed %d: pure listeners cannot elect" seed)
+      (not (Metrics.election_ok o.Core.Energy_cap.result));
+    check_int
+      (Printf.sprintf "seed %d: every station counts as exhausted" seed)
+      32 o.Core.Energy_cap.exhausted
+  done
+
+(* With cap = 0 the channel must stay silent for the whole run: the
+   meter records zero transmissions for the entire population. *)
+let test_cap_zero_is_silent () =
+  let o = run_capped ~seed:3 ~cap:0 ~n:16 in
+  (match o.Core.Energy_cap.result.Metrics.energy with
+  | Some s -> check_float "no transmissions at all" 0.0 s.Energy.tx_total
+  | None -> Alcotest.fail "capped run lost its energy block");
+  check_int "no slot carries a transmission" 0
+    o.Core.Energy_cap.result.Metrics.singles
+
+let suite =
+  [
+    Alcotest.test_case "negative cap rejected before any station exists" `Quick
+      test_negative_cap_rejected_eagerly;
+    Alcotest.test_case "cap = 0 never elects" `Quick test_cap_zero_never_elects;
+    Alcotest.test_case "cap = 0 keeps the channel silent" `Quick
+      test_cap_zero_is_silent;
+  ]

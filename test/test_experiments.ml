@@ -83,13 +83,14 @@ let test_runner_validation () =
            { setup with E.Runner.eps = 0.0 } E.Specs.greedy ~seed:1))
 
 let test_registry_complete () =
-  check_int "26 experiments registered" 26 (List.length E.Experiments.all);
+  check_int "28 experiments registered" 28 (List.length E.Experiments.all);
   let ids = List.map (fun e -> e.E.Registry.id) E.Experiments.all in
   List.iter
     (fun id -> check_true (id ^ " present") (List.mem id ids))
     [
       "E1"; "E2"; "E3"; "E4"; "E5"; "E6"; "E7"; "E8"; "E9"; "E10"; "E11"; "E12"; "E13";
-      "E14"; "E15"; "E16"; "F1"; "F2"; "A1"; "A2"; "A3"; "A4"; "A5"; "A6"; "A7"; "A8";
+      "E14"; "E15"; "E16"; "E17"; "F1"; "F2"; "A1"; "A2"; "A3"; "A4"; "A5"; "A6";
+      "A7"; "A8"; "A9";
     ]
 
 let test_registry_find () =

@@ -92,8 +92,10 @@ let test_energy_cap_respected () =
 let test_energy_cap_validation () =
   Alcotest.check_raises "negative cap"
     (Invalid_argument "Energy_cap.station: cap must be >= 0") (fun () ->
-      let factory = Energy_cap.station ~cap:(-1) (Jamming_core.Lesk.station ~eps:0.5) in
-      ignore (factory ~id:0 ~rng:(Prng.create ~seed:1)))
+      let meter = Jamming_energy.Energy.Meter.create ~n:1 in
+      ignore
+        (Energy_cap.station ~cap:(-1) ~meter (Jamming_core.Lesk.station ~eps:0.5)
+          : Jamming_station.Station.factory))
 
 let run_k_selection ?(warm_start = true) ?(adversary = Adversary.none) ~k ~n () =
   let rng = Prng.create ~seed:77 in

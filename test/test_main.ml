@@ -28,4 +28,7 @@ let () =
       ("experiments", Test_experiments.suite);
       ("pool", Test_pool.suite);
       ("aggregate", Test_aggregate.suite);
+      ("lmr", Test_lmr.suite);
+      ("energy", Test_energy.suite);
+      ("energy-cap", Test_energy_cap.suite);
     ]

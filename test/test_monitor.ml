@@ -143,6 +143,7 @@ let test_check_result_mismatch () =
       collisions = 0;
       transmissions = 0.0;
       max_station_transmissions = 0;
+      energy = None;
     }
   in
   ignore
@@ -167,6 +168,7 @@ let test_check_result_two_final_leaders () =
       collisions = 0;
       transmissions = 0.0;
       max_station_transmissions = 0;
+      energy = None;
     }
   in
   ignore
@@ -257,6 +259,7 @@ let test_skip_to_bridges_gap () =
       collisions = 0;
       transmissions = 0.0;
       max_station_transmissions = 0;
+      energy = None;
     };
   (* Empty gaps are legal and feed nothing. *)
   Monitor.skip_to mon ~from:21 ~upto:21 ~leaders:1;
@@ -323,6 +326,7 @@ let test_slot_observer_ignores_segment_results () =
       collisions = 0;
       transmissions = 0.0;
       max_station_transmissions = 0;
+      energy = None;
     }
   in
   (* Per-segment totals must not be mistaken for run totals. *)

@@ -26,6 +26,7 @@ let dummy_result =
     collisions = 0;
     transmissions = 1.0;
     max_station_transmissions = 1;
+    energy = None;
   }
 
 let test_compose_order () =

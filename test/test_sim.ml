@@ -123,6 +123,7 @@ let test_election_ok () =
       collisions = 0;
       transmissions = 0.0;
       max_station_transmissions = 0;
+      energy = None;
     }
   in
   check_true "single leader ok"
@@ -396,6 +397,7 @@ let test_metrics_pp () =
       collisions = 36;
       transmissions = 99.5;
       max_station_transmissions = 3;
+      energy = None;
     }
   in
   let s = Format.asprintf "%a" Metrics.pp_result r in

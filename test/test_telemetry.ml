@@ -125,6 +125,7 @@ let test_result_json_golden () =
       collisions = 30;
       transmissions = 64.5;
       max_station_transmissions = 0;
+      energy = None;
     }
   in
   Alcotest.(check string)
@@ -226,6 +227,7 @@ let gen_result =
         collisions;
         transmissions;
         max_station_transmissions;
+        energy = None;
       })
     (triple
        (quad (int_bound 1_000_000) bool bool (opt (int_bound 4096)))
@@ -259,6 +261,7 @@ let test_result_decode_rejects_corruption () =
       collisions = 3;
       transmissions = 5.5;
       max_station_transmissions = 2;
+      energy = None;
     }
   in
   let tamper f =
